@@ -1,0 +1,179 @@
+// Command uafcheck runs the use-after-free analysis over MiniChapel
+// source files, printing compiler-style warnings — the reproduction of
+// the paper's modified Chapel compiler pass.
+//
+// Usage:
+//
+//	uafcheck [flags] file.chpl [file2.chpl ...]
+//
+// Flags:
+//
+//	-ccfg        also print the Concurrent Control Flow Graph
+//	-dot         print the CCFG in Graphviz dot syntax
+//	-trace       also print the Parallel Program State table
+//	-stats       print per-procedure analysis statistics
+//	-no-prune    disable CCFG pruning rules A-D
+//	-oracle N    validate warnings dynamically with N random schedules
+//	-seed S      oracle schedule seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uafcheck"
+)
+
+func main() {
+	var (
+		showCCFG = flag.Bool("ccfg", false, "print the CCFG as text")
+		showDot  = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
+		trace    = flag.Bool("trace", false, "print the PPS exploration table")
+		stats    = flag.Bool("stats", false, "print per-procedure statistics")
+		noPrune  = flag.Bool("no-prune", false, "disable pruning rules A-D")
+		atomics  = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
+		count    = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
+		fix      = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
+		execProc = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
+		oracle   = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
+		seed     = flag.Int64("seed", 1, "oracle schedule seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: uafcheck [flags] file.chpl ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := uafcheck.DefaultOptions()
+	opts.Prune = !*noPrune
+	opts.Trace = *trace
+	opts.ModelAtomics = *atomics
+	opts.CountAtomics = *count
+
+	exit := 0
+	var paths []string
+	for _, arg := range flag.Args() {
+		st, err := os.Stat(arg)
+		if err == nil && st.IsDir() {
+			// Analyze every .chpl file under the directory.
+			filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+				if err == nil && !d.IsDir() && strings.HasSuffix(p, ".chpl") {
+					paths = append(paths, p)
+				}
+				return nil
+			})
+			continue
+		}
+		paths = append(paths, arg)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			exit = 1
+			continue
+		}
+		src := string(data)
+		rep, err := uafcheck.AnalyzeWithOptions(path, src, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit = 1
+			continue
+		}
+		for _, w := range rep.Warnings {
+			fmt.Println(w)
+		}
+		for _, n := range rep.Notes {
+			fmt.Println(n)
+		}
+		if *showCCFG || *showDot {
+			for _, ps := range rep.Stats {
+				render := uafcheck.CCFGText
+				if *showDot {
+					render = uafcheck.CCFGDot
+				}
+				out, err := render(path, src, ps.Proc)
+				if err == nil {
+					fmt.Println(out)
+				}
+			}
+		}
+		if *trace {
+			for proc, tr := range rep.PPSTraces {
+				fmt.Printf("PPS trace for proc %s:\n%s", proc, tr)
+			}
+		}
+		if *stats {
+			for _, ps := range rep.Stats {
+				fmt.Printf("proc %-20s nodes=%-4d tasks=%-3d pruned=%-3d tracked=%-4d protected=%-4d states=%-6d merged=%-6d sinks=%-4d deadlocks=%d\n",
+					ps.Proc, ps.Nodes, ps.Tasks, ps.PrunedTasks, ps.TrackedAccesses,
+					ps.ProtectedAccesses, ps.StatesProcessed, ps.StatesMerged, ps.Sinks, ps.Deadlocks)
+			}
+		}
+		if *oracle > 0 && len(rep.Warnings) > 0 {
+			validateDynamically(path, src, rep, *oracle, *seed)
+		}
+		if *execProc != "" {
+			out, events, err := uafcheck.ExecuteTraced(path, src, *execProc, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exec: %v\n", err)
+			} else {
+				fmt.Printf("---- execution trace of %s (seed %d) ----\n", *execProc, *seed)
+				for _, e := range events {
+					fmt.Println(e)
+				}
+				for _, o := range out {
+					fmt.Println("output:", o)
+				}
+			}
+		}
+		if *fix && len(rep.Warnings) > 0 {
+			fr, err := uafcheck.RepairSource(path, src, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repair: %v\n", err)
+			} else {
+				for _, s := range fr.Steps {
+					extra := ""
+					if s.Token != "" {
+						extra = " (token " + s.Token + ")"
+					}
+					fmt.Printf("fix: %s in %s/%s%s\n", s.Strategy, s.Proc, s.Task, extra)
+				}
+				fmt.Printf("fix: %d -> %d warnings\n", fr.InitialWarnings, fr.RemainingWarnings)
+				fmt.Println("---- repaired source ----")
+				fmt.Print(fr.Fixed)
+			}
+		}
+		if len(rep.Warnings) > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func validateDynamically(path, src string, rep *uafcheck.Report, runs int, seed int64) {
+	byProc := make(map[string][]uafcheck.Warning)
+	for _, w := range rep.Warnings {
+		byProc[w.Proc] = append(byProc[w.Proc], w)
+	}
+	for proc, ws := range byProc {
+		dyn, err := uafcheck.ExploreSchedules(path, src, proc, runs, seed, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracle: %v\n", err)
+			return
+		}
+		for _, w := range ws {
+			verdict := "NOT OBSERVED (possible false positive)"
+			if dyn.ObservedUAF(w.Var, w.AccessLine) {
+				verdict = "CONFIRMED use-after-free"
+			}
+			fmt.Printf("oracle: %s:%d %s in %s: %s (%d schedules)\n",
+				w.Var, w.AccessLine, w.Task, proc, verdict, dyn.Runs)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command uafcorpus regenerates the paper's evaluation (§V): it builds
+// the synthetic Chapel-1.11-style test suite, runs the analysis over all
+// of it, and prints Table I plus the per-pattern breakdown and the §VI
+// baseline comparison. With -oracle it also cross-validates the flagged
+// programs dynamically.
+//
+// Usage:
+//
+//	uafcorpus [-seed N] [-tests N] [-oracle N] [-baselines] [-dump dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/eval"
+)
+
+func main() {
+	var (
+		seed         = flag.Int64("seed", 1711, "corpus generation seed")
+		tests        = flag.Int("tests", 5127, "total test cases")
+		oracle       = flag.Int("oracle", 0, "dynamic validation schedules per flagged case (0 = off)")
+		baselines    = flag.Bool("baselines", false, "also run the §VI baseline comparison")
+		pruning      = flag.Bool("pruning", false, "also report §III-A pruning-rule statistics")
+		modelAtomics = flag.Bool("model-atomics", false, "enable the atomics extension (§VII future work) and rerun the table")
+		countAtomics = flag.Bool("count-atomics", false, "enable the counting refinement of the atomics extension and rerun the table")
+		dump         = flag.String("dump", "", "write the generated corpus to this directory")
+	)
+	flag.Parse()
+
+	params := uafcheck.DefaultCorpusParams(*seed)
+	if *tests != params.Tests {
+		// Scale the population proportionally.
+		scale := float64(*tests) / float64(params.Tests)
+		params.Tests = *tests
+		params.BeginTests = max(1, int(float64(params.BeginTests)*scale))
+		params.UnsafeTests = max(1, int(float64(params.UnsafeTests)*scale))
+		params.TrueSites = max(1, int(float64(params.TrueSites)*scale))
+		params.AtomicFPTests = max(1, int(float64(params.AtomicFPTests)*scale))
+		params.FalseSites = max(1, int(float64(params.FalseSites)*scale))
+	}
+
+	start := time.Now()
+	cases := uafcheck.GenerateCorpus(params)
+	genTime := time.Since(start)
+
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range cases {
+			path := filepath.Join(*dump, c.Name+".chpl")
+			if err := os.WriteFile(path, []byte(c.Source), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d test programs to %s\n", len(cases), *dump)
+	}
+
+	start = time.Now()
+	table, det := eval.RunTableIParallel(cases, analysis.DefaultOptions(), 0)
+	breakdown := det.FormatPatternBreakdown()
+	anaTime := time.Since(start)
+
+	fmt.Printf("Table I — use-after-free check over the synthetic suite (seed %d)\n", *seed)
+	fmt.Print(table.Format())
+	fmt.Printf("\nPaper reference: 5127 / 218 / 38 / 437 / 63 / 14.4%%\n")
+	fmt.Printf("generation %v, analysis %v\n\n", genTime.Round(time.Millisecond), anaTime.Round(time.Millisecond))
+	fmt.Println("Per-pattern breakdown:")
+	fmt.Print(breakdown)
+
+	if *modelAtomics {
+		opts := uafcheck.DefaultOptions()
+		opts.ModelAtomics = true
+		start = time.Now()
+		extTable, extBreakdown := uafcheck.RunTableI(cases, opts)
+		fmt.Printf("\nTable I with the atomics extension enabled (%v):\n",
+			time.Since(start).Round(time.Millisecond))
+		fmt.Print(extTable.Format())
+		fmt.Println("\nPer-pattern breakdown (extension):")
+		fmt.Print(extBreakdown)
+		fmt.Println("\nHandshake-style atomic synchronization is now proven safe;")
+		fmt.Println("counting protocols (waitFor(n) with n fills) stay conservatively")
+		fmt.Println("flagged because the full/empty abstraction is value-blind (§IV-A).")
+	}
+
+	if *countAtomics {
+		opts := uafcheck.DefaultOptions()
+		opts.CountAtomics = true
+		start = time.Now()
+		cntTable, cntBreakdown := uafcheck.RunTableI(cases, opts)
+		fmt.Printf("\nTable I with the counting refinement enabled (%v):\n",
+			time.Since(start).Round(time.Millisecond))
+		fmt.Print(cntTable.Format())
+		fmt.Println("\nPer-pattern breakdown (counting refinement):")
+		fmt.Print(cntBreakdown)
+	}
+
+	if *baselines {
+		fmt.Println("\nBaseline comparison (§VI):")
+		fmt.Print(uafcheck.BaselineComparison(cases, uafcheck.DefaultOptions()))
+	}
+
+	if *pruning {
+		start = time.Now()
+		prep := eval.RunPruningStats(cases, analysis.DefaultOptions())
+		fmt.Printf("\nPruning rules A-D over the begin cases (%v):\n",
+			time.Since(start).Round(time.Millisecond))
+		fmt.Print(prep.Format())
+	}
+
+	if *oracle > 0 {
+		start = time.Now()
+		rep := eval.ValidateWithOracle(cases, 0, *oracle, *seed)
+		fmt.Printf("\nDynamic oracle (%d schedules/case, %v):\n", *oracle, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  cases validated:        %d\n", rep.CasesValidated)
+		fmt.Printf("  true sites confirmed:   %d/%d\n", rep.ConfirmedTrue, rep.TotalTrue)
+		fmt.Printf("  atomic-case false alarms: %d\n", len(rep.FalseAlarms))
+	}
+	_ = analysis.DefaultOptions // keep import for documentation locality
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

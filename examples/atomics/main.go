@@ -1,0 +1,71 @@
+// False-positive anatomy (paper §IV-A / §V): programs synchronized with
+// atomic variables are dynamically safe, but the analysis deliberately
+// does not model atomics — producing the false positives that dominate
+// the paper's 14.4% true-positive rate.
+//
+//	go run ./examples/atomics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uafcheck"
+)
+
+const atomicProtected = `
+proc atomicHandshake() {
+  var buffer: int = 0;
+  var flag: atomic int;
+  begin with (ref buffer) {
+    buffer = 99;        // flagged by the static analysis...
+    writeln(buffer);    // ...and this one too
+    flag.write(1);
+  }
+  flag.waitFor(1);      // ...but the parent spins here before exiting,
+}                       // so the accesses are actually safe
+`
+
+const syncProtected = `
+proc syncHandshake() {
+  var buffer: int = 0;
+  var done$: sync bool;
+  begin with (ref buffer) {
+    buffer = 99;
+    writeln(buffer);
+    done$ = true;
+  }
+  done$;
+}
+`
+
+func main() {
+	fmt.Println("== atomic-protected program ==")
+	report, err := uafcheck.Analyze("atomic.chpl", atomicProtected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %d warning(s)\n", len(report.Warnings))
+	for _, w := range report.Warnings {
+		fmt.Println("  " + w.String())
+	}
+
+	dyn, err := uafcheck.ExploreSchedules("atomic.chpl", atomicProtected, "atomicHandshake", 20000, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic oracle: %d schedules, UAF sites %v\n", dyn.Runs, dyn.UAFSites)
+	if len(dyn.UAFSites) == 0 && len(report.Warnings) > 0 {
+		fmt.Println("=> every warning on this program is a FALSE POSITIVE:")
+		fmt.Println("   the paper's analysis does not model atomic synchronization (its §IV-A")
+		fmt.Println("   scope limit), which is why Table I reports only 14.4% true positives.")
+	}
+
+	fmt.Println("\n== the same handshake via a sync variable ==")
+	report, err = uafcheck.Analyze("sync.chpl", syncProtected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %d warning(s) — sync variables ARE modelled,\n", len(report.Warnings))
+	fmt.Println("so the wait chain is recognized and the accesses are proven safe.")
+}

@@ -1,0 +1,86 @@
+package uafcheck_test
+
+// Golden-artifact regression tests: the committed figure renderings under
+// docs/figures must match what the current code produces. Any behavioral
+// drift in CCFG construction, pruning, frontier computation or PPS
+// exploration shows up as a diff here; regenerate deliberately with
+//
+//	go run ./cmd/uaffigures -fig 2 > docs/figures/figure2_ccfg.txt   (etc.)
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uafcheck"
+)
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("docs", "figures", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func readProgram(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	src := readProgram(t, "figure1.chpl")
+	ccfg, err := uafcheck.CCFGText("testdata/figure1.chpl", src, "outerVarUse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := readGolden(t, "figure2_ccfg.txt")
+	if !strings.Contains(golden, strings.TrimSpace(ccfg)) {
+		t.Errorf("CCFG drifted from docs/figures/figure2_ccfg.txt:\n%s", ccfg)
+	}
+	dot, err := uafcheck.CCFGDot("testdata/figure1.chpl", src, "outerVarUse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDot := readGolden(t, "figure2.dot")
+	if !strings.Contains(goldenDot, strings.TrimSpace(dot)) {
+		t.Errorf("DOT drifted from docs/figures/figure2.dot")
+	}
+}
+
+func TestGoldenFigure3(t *testing.T) {
+	src := readProgram(t, "figure1.chpl")
+	trace, err := uafcheck.PPSTrace("testdata/figure1.chpl", src, "outerVarUse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := readGolden(t, "figure3_pps.txt")
+	if !strings.Contains(golden, strings.TrimSpace(trace)) {
+		t.Errorf("PPS trace drifted from docs/figures/figure3_pps.txt:\n%s", trace)
+	}
+}
+
+func TestGoldenFigure7(t *testing.T) {
+	src := readProgram(t, "figure6.chpl")
+	ccfg, err := uafcheck.CCFGText("testdata/figure6.chpl", src, "multipleUse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := uafcheck.PPSTrace("testdata/figure6.chpl", src, "multipleUse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := readGolden(t, "figure7_ccfg_pps.txt")
+	if !strings.Contains(golden, strings.TrimSpace(ccfg)) {
+		t.Errorf("figure 7 CCFG drifted:\n%s", ccfg)
+	}
+	if !strings.Contains(golden, strings.TrimSpace(trace)) {
+		t.Errorf("figure 7 PPS trace drifted:\n%s", trace)
+	}
+}

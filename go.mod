@@ -1,0 +1,3 @@
+module uafcheck
+
+go 1.22

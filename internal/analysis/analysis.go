@@ -1,0 +1,316 @@
+// Package analysis is the end-to-end compiler pass of the paper: it
+// parses MiniChapel source, resolves names, lowers each outermost
+// procedure containing begin tasks (partial inter-procedural analysis,
+// §III), builds and prunes the CCFG, explores the Parallel Program
+// States, and renders the potentially-dangerous-access warnings the
+// paper's modified Chapel compiler prints.
+package analysis
+
+import (
+	"fmt"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// Options configure the pass.
+type Options struct {
+	// Prune applies the CCFG pruning rules A-D (default on; the ablation
+	// benchmark switches it off).
+	Prune bool
+	// ModelAtomics enables the atomics extension (§IV-A sketch / §VII
+	// future work): atomic writes as fill events, waitFor as
+	// SINGLE-READ-like waits. Off by default, matching the paper.
+	ModelAtomics bool
+	// CountAtomics (implies ModelAtomics) additionally models monotonic
+	// atomic variables as saturating counters, verifying waitFor(n)
+	// counting protocols.
+	CountAtomics bool
+	// PPS configures the state exploration.
+	PPS pps.Options
+	// KeepGraphs retains the per-proc CCFG and PPS results (figure
+	// regeneration, tests); corpus runs leave it off to save memory.
+	KeepGraphs bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Prune: true}
+}
+
+// Warning is one reported potentially dangerous outer-variable access.
+type Warning struct {
+	Var        string
+	Task       string
+	Proc       string
+	Write      bool
+	Reason     pps.UnsafeReason
+	AccessLine int
+	DeclLine   int
+	Pos        string // file:line:col of the access
+}
+
+// String renders the warning in compiler style.
+func (w Warning) String() string {
+	verb := "read"
+	if w.Write {
+		verb = "write"
+	}
+	return fmt.Sprintf("%s: warning: potentially dangerous %s of outer variable %q "+
+		"(declared at line %d) inside %s of proc %s: the task may execute after "+
+		"the variable's scope has exited [%s]",
+		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason)
+}
+
+// ProcResult holds the analysis artifacts of one root procedure.
+type ProcResult struct {
+	Proc     *ast.ProcDecl
+	Program  *ir.Program
+	Graph    *ccfg.Graph
+	PPS      *pps.Result
+	Warnings []Warning
+	// Pruned counts tasks removed by each rule.
+	GraphStats ccfg.Stats
+	PPSStats   pps.Stats
+	// HasAtomics marks procs whose graphs contain atomic operations —
+	// the evaluation's dominant false-positive source (§V).
+	HasAtomics bool
+	Deadlocks  int
+}
+
+// Result is the analysis of one file.
+type Result struct {
+	Module *ast.Module
+	Info   *sym.Info
+	Diags  *source.Diagnostics
+	Procs  []*ProcResult
+}
+
+// Warnings returns all warnings across procedures, in source order per
+// procedure.
+func (r *Result) Warnings() []Warning {
+	var out []Warning
+	for _, p := range r.Procs {
+		out = append(out, p.Warnings...)
+	}
+	return out
+}
+
+// AnalyzeSource parses and analyzes one source text.
+func AnalyzeSource(name, src string, opts Options) *Result {
+	file := source.NewFile(name, src)
+	return AnalyzeFile(file, opts)
+}
+
+// AnalyzeFile analyzes a source file.
+func AnalyzeFile(file *source.File, opts Options) *Result {
+	diags := &source.Diagnostics{}
+	mod := parser.Parse(file, diags)
+	res := &Result{Module: mod, Diags: diags}
+	if diags.HasErrors() {
+		// Frontend errors: skip the concurrency pass, matching a compiler
+		// that stops before its analysis phases.
+		return res
+	}
+	info := sym.Resolve(mod, diags)
+	res.Info = info
+	if diags.HasErrors() {
+		return res
+	}
+	synced := syncedRefParams(mod, info)
+	for _, proc := range mod.Procs {
+		if !ast.HasBegin(proc) {
+			// Partial inter-procedural analysis: only outermost
+			// procedures containing begin tasks are analyzed (§III).
+			continue
+		}
+		res.Procs = append(res.Procs, analyzeProc(info, proc, synced, opts, diags))
+	}
+	return res
+}
+
+func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
+	opts Options, diags *source.Diagnostics) *ProcResult {
+	prog := ir.Lower(info, proc, diags)
+	g := ccfg.Build(prog, diags, ccfg.BuildOptions{
+		Prune:           opts.Prune,
+		SyncedRefParams: synced,
+		ModelAtomics:    opts.ModelAtomics,
+		CountAtomics:    opts.CountAtomics,
+	})
+	r := pps.Explore(g, opts.PPS)
+
+	pr := &ProcResult{
+		Proc:       proc,
+		GraphStats: g.Stats(),
+		PPSStats:   r.Stats,
+		HasAtomics: pr0HasAtomics(g),
+		Deadlocks:  len(r.Deadlocks),
+	}
+	if opts.KeepGraphs {
+		pr.Program = prog
+		pr.Graph = g
+		pr.PPS = r
+	}
+	file := info.Module.File
+	for _, u := range r.Unsafe {
+		a := u.Access
+		pr.Warnings = append(pr.Warnings, Warning{
+			Var:        a.Sym.Name,
+			Task:       a.Task.Label,
+			Proc:       proc.Name.Name,
+			Write:      a.Write,
+			Reason:     u.Reason,
+			AccessLine: file.Line(a.Sp.Start),
+			DeclLine:   declLine(file, a.Sym),
+			Pos:        file.Position(a.Sp.Start),
+		})
+	}
+	for _, w := range pr.Warnings {
+		diags.Addf(file, source.NoSpan, source.Warning, "%s", w.String())
+	}
+	if len(r.Deadlocks) > 0 {
+		diags.Addf(file, proc.Name.Sp, source.Note,
+			"proc %s: %d parallel program state(s) block with no applicable rule (potential deadlock)",
+			proc.Name.Name, len(r.Deadlocks))
+	}
+	if r.Stats.Incomplete {
+		diags.Addf(file, proc.Name.Sp, source.Note,
+			"proc %s: PPS exploration budget exceeded; results may be incomplete",
+			proc.Name.Name)
+	}
+	return pr
+}
+
+func pr0HasAtomics(g *ccfg.Graph) bool {
+	for _, n := range g.Nodes {
+		if len(n.Atomics) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func declLine(file *source.File, s *sym.Symbol) int {
+	if s.Decl == nil {
+		return 0
+	}
+	return file.Line(s.Decl.Span().Start)
+}
+
+// syncedRefParams implements the synced-scope list rule of §III-A: a
+// by-ref formal of a procedure is structurally safe when the procedure
+// has at least one call site and every call site is lexically enclosed in
+// a sync block.
+func syncedRefParams(mod *ast.Module, info *sym.Info) map[*sym.Symbol]bool {
+	type siteInfo struct {
+		calls  int
+		synced int
+	}
+	sites := make(map[*ast.ProcDecl]*siteInfo)
+
+	var walkStmts func(list []ast.Stmt, syncDepth int)
+	var walkExpr func(e ast.Expr, syncDepth int)
+	walkExpr = func(e ast.Expr, syncDepth int) {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if s := info.Uses[x.Fun]; s != nil && s.Proc != nil {
+				si := sites[s.Proc]
+				if si == nil {
+					si = &siteInfo{}
+					sites[s.Proc] = si
+				}
+				si.calls++
+				if syncDepth > 0 {
+					si.synced++
+				}
+			}
+			for _, a := range x.Args {
+				walkExpr(a, syncDepth)
+			}
+		case *ast.MethodCallExpr:
+			for _, a := range x.Args {
+				walkExpr(a, syncDepth)
+			}
+		case *ast.BinaryExpr:
+			walkExpr(x.X, syncDepth)
+			walkExpr(x.Y, syncDepth)
+		case *ast.UnaryExpr:
+			walkExpr(x.X, syncDepth)
+		case *ast.RangeExpr:
+			walkExpr(x.Lo, syncDepth)
+			walkExpr(x.Hi, syncDepth)
+		}
+	}
+	var walkStmt func(s ast.Stmt, syncDepth int)
+	walkStmt = func(s ast.Stmt, syncDepth int) {
+		switch x := s.(type) {
+		case *ast.VarDecl:
+			if x.Init != nil {
+				walkExpr(x.Init, syncDepth)
+			}
+		case *ast.AssignStmt:
+			walkExpr(x.Rhs, syncDepth)
+		case *ast.ExprStmt:
+			walkExpr(x.X, syncDepth)
+		case *ast.CallStmt:
+			walkExpr(x.X, syncDepth)
+		case *ast.BeginStmt:
+			// Tasks created inside a sync block stay within its dynamic
+			// extent, so the sync depth carries into the task body.
+			walkStmts(x.Body.Stmts, syncDepth)
+		case *ast.SyncStmt:
+			walkStmts(x.Body.Stmts, syncDepth+1)
+		case *ast.IfStmt:
+			walkExpr(x.Cond, syncDepth)
+			walkStmts(x.Then.Stmts, syncDepth)
+			if x.Else != nil {
+				walkStmts(x.Else.Stmts, syncDepth)
+			}
+		case *ast.WhileStmt:
+			walkExpr(x.Cond, syncDepth)
+			walkStmts(x.Body.Stmts, syncDepth)
+		case *ast.ForStmt:
+			walkExpr(x.Range.Lo, syncDepth)
+			walkExpr(x.Range.Hi, syncDepth)
+			walkStmts(x.Body.Stmts, syncDepth)
+		case *ast.ReturnStmt:
+			if x.Value != nil {
+				walkExpr(x.Value, syncDepth)
+			}
+		case *ast.BlockStmt:
+			walkStmts(x.Stmts, syncDepth)
+		case *ast.ProcStmt:
+			walkStmts(x.Proc.Body.Stmts, 0)
+		}
+	}
+	walkStmts = func(list []ast.Stmt, syncDepth int) {
+		for _, s := range list {
+			walkStmt(s, syncDepth)
+		}
+	}
+	for _, p := range mod.Procs {
+		walkStmts(p.Body.Stmts, 0)
+	}
+
+	out := make(map[*sym.Symbol]bool)
+	for proc, si := range sites {
+		if si.calls > 0 && si.calls == si.synced {
+			scope := info.ScopeFor(proc)
+			if scope == nil {
+				continue
+			}
+			for _, s := range scope.Symbols() {
+				if s.Kind == sym.KindParam && s.ByRef {
+					out[s] = true
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+)
+
+func analyzeStr(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	res := AnalyzeSource("t.chpl", src, opts)
+	if res.Diags.HasErrors() {
+		t.Fatalf("frontend errors:\n%s", res.Diags)
+	}
+	return res
+}
+
+// TestOnlyBeginProcsAnalyzed: the partial inter-procedural discipline —
+// procedures without begin tasks are skipped entirely.
+func TestOnlyBeginProcsAnalyzed(t *testing.T) {
+	res := analyzeStr(t, `
+proc plain() { var x: int = 1; writeln(x); }
+proc tasky() {
+  var y: int = 1;
+  begin with (ref y) { y = 2; }
+}
+proc alsoPlain() { writeln(2); }
+`, DefaultOptions())
+	if len(res.Procs) != 1 || res.Procs[0].Proc.Name.Name != "tasky" {
+		t.Fatalf("analyzed procs = %v, want only tasky", res.Procs)
+	}
+	if len(res.Warnings()) != 1 {
+		t.Errorf("warnings = %d", len(res.Warnings()))
+	}
+}
+
+// TestMultipleProcsIndependent: two begin-procs analyzed separately, each
+// contributing its own warnings with its own proc name.
+func TestMultipleProcsIndependent(t *testing.T) {
+	res := analyzeStr(t, `
+proc alpha() {
+  var a: int = 1;
+  begin with (ref a) { a = 2; }
+}
+proc beta() {
+  var b: int = 1;
+  var done$: sync bool;
+  begin with (ref b) { b = 2; done$ = true; }
+  done$;
+}
+`, DefaultOptions())
+	if len(res.Procs) != 2 {
+		t.Fatalf("procs = %d", len(res.Procs))
+	}
+	ws := res.Warnings()
+	if len(ws) != 1 || ws[0].Proc != "alpha" || ws[0].Var != "a" {
+		t.Fatalf("warnings = %v", ws)
+	}
+}
+
+// TestSyncedRefParamsAcrossProcs: the synced-scope list requires EVERY
+// call site fenced; one stray call disables it.
+func TestSyncedRefParamsAcrossProcs(t *testing.T) {
+	synced := `
+proc work(ref buf: int) {
+  begin { buf = 1; }
+}
+proc c1() { var v: int = 0; sync { work(v); } }
+proc c2() { var w: int = 0; sync { work(w); } }
+`
+	res := analyzeStr(t, synced, DefaultOptions())
+	if n := len(res.Warnings()); n != 0 {
+		t.Fatalf("all-synced call sites still warned: %d", n)
+	}
+
+	mixed := synced + `
+proc c3() { var u: int = 0; work(u); }
+`
+	res = analyzeStr(t, mixed, DefaultOptions())
+	if n := len(res.Warnings()); n != 1 {
+		t.Fatalf("mixed call sites: warnings = %d, want 1", n)
+	}
+}
+
+// TestBudgetNoteEmitted: exceeding the PPS budget produces the
+// incomplete-analysis note.
+func TestBudgetNoteEmitted(t *testing.T) {
+	res := analyzeStr(t, `
+proc f() {
+  var x: int = 1;
+  var a$: sync bool;
+  var b$: sync bool;
+  begin with (ref x) { x = 1; a$ = true; }
+  begin with (ref x) { x = 2; b$ = true; }
+  a$;
+  b$;
+}
+`, Options{Prune: true, PPS: pps.Options{MaxStates: 1}})
+	found := false
+	for _, d := range res.Diags.All() {
+		if d.Severity == source.Note && strings.Contains(d.Message, "budget exceeded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("budget note missing")
+	}
+	if !res.Procs[0].PPSStats.Incomplete {
+		t.Error("Incomplete flag not set")
+	}
+}
+
+// TestWarningRendering: the compiler-style message carries every field.
+func TestWarningRendering(t *testing.T) {
+	res := analyzeStr(t, `
+proc f() {
+  var data: int = 1;
+  begin with (ref data) { writeln(data); }
+}
+`, DefaultOptions())
+	ws := res.Warnings()
+	if len(ws) != 1 {
+		t.Fatalf("warnings = %d", len(ws))
+	}
+	msg := ws[0].String()
+	for _, want := range []string{
+		"t.chpl:4:", "warning", "read", `"data"`, "TASK A", "proc f", "never-synchronized",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message missing %q: %s", want, msg)
+		}
+	}
+}
+
+// TestHasAtomicsFlag: the per-proc atomic marker feeds the evaluation's
+// false-positive accounting.
+func TestHasAtomicsFlag(t *testing.T) {
+	res := analyzeStr(t, `
+proc f() {
+  var x: int = 1;
+	var a: atomic int;
+  begin with (ref x) { x = 2; a.write(1); }
+  a.waitFor(1);
+}
+`, DefaultOptions())
+	if !res.Procs[0].HasAtomics {
+		t.Error("HasAtomics = false")
+	}
+}
+
+// TestFrontendErrorShortCircuits: files that fail the frontend produce no
+// proc results.
+func TestFrontendErrorShortCircuits(t *testing.T) {
+	res := AnalyzeSource("bad.chpl", "proc f() { var = ; }", DefaultOptions())
+	if !res.Diags.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	if len(res.Procs) != 0 {
+		t.Error("analysis ran despite frontend errors")
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+// Property tests over random task programs for the two transformations
+// the paper claims are verdict-preserving:
+//
+//   - §III-A: "The tasks identified as safe are pruned without affecting
+//     the correctness of the analysis."
+//   - §III-C: merging PPSes with identical (ASN, state-table) is an
+//     optimization — it must not change which accesses are reported.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"uafcheck/internal/pps"
+	"uafcheck/internal/progen"
+)
+
+func warningSet(res *Result) []string {
+	var out []string
+	for _, w := range res.Warnings() {
+		out = append(out, fmt.Sprintf("%s:%d:%s", w.Var, w.AccessLine, w.Task))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeEquivalenceProperty: the §III-C merge optimization never
+// changes the reported warning set.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	const programs = 150
+	differing := 0
+	for seed := int64(0); seed < programs; seed++ {
+		src := progen.Generate(seed+5000, progen.Options{})
+		merged := AnalyzeSource("p.chpl", src, Options{Prune: true})
+		unmerged := AnalyzeSource("p.chpl", src,
+			Options{Prune: true, PPS: pps.Options{DisableMerge: true, MaxStates: 1 << 18}})
+		if merged.Diags.HasErrors() || unmerged.Diags.HasErrors() {
+			continue
+		}
+		// Skip runs that hit the exploration budget: truncated
+		// explorations are allowed to differ.
+		incomplete := false
+		for _, pr := range append(merged.Procs, unmerged.Procs...) {
+			if pr.PPSStats.Incomplete {
+				incomplete = true
+			}
+		}
+		if incomplete {
+			continue
+		}
+		a, b := warningSet(merged), warningSet(unmerged)
+		if !equalSets(a, b) {
+			differing++
+			t.Errorf("seed %d: merge changed the verdict set\nmerged:   %v\nunmerged: %v\nprogram:\n%s",
+				seed+5000, a, b, src)
+			if differing > 2 {
+				t.Fatal("stopping after 3 counterexamples")
+			}
+		}
+	}
+}
+
+// TestPruneSoundnessProperty: pruning may only REMOVE work, never
+// warnings — every warning produced with pruning on must also be
+// produced with pruning off, and pruning must not invent warnings
+// (the pruned tasks have no tracked accesses by construction).
+func TestPruneSoundnessProperty(t *testing.T) {
+	const programs = 150
+	for seed := int64(0); seed < programs; seed++ {
+		src := progen.Generate(seed+7000, progen.Options{})
+		pruned := AnalyzeSource("p.chpl", src, Options{Prune: true})
+		unpruned := AnalyzeSource("p.chpl", src, Options{Prune: false})
+		if pruned.Diags.HasErrors() || unpruned.Diags.HasErrors() {
+			continue
+		}
+		incomplete := false
+		for _, pr := range append(pruned.Procs, unpruned.Procs...) {
+			if pr.PPSStats.Incomplete {
+				incomplete = true
+			}
+		}
+		if incomplete {
+			continue
+		}
+		a, b := warningSet(pruned), warningSet(unpruned)
+		if !equalSets(a, b) {
+			t.Fatalf("seed %d: pruning changed the verdict set\npruned:   %v\nunpruned: %v\nprogram:\n%s",
+				seed+7000, a, b, src)
+		}
+	}
+}
+
+// TestAtomicExtensionMonotoneProperty: enabling the atomics extension may
+// only remove warnings (it adds synchronization knowledge), never add
+// any, across random programs with atomic handshakes.
+func TestAtomicExtensionMonotoneProperty(t *testing.T) {
+	const programs = 120
+	for seed := int64(0); seed < programs; seed++ {
+		src := progen.Generate(seed+9000, progen.Options{Atomics: true})
+		plain := AnalyzeSource("p.chpl", src, Options{Prune: true})
+		modeled := AnalyzeSource("p.chpl", src, Options{Prune: true, ModelAtomics: true})
+		if plain.Diags.HasErrors() || modeled.Diags.HasErrors() {
+			continue
+		}
+		plainSet := make(map[string]bool)
+		for _, s := range warningSet(plain) {
+			plainSet[s] = true
+		}
+		for _, s := range warningSet(modeled) {
+			if !plainSet[s] {
+				t.Fatalf("seed %d: extension ADDED warning %s\nprogram:\n%s", seed+9000, s, src)
+			}
+		}
+	}
+}

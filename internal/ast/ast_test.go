@@ -1,0 +1,180 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"uafcheck/internal/source"
+)
+
+// buildModule constructs a small tree by hand so this package's tests do
+// not depend on the parser.
+func buildModule() *Module {
+	file := source.NewFile("hand.chpl", "")
+	x := &Ident{Name: "x"}
+	inner := &BeginStmt{
+		Label: "TASK B",
+		Body:  &BlockStmt{Stmts: []Stmt{&ExprStmt{X: &Ident{Name: "x"}}}},
+	}
+	outer := &BeginStmt{
+		Label: "TASK A",
+		With:  []WithClause{{Intent: IntentRef, Name: &Ident{Name: "x"}}},
+		Body: &BlockStmt{Stmts: []Stmt{
+			inner,
+			&AssignStmt{Lhs: &Ident{Name: "x"}, Op: "+=", Rhs: &IntLit{Value: 1}},
+		}},
+	}
+	proc := &ProcDecl{
+		Name: &Ident{Name: "f"},
+		Ret:  Type{Kind: TypeVoid},
+		Body: &BlockStmt{Stmts: []Stmt{
+			&VarDecl{Name: x, Type: Type{Kind: TypeInt}, Init: &IntLit{Value: 10}},
+			outer,
+			&IfStmt{
+				Cond: &BinaryExpr{Op: ">", X: &Ident{Name: "x"}, Y: &IntLit{Value: 0}},
+				Then: &BlockStmt{Stmts: []Stmt{&CallStmt{X: &CallExpr{
+					Fun: &Ident{Name: "writeln"}, Args: []Expr{&Ident{Name: "x"}},
+				}}}},
+			},
+		}},
+	}
+	return &Module{File: file, Procs: []*ProcDecl{proc}}
+}
+
+func TestCountBegins(t *testing.T) {
+	m := buildModule()
+	if got := CountBegins(m); got != 2 {
+		t.Errorf("CountBegins = %d, want 2 (nested counted)", got)
+	}
+	if !HasBegin(m) {
+		t.Error("HasBegin = false")
+	}
+	if HasBegin(&IntLit{Value: 1}) {
+		t.Error("HasBegin(lit) = true")
+	}
+}
+
+func TestWalkPreOrderAndPrune(t *testing.T) {
+	m := buildModule()
+	var order []string
+	Walk(m, func(n Node) bool {
+		switch x := n.(type) {
+		case *ProcDecl:
+			order = append(order, "proc:"+x.Name.Name)
+		case *BeginStmt:
+			order = append(order, "begin:"+x.Label)
+		case *VarDecl:
+			order = append(order, "var:"+x.Name.Name)
+		}
+		return true
+	})
+	want := []string{"proc:f", "var:x", "begin:TASK A", "begin:TASK B"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+
+	// Prune: refusing to descend into begins hides the nested one.
+	count := 0
+	Walk(m, func(n Node) bool {
+		if _, ok := n.(*BeginStmt); ok {
+			count++
+			return false
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d begins, want 1", count)
+	}
+}
+
+func TestWalkNilSafe(t *testing.T) {
+	Walk(nil, func(Node) bool { return true }) // must not panic
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{Type{Kind: TypeInt}, "int"},
+		{Type{Qual: QualSync, Kind: TypeBool}, "sync bool"},
+		{Type{Qual: QualSingle, Kind: TypeInt}, "single int"},
+		{Type{Qual: QualAtomic, Kind: TypeInt}, "atomic int"},
+		{Type{Kind: TypeVoid}, "void"},
+		{Type{Kind: TypeString}, "string"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("Type%v = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestIntentString(t *testing.T) {
+	if IntentRef.String() != "ref" || IntentIn.String() != "in" {
+		t.Error("intent strings wrong")
+	}
+}
+
+func TestPrintStmtForms(t *testing.T) {
+	cases := []struct {
+		stmt Stmt
+		want string
+	}{
+		{&VarDecl{Name: &Ident{Name: "d$"}, Type: Type{Qual: QualSync, Kind: TypeBool}},
+			"var d$: sync bool;"},
+		{&AssignStmt{Lhs: &Ident{Name: "x"}, Op: "=", Rhs: &IntLit{Value: 3}},
+			"x = 3;"},
+		{&IncDecStmt{X: &Ident{Name: "x"}, Op: "++"}, "x++;"},
+		{&ReturnStmt{Value: &BoolLit{Value: true}}, "return true;"},
+		{&ReturnStmt{}, "return;"},
+		{&ExprStmt{X: &Ident{Name: "done$"}}, "done$;"},
+	}
+	for _, c := range cases {
+		if got := PrintStmt(c.stmt); got != c.want {
+			t.Errorf("PrintStmt = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintExprForms(t *testing.T) {
+	e := &MethodCallExpr{Recv: &Ident{Name: "a"}, Method: "fetchAdd",
+		Args: []Expr{&IntLit{Value: 1}}}
+	if got := PrintExpr(e); got != "a.fetchAdd(1)" {
+		t.Errorf("PrintExpr = %q", got)
+	}
+	r := &RangeExpr{Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "n"}}
+	if got := PrintExpr(r); got != "1..n" {
+		t.Errorf("range = %q", got)
+	}
+	s := &StringLit{Value: "hi\tthere"}
+	if got := PrintExpr(s); got != `"hi\tthere"` {
+		t.Errorf("string = %q", got)
+	}
+	u := &UnaryExpr{Op: "!", X: &BoolLit{Value: false}}
+	if got := PrintExpr(u); got != "!false" {
+		t.Errorf("unary = %q", got)
+	}
+}
+
+func TestPrintModuleWithBegin(t *testing.T) {
+	m := buildModule()
+	out := Print(m)
+	for _, want := range []string{
+		"proc f() {",
+		"var x: int = 10;",
+		"begin with (ref x) {",
+		"begin {",
+		"x += 1;",
+		"if ((x > 0)) {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module back to MiniChapel source text. The output
+// reparses to an equivalent tree; the corpus generator and the tests use
+// this for round-trip checks.
+func Print(m *Module) string {
+	var p printer
+	for _, c := range m.Configs {
+		p.stmt(c)
+	}
+	for i, proc := range m.Procs {
+		if i > 0 || len(m.Configs) > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.proc(proc)
+	}
+	return p.b.String()
+}
+
+// PrintStmt renders one statement (for diagnostics and tests).
+func PrintStmt(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return strings.TrimRight(p.b.String(), "\n")
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) proc(d *ProcDecl) {
+	var params []string
+	for _, prm := range d.Params {
+		s := ""
+		if prm.ByRef {
+			s = "ref "
+		}
+		params = append(params, fmt.Sprintf("%s%s: %s", s, prm.Name.Name, prm.Type))
+	}
+	ret := ""
+	if d.Ret.Kind != TypeVoid || d.Ret.Qual != QualNone {
+		ret = ": " + d.Ret.String()
+	}
+	p.line("proc %s(%s)%s {", d.Name.Name, strings.Join(params, ", "), ret)
+	p.indent++
+	for _, s := range d.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *VarDecl:
+		kw := "var"
+		if x.Const {
+			kw = "const"
+		}
+		if x.Config {
+			kw = "config " + kw
+		}
+		init := ""
+		if x.Init != nil {
+			init = " = " + PrintExpr(x.Init)
+		}
+		p.line("%s %s: %s%s;", kw, x.Name.Name, x.Type, init)
+	case *AssignStmt:
+		p.line("%s %s %s;", x.Lhs.Name, x.Op, PrintExpr(x.Rhs))
+	case *IncDecStmt:
+		p.line("%s%s;", x.X.Name, x.Op)
+	case *ExprStmt:
+		p.line("%s;", PrintExpr(x.X))
+	case *CallStmt:
+		p.line("%s;", PrintExpr(x.X))
+	case *BeginStmt:
+		with := ""
+		if len(x.With) > 0 {
+			var cs []string
+			for _, w := range x.With {
+				cs = append(cs, w.Intent.String()+" "+w.Name.Name)
+			}
+			with = " with (" + strings.Join(cs, ", ") + ")"
+		}
+		p.line("begin%s {", with)
+		p.block(x.Body)
+		p.line("}")
+	case *SyncStmt:
+		p.line("sync {")
+		p.block(x.Body)
+		p.line("}")
+	case *IfStmt:
+		p.line("if (%s) {", PrintExpr(x.Cond))
+		p.block(x.Then)
+		if x.Else != nil {
+			p.line("} else {")
+			p.block(x.Else)
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", PrintExpr(x.Cond))
+		p.block(x.Body)
+		p.line("}")
+	case *ForStmt:
+		p.line("for %s in %s {", x.Var.Name, PrintExpr(x.Range))
+		p.block(x.Body)
+		p.line("}")
+	case *ReturnStmt:
+		if x.Value != nil {
+			p.line("return %s;", PrintExpr(x.Value))
+		} else {
+			p.line("return;")
+		}
+	case *BlockStmt:
+		p.line("{")
+		p.block(x)
+		p.line("}")
+	case *ProcStmt:
+		p.proc(x.Proc)
+	default:
+		p.line("/* ?stmt %T */", s)
+	}
+}
+
+func (p *printer) expr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		p.b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(&p.b, "%d", x.Value)
+	case *BoolLit:
+		fmt.Fprintf(&p.b, "%t", x.Value)
+	case *StringLit:
+		fmt.Fprintf(&p.b, "%q", x.Value)
+	case *BinaryExpr:
+		p.b.WriteByte('(')
+		p.expr(x.X)
+		p.b.WriteString(" " + x.Op + " ")
+		p.expr(x.Y)
+		p.b.WriteByte(')')
+	case *UnaryExpr:
+		p.b.WriteString(x.Op)
+		p.expr(x.X)
+	case *CallExpr:
+		p.b.WriteString(x.Fun.Name)
+		p.args(x.Args)
+	case *MethodCallExpr:
+		p.b.WriteString(x.Recv.Name + "." + x.Method)
+		p.args(x.Args)
+	case *RangeExpr:
+		p.expr(x.Lo)
+		p.b.WriteString("..")
+		p.expr(x.Hi)
+	default:
+		fmt.Fprintf(&p.b, "/* ?expr %T */", e)
+	}
+}
+
+func (p *printer) args(args []Expr) {
+	p.b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.expr(a)
+	}
+	p.b.WriteByte(')')
+}

@@ -1,0 +1,563 @@
+package ccfg
+
+import (
+	"uafcheck/internal/ast"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// BuildOptions configure graph construction.
+type BuildOptions struct {
+	// Prune applies the paper's rules A-D after construction. The
+	// ablation benchmarks disable it.
+	Prune bool
+	// SyncedRefParams marks by-ref formals of the root procedure whose
+	// call sites are all enclosed in sync blocks (synced-scope list,
+	// §III-A): accesses to them are structurally safe.
+	SyncedRefParams map[*sym.Symbol]bool
+	// ModelAtomics enables the paper's §IV-A/§VII extension: atomic
+	// writes become non-blocking fill events (empty→full) and waitFor
+	// becomes a SINGLE-READ-like wait-until-full event. Plain reads stay
+	// unmodelled. Off by default, matching the paper's implementation.
+	ModelAtomics bool
+	// CountAtomics (implies ModelAtomics) refines the extension: atomic
+	// variables used only monotonically (write/add/fetchAdd with constant
+	// non-negative operands, waitFor with a constant threshold) are
+	// modelled as saturating counters, so counting protocols like
+	// "waitFor(n) after n fetchAdds" verify. Other atomics fall back to
+	// the full/empty model.
+	CountAtomics bool
+}
+
+// DefaultBuildOptions enables pruning.
+func DefaultBuildOptions() BuildOptions { return BuildOptions{Prune: true} }
+
+// Build constructs the CCFG for a lowered program.
+func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Graph {
+	if opts.CountAtomics {
+		opts.ModelAtomics = true
+	}
+	g := &Graph{
+		Prog:          prog,
+		ScopeEnd:      make(map[*sym.Symbol]*Node),
+		PF:            make(map[*sym.Symbol][]*Node),
+		pfNodeVars:    make(map[*Node][]*sym.Symbol),
+		UnsyncedPath:  make(map[*sym.Symbol]bool),
+		syncVarIdx:    make(map[*sym.Symbol]int),
+		counterVarIdx: make(map[*sym.Symbol]int),
+		Owner:         make(map[*sym.Symbol]*Task),
+		InitiallyFull: make(map[*sym.Symbol]bool),
+	}
+	b := &builder{g: g, diags: diags, opts: opts, declNode: make(map[*sym.Symbol]*Node)}
+	if opts.CountAtomics {
+		b.countable = classifyCountable(prog.Root)
+	}
+	root := b.newTask(nil, "root", nil)
+	b.task = root
+	b.cur = b.newNode()
+	root.Entry = b.cur
+	b.walkBlock(prog.Root, false)
+	root.Exit = b.cur
+
+	if opts.Prune {
+		prune(g)
+	}
+	collectTracked(g)
+	computeFrontiers(g, b.declNode)
+	return g
+}
+
+type builder struct {
+	g     *Graph
+	diags *source.Diagnostics
+	opts  BuildOptions
+
+	task       *Task
+	cur        *Node
+	syncScopes []*sym.Scope
+	declNode   map[*sym.Symbol]*Node
+	// pending holds every tracked access in construction order; dense IDs
+	// are assigned after pruning.
+	pending []*Access
+	// countable marks atomic variables eligible for the counting model.
+	countable map[*sym.Symbol]bool
+}
+
+// classifyCountable scans the IR for atomic variables whose operations
+// are exclusively monotonic with constant operands: write(c)/add(c)/
+// fetchAdd(c) with c >= 0, waitFor(c), and plain reads. Only those can be
+// modelled as saturating counters; everything else (sub, compareExchange,
+// non-constant operands) falls back to the full/empty abstraction.
+func classifyCountable(root *ir.Block) map[*sym.Symbol]bool {
+	out := make(map[*sym.Symbol]bool)
+	var walk func(b *ir.Block)
+	mark := func(a *ir.AtomicOp) {
+		ok, seen := out[a.Sym]
+		if seen && !ok {
+			return
+		}
+		good := false
+		switch a.Method {
+		case "write", "add", "fetchAdd":
+			good = a.HasArg && a.Arg >= 0
+		case "waitFor":
+			good = a.HasArg && a.Arg >= 0
+		case "read", "":
+			good = a.Op == sym.OpAtomicRead
+		}
+		out[a.Sym] = good && (!seen || ok)
+	}
+	walk = func(b *ir.Block) {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.AtomicOp:
+				mark(x)
+			case *ir.Begin:
+				walk(x.Body)
+			case *ir.SyncRegion:
+				walk(x.Body)
+			case *ir.Region:
+				walk(x.Body)
+			case *ir.If:
+				walk(x.Then)
+				if x.Else != nil {
+					walk(x.Else)
+				}
+			case *ir.Loop:
+				walk(x.Body)
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+func (b *builder) file() *source.File { return b.g.Prog.Info.Module.File }
+
+func (b *builder) newTask(parent *Task, label string, begin *ir.Begin) *Task {
+	t := &Task{
+		ID:              len(b.g.Tasks),
+		Label:           label,
+		Parent:          parent,
+		Begin:           begin,
+		syncVarsUsed:    make(map[*sym.Symbol]bool),
+		SpawnSyncScopes: append([]*sym.Scope(nil), b.syncScopes...),
+	}
+	b.g.Tasks = append(b.g.Tasks, t)
+	if parent != nil {
+		parent.Children = append(parent.Children, t)
+	}
+	return t
+}
+
+func (b *builder) newNode() *Node {
+	n := &Node{ID: len(b.g.Nodes), Task: b.task}
+	b.g.Nodes = append(b.g.Nodes, n)
+	b.task.Nodes = append(b.task.Nodes, n)
+	return n
+}
+
+// closeToNew ends the current region and opens its control successor.
+func (b *builder) closeToNew() {
+	next := b.newNode()
+	link(b.cur, next)
+	b.cur = next
+}
+
+func link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// walkBlock lowers one IR block into the graph. directSync is true when
+// the block is the immediate body of a sync region (for Rule B labeling).
+func (b *builder) walkBlock(blk *ir.Block, directSync bool) {
+	var declared []*sym.Symbol
+	for _, in := range blk.Instrs {
+		switch x := in.(type) {
+		case *ir.Decl:
+			b.g.Owner[x.Sym] = b.task
+			b.declNode[x.Sym] = b.cur
+			declared = append(declared, x.Sym)
+			if x.Sym.IsSyncVar() || (b.opts.ModelAtomics && x.Sym.IsAtomic()) {
+				if vd, ok := x.Sym.Decl.(*ast.VarDecl); ok && vd.Init != nil {
+					// Explicit initialization puts the variable in the
+					// full state (paper §II).
+					b.g.InitiallyFull[x.Sym] = true
+				}
+			}
+		case *ir.Access:
+			b.access(x)
+		case *ir.SyncOp:
+			b.syncOp(x)
+		case *ir.AtomicOp:
+			if b.opts.ModelAtomics &&
+				(x.Op == sym.OpAtomicWrite || x.Op == sym.OpAtomicWait) {
+				// Extension: the write is a fill event, waitFor a
+				// wait-until-full event — both participate in the PPS
+				// exploration like sync-variable operations. Counting
+				// refinement: monotonic variables get a counter slot.
+				b.atomicEvent(x)
+				break
+			}
+			b.cur.Atomics = append(b.cur.Atomics,
+				AtomicEvent{Sym: x.Sym, Op: x.Op, Sp: x.Sp})
+		case *ir.Begin:
+			b.begin(x, directSync)
+		case *ir.SyncRegion:
+			b.syncScopes = append(b.syncScopes, x.Body.Scope)
+			b.walkBlock(x.Body, true)
+			b.syncScopes = b.syncScopes[:len(b.syncScopes)-1]
+		case *ir.If:
+			b.branch(x)
+		case *ir.Region:
+			b.walkBlock(x.Body, false)
+		case *ir.Loop:
+			// Loops collapse into the current region (§IV-A): the body
+			// contains no concurrency events after lowering, so walking
+			// it inline records its accesses (and any branch structure)
+			// as a single-iteration approximation.
+			b.walkBlock(x.Body, false)
+		case *ir.Call, *ir.Return:
+			// Opaque for the partial inter-procedural analysis.
+		}
+	}
+	// The block's scope exits here: record the scope-end node of every
+	// variable declared directly in it ("end of parent scope").
+	for _, s := range declared {
+		b.g.ScopeEnd[s] = b.cur
+	}
+}
+
+func (b *builder) access(x *ir.Access) {
+	owner := b.g.Owner[x.Sym]
+	if owner == nil {
+		// Defensive: symbols without a Decl (should not happen) are
+		// treated as owned by the root strand.
+		owner = b.g.Tasks[0]
+		b.g.Owner[x.Sym] = owner
+	}
+	if owner == b.task {
+		// Local access: not an outer-variable access, never tracked.
+		return
+	}
+	// Duplicate suppression (§III-B: "the variable access is searched ...
+	// to avoid duplicate additions"): one site per (variable, line) within
+	// a region; a later write upgrades an earlier read.
+	line := b.file().Line(x.Sp.Start)
+	for _, prev := range b.cur.Accesses {
+		if prev.Sym == x.Sym && b.file().Line(prev.Sp.Start) == line {
+			if x.Write {
+				prev.Write = true
+			}
+			return
+		}
+	}
+	a := &Access{Sym: x.Sym, Write: x.Write, Sp: x.Sp, Line: line, Node: b.cur, Task: b.task}
+	b.task.rawOVCount++
+	if reason, ok := b.protection(x.Sym, owner); ok {
+		a.Protected = true
+		a.ProtectReason = reason
+		b.g.ProtectedAccesses = append(b.g.ProtectedAccesses, a)
+		return
+	}
+	b.cur.Accesses = append(b.cur.Accesses, a)
+	b.pending = append(b.pending, a)
+}
+
+// protection decides whether an OV access in the current task to a
+// variable owned by owner is structurally safe.
+func (b *builder) protection(s *sym.Symbol, owner *Task) (string, bool) {
+	if b.opts.SyncedRefParams[s] {
+		return "all call sites of the root procedure are enclosed in sync blocks", true
+	}
+	// Find the first begin on the chain from the owner task down to the
+	// current task: the begin executed by the owner's own code. If that
+	// begin is inside a sync block contained in the variable's scope, the
+	// sync fence waits (transitively) for the whole task chain before the
+	// scope can exit (generalizes rules B/C).
+	t := b.task
+	for t != nil && t.Parent != owner {
+		t = t.Parent
+	}
+	if t == nil {
+		return "", false
+	}
+	for _, ss := range t.SpawnSyncScopes {
+		if scopeWithin(ss, s.Scope) {
+			return "enclosing sync block protects the variable's scope", true
+		}
+	}
+	return "", false
+}
+
+// scopeWithin reports whether inner is the same as or lexically nested
+// inside outer.
+func scopeWithin(inner, outer *sym.Scope) bool {
+	for s := inner; s != nil; s = s.Parent {
+		if s == outer {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) syncOp(x *ir.SyncOp) {
+	if _, ok := b.g.syncVarIdx[x.Sym]; !ok {
+		b.g.syncVarIdx[x.Sym] = len(b.g.SyncVars)
+		b.g.SyncVars = append(b.g.SyncVars, x.Sym)
+	}
+	b.task.syncVarsUsed[x.Sym] = true
+	b.cur.Sync = &SyncEvent{Sym: x.Sym, Op: x.Op, Sp: x.Sp}
+	b.closeToNew()
+}
+
+// atomicEvent ends the current region with an atomic fill/wait event.
+func (b *builder) atomicEvent(x *ir.AtomicOp) {
+	if b.countable[x.Sym] {
+		if _, ok := b.g.counterVarIdx[x.Sym]; !ok {
+			b.g.counterVarIdx[x.Sym] = len(b.g.CounterVars)
+			b.g.CounterVars = append(b.g.CounterVars, x.Sym)
+			init := uint8(0)
+			if vd, ok := x.Sym.Decl.(*ast.VarDecl); ok && vd.Init != nil {
+				if lit, ok := vd.Init.(*ast.IntLit); ok && lit.Value >= 0 {
+					init = saturate(lit.Value)
+				}
+			}
+			b.g.CounterInit = append(b.g.CounterInit, init)
+		}
+	} else {
+		if _, ok := b.g.syncVarIdx[x.Sym]; !ok {
+			b.g.syncVarIdx[x.Sym] = len(b.g.SyncVars)
+			b.g.SyncVars = append(b.g.SyncVars, x.Sym)
+		}
+	}
+	b.task.syncVarsUsed[x.Sym] = true
+	b.cur.Sync = &SyncEvent{Sym: x.Sym, Op: x.Op, Arg: x.Arg, HasArg: x.HasArg,
+		Method: x.Method, Sp: x.Sp}
+	b.closeToNew()
+}
+
+// saturate clamps a non-negative constant into the counter's byte range.
+func saturate(v int64) uint8 {
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func (b *builder) begin(x *ir.Begin, directSync bool) {
+	child := b.newTask(b.task, x.Label, x)
+	child.immediateSync = directSync
+
+	// The begin statement bounds the current region; the spawn edge
+	// leaves from its end.
+	spawnFrom := b.cur
+
+	// Build the child strand.
+	savedTask, savedCur, savedScopes := b.task, b.cur, b.syncScopes
+	b.task = child
+	b.syncScopes = nil
+	b.cur = b.newNode()
+	child.Entry = b.cur
+	spawnFrom.Spawns = append(spawnFrom.Spawns, child.Entry)
+	b.walkBlock(x.Body, false)
+	child.Exit = b.cur
+	b.task, b.cur, b.syncScopes = savedTask, savedCur, savedScopes
+
+	// Continue the parent strand in a fresh region.
+	b.closeToNew()
+}
+
+func (b *builder) branch(x *ir.If) {
+	branchNode := b.cur
+	join := b.newNode()
+
+	thenEntry := b.newNode()
+	link(branchNode, thenEntry)
+	b.cur = thenEntry
+	b.walkBlock(x.Then, false)
+	link(b.cur, join)
+
+	if x.Else != nil {
+		elseEntry := b.newNode()
+		link(branchNode, elseEntry)
+		b.cur = elseEntry
+		b.walkBlock(x.Else, false)
+		link(b.cur, join)
+	} else {
+		// The else path is an empty skip.
+		link(branchNode, join)
+	}
+	b.cur = join
+}
+
+// ---------------------------------------------------------------- prune
+
+// prune applies the paper's rules A-D: a task is removed when it has no
+// tracked outer-variable accesses in its subtree and its subtree's sync
+// operations touch no sync variable that is also operated outside the
+// subtree ("synchronization events which will affect the relative
+// execution of rest of the tasks", §III-A).
+func prune(g *Graph) {
+	// Total operation presence per sync variable per task.
+	type agg struct {
+		tracked  int
+		syncVars map[*sym.Symbol]bool
+	}
+	aggs := make([]agg, len(g.Tasks))
+	// Post-order accumulation: Tasks are created parent-first, so a
+	// reverse sweep sees children before parents.
+	for i := len(g.Tasks) - 1; i >= 0; i-- {
+		t := g.Tasks[i]
+		a := agg{syncVars: make(map[*sym.Symbol]bool)}
+		for _, n := range t.Nodes {
+			a.tracked += len(n.Accesses)
+		}
+		for v := range t.syncVarsUsed {
+			a.syncVars[v] = true
+		}
+		for _, c := range t.Children {
+			ca := aggs[c.ID]
+			a.tracked += ca.tracked
+			for v := range ca.syncVars {
+				a.syncVars[v] = true
+			}
+		}
+		aggs[t.ID] = a
+	}
+	// Per-variable global usage: how many tasks use it.
+	globalUse := make(map[*sym.Symbol]int)
+	for _, t := range g.Tasks {
+		for v := range t.syncVarsUsed {
+			globalUse[v]++
+		}
+	}
+	usedOutside := func(t *Task) bool {
+		// A sync variable of t's subtree is used outside iff some task
+		// not in the subtree uses it. Count subtree users and compare.
+		sub := make(map[*sym.Symbol]int)
+		var walk func(*Task)
+		walk = func(u *Task) {
+			for v := range u.syncVarsUsed {
+				sub[v]++
+			}
+			for _, c := range u.Children {
+				walk(c)
+			}
+		}
+		walk(t)
+		for v, n := range sub {
+			if globalUse[v] > n {
+				return true
+			}
+		}
+		return false
+	}
+	var markPruned func(t *Task)
+	markPruned = func(t *Task) {
+		t.Pruned = true
+		for _, c := range t.Children {
+			if !c.Pruned {
+				c.Pruned = true
+				c.PruneBy = t.PruneBy
+			}
+			markPruned(c)
+		}
+	}
+	// The prunability decision is SUBTREE-level: a task tree can be
+	// removed as a unit when it contains no tracked accesses and its
+	// sync operations pair only within the subtree (an internal
+	// handshake under a sync-block fence is the typical case, Rule B/C).
+	// Children-first order lets leaf prunes (Rule A) label precisely,
+	// while a parent prune covers children whose own subtrees leak sync
+	// variables INTO the parent's.
+	for i := len(g.Tasks) - 1; i >= 1; i-- {
+		t := g.Tasks[i]
+		if t.Pruned {
+			continue
+		}
+		if aggs[t.ID].tracked > 0 || usedOutside(t) {
+			continue
+		}
+		switch {
+		case t.rawOVCount == 0 && len(t.Children) == 0:
+			t.PruneBy = PruneA
+		case t.immediateSync:
+			t.PruneBy = PruneB
+		case t.rawOVCount > 0:
+			// All raw OV accesses were structurally protected.
+			t.PruneBy = PruneC
+		default:
+			t.PruneBy = PruneD
+		}
+		markPruned(t)
+	}
+}
+
+// collectTracked assigns dense IDs to accesses in unpruned tasks.
+func collectTracked(g *Graph) {
+	for _, n := range g.Nodes {
+		if n.Task.Pruned {
+			continue
+		}
+		for _, a := range n.Accesses {
+			a.ID = len(g.Accesses)
+			g.Accesses = append(g.Accesses, a)
+		}
+	}
+}
+
+// computeFrontiers derives PF(x) for every variable with tracked accesses
+// by walking control-flow predecessors backwards from the scope-end node
+// within the owner strand (paper §III-B).
+func computeFrontiers(g *Graph, declNode map[*sym.Symbol]*Node) {
+	seen := make(map[*sym.Symbol]bool)
+	for _, a := range g.Accesses {
+		s := a.Sym
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		end := g.ScopeEnd[s]
+		decl := declNode[s]
+		if end == nil || decl == nil {
+			g.UnsyncedPath[s] = true
+			continue
+		}
+		if end == decl {
+			// Declaration and scope end share a region: no sync node can
+			// separate them.
+			g.UnsyncedPath[s] = true
+			continue
+		}
+		var pf []*Node
+		visited := make(map[*Node]bool)
+		stack := append([]*Node(nil), end.Preds...)
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[p] {
+				continue
+			}
+			visited[p] = true
+			if p.IsSync() {
+				pf = append(pf, p)
+				continue
+			}
+			if p == decl || len(p.Preds) == 0 {
+				// A control path from the declaration to the scope end
+				// with no intervening sync node: the owner can exit the
+				// scope without any synchronization opportunity.
+				g.UnsyncedPath[s] = true
+				continue
+			}
+			stack = append(stack, p.Preds...)
+		}
+		g.PF[s] = pf
+		for _, n := range pf {
+			g.pfNodeVars[n] = append(g.pfNodeVars[n], s)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package ccfg builds the Concurrent Control Flow Graph (paper §III-A).
+//
+// A CCFG node is a maximal straight-line region of one task strand,
+// bounded by a concurrent-control-flow event: creation of a begin task, a
+// blocking synchronization operation (readFE, readFF, writeEF), a branch,
+// or the end of the strand. Each node records the outer-variable accesses
+// that occur inside the region; a node carries at most one synchronization
+// operation, which terminates it.
+//
+// Edges are either control edges (within a strand, including branch fork
+// and join) or task edges (from the region that ends at a begin statement
+// to the entry node of the new task's strand).
+//
+// The package also implements:
+//
+//   - per-variable scope-end tracking ("end of parent scope", the node the
+//     paper draws as Node 10 in Figure 2);
+//   - Parallel Frontier computation: PF(x) is the set of last sync nodes
+//     before x's scope end on each control path of the owner strand;
+//   - sync-block protection: an outer-variable access is marked safe when
+//     the task chain's first begin is enclosed by a sync block contained
+//     in the variable's scope (generalizes pruning rules B and C);
+//   - task pruning by the paper's rules A-D.
+package ccfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/ir"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// Access is one tracked outer-variable access.
+type Access struct {
+	// ID is dense over the graph's tracked accesses (bitset index).
+	ID    int
+	Sym   *sym.Symbol
+	Write bool
+	Sp    source.Span
+	// Line is the 1-based source line of the access.
+	Line int
+	Node *Node
+	Task *Task
+	// Protected marks accesses proven safe by sync-block enclosure or the
+	// synced-scope list; they are excluded from PPS tracking.
+	Protected bool
+	// ProtectReason documents why a protected access is safe.
+	ProtectReason string
+}
+
+// Label renders the access like the paper's subscripted OV entries; the
+// paper writes x₄ for "the access of x in node 4", we write x@n4:L13
+// (node and source line).
+func (a *Access) Label() string {
+	return fmt.Sprintf("%s@n%d:L%d", a.Sym.Name, a.Node.ID, a.Line)
+}
+
+// SyncEvent is the synchronization operation terminating a sync node.
+// Under the atomics extension, atomic fills and waits are sync events
+// too; Arg then carries the constant operand (waitFor threshold, added
+// increment, written value) and Method the source-level method name.
+type SyncEvent struct {
+	Sym    *sym.Symbol
+	Op     sym.SyncOpKind // OpReadFE/OpReadFF/OpWriteEF/OpAtomicWrite/OpAtomicWait
+	Arg    int64
+	HasArg bool
+	Method string
+	Sp     source.Span
+}
+
+// String renders e.g. "writeEF(doneA$)".
+func (e *SyncEvent) String() string {
+	return fmt.Sprintf("%s(%s)", e.Op, e.Sym.Name)
+}
+
+// AtomicEvent records an atomic operation inside a region. The static
+// analysis does not model atomics (§IV-A); the record feeds diagnostics
+// and the false-positive accounting of the evaluation.
+type AtomicEvent struct {
+	Sym *sym.Symbol
+	Op  sym.SyncOpKind
+	Sp  source.Span
+}
+
+// Node is one CCFG region.
+type Node struct {
+	ID   int
+	Task *Task
+	// Accesses are the tracked OV accesses inside the region, in order.
+	Accesses []*Access
+	// Sync is the blocking operation bounding the node, or nil.
+	Sync *SyncEvent
+	// Atomics are the atomic operations recorded inside the region.
+	Atomics []AtomicEvent
+	// Succs/Preds are control edges within the strand.
+	Succs, Preds []*Node
+	// Spawns are task edges to child-task entry nodes; spawning happens
+	// at the end of the region (the begin statement bounded it).
+	Spawns []*Node
+}
+
+// IsSync reports whether the node ends with a synchronization operation.
+func (n *Node) IsSync() bool { return n.Sync != nil }
+
+// String renders a compact node description for traces.
+func (n *Node) String() string {
+	var parts []string
+	for _, a := range n.Accesses {
+		parts = append(parts, a.Sym.Name)
+	}
+	s := fmt.Sprintf("n%d[%s]", n.ID, strings.Join(parts, ","))
+	if n.Sync != nil {
+		s += ":" + n.Sync.String()
+	}
+	return s
+}
+
+// PruneRule identifies which of the paper's rules pruned a task.
+type PruneRule int
+
+const (
+	// PruneNone means the task was not pruned.
+	PruneNone PruneRule = iota
+	// PruneA is Rule A: no nested tasks, no outer-variable references.
+	PruneA
+	// PruneB is Rule B: immediately encapsulated by a sync statement and
+	// all nested tasks safe.
+	PruneB
+	// PruneC is Rule C: the scopes of all accessed external variables are
+	// protected by a sync block.
+	PruneC
+	// PruneD is Rule D: no own outer-variable references and all nested
+	// tasks safe.
+	PruneD
+)
+
+// String implements fmt.Stringer.
+func (r PruneRule) String() string {
+	switch r {
+	case PruneNone:
+		return "-"
+	case PruneA:
+		return "A"
+	case PruneB:
+		return "B"
+	case PruneC:
+		return "C"
+	case PruneD:
+		return "D"
+	}
+	return "?"
+}
+
+// Task is one strand: the root task or one begin task.
+type Task struct {
+	ID     int
+	Label  string // "root", "TASK A", ...
+	Parent *Task
+	Entry  *Node
+	Exit   *Node // last node of the strand
+	Begin  *ir.Begin
+	// SpawnSyncScopes are the sync-block scopes lexically enclosing the
+	// begin statement within the parent task's code, innermost first.
+	SpawnSyncScopes []*sym.Scope
+	Children        []*Task
+	Nodes           []*Node
+	// Pruned marks tasks removed from exploration by rules A-D.
+	Pruned  bool
+	PruneBy PruneRule
+	// immediateSync marks tasks whose begin statement sits directly in a
+	// sync block body (Rule B).
+	immediateSync bool
+	// rawOVCount counts OV accesses in the task proper, including
+	// protected ones (used by the pruning rules).
+	rawOVCount int
+	// syncVarsUsed is the set of sync variables operated in the task
+	// proper (not descendants).
+	syncVarsUsed map[*sym.Symbol]bool
+}
+
+// Graph is the CCFG of one root procedure.
+type Graph struct {
+	Prog  *ir.Program
+	Tasks []*Task // Tasks[0] is the root strand
+	Nodes []*Node
+	// Accesses are the tracked (unprotected) OV accesses, dense by ID.
+	Accesses []*Access
+	// ProtectedAccesses were proven safe structurally.
+	ProtectedAccesses []*Access
+	// ScopeEnd maps each symbol with tracked accesses to the node in its
+	// owner strand where the declaring scope exits.
+	ScopeEnd map[*sym.Symbol]*Node
+	// PF maps each such symbol to its Parallel Frontier node set.
+	PF map[*sym.Symbol][]*Node
+	// pfNodeVars is the reverse map: sync node -> variables it fronts.
+	pfNodeVars map[*Node][]*sym.Symbol
+	// UnsyncedPath marks variables with a control path through the owner
+	// strand from declaration to scope end containing no sync node: the
+	// owner may exit without any synchronization opportunity.
+	UnsyncedPath map[*sym.Symbol]bool
+	// SyncVars are the sync/single variables operated anywhere in the
+	// graph, dense by index for the explorer's state table. Under the
+	// plain atomics extension, full/empty-modelled atomics join this
+	// table.
+	SyncVars   []*sym.Symbol
+	syncVarIdx map[*sym.Symbol]int
+	// CounterVars are atomic variables modelled as saturating counters
+	// by the counting refinement, dense by index for the explorer's
+	// counter vector.
+	CounterVars   []*sym.Symbol
+	counterVarIdx map[*sym.Symbol]int
+	// CounterInit holds the initial counter value per CounterVars index.
+	CounterInit []uint8
+	// Owner maps symbols to the task that owns their storage.
+	Owner map[*sym.Symbol]*Task
+	// InitiallyFull marks sync variables explicitly initialized to the
+	// full state at their declaration.
+	InitiallyFull map[*sym.Symbol]bool
+}
+
+// SyncVarIndex returns the dense index of a sync variable, or -1.
+func (g *Graph) SyncVarIndex(s *sym.Symbol) int {
+	if i, ok := g.syncVarIdx[s]; ok {
+		return i
+	}
+	return -1
+}
+
+// CounterVarIndex returns the dense index of a counted atomic variable,
+// or -1.
+func (g *Graph) CounterVarIndex(s *sym.Symbol) int {
+	if i, ok := g.counterVarIdx[s]; ok {
+		return i
+	}
+	return -1
+}
+
+// PFVarsOf returns the variables for which node n is a Parallel Frontier.
+func (g *Graph) PFVarsOf(n *Node) []*sym.Symbol { return g.pfNodeVars[n] }
+
+// Root returns the root strand.
+func (g *Graph) Root() *Task { return g.Tasks[0] }
+
+// SyncNodeCount returns the number of sync-bounded nodes in unpruned
+// tasks.
+func (g *Graph) SyncNodeCount() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.IsSync() && !nd.Task.Pruned {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the graph for reports and benchmarks.
+type Stats struct {
+	Nodes             int
+	Tasks             int
+	PrunedTasks       int
+	PrunedByRule      map[PruneRule]int
+	TrackedAccesses   int
+	ProtectedAccesses int
+	SyncVars          int
+	AtomicOps         int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	st := Stats{
+		Nodes:             len(g.Nodes),
+		Tasks:             len(g.Tasks),
+		TrackedAccesses:   len(g.Accesses),
+		ProtectedAccesses: len(g.ProtectedAccesses),
+		SyncVars:          len(g.SyncVars),
+		PrunedByRule:      make(map[PruneRule]int),
+	}
+	for _, t := range g.Tasks {
+		if t.Pruned {
+			st.PrunedTasks++
+			st.PrunedByRule[t.PruneBy]++
+		}
+	}
+	for _, n := range g.Nodes {
+		st.AtomicOps += len(n.Atomics)
+	}
+	return st
+}
+
+// sortedTaskNodeIDs is a debugging helper: node IDs of a task in order.
+func sortedTaskNodeIDs(t *Task) []int {
+	ids := make([]int, 0, len(t.Nodes))
+	for _, n := range t.Nodes {
+		ids = append(ids, n.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}

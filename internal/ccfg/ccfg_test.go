@@ -1,0 +1,530 @@
+package ccfg
+
+import (
+	"strings"
+	"testing"
+
+	"uafcheck/internal/ir"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func build(t *testing.T, src string, opts BuildOptions) *Graph {
+	t.Helper()
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve:\n%s", diags)
+	}
+	prog := ir.Lower(info, mod.Procs[len(mod.Procs)-1], diags)
+	return Build(prog, diags, opts)
+}
+
+func buildDefault(t *testing.T, src string) *Graph {
+	return build(t, src, DefaultBuildOptions())
+}
+
+func taskByLabel(g *Graph, label string) *Task {
+	for _, t := range g.Tasks {
+		if t.Label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestSimpleTaskGraph(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	if len(g.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(g.Tasks))
+	}
+	if g.SyncNodeCount() != 2 {
+		t.Errorf("sync nodes = %d, want 2", g.SyncNodeCount())
+	}
+	if len(g.Accesses) != 1 {
+		t.Fatalf("tracked accesses = %d, want 1", len(g.Accesses))
+	}
+	a := g.Accesses[0]
+	if a.Sym.Name != "x" || !a.Write || a.Task.Label != "TASK A" {
+		t.Errorf("access = %+v", a)
+	}
+	if len(g.SyncVars) != 1 || g.SyncVarIndex(g.SyncVars[0]) != 0 {
+		t.Errorf("sync vars = %v", g.SyncVars)
+	}
+}
+
+func TestLocalAccessesNotTracked(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  x = 5;        // parent-local: not an OV access
+	  begin {
+	    var y: int = 2;
+	    y = 3;      // task-local: not an OV access
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	if len(g.Accesses) != 0 {
+		t.Errorf("tracked = %d, want 0: %v", len(g.Accesses), g.Accesses[0])
+	}
+}
+
+// ---------------------------------------------------------------- rules
+
+func TestPruneRuleA(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  begin with (in x) { writeln(x); }
+	  begin { writeln(1); }
+	}`)
+	for _, label := range []string{"TASK A", "TASK B"} {
+		task := taskByLabel(g, label)
+		if task == nil || !task.Pruned || task.PruneBy != PruneA {
+			t.Errorf("%s: pruned=%v rule=%v, want rule A", label, task.Pruned, task.PruneBy)
+		}
+	}
+}
+
+func TestPruneRuleB(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin with (ref x) { x = 2; }
+	  }
+	}`)
+	task := taskByLabel(g, "TASK A")
+	if !task.Pruned || task.PruneBy != PruneB {
+		t.Errorf("sync-block task: pruned=%v rule=%v, want rule B", task.Pruned, task.PruneBy)
+	}
+	if len(g.Accesses) != 0 {
+		t.Errorf("protected access still tracked")
+	}
+	if len(g.ProtectedAccesses) != 1 {
+		t.Errorf("protected accesses = %d", len(g.ProtectedAccesses))
+	}
+}
+
+func TestPruneRuleC(t *testing.T) {
+	// The begin is nested one level deeper than the sync block's direct
+	// body, so Rule B's "immediately encapsulated" does not apply, but
+	// the variable's scope is still protected: Rule C.
+	g := buildDefault(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  sync {
+	    if (c) {
+	      begin with (ref x) { x = 2; }
+	    }
+	  }
+	}`)
+	task := taskByLabel(g, "TASK A")
+	if !task.Pruned || task.PruneBy != PruneC {
+		t.Errorf("task: pruned=%v rule=%v, want rule C", task.Pruned, task.PruneBy)
+	}
+}
+
+func TestPruneRuleD(t *testing.T) {
+	// Outer task touches no outer variable itself; its nested task is
+	// safe (rule A) — rule D prunes the parent.
+	g := buildDefault(t, `proc f() {
+	  begin {
+	    var y: int = 1;
+	    begin with (in y) { writeln(y); }
+	  }
+	}`)
+	inner := taskByLabel(g, "TASK B")
+	outer := taskByLabel(g, "TASK A")
+	if !inner.Pruned || inner.PruneBy != PruneA {
+		t.Errorf("inner: rule %v, want A", inner.PruneBy)
+	}
+	if !outer.Pruned || outer.PruneBy != PruneD {
+		t.Errorf("outer: pruned=%v rule %v, want D", outer.Pruned, outer.PruneBy)
+	}
+}
+
+func TestNoPruneWhenSyncVarShared(t *testing.T) {
+	// The task has no OV accesses but writes a sync variable the parent
+	// reads: pruning it would change the rest of the exploration.
+	g := buildDefault(t, `proc f() {
+	  var done$: sync bool;
+	  begin {
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	task := taskByLabel(g, "TASK A")
+	if task.Pruned {
+		t.Error("task with externally-consumed sync op must not be pruned")
+	}
+}
+
+func TestNoPruneUnprotectedAccess(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) { writeln(x); }
+	}`)
+	task := taskByLabel(g, "TASK A")
+	if task.Pruned {
+		t.Error("task with unprotected OV access pruned")
+	}
+	if len(g.Accesses) != 1 {
+		t.Errorf("tracked = %d", len(g.Accesses))
+	}
+}
+
+func TestPruneDisabled(t *testing.T) {
+	g := build(t, `proc f() {
+	  var x: int = 1;
+	  begin with (in x) { writeln(x); }
+	}`, BuildOptions{Prune: false})
+	task := taskByLabel(g, "TASK A")
+	if task.Pruned {
+		t.Error("pruning ran despite Prune=false")
+	}
+}
+
+// ------------------------------------------------------------ frontiers
+
+func TestParallelFrontierSingle(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	  writeln("after");
+	}`)
+	if len(g.Accesses) != 1 {
+		t.Fatalf("tracked = %d", len(g.Accesses))
+	}
+	x := g.Accesses[0].Sym
+	pf := g.PF[x]
+	if len(pf) != 1 {
+		t.Fatalf("PF(x) = %v, want 1 node", pf)
+	}
+	n := pf[0]
+	if n.Task.Label != "root" || n.Sync == nil || n.Sync.Op != sym.OpReadFE {
+		t.Errorf("PF node = %v", n)
+	}
+	if g.UnsyncedPath[x] {
+		t.Error("unsynced path wrongly reported")
+	}
+	if vars := g.PFVarsOf(n); len(vars) != 1 || vars[0] != x {
+		t.Errorf("PFVarsOf = %v", vars)
+	}
+}
+
+func TestParallelFrontierPerBranchPath(t *testing.T) {
+	// Two different last-sync-nodes depending on the branch: PF(x) must
+	// contain both (paper: "there can be multiple PF nodes one for each
+	// path").
+	g := buildDefault(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    a$ = true;
+	    b$ = true;
+	  }
+	  if (c) {
+	    a$;
+	  } else {
+	    b$;
+	  }
+	}`)
+	x := g.Accesses[0].Sym
+	pf := g.PF[x]
+	if len(pf) != 2 {
+		t.Fatalf("PF(x) = %d nodes, want 2 (one per branch path)", len(pf))
+	}
+	names := map[string]bool{}
+	for _, n := range pf {
+		names[n.Sync.Sym.Name] = true
+	}
+	if !names["a$"] || !names["b$"] {
+		t.Errorf("PF sync vars = %v", names)
+	}
+}
+
+func TestUnsyncedPathDetected(t *testing.T) {
+	// The else path reaches the scope end without any sync node.
+	g := buildDefault(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    a$ = true;
+	  }
+	  if (c) {
+	    a$;
+	  }
+	}`)
+	x := g.Accesses[0].Sym
+	if !g.UnsyncedPath[x] {
+		t.Error("unsynced else-path not detected")
+	}
+	if len(g.PF[x]) != 1 {
+		t.Errorf("PF = %v", g.PF[x])
+	}
+}
+
+func TestNoSyncAtAllMeansNoFrontier(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) { writeln(x); }
+	}`)
+	x := g.Accesses[0].Sym
+	if len(g.PF[x]) != 0 || !g.UnsyncedPath[x] {
+		t.Errorf("PF=%v unsynced=%v", g.PF[x], g.UnsyncedPath[x])
+	}
+}
+
+func TestFrontierInsideBeginOwnerTask(t *testing.T) {
+	// Variable declared inside TASK A, accessed by nested TASK B: the
+	// frontier lives in TASK A's strand.
+	g := buildDefault(t, `proc f() {
+	  var done$: sync bool;
+	  begin {
+	    var y: int = 1;
+	    var inner$: sync bool;
+	    begin with (ref y) {
+	      writeln(y);
+	      inner$ = true;
+	    }
+	    inner$;
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	if len(g.Accesses) != 1 {
+		t.Fatalf("tracked = %d", len(g.Accesses))
+	}
+	y := g.Accesses[0].Sym
+	pf := g.PF[y]
+	if len(pf) != 1 {
+		t.Fatalf("PF(y) = %v", pf)
+	}
+	// The frontier is the LAST sync node in TASK A's strand before y's
+	// scope end — the writeEF(done$), which follows the readFE(inner$)
+	// (the paper's definition admits readFE/writeEF/readFF alike).
+	if pf[0].Task.Label != "TASK A" || pf[0].Sync.Sym.Name != "done$" ||
+		pf[0].Sync.Op != sym.OpWriteEF {
+		t.Errorf("PF node = %v in %s", pf[0], pf[0].Task.Label)
+	}
+}
+
+// ----------------------------------------------------------- protection
+
+func TestSyncBlockProtectsTransitively(t *testing.T) {
+	// The nested task's access is protected because the CHAIN's first
+	// begin sits inside a sync block within x's scope — the fence waits
+	// transitively.
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin {
+	      begin with (ref x) { x = 2; }
+	    }
+	  }
+	}`)
+	if len(g.Accesses) != 0 {
+		t.Errorf("transitive protection failed: %d tracked", len(g.Accesses))
+	}
+	if len(g.ProtectedAccesses) != 1 {
+		t.Errorf("protected = %d", len(g.ProtectedAccesses))
+	}
+}
+
+func TestSyncBlockDoesNotProtectInnerScope(t *testing.T) {
+	// The variable is declared INSIDE the begin task; the outer sync
+	// block does not order TASK A's exit against TASK B.
+	g := buildDefault(t, `proc f() {
+	  sync {
+	    begin {
+	      var y: int = 1;
+	      begin with (ref y) { writeln(y); }
+	    }
+	  }
+	}`)
+	if len(g.Accesses) != 1 {
+		t.Errorf("inner-scope access must stay tracked, got %d", len(g.Accesses))
+	}
+}
+
+func TestSyncedRefParams(t *testing.T) {
+	src := `proc f(ref x: int) {
+	  begin { writeln(x); }
+	}`
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	info := sym.Resolve(mod, diags)
+	prog := ir.Lower(info, mod.Procs[0], diags)
+	synced := map[*sym.Symbol]bool{}
+	for _, p := range prog.RefParams {
+		synced[p] = true
+	}
+	g := Build(prog, diags, BuildOptions{Prune: true, SyncedRefParams: synced})
+	if len(g.Accesses) != 0 {
+		t.Errorf("synced ref param still tracked")
+	}
+	if len(g.ProtectedAccesses) != 1 {
+		t.Errorf("protected = %d", len(g.ProtectedAccesses))
+	}
+}
+
+// ------------------------------------------------------------- structure
+
+func TestBranchForkAndJoin(t *testing.T) {
+	g := buildDefault(t, `config const c = true;
+	proc f() {
+	  var done$: sync bool;
+	  begin { done$ = true; }
+	  if (c) { writeln(1); } else { writeln(2); }
+	  done$;
+	}`)
+	root := g.Root()
+	forks := 0
+	for _, n := range root.Nodes {
+		if len(n.Succs) == 2 {
+			forks++
+		}
+	}
+	if forks != 1 {
+		t.Errorf("fork nodes = %d, want 1", forks)
+	}
+	// All control edges stay within the strand.
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			if s.Task != n.Task {
+				t.Errorf("control edge crosses tasks: n%d -> n%d", n.ID, s.ID)
+			}
+		}
+		for _, s := range n.Spawns {
+			if s.Task == n.Task {
+				t.Errorf("spawn edge within task: n%d -> n%d", n.ID, s.ID)
+			}
+		}
+	}
+}
+
+func TestSyncNodeHasSingleOp(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  begin { a$ = true; b$ = true; }
+	  a$;
+	  b$;
+	}`)
+	for _, n := range g.Nodes {
+		if n.Sync != nil && len(n.Spawns) > 0 {
+			t.Errorf("node n%d has both sync op and spawn", n.ID)
+		}
+	}
+	if g.SyncNodeCount() != 4 {
+		t.Errorf("sync nodes = %d, want 4", g.SyncNodeCount())
+	}
+}
+
+func TestInitiallyFullSyncVar(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  var gate$: sync bool = true;
+	  begin with (ref x) {
+	    gate$;
+	    x = 2;
+	    gate$ = true;
+	  }
+	  gate$;
+	}`)
+	if len(g.SyncVars) != 1 {
+		t.Fatalf("sync vars = %d", len(g.SyncVars))
+	}
+	if !g.InitiallyFull[g.SyncVars[0]] {
+		t.Error("explicit initialization to full not recorded")
+	}
+}
+
+func TestAccessDedupPerLine(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) {
+	    x = x + x + x;
+	  }
+	}`)
+	if len(g.Accesses) != 1 {
+		t.Errorf("same-line accesses not deduped: %d", len(g.Accesses))
+	}
+	if !g.Accesses[0].Write {
+		t.Error("write flag not upgraded")
+	}
+}
+
+func TestStatsAndRender(t *testing.T) {
+	g := buildDefault(t, `proc f() {
+	  var x: int = 1;
+	  var a: atomic int;
+	  begin with (ref x) {
+	    x = 2;
+	    a.write(1);
+	  }
+	  a.waitFor(1);
+	}`)
+	st := g.Stats()
+	if st.Tasks != 2 || st.AtomicOps != 2 || st.TrackedAccesses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	text := g.Text()
+	if !strings.Contains(text, "atomic(a.write)") {
+		t.Errorf("Text missing atomic op:\n%s", text)
+	}
+	dot := g.DOT()
+	if !strings.Contains(dot, "style=dashed, label=\"begin\"") {
+		t.Errorf("DOT missing task edge:\n%s", dot)
+	}
+}
+
+func TestScopeEndForBlockLocal(t *testing.T) {
+	// y's scope ends at the inner block's exit, before the proc end.
+	g := buildDefault(t, `proc f() {
+	  var done$: sync bool;
+	  {
+	    var y: int = 1;
+	    begin with (ref y) {
+	      writeln(y);
+	      done$ = true;
+	    }
+	    done$;
+	  }
+	  writeln("after");
+	}`)
+	if len(g.Accesses) != 1 {
+		t.Fatalf("tracked = %d", len(g.Accesses))
+	}
+	y := g.Accesses[0].Sym
+	pf := g.PF[y]
+	if len(pf) != 1 || pf[0].Sync.Sym.Name != "done$" {
+		t.Errorf("PF(y) = %v; the block-local readFE should be the frontier", pf)
+	}
+	if g.UnsyncedPath[y] {
+		t.Error("unsynced path wrongly reported for block-local scope")
+	}
+}

@@ -1,0 +1,109 @@
+package ccfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Text renders the graph as an indented textual listing, one line per
+// node, grouped by task — the form used to regenerate the paper's
+// Figure 2 and Figure 7 CCFG drawings.
+func (g *Graph) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CCFG for proc %s\n", g.Prog.Proc.Name.Name)
+	for _, t := range g.Tasks {
+		status := ""
+		if t.Pruned {
+			status = fmt.Sprintf("  [pruned: rule %s]", t.PruneBy)
+		}
+		fmt.Fprintf(&b, "task %d (%s)%s\n", t.ID, t.Label, status)
+		for _, n := range t.Nodes {
+			var tags []string
+			for _, a := range n.Accesses {
+				rw := "R"
+				if a.Write {
+					rw = "W"
+				}
+				tags = append(tags, fmt.Sprintf("OV(%s,%s)", a.Sym.Name, rw))
+			}
+			for _, at := range n.Atomics {
+				tags = append(tags, fmt.Sprintf("atomic(%s.%s)", at.Sym.Name, at.Op))
+			}
+			if n.Sync != nil {
+				tags = append(tags, n.Sync.String())
+			}
+			if vars := g.PFVarsOf(n); len(vars) > 0 {
+				var names []string
+				for _, v := range vars {
+					names = append(names, v.Name)
+				}
+				sort.Strings(names)
+				tags = append(tags, "PF{"+strings.Join(names, ",")+"}")
+			}
+			var edges []string
+			for _, s := range n.Succs {
+				edges = append(edges, fmt.Sprintf("->n%d", s.ID))
+			}
+			for _, s := range n.Spawns {
+				edges = append(edges, fmt.Sprintf("=>n%d", s.ID))
+			}
+			fmt.Fprintf(&b, "  n%-3d %-40s %s\n", n.ID, strings.Join(tags, " "), strings.Join(edges, " "))
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz dot syntax. Control edges are solid,
+// task (begin) edges dashed; sync nodes are doubly circled and parallel
+// frontier nodes are shaded, mirroring the paper's Figure 2 legend.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph ccfg {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	for _, t := range g.Tasks {
+		fmt.Fprintf(&b, "  subgraph cluster_task%d {\n    label=%q;\n", t.ID, t.Label)
+		if t.Pruned {
+			fmt.Fprintf(&b, "    style=dashed; color=gray;\n")
+		}
+		for _, n := range t.Nodes {
+			var lines []string
+			lines = append(lines, fmt.Sprintf("n%d", n.ID))
+			var ovs []string
+			for _, a := range n.Accesses {
+				ovs = append(ovs, a.Sym.Name)
+			}
+			if len(ovs) > 0 {
+				lines = append(lines, "OV={"+strings.Join(ovs, ",")+"}")
+			}
+			if n.Sync != nil {
+				lines = append(lines, n.Sync.String())
+			}
+			shape := "ellipse"
+			style := ""
+			if n.IsSync() {
+				shape = "doublecircle"
+			}
+			if vars := g.PFVarsOf(n); len(vars) > 0 {
+				var names []string
+				for _, v := range vars {
+					names = append(names, v.Name)
+				}
+				lines = append(lines, "PF{"+strings.Join(names, ",")+"}")
+				style = ", style=filled, fillcolor=lightgray"
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\", shape=%s%s];\n",
+				n.ID, strings.Join(lines, "\\n"), shape, style)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+		for _, s := range n.Spawns {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"begin\"];\n", n.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/source"
+)
+
+func TestDeterministic(t *testing.T) {
+	p := DefaultParams(99)
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Source != b[i].Source {
+			t.Fatalf("case %d differs between runs", i)
+		}
+	}
+}
+
+func TestPopulationCounts(t *testing.T) {
+	p := DefaultParams(1711)
+	cases := Generate(p)
+	if len(cases) != p.Tests {
+		t.Fatalf("tests = %d, want %d", len(cases), p.Tests)
+	}
+	begins, unsafeCases, fpCases, trueSites := 0, 0, 0, 0
+	for i := range cases {
+		c := &cases[i]
+		if c.HasBegin {
+			begins++
+		}
+		if len(c.TrueSites) > 0 {
+			unsafeCases++
+			trueSites += len(c.TrueSites)
+		}
+		if c.WantWarn && len(c.TrueSites) == 0 {
+			fpCases++
+		}
+	}
+	if begins != p.BeginTests {
+		t.Errorf("begin tests = %d, want %d", begins, p.BeginTests)
+	}
+	if unsafeCases != p.UnsafeTests {
+		t.Errorf("unsafe tests = %d, want %d", unsafeCases, p.UnsafeTests)
+	}
+	if trueSites != p.TrueSites {
+		t.Errorf("true sites = %d, want %d", trueSites, p.TrueSites)
+	}
+	if fpCases != p.AtomicFPTests {
+		t.Errorf("atomic FP tests = %d, want %d", fpCases, p.AtomicFPTests)
+	}
+}
+
+func TestAllProgramsParseAndResolve(t *testing.T) {
+	cases := Generate(Params{Seed: 5, Tests: 400, BeginTests: 80,
+		UnsafeTests: 12, TrueSites: 36, AtomicFPTests: 12, FalseSites: 60})
+	for i := range cases {
+		c := &cases[i]
+		diags := &source.Diagnostics{}
+		mod := parser.ParseSource(c.Name, c.Source, diags)
+		if diags.HasErrors() {
+			t.Fatalf("case %s fails to parse:\n%s\n%s", c.Name, diags, c.Source)
+		}
+		// Every program must contain its entry proc.
+		if mod.Proc(c.EntryProc) == nil {
+			t.Fatalf("case %s: entry proc %q missing", c.Name, c.EntryProc)
+		}
+		if c.HasBegin != ast.HasBegin(mod) {
+			t.Fatalf("case %s: HasBegin label %t contradicts source", c.Name, c.HasBegin)
+		}
+	}
+}
+
+func TestTrueSitesPointAtRealLines(t *testing.T) {
+	cases := Generate(Params{Seed: 21, Tests: 60, BeginTests: 30,
+		UnsafeTests: 10, TrueSites: 30, AtomicFPTests: 5, FalseSites: 15})
+	for i := range cases {
+		c := &cases[i]
+		if len(c.TrueSites) == 0 {
+			continue
+		}
+		lines := strings.Split(c.Source, "\n")
+		for _, s := range c.TrueSites {
+			parts := strings.SplitN(s, ":", 2)
+			if len(parts) != 2 {
+				t.Fatalf("bad site %q", s)
+			}
+			varName := parts[0]
+			var ln int
+			if _, err := sscanInt(parts[1], &ln); err != nil {
+				t.Fatalf("bad line in %q", s)
+			}
+			if ln < 1 || ln > len(lines) {
+				t.Fatalf("site %q out of range in %s", s, c.Name)
+			}
+			if !strings.Contains(lines[ln-1], varName) {
+				t.Fatalf("site %q: line %d %q does not mention %s",
+					s, ln, lines[ln-1], varName)
+			}
+		}
+	}
+}
+
+func sscanInt(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errBadInt
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+var errBadInt = errInvalid("bad int")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }
+
+// Property: distribute always sums to the total with parts differing by
+// at most one.
+func TestDistributeProperty(t *testing.T) {
+	check := func(total uint8, n uint8) bool {
+		if n == 0 {
+			return len(distribute(int(total), 0)) == 0
+		}
+		parts := distribute(int(total), int(n))
+		if len(parts) != int(n) {
+			return false
+		}
+		sum, min, max := 0, int(total)+1, -1
+		for _, p := range parts {
+			sum += p
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return sum == int(total) && max-min <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternsRotate(t *testing.T) {
+	cases := Generate(Params{Seed: 2, Tests: 120, BeginTests: 60,
+		UnsafeTests: 8, TrueSites: 16, AtomicFPTests: 4, FalseSites: 8})
+	patterns := map[string]int{}
+	for i := range cases {
+		patterns[cases[i].Pattern]++
+	}
+	for _, want := range []string{
+		"unsafe-nosync", "unsafe-nested-leak", "unsafe-trailing", "unsafe-branch-leak",
+		"unsafe-hidden-nested",
+		"atomic-handshake", "atomic-counter",
+		"safe-syncblock", "safe-syncchain", "safe-inintent", "safe-single", "safe-nestedchain",
+		"safe-nestedproc", "safe-syncedref", "safe-fenced-handshake",
+		"seq-arith", "seq-loop", "seq-proc", "seq-branch",
+	} {
+		if patterns[want] == 0 {
+			t.Errorf("pattern %s never generated: %v", want, patterns)
+		}
+	}
+}
+
+func TestWriterLineTracking(t *testing.T) {
+	s := &w{}
+	l1 := s.ln("one")
+	s.in()
+	l2 := s.ln("two %d", 42)
+	s.out()
+	l3 := s.ln("three")
+	if l1 != 1 || l2 != 2 || l3 != 3 {
+		t.Errorf("line numbers = %d %d %d", l1, l2, l3)
+	}
+	want := "one\n  two 42\nthree\n"
+	if s.b.String() != want {
+		t.Errorf("output = %q", s.b.String())
+	}
+	if site("x", 7) != "x:7" {
+		t.Error("site format wrong")
+	}
+}

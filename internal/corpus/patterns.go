@@ -1,0 +1,615 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ------------------------------------------------------------- unsafe
+
+// genUnsafe produces a genuinely dangerous program with exactly k true
+// use-after-free sites. The shape rotates through the paper's motifs:
+// tasks with no synchronization, nested begins without a wait chain
+// (Figure 1), trailing accesses after the last sync event, and
+// branch-dependent synchronization (Figure 6).
+func genUnsafe(r *rand.Rand, name string, variant, k int) TestCase {
+	switch variant % 5 {
+	case 0:
+		return unsafeNoSync(r, name, k)
+	case 1:
+		return unsafeNestedLeak(r, name, k)
+	case 2:
+		return unsafeTrailing(r, name, k)
+	case 3:
+		return unsafeBranchLeak(r, name, k)
+	default:
+		return unsafeHiddenNestedProc(r, name, k)
+	}
+}
+
+// unsafeHiddenNestedProc: the §I hidden-access motif — the begin task
+// calls a nested procedure that touches the outer variable without it
+// ever appearing in a with-clause. Inlining (§III-A) exposes the k
+// dangerous accesses; tree-based baselines without inlining miss them.
+func unsafeHiddenNestedProc(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("proc helper%s() {", name)
+	s.in()
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			sites = append(sites, site("x", s.ln("writeln(x);")))
+		} else {
+			sites = append(sites, site("x", s.ln("x = x + %d;", i+1)))
+		}
+	}
+	s.out()
+	s.ln("}")
+	s.ln("begin {")
+	s.in()
+	s.ln("helper%s();", name)
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "unsafe-hidden-nested", Source: s.b.String(),
+		HasBegin: true, TrueSites: sites, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// unsafeNoSync: a task accesses the outer variable k times with no
+// synchronization whatsoever. Every access is a true positive
+// (never-synchronized).
+func unsafeNoSync(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			sites = append(sites, site("x", s.ln("writeln(x);")))
+		} else {
+			sites = append(sites, site("x", s.ln("x = x + %d;", i+1)))
+		}
+	}
+	s.out()
+	s.ln("}")
+	s.ln("writeln(\"spawned\");")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "unsafe-nosync", Source: s.b.String(),
+		HasBegin: true, TrueSites: sites, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// unsafeNestedLeak: Figure 1's shape — the outer task synchronizes with
+// the parent, but the nested task's accesses escape the wait chain.
+// The k dangerous accesses live in the nested task.
+func unsafeNestedLeak(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var doneA$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("writeln(x);") // safe: ordered before doneA$ = true
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < k; i++ {
+		sites = append(sites, site("x", s.ln("writeln(x + %d);", i)))
+	}
+	s.out()
+	s.ln("}")
+	s.ln("doneA$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("doneA$;")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "unsafe-nested-leak", Source: s.b.String(),
+		HasBegin: true, TrueSites: sites, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// unsafeTrailing: the task signals the parent and then keeps accessing
+// the outer variable after its last sync event.
+func unsafeTrailing(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var done$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("x = x * 2;") // safe: before the signal
+	s.ln("done$ = true;")
+	for i := 0; i < k; i++ {
+		sites = append(sites, site("x", s.ln("x += %d;", i+1)))
+	}
+	s.out()
+	s.ln("}")
+	s.ln("done$;")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "unsafe-trailing", Source: s.b.String(),
+		HasBegin: true, TrueSites: sites, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// unsafeBranchLeak: Figure 6's shape — when the branch is taken, the
+// nested task consumes the sync token itself and the parent may exit
+// before the nested accesses execute.
+func unsafeBranchLeak(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("config const flag%s = true;", name)
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var done$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("if (flag%s) {", name)
+	s.in()
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < k; i++ {
+		sites = append(sites, site("x", s.ln("writeln(x * %d);", i+2)))
+	}
+	s.ln("done$ = true;")
+	s.ln("done$;")
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	s.ln("done$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("done$;")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "unsafe-branch-leak", Source: s.b.String(),
+		HasBegin: true, TrueSites: sites, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// ------------------------------------------------------------ atomic FP
+
+// genAtomicFP produces a program that synchronizes tasks with atomic
+// variables. Dynamically safe (the parent spins on waitFor before leaving
+// the scope), but the paper's analysis does not model atomics (§IV-A), so
+// each of the k outer accesses is reported — a false positive.
+func genAtomicFP(r *rand.Rand, name string, variant, k int) TestCase {
+	if variant%2 == 0 {
+		return atomicHandshake(r, name, k)
+	}
+	return atomicCounter(r, name, k)
+}
+
+// atomicHandshake: single task, parent waits with waitFor(1).
+func atomicHandshake(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	var sites []string
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var f: atomic int;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < k; i++ {
+		if i%3 == 0 {
+			sites = append(sites, site("x", s.ln("x = x + %d;", i+1)))
+		} else {
+			sites = append(sites, site("x", s.ln("writeln(x);")))
+		}
+	}
+	s.ln("f.write(1);")
+	s.out()
+	s.ln("}")
+	s.ln("f.waitFor(1);")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "atomic-handshake", Source: s.b.String(),
+		HasBegin: true, TrueSites: nil, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// atomicCounter: two tasks increment a completion counter; the parent
+// waits for both. All accesses flagged, none truly dangerous.
+func atomicCounter(r *rand.Rand, name string, k int) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	k1 := k / 2
+	k2 := k - k1
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var y: int = %d;", r.Intn(100))
+	s.ln("var c: atomic int;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < k1; i++ {
+		s.ln("x += %d;", i+1)
+	}
+	s.ln("c.fetchAdd(1);")
+	s.out()
+	s.ln("}")
+	s.ln("begin with (ref y) {")
+	s.in()
+	for i := 0; i < k2; i++ {
+		s.ln("y += %d;", i+1)
+	}
+	s.ln("c.fetchAdd(1);")
+	s.out()
+	s.ln("}")
+	s.ln("c.waitFor(2);")
+	s.ln("writeln(x + y);")
+	s.out()
+	s.ln("}")
+	return TestCase{
+		Name: name, Pattern: "atomic-counter", Source: s.b.String(),
+		HasBegin: true, TrueSites: nil, WantWarn: true, EntryProc: proc,
+	}
+}
+
+// ------------------------------------------------------------ safe tasks
+
+// genSafeBegin rotates through the safe idioms; none should produce any
+// warning.
+func genSafeBegin(r *rand.Rand, name string, variant int) TestCase {
+	switch variant % 8 {
+	case 0:
+		return safeSyncBlock(r, name)
+	case 1:
+		return safeSyncChain(r, name)
+	case 2:
+		return safeInIntent(r, name)
+	case 3:
+		return safeSingleHandshake(r, name)
+	case 4:
+		return safeNestedChain(r, name)
+	case 5:
+		return safeNestedProcChain(r, name)
+	case 6:
+		return safeSyncedRefParam(r, name)
+	default:
+		return safeFencedHandshake(r, name)
+	}
+}
+
+// safeFencedHandshake: a sync-block-protected task subtree with an
+// INTERNAL sync-variable handshake. Rule C prunes the whole subtree,
+// saving the exploration of its sync nodes — the pattern that makes the
+// pruning ablation's state savings visible.
+func safeFencedHandshake(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("sync {")
+	s.in()
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("var inner%s$: sync bool;", name)
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("x = x + %d;", 1+r.Intn(9))
+	s.ln("inner%s$ = true;", name)
+	s.out()
+	s.ln("}")
+	s.ln("inner%s$;", name)
+	s.ln("x = x * %d;", 2+r.Intn(3))
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-fenced-handshake", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+// safeNestedProcChain: a hidden access through a nested procedure, made
+// safe by a sync-variable wait chain — the inlining must see through the
+// call AND the PPS exploration must clear it.
+func safeNestedProcChain(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var done$: sync bool;")
+	s.ln("proc bump%s() {", name)
+	s.in()
+	s.ln("x = x + %d;", 1+r.Intn(9))
+	s.out()
+	s.ln("}")
+	s.ln("begin {")
+	s.in()
+	s.ln("bump%s();", name)
+	s.ln("done$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("done$;")
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-nestedproc", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+// safeSyncedRefParam: the synced-scope-list rule (§III-A) — a worker
+// procedure takes the buffer by reference and spawns a task on it; every
+// call site is enclosed in a sync block, so the ref-param accesses are
+// structurally safe.
+func safeSyncedRefParam(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc worker%s(ref buf: int) {", name)
+	s.in()
+	s.ln("begin {")
+	s.in()
+	s.ln("buf = buf * %d;", 2+r.Intn(5))
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var v: int = %d;", r.Intn(100))
+	s.ln("sync {")
+	s.in()
+	s.ln("worker%s(v);", name)
+	s.out()
+	s.ln("}")
+	s.ln("writeln(v);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-syncedref", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+func safeSyncBlock(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	tasks := 1 + r.Intn(3)
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("sync {")
+	s.in()
+	for i := 0; i < tasks; i++ {
+		s.ln("begin with (ref x) {")
+		s.in()
+		s.ln("x += %d;", i+1)
+		s.out()
+		s.ln("}")
+	}
+	s.out()
+	s.ln("}")
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-syncblock", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+func safeSyncChain(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	accesses := 1 + r.Intn(4)
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var done$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	for i := 0; i < accesses; i++ {
+		s.ln("x = x + %d;", i+1)
+	}
+	s.ln("done$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("done$;")
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-syncchain", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+func safeInIntent(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("begin with (in x) {")
+	s.in()
+	s.ln("writeln(x);")
+	s.ln("writeln(x * 2);")
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-inintent", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+// safeSingleHandshake: the task writes a single variable after its
+// accesses; the parent readFFs it before leaving the scope. Exercises the
+// SINGLE-READ rule.
+func safeSingleHandshake(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var ready$: single bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("x = x * 3;")
+	s.ln("ready$.writeEF(true);")
+	s.out()
+	s.ln("}")
+	s.ln("ready$.readFF();")
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-single", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+// safeNestedChain: Figure 1's swapped-wait variant — the full wait chain
+// B -> A -> parent makes the nested accesses safe.
+func safeNestedChain(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(100))
+	s.ln("var doneA$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("var doneB$: sync bool;")
+	s.ln("begin with (ref x) {")
+	s.in()
+	s.ln("writeln(x);")
+	s.ln("doneB$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("x += 1;")
+	s.ln("doneB$;")
+	s.ln("doneA$ = true;")
+	s.out()
+	s.ln("}")
+	s.ln("doneA$;")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "safe-nestedchain", Source: s.b.String(),
+		HasBegin: true, EntryProc: proc}
+}
+
+// ----------------------------------------------------------- sequential
+
+// genSequential emits plain programs with no tasks: arithmetic, loops,
+// branches, helper procedures, strings. They exercise the frontend at
+// suite scale and must never warn.
+func genSequential(r *rand.Rand, name string, variant int) TestCase {
+	switch variant % 4 {
+	case 0:
+		return seqArith(r, name)
+	case 1:
+		return seqLoop(r, name)
+	case 2:
+		return seqProcCall(r, name)
+	default:
+		return seqBranch(r, name)
+	}
+}
+
+func seqArith(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	n := 2 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		s.ln("var v%d: int = %d;", i, r.Intn(1000))
+	}
+	s.ln("var total: int = 0;")
+	for i := 0; i < n; i++ {
+		s.ln("total += v%d * %d;", i, 1+r.Intn(9))
+	}
+	s.ln("writeln(\"total=\", total);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "seq-arith", Source: s.b.String(), EntryProc: proc}
+}
+
+func seqLoop(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var acc: int = 0;")
+	s.ln("for i in 1..%d {", 3+r.Intn(10))
+	s.in()
+	s.ln("acc += i * i;")
+	s.out()
+	s.ln("}")
+	s.ln("var k: int = %d;", 1+r.Intn(5))
+	s.ln("while (k > 0) {")
+	s.in()
+	s.ln("acc += k;")
+	s.ln("k -= 1;")
+	s.out()
+	s.ln("}")
+	s.ln("writeln(acc);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "seq-loop", Source: s.b.String(), EntryProc: proc}
+}
+
+func seqProcCall(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("proc helper_%s(a: int, b: int): int {", name)
+	s.in()
+	s.ln("return a * b + %d;", r.Intn(50))
+	s.out()
+	s.ln("}")
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = helper_%s(%d, %d);", name, 1+r.Intn(9), 1+r.Intn(9))
+	s.ln("writeln(x);")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "seq-proc", Source: s.b.String(), EntryProc: proc}
+}
+
+func seqBranch(r *rand.Rand, name string) TestCase {
+	s := &w{}
+	proc := "t_" + name
+	s.ln("config const limit%s = %d;", name, r.Intn(100))
+	s.ln("proc %s() {", proc)
+	s.in()
+	s.ln("var x: int = %d;", r.Intn(200))
+	s.ln("if (x > limit%s) {", name)
+	s.in()
+	s.ln("writeln(\"big \", x);")
+	s.out()
+	s.ln("} else {")
+	s.in()
+	s.ln("writeln(\"small \", x);")
+	s.out()
+	s.ln("}")
+	s.out()
+	s.ln("}")
+	return TestCase{Name: name, Pattern: "seq-branch", Source: s.b.String(), EntryProc: proc}
+}
+
+var _ = fmt.Sprintf // keep fmt imported even if patterns change

@@ -1,0 +1,295 @@
+// Package eval runs the paper's evaluation (§V): it feeds a generated
+// corpus through the static analysis, scores warnings against the
+// corpus's ground-truth labels, and assembles Table I. It can also
+// cross-validate flagged programs with the dynamic schedule-exploration
+// oracle and compare against the §VI baselines.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/corpus"
+	"uafcheck/internal/mhp"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/pst"
+	"uafcheck/internal/runtime"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// TableI mirrors the paper's Table I rows.
+type TableI struct {
+	TotalTests        int
+	TestsWithBegin    int
+	TestsWithWarnings int
+	WarningsReported  int
+	TruePositives     int
+}
+
+// TPPercent is the paper's final row.
+func (t TableI) TPPercent() float64 {
+	if t.WarningsReported == 0 {
+		return 0
+	}
+	return 100 * float64(t.TruePositives) / float64(t.WarningsReported)
+}
+
+// Format renders the table like the paper.
+func (t TableI) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %6d\n", "Total test cases", t.TotalTests)
+	fmt.Fprintf(&b, "%-42s %6d\n", "Test cases with begin tasks", t.TestsWithBegin)
+	fmt.Fprintf(&b, "%-42s %6d\n", "Test cases with Use-After-Free warnings", t.TestsWithWarnings)
+	fmt.Fprintf(&b, "%-42s %6d\n", "Number of warnings reported", t.WarningsReported)
+	fmt.Fprintf(&b, "%-42s %6d\n", "True positives", t.TruePositives)
+	fmt.Fprintf(&b, "%-42s %5.1f%%\n", "Percentage of true positives", t.TPPercent())
+	return b.String()
+}
+
+// CaseOutcome records the analysis result for one test case.
+type CaseOutcome struct {
+	Case       *corpus.TestCase
+	Warnings   []analysis.Warning
+	FrontendOK bool
+	// TrueHits are warnings matching a ground-truth dangerous site.
+	TrueHits int
+	// MissedSites are ground-truth sites the analysis did not flag
+	// (soundness gaps — should stay empty).
+	MissedSites []string
+}
+
+// Details carries everything beyond the headline table.
+type Details struct {
+	Outcomes []CaseOutcome
+	// PerPattern aggregates warning counts by generator pattern.
+	PerPattern map[string]*PatternStats
+	// UnexpectedWarnCases lists safe-pattern cases that warned — each one
+	// is an analysis precision bug.
+	UnexpectedWarnCases []string
+	// FrontendFailures counts cases the frontend rejected.
+	FrontendFailures int
+}
+
+// PatternStats aggregates one generator pattern.
+type PatternStats struct {
+	Cases    int
+	Warnings int
+	TrueHits int
+}
+
+// RunTableI analyzes every case and assembles the table.
+func RunTableI(cases []corpus.TestCase, opts analysis.Options) (TableI, *Details) {
+	var table TableI
+	det := &Details{PerPattern: make(map[string]*PatternStats)}
+	table.TotalTests = len(cases)
+	for i := range cases {
+		tc := &cases[i]
+		if tc.HasBegin {
+			table.TestsWithBegin++
+		}
+		out := analyzeCase(tc, opts)
+		ps := det.PerPattern[tc.Pattern]
+		if ps == nil {
+			ps = &PatternStats{}
+			det.PerPattern[tc.Pattern] = ps
+		}
+		ps.Cases++
+		if !out.FrontendOK {
+			det.FrontendFailures++
+		}
+		if len(out.Warnings) > 0 {
+			table.TestsWithWarnings++
+			table.WarningsReported += len(out.Warnings)
+			ps.Warnings += len(out.Warnings)
+			table.TruePositives += out.TrueHits
+			ps.TrueHits += out.TrueHits
+			if !tc.WantWarn {
+				det.UnexpectedWarnCases = append(det.UnexpectedWarnCases, tc.Name)
+			}
+		}
+		det.Outcomes = append(det.Outcomes, out)
+	}
+	return table, det
+}
+
+func analyzeCase(tc *corpus.TestCase, opts analysis.Options) CaseOutcome {
+	res := analysis.AnalyzeSource(tc.Name+".chpl", tc.Source, opts)
+	out := CaseOutcome{Case: tc, FrontendOK: !res.Diags.HasErrors()}
+	out.Warnings = res.Warnings()
+	truth := make(map[string]bool, len(tc.TrueSites))
+	for _, s := range tc.TrueSites {
+		truth[s] = false
+	}
+	for _, w := range out.Warnings {
+		key := fmt.Sprintf("%s:%d", w.Var, w.AccessLine)
+		if _, ok := truth[key]; ok {
+			if !truth[key] {
+				truth[key] = true
+				out.TrueHits++
+			}
+		}
+	}
+	for _, s := range tc.TrueSites {
+		if !truth[s] {
+			out.MissedSites = append(out.MissedSites, s)
+		}
+	}
+	return out
+}
+
+// FormatPatternBreakdown renders the per-pattern table for EXPERIMENTS.md.
+func (d *Details) FormatPatternBreakdown() string {
+	names := make([]string, 0, len(d.PerPattern))
+	for n := range d.PerPattern {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %9s %10s\n", "pattern", "cases", "warnings", "true-hits")
+	for _, n := range names {
+		ps := d.PerPattern[n]
+		fmt.Fprintf(&b, "%-22s %7d %9d %10d\n", n, ps.Cases, ps.Warnings, ps.TrueHits)
+	}
+	return b.String()
+}
+
+// OracleReport is the dynamic cross-validation result.
+type OracleReport struct {
+	CasesValidated int
+	// ConfirmedTrue counts ground-truth sites dynamically observed.
+	ConfirmedTrue int
+	// TotalTrue is the number of ground-truth sites checked.
+	TotalTrue int
+	// FalseAlarms counts safe/atomic cases where the oracle DID observe a
+	// use-after-free (generator labeling bugs — should be zero).
+	FalseAlarms []string
+}
+
+// ValidateWithOracle replays flagged cases under many schedules and
+// checks the ground-truth labels dynamically. maxCases bounds the work
+// (0 = all flagged cases); runsPerCase bounds schedules per case.
+func ValidateWithOracle(cases []corpus.TestCase, maxCases, runsPerCase int, seed int64) OracleReport {
+	rep := OracleReport{}
+	for i := range cases {
+		tc := &cases[i]
+		if !tc.HasBegin || !tc.WantWarn {
+			continue
+		}
+		if maxCases > 0 && rep.CasesValidated >= maxCases {
+			break
+		}
+		rep.CasesValidated++
+		diags := &source.Diagnostics{}
+		mod := parser.ParseSource(tc.Name+".chpl", tc.Source, diags)
+		if diags.HasErrors() {
+			continue
+		}
+		info := sym.Resolve(mod, diags)
+		if diags.HasErrors() {
+			continue
+		}
+		er := runtime.ExploreRandom(mod, info, tc.EntryProc, runsPerCase, seed+int64(i))
+		oracle := runtime.NewOracle(er)
+		rep.TotalTrue += len(tc.TrueSites)
+		for _, s := range tc.TrueSites {
+			var v string
+			var line int
+			fmt.Sscanf(s, "%1s:%d", &v, &line) // sites are "x:NN"
+			parts := strings.SplitN(s, ":", 2)
+			if len(parts) == 2 {
+				v = parts[0]
+				fmt.Sscanf(parts[1], "%d", &line)
+			}
+			if oracle.TruePositive(v, line) {
+				rep.ConfirmedTrue++
+			}
+		}
+		if len(tc.TrueSites) == 0 && len(er.UAF) > 0 {
+			rep.FalseAlarms = append(rep.FalseAlarms, tc.Name)
+		}
+	}
+	return rep
+}
+
+// BaselineReport compares the paper's analysis with the §VI baselines
+// over the begin-task cases.
+type BaselineReport struct {
+	Cases         int
+	PaperWarnings int
+	NaiveMHPFlags int
+	FinishFlags   int
+	// PSTFlags counts accesses flagged by the Program Structure Tree MHP
+	// analysis (finish/async only, no point-to-point sync).
+	PSTFlags int
+	// PPSMHPFlags counts accesses flagged by the §VI MHP-oracle
+	// formulation backed by the PPS exploration itself (point-to-point
+	// aware) — it should track the paper analysis closely.
+	PPSMHPFlags  int
+	ClearedByPPS int
+	// FinishWouldBlock counts cases where the X10 discipline would
+	// reject a program the paper's analysis proves safe.
+	FinishWouldBlock int
+}
+
+// RunBaselines computes the comparison.
+func RunBaselines(cases []corpus.TestCase, opts analysis.Options) BaselineReport {
+	rep := BaselineReport{}
+	kept := opts
+	kept.KeepGraphs = true
+	for i := range cases {
+		tc := &cases[i]
+		if !tc.HasBegin {
+			continue
+		}
+		res := analysis.AnalyzeSource(tc.Name+".chpl", tc.Source, kept)
+		if res.Diags.HasErrors() {
+			continue
+		}
+		rep.Cases++
+		paper := 0
+		naive := 0
+		finish := 0
+		pstFlags := 0
+		for _, pr := range res.Procs {
+			paper += len(pr.Warnings)
+			if pr.Graph != nil {
+				naive += len(mhp.NaiveMHP(pr.Graph))
+				finish += len(mhp.FinishEnforcement(pr.Graph))
+			}
+			if res.Info != nil {
+				tree := pst.Build(res.Info, pr.Proc)
+				pstFlags += len(tree.CheckUAF())
+			}
+			if pr.Graph != nil {
+				rep.PPSMHPFlags += len(pps.CheckUAFViaMHP(pr.Graph, pps.Options{}))
+			}
+		}
+		rep.PaperWarnings += paper
+		rep.NaiveMHPFlags += naive
+		rep.FinishFlags += finish
+		rep.PSTFlags += pstFlags
+		if paper == 0 && finish > 0 {
+			rep.FinishWouldBlock++
+		}
+	}
+	rep.ClearedByPPS = rep.NaiveMHPFlags - rep.PaperWarnings
+	return rep
+}
+
+// Format renders the baseline comparison.
+func (r BaselineReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %6d\n", "Begin-task cases analyzed", r.Cases)
+	fmt.Fprintf(&b, "%-46s %6d\n", "Paper analysis warnings", r.PaperWarnings)
+	fmt.Fprintf(&b, "%-46s %6d\n", "Naive MHP flags (no point-to-point sync)", r.NaiveMHPFlags)
+	fmt.Fprintf(&b, "%-46s %6d\n", "X10-style finish-enforcement flags", r.FinishFlags)
+	fmt.Fprintf(&b, "%-46s %6d\n", "PST-based MHP flags (finish/async only)", r.PSTFlags)
+	fmt.Fprintf(&b, "%-46s %6d\n", "PPS-backed MHP-oracle flags (§VI formulation)", r.PPSMHPFlags)
+	fmt.Fprintf(&b, "%-46s %6d\n", "Accesses cleared by PPS exploration", r.ClearedByPPS)
+	fmt.Fprintf(&b, "%-46s %6d\n", "Safe cases finish-discipline would reject", r.FinishWouldBlock)
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"testing"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/corpus"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/runtime"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// smallParams shrink the suite for fast unit testing while preserving the
+// population structure.
+func smallParams(seed int64) corpus.Params {
+	return corpus.Params{
+		Seed:          seed,
+		Tests:         200,
+		BeginTests:    40,
+		UnsafeTests:   8,
+		TrueSites:     24,
+		AtomicFPTests: 8,
+		FalseSites:    48,
+	}
+}
+
+// TestCorpusSmallShape verifies the evaluation invariants on a reduced
+// suite: every ground-truth site is flagged (no soundness gaps), safe
+// patterns never warn (no stray precision bugs), and the aggregate counts
+// follow the construction.
+func TestCorpusSmallShape(t *testing.T) {
+	cases := corpus.Generate(smallParams(7))
+	table, det := RunTableI(cases, analysis.DefaultOptions())
+
+	if det.FrontendFailures != 0 {
+		t.Fatalf("%d corpus programs failed the frontend", det.FrontendFailures)
+	}
+	if len(det.UnexpectedWarnCases) != 0 {
+		t.Fatalf("safe patterns warned: %v", det.UnexpectedWarnCases)
+	}
+	for _, out := range det.Outcomes {
+		if len(out.MissedSites) != 0 {
+			t.Fatalf("case %s missed true sites %v\nsource:\n%s",
+				out.Case.Name, out.MissedSites, out.Case.Source)
+		}
+	}
+	if table.TotalTests != 200 || table.TestsWithBegin != 40 {
+		t.Errorf("population = %d/%d, want 200/40", table.TotalTests, table.TestsWithBegin)
+	}
+	if table.TestsWithWarnings != 16 {
+		t.Errorf("flagged cases = %d, want 16 (8 unsafe + 8 atomic)", table.TestsWithWarnings)
+	}
+	if table.TruePositives != 24 {
+		t.Errorf("true positives = %d, want 24", table.TruePositives)
+	}
+	if table.WarningsReported != 24+48 {
+		t.Errorf("warnings = %d, want 72", table.WarningsReported)
+	}
+}
+
+// TestOracleConfirmsGroundTruth cross-validates generator labels with the
+// dynamic scheduler: every true site must be dynamically observable and
+// no atomic-pattern case may ever trigger a real use-after-free.
+func TestOracleConfirmsGroundTruth(t *testing.T) {
+	cases := corpus.Generate(smallParams(11))
+	rep := ValidateWithOracle(cases, 0, 400, 3)
+	if rep.TotalTrue == 0 {
+		t.Fatalf("oracle validated no sites")
+	}
+	if rep.ConfirmedTrue != rep.TotalTrue {
+		t.Errorf("oracle confirmed %d/%d true sites", rep.ConfirmedTrue, rep.TotalTrue)
+	}
+	if len(rep.FalseAlarms) != 0 {
+		t.Errorf("atomic-pattern cases triggered real UAF: %v", rep.FalseAlarms)
+	}
+}
+
+// TestSafePatternsLifetimeVsRaces: "safe" in the corpus means
+// LIFETIME-safe (the paper's property). The vector-clock detector draws
+// the finer line: wait-chain/handshake idioms are also race-free, while
+// fenced parallel increments (safe-syncblock) and the nested-chain's
+// unordered read are genuine data races despite being free of
+// use-after-free — exactly the distinction §VI draws between the two
+// problem families.
+func TestSafePatternsLifetimeVsRaces(t *testing.T) {
+	raceFree := map[string]bool{
+		"safe-syncchain":        true,
+		"safe-inintent":         true,
+		"safe-single":           true,
+		"safe-syncedref":        true,
+		"safe-fenced-handshake": true,
+		"safe-nestedproc":       true,
+		// safe-syncblock: 2+ tasks increment the same variable under one
+		// fence — lifetime-safe, racy.
+		"safe-syncblock": false,
+		// safe-nestedchain: the nested task's read races the outer
+		// task's increment (they are mutually unordered).
+		"safe-nestedchain": false,
+	}
+	cases := corpus.Generate(smallParams(41))
+	checked := 0
+	sawRacy := false
+	for i := range cases {
+		tc := &cases[i]
+		if !tc.HasBegin || tc.WantWarn {
+			continue
+		}
+		wantFree, known := raceFree[tc.Pattern]
+		if !known {
+			t.Fatalf("pattern %s missing from the race expectation table", tc.Pattern)
+		}
+		diags := &source.Diagnostics{}
+		mod := parser.ParseSource(tc.Name, tc.Source, diags)
+		if diags.HasErrors() {
+			t.Fatalf("%s: %s", tc.Name, diags)
+		}
+		info := sym.Resolve(mod, diags)
+		if diags.HasErrors() {
+			t.Fatalf("%s: %s", tc.Name, diags)
+		}
+		er := runtime.ExploreExhaustive(mod, info, tc.EntryProc, 3000)
+		checked++
+		if wantFree && len(er.Races) != 0 {
+			t.Errorf("%s (%s): expected race-free, got %v\n%s",
+				tc.Name, tc.Pattern, er.Races, tc.Source)
+		}
+		if len(er.Races) > 0 {
+			sawRacy = true
+		}
+		// Lifetime safety holds for ALL safe patterns regardless.
+		if len(er.UAF) != 0 {
+			t.Errorf("%s (%s): safe pattern UAF: %v", tc.Name, tc.Pattern, er.UAF)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no safe cases checked")
+	}
+	if !sawRacy {
+		t.Error("expected the fenced-increment patterns to exhibit races")
+	}
+	t.Logf("lifetime-vs-race check over %d safe task programs", checked)
+}
+
+// TestBaselineComparison: the §VI baselines must flag at least as much as
+// the paper's analysis, and strictly more on wait-chain-protected code.
+func TestBaselineComparison(t *testing.T) {
+	cases := corpus.Generate(smallParams(13))
+	rep := RunBaselines(cases, analysis.DefaultOptions())
+	if rep.Cases == 0 {
+		t.Fatal("no begin cases analyzed")
+	}
+	if rep.NaiveMHPFlags < rep.PaperWarnings {
+		t.Errorf("naive MHP (%d) flagged less than the paper (%d)", rep.NaiveMHPFlags, rep.PaperWarnings)
+	}
+	if rep.ClearedByPPS <= 0 {
+		t.Errorf("PPS exploration cleared nothing (%d); wait-chain patterns should be cleared", rep.ClearedByPPS)
+	}
+	if rep.FinishWouldBlock <= 0 {
+		t.Errorf("finish discipline blocked no safe case; sync-chain patterns should trip it")
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/corpus"
+)
+
+// RunTableIParallel analyzes the corpus with a worker pool — each test
+// program is independent, so the suite parallelizes embarrassingly. The
+// aggregation is identical to RunTableI; results are deterministic
+// because per-case outcomes are merged in case order after the barrier.
+func RunTableIParallel(cases []corpus.TestCase, opts analysis.Options, workers int) (TableI, *Details) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outcomes := make([]CaseOutcome, len(cases))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = analyzeCase(&cases[i], opts)
+			}
+		}()
+	}
+	for i := range cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Sequential, deterministic aggregation.
+	var table TableI
+	det := &Details{PerPattern: make(map[string]*PatternStats)}
+	table.TotalTests = len(cases)
+	for i := range cases {
+		tc := &cases[i]
+		out := outcomes[i]
+		if tc.HasBegin {
+			table.TestsWithBegin++
+		}
+		ps := det.PerPattern[tc.Pattern]
+		if ps == nil {
+			ps = &PatternStats{}
+			det.PerPattern[tc.Pattern] = ps
+		}
+		ps.Cases++
+		if !out.FrontendOK {
+			det.FrontendFailures++
+		}
+		if len(out.Warnings) > 0 {
+			table.TestsWithWarnings++
+			table.WarningsReported += len(out.Warnings)
+			ps.Warnings += len(out.Warnings)
+			table.TruePositives += out.TrueHits
+			ps.TrueHits += out.TrueHits
+			if !tc.WantWarn {
+				det.UnexpectedWarnCases = append(det.UnexpectedWarnCases, tc.Name)
+			}
+		}
+		det.Outcomes = append(det.Outcomes, out)
+	}
+	return table, det
+}

@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"testing"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/corpus"
+)
+
+// TestParallelMatchesSequential: the worker-pool evaluation produces the
+// exact same Table I and per-pattern breakdown as the sequential one.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := corpus.Generate(smallParams(17))
+	seqTable, seqDet := RunTableI(cases, analysis.DefaultOptions())
+	for _, workers := range []int{1, 2, 8} {
+		parTable, parDet := RunTableIParallel(cases, analysis.DefaultOptions(), workers)
+		if parTable != seqTable {
+			t.Fatalf("workers=%d: table differs: %+v vs %+v", workers, parTable, seqTable)
+		}
+		if parDet.FormatPatternBreakdown() != seqDet.FormatPatternBreakdown() {
+			t.Fatalf("workers=%d: breakdown differs", workers)
+		}
+		if len(parDet.Outcomes) != len(seqDet.Outcomes) {
+			t.Fatalf("workers=%d: outcome count differs", workers)
+		}
+		for i := range parDet.Outcomes {
+			if parDet.Outcomes[i].Case.Name != seqDet.Outcomes[i].Case.Name ||
+				len(parDet.Outcomes[i].Warnings) != len(seqDet.Outcomes[i].Warnings) {
+				t.Fatalf("workers=%d: outcome %d differs", workers, i)
+			}
+		}
+	}
+}

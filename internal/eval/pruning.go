@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/corpus"
+)
+
+// PruningReport quantifies the §III-A pruning rules over a corpus.
+type PruningReport struct {
+	Cases       int
+	TotalTasks  int
+	PrunedTasks int
+	ByRule      map[ccfg.PruneRule]int
+	// StatesWith / StatesWithout compare PPS exploration sizes.
+	StatesWith    int
+	StatesWithout int
+}
+
+// RunPruningStats analyzes the begin cases twice (pruning on and off)
+// and aggregates which rules fired and how many exploration states
+// pruning saved.
+func RunPruningStats(cases []corpus.TestCase, opts analysis.Options) PruningReport {
+	rep := PruningReport{ByRule: make(map[ccfg.PruneRule]int)}
+	kept := opts
+	kept.KeepGraphs = true
+	noPrune := kept
+	noPrune.Prune = false
+	for i := range cases {
+		tc := &cases[i]
+		if !tc.HasBegin {
+			continue
+		}
+		withRes := analysis.AnalyzeSource(tc.Name, tc.Source, kept)
+		withoutRes := analysis.AnalyzeSource(tc.Name, tc.Source, noPrune)
+		if withRes.Diags.HasErrors() {
+			continue
+		}
+		rep.Cases++
+		for _, pr := range withRes.Procs {
+			rep.TotalTasks += pr.GraphStats.Tasks - 1 // exclude the root strand
+			rep.PrunedTasks += pr.GraphStats.PrunedTasks
+			for rule, n := range pr.GraphStats.PrunedByRule {
+				rep.ByRule[rule] += n
+			}
+			rep.StatesWith += pr.PPSStats.StatesProcessed
+		}
+		for _, pr := range withoutRes.Procs {
+			rep.StatesWithout += pr.PPSStats.StatesProcessed
+		}
+	}
+	return rep
+}
+
+// Format renders the pruning table.
+func (r PruningReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %6d\n", "Begin-task cases", r.Cases)
+	fmt.Fprintf(&b, "%-40s %6d\n", "Tasks (excluding root strands)", r.TotalTasks)
+	pct := 0.0
+	if r.TotalTasks > 0 {
+		pct = 100 * float64(r.PrunedTasks) / float64(r.TotalTasks)
+	}
+	fmt.Fprintf(&b, "%-40s %6d (%.1f%%)\n", "Tasks pruned", r.PrunedTasks, pct)
+	for _, rule := range []ccfg.PruneRule{ccfg.PruneA, ccfg.PruneB, ccfg.PruneC, ccfg.PruneD} {
+		fmt.Fprintf(&b, "%-40s %6d\n", "  by rule "+rule.String(), r.ByRule[rule])
+	}
+	fmt.Fprintf(&b, "%-40s %6d\n", "PPS states with pruning", r.StatesWith)
+	fmt.Fprintf(&b, "%-40s %6d\n", "PPS states without pruning", r.StatesWithout)
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package mhp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func graphFor(t *testing.T, src string) *ccfg.Graph {
+	t.Helper()
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve:\n%s", diags)
+	}
+	prog := ir.Lower(info, mod.Procs[0], diags)
+	return ccfg.Build(prog, diags, ccfg.DefaultBuildOptions())
+}
+
+// TestBaselinesFlagWaitChainedCode: the sync-variable wait chain makes
+// the access safe under the paper's analysis, but both baselines still
+// flag it — the precision gap §VI argues about.
+func TestBaselinesFlagWaitChainedCode(t *testing.T) {
+	g := graphFor(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	paper := pps.Explore(g, pps.Options{})
+	if len(paper.Unsafe) != 0 {
+		t.Fatalf("paper analysis flagged the wait chain: %v", paper.Unsafe)
+	}
+	if n := len(NaiveMHP(g)); n != 1 {
+		t.Errorf("naive MHP flags = %d, want 1", n)
+	}
+	if n := len(FinishEnforcement(g)); n != 1 {
+		t.Errorf("finish enforcement flags = %d, want 1", n)
+	}
+	cmp := Compare(g, len(paper.Unsafe))
+	if cmp.ClearedByPPS != 1 {
+		t.Errorf("ClearedByPPS = %d, want 1", cmp.ClearedByPPS)
+	}
+}
+
+// TestBaselinesAcceptSyncBlock: a finish-style block satisfies all three
+// analyses — no flags anywhere.
+func TestBaselinesAcceptSyncBlock(t *testing.T) {
+	g := graphFor(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin with (ref x) { x = 2; }
+	  }
+	}`)
+	if len(NaiveMHP(g)) != 0 || len(FinishEnforcement(g)) != 0 {
+		t.Error("baselines flagged sync-block-protected code")
+	}
+}
+
+// TestFigure1Baselines: on the paper's Figure 1 the paper analysis warns
+// once while the baselines flag every tracked access.
+func TestFigure1Baselines(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "figure1.chpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphFor(t, string(data))
+	paper := pps.Explore(g, pps.Options{})
+	naive := NaiveMHP(g)
+	if len(paper.Unsafe) != 1 {
+		t.Fatalf("paper warnings = %d", len(paper.Unsafe))
+	}
+	if len(naive) != len(g.Accesses) {
+		t.Errorf("naive MHP = %d, want all %d tracked", len(naive), len(g.Accesses))
+	}
+	if len(naive) <= len(paper.Unsafe) {
+		t.Errorf("baseline (%d) should flag strictly more than the paper (%d)",
+			len(naive), len(paper.Unsafe))
+	}
+	for _, v := range naive {
+		if v.Baseline != "naive-mhp" {
+			t.Errorf("baseline label = %s", v.Baseline)
+		}
+	}
+}

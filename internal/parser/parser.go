@@ -1,0 +1,610 @@
+// Package parser builds MiniChapel ASTs from token streams by recursive
+// descent. The grammar is the Chapel subset described in DESIGN.md §3.
+//
+// Error recovery is statement-level: on a syntax error the parser records
+// a diagnostic and skips to the next ';' or '}' so that a corpus run over
+// thousands of files keeps going.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/lexer"
+	"uafcheck/internal/source"
+	"uafcheck/internal/token"
+)
+
+// Parse tokenizes and parses one file. Diagnostics (including lexer
+// errors) are appended to diags; the returned module contains whatever was
+// recoverable.
+func Parse(file *source.File, diags *source.Diagnostics) *ast.Module {
+	toks := lexer.Tokenize(file, diags)
+	p := &parser{file: file, toks: toks, diags: diags}
+	return p.module()
+}
+
+// ParseSource is a convenience wrapper for tests and tools: it wraps the
+// text in a File named name and parses it.
+func ParseSource(name, src string, diags *source.Diagnostics) *ast.Module {
+	return Parse(source.NewFile(name, src), diags)
+}
+
+type parser struct {
+	file  *source.File
+	toks  []token.Token
+	pos   int
+	diags *source.Diagnostics
+	// beginCount assigns stable "TASK A", "TASK B" ... labels in source
+	// order, matching the paper's Figure 1 naming.
+	beginCount int
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) span(t token.Token) source.Span {
+	return source.Span{Start: source.Pos(t.Span.Start), End: source.Pos(t.Span.End)}
+}
+
+func (p *parser) errorf(t token.Token, format string, args ...any) {
+	p.diags.Addf(p.file, p.span(t), source.Error, format, args...)
+}
+
+// expect consumes a token of kind k or reports an error and returns the
+// current token without consuming it.
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf(p.cur(), "expected %q, found %s", k.String(), p.cur())
+	return p.cur()
+}
+
+// sync skips tokens until just after a ';' or until a '}' / EOF, for
+// statement-level error recovery.
+func (p *parser) syncStmt() {
+	for {
+		switch p.cur().Kind {
+		case token.Semicolon:
+			p.advance()
+			return
+		case token.RBrace, token.EOF:
+			return
+		}
+		p.advance()
+	}
+}
+
+// ---------------------------------------------------------------- module
+
+func (p *parser) module() *ast.Module {
+	m := &ast.Module{File: p.file}
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwProc:
+			m.Procs = append(m.Procs, p.procDecl())
+		case token.KwConfig, token.KwVar, token.KwConst:
+			m.Configs = append(m.Configs, p.varDecl())
+		default:
+			p.errorf(p.cur(), "expected top-level proc or config declaration, found %s", p.cur())
+			before := p.pos
+			p.syncStmt()
+			if p.pos == before {
+				// syncStmt stops at '}' without consuming; at top level
+				// that would loop forever.
+				p.advance()
+			}
+		}
+	}
+	return m
+}
+
+func (p *parser) procDecl() *ast.ProcDecl {
+	start := p.expect(token.KwProc)
+	name := p.ident()
+	p.expect(token.LParen)
+	var params []ast.Param
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		before := p.pos
+		if len(params) > 0 {
+			p.expect(token.Comma)
+		}
+		byRef := false
+		if p.at(token.KwRef) {
+			p.advance()
+			byRef = true
+		} else if p.at(token.KwIn) {
+			// `in` intent on a formal: by-value, our default.
+			p.advance()
+		}
+		pn := p.ident()
+		p.expect(token.Colon)
+		pt := p.parseType()
+		params = append(params, ast.Param{ByRef: byRef, Name: pn, Type: pt})
+		if p.pos == before {
+			// No progress on malformed input: bail out of the list.
+			break
+		}
+	}
+	p.expect(token.RParen)
+	ret := ast.Type{Kind: ast.TypeVoid}
+	if p.at(token.Colon) {
+		p.advance()
+		ret = p.parseType()
+	}
+	body := p.block()
+	return &ast.ProcDecl{
+		Name: name, Params: params, Ret: ret, Body: body,
+		Sp: p.span(start).Cover(body.Span()),
+	}
+}
+
+func (p *parser) parseType() ast.Type {
+	t := ast.Type{}
+	switch p.cur().Kind {
+	case token.KwSync:
+		p.advance()
+		t.Qual = ast.QualSync
+	case token.KwSingle:
+		p.advance()
+		t.Qual = ast.QualSingle
+	case token.KwAtomic:
+		p.advance()
+		t.Qual = ast.QualAtomic
+	}
+	switch p.cur().Kind {
+	case token.KwInt:
+		p.advance()
+		t.Kind = ast.TypeInt
+	case token.KwBool:
+		p.advance()
+		t.Kind = ast.TypeBool
+	case token.KwString:
+		p.advance()
+		t.Kind = ast.TypeString
+	case token.KwVoid:
+		p.advance()
+		t.Kind = ast.TypeVoid
+	default:
+		p.errorf(p.cur(), "expected type, found %s", p.cur())
+	}
+	return t
+}
+
+func (p *parser) ident() *ast.Ident {
+	t := p.cur()
+	if t.Kind != token.Ident {
+		p.errorf(t, "expected identifier, found %s", t)
+		return &ast.Ident{Name: "_err_", Sp: p.span(t)}
+	}
+	p.advance()
+	return &ast.Ident{Name: t.Lit, Sp: p.span(t)}
+}
+
+func (p *parser) block() *ast.BlockStmt {
+	lb := p.expect(token.LBrace)
+	b := &ast.BlockStmt{}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		s := p.stmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	rb := p.expect(token.RBrace)
+	b.Sp = p.span(lb).Cover(p.span(rb))
+	return b
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (p *parser) stmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.KwConfig, token.KwVar, token.KwConst:
+		return p.varDecl()
+	case token.KwBegin:
+		return p.beginStmt()
+	case token.KwSync:
+		// Disambiguate `sync { ... }` block from a `sync bool` type in a
+		// declaration: a sync block is followed by '{'.
+		if p.peek().Kind == token.LBrace {
+			return p.syncBlock()
+		}
+		p.errorf(p.cur(), "unexpected 'sync' (did you mean 'sync { ... }' or 'var x: sync T')")
+		p.syncStmt()
+		return nil
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwWhile:
+		return p.whileStmt()
+	case token.KwFor:
+		return p.forStmt()
+	case token.KwReturn:
+		return p.returnStmt()
+	case token.KwProc:
+		d := p.procDecl()
+		return &ast.ProcStmt{Proc: d, Sp: d.Sp}
+	case token.LBrace:
+		return p.block()
+	case token.Ident:
+		return p.simpleStmt()
+	case token.Semicolon:
+		p.advance() // empty statement
+		return nil
+	default:
+		p.errorf(p.cur(), "unexpected token %s at start of statement", p.cur())
+		p.syncStmt()
+		return nil
+	}
+}
+
+func (p *parser) varDecl() *ast.VarDecl {
+	start := p.cur()
+	config := false
+	if p.at(token.KwConfig) {
+		p.advance()
+		config = true
+	}
+	isConst := false
+	switch p.cur().Kind {
+	case token.KwVar:
+		p.advance()
+	case token.KwConst:
+		p.advance()
+		isConst = true
+	default:
+		p.errorf(p.cur(), "expected 'var' or 'const', found %s", p.cur())
+	}
+	name := p.ident()
+	typ := ast.Type{Kind: ast.TypeInt}
+	typed := false
+	if p.at(token.Colon) {
+		p.advance()
+		typ = p.parseType()
+		typed = true
+	}
+	var init ast.Expr
+	if p.at(token.Assign) {
+		p.advance()
+		init = p.expr()
+	}
+	if !typed && init == nil {
+		p.errorf(start, "variable %s needs a type or an initializer", name.Name)
+	}
+	if !typed && init != nil {
+		typ = inferType(init)
+	}
+	// Enforce the $-suffix naming convention the paper leans on (§II):
+	// it is a warning-grade style issue, not an error.
+	isSyncName := strings.HasSuffix(name.Name, "$")
+	isSyncType := typ.Qual == ast.QualSync || typ.Qual == ast.QualSingle
+	if isSyncType && !isSyncName {
+		p.diags.Addf(p.file, name.Sp, source.Note,
+			"sync/single variable %q should carry the conventional $ suffix", name.Name)
+	}
+	if !isSyncType && isSyncName {
+		p.diags.Addf(p.file, name.Sp, source.Note,
+			"variable %q has a $ suffix but is not declared sync/single", name.Name)
+	}
+	end := p.expect(token.Semicolon)
+	return &ast.VarDecl{
+		Config: config, Const: isConst, Name: name, Type: typ, Init: init,
+		Sp: p.span(start).Cover(p.span(end)),
+	}
+}
+
+func inferType(e ast.Expr) ast.Type {
+	switch e.(type) {
+	case *ast.BoolLit:
+		return ast.Type{Kind: ast.TypeBool}
+	case *ast.StringLit:
+		return ast.Type{Kind: ast.TypeString}
+	default:
+		return ast.Type{Kind: ast.TypeInt}
+	}
+}
+
+func (p *parser) beginStmt() *ast.BeginStmt {
+	start := p.expect(token.KwBegin)
+	var with []ast.WithClause
+	if p.at(token.KwWith) {
+		p.advance()
+		p.expect(token.LParen)
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			before := p.pos
+			if len(with) > 0 {
+				p.expect(token.Comma)
+			}
+			intent := ast.IntentRef
+			switch p.cur().Kind {
+			case token.KwRef:
+				p.advance()
+			case token.KwIn:
+				p.advance()
+				intent = ast.IntentIn
+			default:
+				p.errorf(p.cur(), "expected 'ref' or 'in' intent, found %s", p.cur())
+			}
+			with = append(with, ast.WithClause{Intent: intent, Name: p.ident()})
+			if p.pos == before {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	}
+	label := fmt.Sprintf("TASK %s", taskLetters(p.beginCount))
+	p.beginCount++
+	body := p.block()
+	return &ast.BeginStmt{
+		With: with, Body: body, Label: label,
+		Sp: p.span(start).Cover(body.Span()),
+	}
+}
+
+// taskLetters yields A, B, ..., Z, AA, AB, ... for task labels.
+func taskLetters(i int) string {
+	s := ""
+	for {
+		s = string(rune('A'+i%26)) + s
+		i = i/26 - 1
+		if i < 0 {
+			return s
+		}
+	}
+}
+
+func (p *parser) syncBlock() *ast.SyncStmt {
+	start := p.expect(token.KwSync)
+	body := p.block()
+	return &ast.SyncStmt{Body: body, Sp: p.span(start).Cover(body.Span())}
+}
+
+func (p *parser) ifStmt() *ast.IfStmt {
+	start := p.expect(token.KwIf)
+	p.expect(token.LParen)
+	cond := p.expr()
+	p.expect(token.RParen)
+	then := p.block()
+	var els *ast.BlockStmt
+	sp := p.span(start).Cover(then.Span())
+	if p.at(token.KwElse) {
+		p.advance()
+		if p.at(token.KwIf) {
+			inner := p.ifStmt()
+			els = &ast.BlockStmt{Stmts: []ast.Stmt{inner}, Sp: inner.Sp}
+		} else {
+			els = p.block()
+		}
+		sp = sp.Cover(els.Span())
+	}
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, Sp: sp}
+}
+
+func (p *parser) whileStmt() *ast.WhileStmt {
+	start := p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	cond := p.expr()
+	p.expect(token.RParen)
+	body := p.block()
+	return &ast.WhileStmt{Cond: cond, Body: body, Sp: p.span(start).Cover(body.Span())}
+}
+
+func (p *parser) forStmt() *ast.ForStmt {
+	start := p.expect(token.KwFor)
+	v := p.ident()
+	p.expect(token.KwIn)
+	lo := p.expr()
+	rng, ok := lo.(*ast.RangeExpr)
+	if !ok {
+		p.errorf(p.cur(), "for loop requires a range lo..hi")
+		rng = &ast.RangeExpr{Lo: lo, Hi: lo, Sp: lo.Span()}
+	}
+	body := p.block()
+	return &ast.ForStmt{Var: v, Range: rng, Body: body, Sp: p.span(start).Cover(body.Span())}
+}
+
+func (p *parser) returnStmt() *ast.ReturnStmt {
+	start := p.expect(token.KwReturn)
+	var val ast.Expr
+	if !p.at(token.Semicolon) {
+		val = p.expr()
+	}
+	end := p.expect(token.Semicolon)
+	return &ast.ReturnStmt{Value: val, Sp: p.span(start).Cover(p.span(end))}
+}
+
+// simpleStmt parses statements that begin with an identifier:
+// assignment, inc/dec, bare sync read (`done$;`), calls, method calls.
+func (p *parser) simpleStmt() ast.Stmt {
+	start := p.cur()
+	switch p.peek().Kind {
+	case token.Assign, token.PlusEq, token.MinusEq, token.TimesEq:
+		lhs := p.ident()
+		op := p.advance().Lit
+		if op == "" {
+			op = "="
+		}
+		rhs := p.expr()
+		end := p.expect(token.Semicolon)
+		return &ast.AssignStmt{Lhs: lhs, Op: opSpelling(op), Rhs: rhs,
+			Sp: p.span(start).Cover(p.span(end))}
+	case token.PlusPlus, token.MinusMinus:
+		x := p.ident()
+		op := p.advance()
+		end := p.expect(token.Semicolon)
+		return &ast.IncDecStmt{X: x, Op: op.Kind.String(),
+			Sp: p.span(start).Cover(p.span(end))}
+	}
+	// Calls, method calls, and bare expressions (notably `done$;`).
+	e := p.expr()
+	end := p.expect(token.Semicolon)
+	sp := p.span(start).Cover(p.span(end))
+	switch e.(type) {
+	case *ast.CallExpr, *ast.MethodCallExpr:
+		return &ast.CallStmt{X: e, Sp: sp}
+	default:
+		return &ast.ExprStmt{X: e, Sp: sp}
+	}
+}
+
+func opSpelling(op string) string {
+	switch op {
+	case "=", "+=", "-=", "*=":
+		return op
+	default:
+		return "="
+	}
+}
+
+// ---------------------------------------------------------------- exprs
+
+func (p *parser) expr() ast.Expr { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) ast.Expr {
+	lhs := p.unary()
+	for {
+		k := p.cur().Kind
+		prec := k.Precedence()
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		op := p.advance()
+		rhs := p.binExpr(prec + 1)
+		if k == token.DotDot {
+			lhs = &ast.RangeExpr{Lo: lhs, Hi: rhs, Sp: lhs.Span().Cover(rhs.Span())}
+		} else {
+			lhs = &ast.BinaryExpr{Op: op.Kind.String(), X: lhs, Y: rhs,
+				Sp: lhs.Span().Cover(rhs.Span())}
+		}
+	}
+}
+
+func (p *parser) unary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Not, token.Minus:
+		op := p.advance()
+		x := p.unary()
+		return &ast.UnaryExpr{Op: op.Kind.String(), X: x, Sp: p.span(op).Cover(x.Span())}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() ast.Expr {
+	e := p.primary()
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.advance()
+			recv, ok := e.(*ast.Ident)
+			if !ok {
+				p.errorf(p.cur(), "method call receiver must be a variable")
+				recv = &ast.Ident{Name: "_err_", Sp: e.Span()}
+			}
+			method := p.ident()
+			args, sp := p.callArgs()
+			e = &ast.MethodCallExpr{Recv: recv, Method: method.Name, Args: args,
+				Sp: e.Span().Cover(sp)}
+		case token.LParen:
+			fun, ok := e.(*ast.Ident)
+			if !ok {
+				p.errorf(p.cur(), "call target must be a procedure name")
+				return e
+			}
+			args, sp := p.callArgs()
+			e = &ast.CallExpr{Fun: fun, Args: args, Sp: e.Span().Cover(sp)}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]ast.Expr, source.Span) {
+	lp := p.expect(token.LParen)
+	var args []ast.Expr
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		before := p.pos
+		if len(args) > 0 {
+			p.expect(token.Comma)
+		}
+		args = append(args, p.expr())
+		if p.pos == before {
+			break
+		}
+	}
+	rp := p.expect(token.RParen)
+	return args, p.span(lp).Cover(p.span(rp))
+}
+
+func (p *parser) primary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.Ident:
+		p.advance()
+		return &ast.Ident{Name: t.Lit, Sp: p.span(t)}
+	case token.IntLit:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{Value: v, Sp: p.span(t)}
+	case token.BoolLit:
+		p.advance()
+		return &ast.BoolLit{Value: t.Lit == "true", Sp: p.span(t)}
+	case token.StringLit:
+		p.advance()
+		return &ast.StringLit{Value: unquote(t.Lit), Sp: p.span(t)}
+	case token.LParen:
+		p.advance()
+		e := p.expr()
+		p.expect(token.RParen)
+		return e
+	default:
+		p.errorf(t, "expected expression, found %s", t)
+		p.advance()
+		return &ast.IntLit{Value: 0, Sp: p.span(t)}
+	}
+}
+
+func unquote(lit string) string {
+	if len(lit) >= 2 && lit[0] == '"' {
+		lit = lit[1:]
+		if lit[len(lit)-1] == '"' {
+			lit = lit[:len(lit)-1]
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < len(lit); i++ {
+		if lit[i] == '\\' && i+1 < len(lit) {
+			i++
+			switch lit[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(lit[i])
+			}
+			continue
+		}
+		b.WriteByte(lit[i])
+	}
+	return b.String()
+}

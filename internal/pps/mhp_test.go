@@ -1,0 +1,227 @@
+package pps
+
+import (
+	"testing"
+
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func buildGraph(t *testing.T, src string) *ccfg.Graph {
+	t.Helper()
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve:\n%s", diags)
+	}
+	prog := ir.Lower(info, mod.Procs[0], diags)
+	return ccfg.Build(prog, diags, ccfg.DefaultBuildOptions())
+}
+
+// nodeWithAccess returns the node containing a tracked access of the
+// named variable.
+func nodeWithAccess(t *testing.T, g *ccfg.Graph, name string) *ccfg.Node {
+	t.Helper()
+	for _, a := range g.Accesses {
+		if a.Sym.Name == name {
+			return a.Node
+		}
+	}
+	t.Fatalf("no tracked access of %s", name)
+	return nil
+}
+
+// TestMHPTwoIndependentTasks: nodes of two unordered tasks are parallel.
+func TestMHPTwoIndependentTasks(t *testing.T) {
+	g := buildGraph(t, `proc f() {
+	  var x: int = 1;
+	  var y: int = 1;
+	  var dx$: sync bool;
+	  var dy$: sync bool;
+	  begin with (ref x) { x = 2; dx$ = true; }
+	  begin with (ref y) { y = 2; dy$ = true; }
+	  dx$;
+	  dy$;
+	}`)
+	o := BuildMHP(g, Options{})
+	nx := nodeWithAccess(t, g, "x")
+	ny := nodeWithAccess(t, g, "y")
+	if !o.MHP(nx, ny) {
+		t.Error("independent task bodies must be MHP")
+	}
+	if o.MHP(nx, nx) {
+		t.Error("a node is never MHP with itself")
+	}
+	if o.PairCount() == 0 {
+		t.Error("no pairs recorded")
+	}
+}
+
+// TestMHPWaitChainOrders: the point-to-point handshake orders the task
+// body before the parent's post-wait region — the precision the §VI
+// tree-based analyses cannot achieve.
+func TestMHPWaitChainOrders(t *testing.T) {
+	g := buildGraph(t, `proc f() {
+	  var x: int = 1;
+	  var y: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	  begin with (ref y) {
+	    y = 9;
+	  }
+	}`)
+	o := BuildMHP(g, Options{})
+	nx := nodeWithAccess(t, g, "x")
+	ny := nodeWithAccess(t, g, "y")
+	// TASK A's body is ordered before the post-wait spawn of TASK B by
+	// the done$ chain: the two bodies must NOT be parallel.
+	if o.MHP(nx, ny) {
+		t.Error("wait chain ignored: TASK A body parallel with post-wait TASK B body")
+	}
+}
+
+// TestMHPChainedTasksSequential: B waits for A's token, so their bodies
+// never overlap.
+func TestMHPChainedTasksSequential(t *testing.T) {
+	g := buildGraph(t, `proc f() {
+	  var x: int = 1;
+	  var y: int = 1;
+	  var h$: sync bool;
+	  var dx$: sync bool;
+	  var dy$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    h$ = true;
+	    dx$ = true;
+	  }
+	  begin with (ref y) {
+	    h$;
+	    y = 2;
+	    dy$ = true;
+	  }
+	  dx$;
+	  dy$;
+	}`)
+	o := BuildMHP(g, Options{})
+	nx := nodeWithAccess(t, g, "x")
+	ny := nodeWithAccess(t, g, "y")
+	if o.MHP(nx, ny) {
+		t.Error("handshake-ordered bodies reported parallel")
+	}
+}
+
+// TestMHPMatchesUnsafeVerdict: for the Figure 1 program, the dangerous
+// TASK B access is MHP with the root's final region while TASK A's
+// post-promotion region is not relevant — sanity link between the two
+// views.
+func TestMHPFigure1(t *testing.T) {
+	g := buildGraph(t, `proc f() {
+	  var x: int = 1;
+	  var doneA$: sync bool;
+	  begin with (ref x) {
+	    var doneB$: sync bool;
+	    begin with (ref x) {
+	      writeln(x);
+	      doneB$ = true;
+	    }
+	    doneA$ = true;
+	    doneB$;
+	  }
+	  doneA$;
+	}`)
+	o := BuildMHP(g, Options{})
+	// TASK B's access node and the root's scope-end node: parallel (the
+	// warning's root cause).
+	var taskB *ccfg.Node
+	for _, a := range g.Accesses {
+		if a.Task.Label == "TASK B" {
+			taskB = a.Node
+		}
+	}
+	if taskB == nil {
+		t.Fatal("TASK B access missing")
+	}
+	end := g.ScopeEnd[g.Accesses[0].Sym]
+	if end == nil {
+		t.Fatal("scope end missing")
+	}
+	if !o.MHP(taskB, end) {
+		t.Error("dangerous access not MHP with the scope end")
+	}
+	// The §VI MHP-oracle formulation flags exactly the dangerous access.
+	flagged := CheckUAFViaMHP(g, Options{})
+	if len(flagged) != 1 || flagged[0].Task.Label != "TASK B" {
+		t.Errorf("MHP-oracle check flagged %v, want only TASK B's access", flagged)
+	}
+}
+
+// TestMHPCheckAgreesWithDirect: across the canonical idioms, the §VI
+// MHP-oracle formulation and the paper's direct sink-set algorithm agree
+// on which accesses are dangerous.
+func TestMHPCheckAgreesWithDirect(t *testing.T) {
+	srcs := []string{
+		// safe wait chain
+		`proc f() {
+		  var x: int = 1;
+		  var d$: sync bool;
+		  begin with (ref x) { x = 2; d$ = true; }
+		  d$;
+		}`,
+		// no sync at all
+		`proc f() {
+		  var x: int = 1;
+		  begin with (ref x) { writeln(x); }
+		}`,
+		// trailing access
+		`proc f() {
+		  var x: int = 1;
+		  var d$: sync bool;
+		  begin with (ref x) { x = 2; d$ = true; x = 3; }
+		  d$;
+		}`,
+		// two independent safe tasks
+		`proc f() {
+		  var x: int = 1;
+		  var y: int = 1;
+		  var dx$: sync bool;
+		  var dy$: sync bool;
+		  begin with (ref x) { x = 2; dx$ = true; }
+		  begin with (ref y) { y = 2; dy$ = true; }
+		  dx$;
+		  dy$;
+		}`,
+	}
+	for i, src := range srcs {
+		g := buildGraph(t, src)
+		direct := Explore(g, Options{})
+		directSet := map[int]bool{}
+		for _, u := range direct.Unsafe {
+			directSet[u.Access.ID] = true
+		}
+		viaMHP := CheckUAFViaMHP(g, Options{})
+		mhpSet := map[int]bool{}
+		for _, a := range viaMHP {
+			mhpSet[a.ID] = true
+		}
+		if len(directSet) != len(mhpSet) {
+			t.Errorf("case %d: direct flags %d, MHP-oracle flags %d", i, len(directSet), len(mhpSet))
+			continue
+		}
+		for id := range directSet {
+			if !mhpSet[id] {
+				t.Errorf("case %d: access %d flagged by direct but not MHP-oracle", i, id)
+			}
+		}
+	}
+}

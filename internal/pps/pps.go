@@ -1,0 +1,868 @@
+// Package pps implements the Parallel Program State exploration of the
+// paper's §III-B/C/D: the algorithm checkForUnsafeUse / findNewPPS.
+//
+// A PPS is identified by
+//
+//  1. the Active Sync Node (ASN) set — the sync nodes next in line, one
+//     per live strand position;
+//  2. the state table — full/empty state of every sync variable;
+//  3. the safe set SV — outer-variable accesses proven synchronized;
+//  4. the OV set — accesses that must have happened before the last
+//     synchronization event but are not (yet) known safe.
+//
+// Transitions apply the paper's rules: SINGLE-READ (rule 1, readFF on a
+// full single variable, applied in a non-blocking batch), READ (rule 2,
+// readFE on a full sync variable, full→empty) and WRITE (rule 3, writeEF
+// on an empty variable, empty→full). Executing a sync node attributes the
+// outer-variable accesses on the path since the previous sync node of its
+// strand ("∀ Nk from Sprev to Si"), spawns begin strands encountered on
+// the way, and forks one successor PPS per branch-arm combination.
+//
+// When a Parallel Frontier node of variable x is in the candidate set of
+// a newly created PPS, all pending OV accesses of x move to the safe set.
+// At a sink PPS (empty ASN) the remaining OV accesses are reported as
+// potential use-after-free. Accesses never visited on any execution path
+// (trailing accesses after a strand's last sync node, strands blocked by
+// a deadlock, tasks with no synchronization at all) are reported by the
+// final sweep, matching the "∀ evi !(visited)" clause of the algorithm.
+//
+// States with identical (ASN, state-table) pairs are merged: OV is
+// unioned, SV intersected (accesses promoted on only one side fall back
+// to OV so no warning is lost), mirroring the optimization of §III-C.
+package pps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/bits"
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/sym"
+)
+
+// Entry is one ASN member: a sync node plus the not-yet-attributed nodes
+// on the path from the previous sync node of its strand.
+type Entry struct {
+	Sync    *ccfg.Node
+	Pending []*ccfg.Node
+}
+
+// PPS is one explored parallel program state.
+type PPS struct {
+	ID      int
+	TS      int
+	Entries []Entry // sorted by Sync.ID
+	State   bits.Set
+	// Counters holds the saturating counter values of counted atomic
+	// variables (counting refinement), indexed like Graph.CounterVars.
+	Counters []uint8
+	OV       bits.Set
+	SV       bits.Set
+	Visited  bits.Set
+	Remark   string
+	// Trailing holds finished strand segments (populated only while
+	// building the MHP oracle): their nodes stay in flight until the
+	// task exits, unordered with everything that still runs.
+	Trailing [][]*ccfg.Node
+
+	key       string
+	queued    bool
+	processed bool
+}
+
+// Options configure the exploration.
+type Options struct {
+	// MaxStates bounds the number of processed PPSes; 0 means the
+	// default (1<<20). Exceeding the budget aborts exploration and marks
+	// the result incomplete.
+	MaxStates int
+	// MaxOutcomes bounds the branch/spawn fan-out of a single expansion.
+	MaxOutcomes int
+	// Trace records a row per PPS for figure regeneration.
+	Trace bool
+	// DisableMerge turns off the identical-(ASN,ST) merge optimization
+	// (§III-C) for the ablation benchmark.
+	DisableMerge bool
+}
+
+const (
+	defaultMaxStates   = 1 << 20
+	defaultMaxOutcomes = 1 << 14
+)
+
+// UnsafeReason classifies why an access is reported.
+type UnsafeReason int
+
+const (
+	// AfterFrontier: present in the OV set of a sink PPS — there is a
+	// serialization in which the access happens after the variable's
+	// parallel frontier, hence possibly after the scope exits.
+	AfterFrontier UnsafeReason = iota
+	// NeverSynchronized: the access is never attributed to any executed
+	// sync node on any path — it trails the strand's last sync event, is
+	// blocked behind a deadlocked operation, or its task performs no
+	// synchronization at all.
+	NeverSynchronized
+)
+
+// String implements fmt.Stringer.
+func (r UnsafeReason) String() string {
+	if r == AfterFrontier {
+		return "after-frontier"
+	}
+	return "never-synchronized"
+}
+
+// Unsafe is one reported access.
+type Unsafe struct {
+	Access *ccfg.Access
+	Reason UnsafeReason
+}
+
+// Deadlock describes a stuck PPS (non-empty ASN, no applicable rule).
+type Deadlock struct {
+	// Blocked lists the blocked operations, e.g. "readFE(done$)".
+	Blocked []string
+}
+
+// TraceRow is one line of the PPS table (paper Figures 3 and 7).
+type TraceRow struct {
+	ID     int
+	TS     int
+	ASN    []int
+	OV     []string
+	SV     []string
+	States []string
+	Remark string
+}
+
+// Stats summarize an exploration.
+type Stats struct {
+	StatesProcessed int
+	StatesCreated   int
+	StatesMerged    int
+	Sinks           int
+	MaxWorklist     int
+	Incomplete      bool
+}
+
+// Edge is one recorded PPS transition (tracing only).
+type Edge struct {
+	From, To int
+	Label    string
+}
+
+// Result is the exploration outcome.
+type Result struct {
+	Unsafe    []Unsafe
+	Deadlocks []Deadlock
+	Trace     []TraceRow
+	Edges     []Edge
+	Stats     Stats
+}
+
+// Explore runs the PPS algorithm over a built CCFG.
+func Explore(g *ccfg.Graph, opts Options) *Result {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = defaultMaxStates
+	}
+	if opts.MaxOutcomes <= 0 {
+		opts.MaxOutcomes = defaultMaxOutcomes
+	}
+	e := &explorer{
+		g:           g,
+		opts:        opts,
+		keyed:       make(map[string]*PPS),
+		everVisited: bits.New(len(g.Nodes)),
+		reported:    bits.New(len(g.Accesses)),
+		res:         &Result{},
+		varAccess:   buildVarAccess(g),
+	}
+	e.run()
+	return e.res
+}
+
+// buildVarAccess indexes tracked accesses by variable.
+func buildVarAccess(g *ccfg.Graph) map[*sym.Symbol]bits.Set {
+	out := make(map[*sym.Symbol]bits.Set)
+	for _, a := range g.Accesses {
+		vs, ok := out[a.Sym]
+		if !ok {
+			vs = bits.New(len(g.Accesses))
+		}
+		vs.Add(a.ID)
+		out[a.Sym] = vs
+	}
+	return out
+}
+
+type explorer struct {
+	g    *ccfg.Graph
+	opts Options
+
+	worklist    []*PPS
+	keyed       map[string]*PPS
+	nextID      int
+	everVisited bits.Set
+	reported    bits.Set
+	varAccess   map[*sym.Symbol]bits.Set
+	res         *Result
+	budgetHit   bool
+	// mhp, when non-nil, accumulates may-happen-in-parallel pairs from
+	// every processed state (see BuildMHP).
+	mhp *MHPOracle
+}
+
+// outcome is one way execution can proceed from a point: a set of ASN
+// entries, one per strand that reached a sync node, plus (for the MHP
+// oracle) the dangling paths of strands that ended without one.
+type outcome struct {
+	entries []Entry
+	// dangling holds, per finished strand segment, the traversed nodes —
+	// they stay "in flight" until the task exits, which no event marks.
+	dangling [][]*ccfg.Node
+}
+
+func (e *explorer) run() {
+	// Initial PPS(es): advance from the root entry. Branches before the
+	// first sync events fork initial states (paper Figure 7: PPS 0 for
+	// the if path, PPS 8 for the else path).
+	initState := bits.New(len(e.g.SyncVars))
+	for s, full := range e.g.InitiallyFull {
+		if full {
+			if i := e.g.SyncVarIndex(s); i >= 0 {
+				initState.Add(i)
+			}
+		}
+	}
+	outs := e.expand(e.g.Root().Entry, nil)
+	for _, o := range outs {
+		p := &PPS{
+			Entries:  normalizeEntries(o.entries),
+			State:    initState.Clone(),
+			Counters: append([]uint8(nil), e.g.CounterInit...),
+			OV:       bits.New(len(e.g.Accesses)),
+			SV:       bits.New(len(e.g.Accesses)),
+			Visited:  bits.New(len(e.g.Nodes)),
+			Remark:   "initial",
+			Trailing: o.dangling,
+		}
+		e.promote(p)
+		e.enqueue(p)
+	}
+
+	for len(e.worklist) > 0 {
+		if e.res.Stats.StatesProcessed >= e.opts.MaxStates {
+			e.budgetHit = true
+			break
+		}
+		p := e.worklist[len(e.worklist)-1]
+		e.worklist = e.worklist[:len(e.worklist)-1]
+		p.queued = false
+		e.step(p)
+		p.processed = true
+		e.res.Stats.StatesProcessed++
+	}
+	e.res.Stats.Incomplete = e.budgetHit
+
+	// Final sweep: the "∀ evi !(visited)" clause. Accesses never
+	// attributed to an executed sync node on any explored path cannot be
+	// ordered before the parent's exit.
+	if !e.budgetHit {
+		for _, a := range e.g.Accesses {
+			if !e.everVisited.Has(a.Node.ID) && !e.reported.Has(a.ID) {
+				e.reported.Add(a.ID)
+				e.res.Unsafe = append(e.res.Unsafe, Unsafe{Access: a, Reason: NeverSynchronized})
+			}
+		}
+	}
+	sort.SliceStable(e.res.Unsafe, func(i, j int) bool {
+		return e.res.Unsafe[i].Access.Sp.Start < e.res.Unsafe[j].Access.Sp.Start
+	})
+}
+
+// expand computes every way execution proceeds from node n (inclusive)
+// until each strand reaches a sync node or ends. prefix holds the nodes
+// already traversed on this path since the previous sync event; the slice
+// is never mutated (copy-on-append).
+func (e *explorer) expand(n *ccfg.Node, prefix []*ccfg.Node) []outcome {
+	if n.Sync != nil {
+		return []outcome{{entries: []Entry{{Sync: n, Pending: prefix}}}}
+	}
+	newPrefix := append(prefix[:len(prefix):len(prefix)], n)
+
+	// Spawned strands advance independently.
+	var lists [][]outcome
+	for _, sp := range n.Spawns {
+		if sp.Task.Pruned {
+			continue
+		}
+		lists = append(lists, e.expand(sp, newPrefix))
+	}
+	// Continuation of the current strand; a branch forks one expansion
+	// per arm.
+	var cont []outcome
+	if len(n.Succs) == 0 {
+		if e.mhp != nil {
+			cont = []outcome{{dangling: [][]*ccfg.Node{newPrefix}}}
+		} else {
+			cont = []outcome{{}}
+		}
+	} else {
+		for _, s := range n.Succs {
+			cont = append(cont, e.expand(s, newPrefix)...)
+			if len(cont) > e.opts.MaxOutcomes {
+				e.budgetHit = true
+				cont = cont[:e.opts.MaxOutcomes]
+				break
+			}
+		}
+	}
+	lists = append(lists, cont)
+	return e.product(lists)
+}
+
+// product combines one outcome from each list into merged outcomes.
+func (e *explorer) product(lists [][]outcome) []outcome {
+	acc := []outcome{{}}
+	for _, list := range lists {
+		var next []outcome
+		for _, a := range acc {
+			for _, b := range list {
+				merged := outcome{entries: make([]Entry, 0, len(a.entries)+len(b.entries))}
+				merged.entries = append(merged.entries, a.entries...)
+				merged.entries = append(merged.entries, b.entries...)
+				merged.dangling = append(merged.dangling, a.dangling...)
+				merged.dangling = append(merged.dangling, b.dangling...)
+				next = append(next, merged)
+				if len(next) > e.opts.MaxOutcomes {
+					e.budgetHit = true
+					return next
+				}
+			}
+		}
+		acc = next
+	}
+	return acc
+}
+
+func normalizeEntries(entries []Entry) []Entry {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Sync.ID < entries[j].Sync.ID
+	})
+	return entries
+}
+
+// ruleNumber maps sync ops to the paper's rule numbering used in the
+// Figure 3/7 remarks: 1 = SINGLE-READ, 2 = READ, 3 = WRITE. The atomics
+// extension adds 4 = ATOMIC-FILL and 5 = ATOMIC-WAIT.
+func ruleNumber(op sym.SyncOpKind) int {
+	switch op {
+	case sym.OpReadFF:
+		return 1
+	case sym.OpReadFE:
+		return 2
+	case sym.OpWriteEF:
+		return 3
+	case sym.OpAtomicWrite:
+		return 4
+	case sym.OpAtomicWait:
+		return 5
+	}
+	return 0
+}
+
+// executable reports whether the entry's operation can fire under the
+// state table st and counter vector counters.
+func (e *explorer) executable(en Entry, st bits.Set, counters []uint8) bool {
+	ev := en.Sync.Sync
+	if ci := e.g.CounterVarIndex(ev.Sym); ci >= 0 {
+		// Counting refinement.
+		switch ev.Op {
+		case sym.OpAtomicWrite:
+			return true
+		case sym.OpAtomicWait:
+			if ci < len(counters) {
+				return int64(counters[ci]) >= ev.Arg
+			}
+			return false
+		}
+		return false
+	}
+	idx := e.g.SyncVarIndex(ev.Sym)
+	if idx < 0 {
+		return false
+	}
+	full := st.Has(idx)
+	switch ev.Op {
+	case sym.OpReadFE, sym.OpReadFF, sym.OpAtomicWait:
+		return full
+	case sym.OpWriteEF:
+		return !full
+	case sym.OpAtomicWrite:
+		// Fill events never block (§IV-A: "a non-blocking fill event").
+		return true
+	}
+	return false
+}
+
+func (e *explorer) step(p *PPS) {
+	if e.mhp != nil {
+		e.mhp.record(p)
+	}
+	if len(p.Entries) == 0 {
+		// Sink PPS: every access still pending in OV can happen after the
+		// variable's parallel frontier (paper §III-B).
+		e.res.Stats.Sinks++
+		p.OV.ForEach(func(id int) {
+			if !e.reported.Has(id) {
+				e.reported.Add(id)
+				e.res.Unsafe = append(e.res.Unsafe,
+					Unsafe{Access: e.g.Accesses[id], Reason: AfterFrontier})
+			}
+		})
+		if e.opts.Trace {
+			e.traceRow(p, "sink")
+		}
+		return
+	}
+	if e.opts.Trace {
+		e.traceRow(p, "")
+	}
+
+	fired := false
+	// SINGLE-READ batch (rule 1): all executable readFF operations are
+	// non-blocking once full and fire together (§III-C). Under the
+	// atomics extension, executable waitFor events join the batch — they
+	// are the "corresponding read ... equivalent to SINGLE-READ" of
+	// §IV-A.
+	var singles []int
+	for i, en := range p.Entries {
+		op := en.Sync.Sync.Op
+		if (op == sym.OpReadFF || op == sym.OpAtomicWait) && e.executable(en, p.State, p.Counters) {
+			singles = append(singles, i)
+		}
+	}
+	if len(singles) > 0 {
+		e.fire(p, singles)
+		fired = true
+	}
+	// READ (rule 2), WRITE (rule 3) and ATOMIC-FILL (rule 4): explore
+	// every executable choice.
+	for i, en := range p.Entries {
+		op := en.Sync.Sync.Op
+		if op == sym.OpReadFF || op == sym.OpAtomicWait {
+			continue
+		}
+		if e.executable(en, p.State, p.Counters) {
+			e.fire(p, []int{i})
+			fired = true
+		}
+	}
+	if !fired {
+		// Stuck: non-empty ASN with no applicable rule — a potential
+		// deadlock (§VII future-work hook; we report it).
+		var blocked []string
+		for _, en := range p.Entries {
+			blocked = append(blocked, en.Sync.Sync.String())
+		}
+		e.res.Deadlocks = append(e.res.Deadlocks, Deadlock{Blocked: blocked})
+
+		// Soundness at stuck states: a strand's accesses that precede its
+		// blocked operation have already executed dynamically, and the
+		// strand can never synchronize again — if the owner exits, they
+		// are use-after-free. Report the attributed-but-unpromoted OV set
+		// and every pending access behind the blocked entries.
+		p.OV.ForEach(func(id int) {
+			if !e.reported.Has(id) {
+				e.reported.Add(id)
+				e.res.Unsafe = append(e.res.Unsafe,
+					Unsafe{Access: e.g.Accesses[id], Reason: AfterFrontier})
+			}
+		})
+		for _, en := range p.Entries {
+			// A region's accesses precede its bounding sync op, so the
+			// blocked node's own accesses have already executed too.
+			nodes := append(append([]*ccfg.Node(nil), en.Pending...), en.Sync)
+			for _, n := range nodes {
+				for _, a := range n.Accesses {
+					if !e.reported.Has(a.ID) && !p.SV.Has(a.ID) {
+						e.reported.Add(a.ID)
+						e.res.Unsafe = append(e.res.Unsafe,
+							Unsafe{Access: a, Reason: NeverSynchronized})
+					}
+				}
+			}
+		}
+	}
+}
+
+// fire executes the chosen entries (a single READ/WRITE, or a batch of
+// SINGLE-READs), producing one successor PPS per branch-arm combination
+// of the freed strands.
+func (e *explorer) fire(p *PPS, idxs []int) {
+	state := p.State.Clone()
+	visited := p.Visited.Clone()
+	ov := p.OV.Clone()
+	sv := p.SV.Clone()
+
+	chosen := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		chosen[i] = true
+	}
+	var remark []string
+
+	attribute := func(n *ccfg.Node) {
+		if visited.Has(n.ID) {
+			return
+		}
+		visited.Add(n.ID)
+		e.everVisited.Add(n.ID)
+		for _, a := range n.Accesses {
+			if !ov.Has(a.ID) && !sv.Has(a.ID) && !e.reported.Has(a.ID) {
+				ov.Add(a.ID)
+			}
+		}
+	}
+
+	var lists [][]outcome
+	counters := append([]uint8(nil), p.Counters...)
+	for _, i := range idxs {
+		en := p.Entries[i]
+		ev := en.Sync.Sync
+		op := ev.Op
+		if ci := e.g.CounterVarIndex(ev.Sym); ci >= 0 {
+			// Counting refinement: monotonic counter updates.
+			if op == sym.OpAtomicWrite && ci < len(counters) {
+				switch ev.Method {
+				case "write":
+					// Monotonic model: keep the maximum.
+					if v := satU8(ev.Arg); v > counters[ci] {
+						counters[ci] = v
+					}
+				default: // add / fetchAdd
+					counters[ci] = satAdd(counters[ci], ev.Arg)
+				}
+			}
+			// waitFor retains the counter.
+		} else {
+			vIdx := e.g.SyncVarIndex(ev.Sym)
+			switch op {
+			case sym.OpWriteEF, sym.OpAtomicWrite:
+				state.Add(vIdx)
+			case sym.OpReadFE:
+				state.Remove(vIdx)
+			case sym.OpReadFF, sym.OpAtomicWait:
+				// retains full state
+			}
+		}
+		remark = append(remark, fmt.Sprintf("r#%d N#%d", ruleNumber(op), en.Sync.ID))
+		// Attribute the path since the strand's previous sync event,
+		// then the executed node itself ("∀ Nk from Sprev to Si").
+		for _, n := range en.Pending {
+			attribute(n)
+		}
+		attribute(en.Sync)
+		// Advance the strand.
+		if len(en.Sync.Succs) == 0 {
+			lists = append(lists, []outcome{{}})
+		} else {
+			var conts []outcome
+			for _, s := range en.Sync.Succs {
+				conts = append(conts, e.expand(s, nil)...)
+			}
+			lists = append(lists, conts)
+		}
+	}
+
+	var remaining []Entry
+	for i, en := range p.Entries {
+		if !chosen[i] {
+			remaining = append(remaining, en)
+		}
+	}
+
+	for _, combo := range e.product(lists) {
+		entries := make([]Entry, 0, len(remaining)+len(combo.entries))
+		entries = append(entries, remaining...)
+		entries = append(entries, combo.entries...)
+		var trailing [][]*ccfg.Node
+		if e.mhp != nil {
+			trailing = make([][]*ccfg.Node, 0, len(p.Trailing)+len(combo.dangling))
+			trailing = append(trailing, p.Trailing...)
+			trailing = append(trailing, combo.dangling...)
+		}
+		np := &PPS{
+			TS:       p.TS + 1,
+			Entries:  normalizeEntries(entries),
+			State:    state.Clone(),
+			Counters: append([]uint8(nil), counters...),
+			OV:       ov.Clone(),
+			SV:       sv.Clone(),
+			Visited:  visited.Clone(),
+			Remark:   strings.Join(remark, " "),
+			Trailing: trailing,
+		}
+		e.promote(np)
+		e.enqueue(np)
+		if e.opts.Trace {
+			e.res.Edges = append(e.res.Edges, Edge{From: p.ID, To: np.ID, Label: np.Remark})
+		}
+	}
+}
+
+// promote implements the Parallel Frontier rule: when a PF(x) node is in
+// the candidate set of the PPS, the accesses of x currently pending in OV
+// were synchronized before the frontier and move to the safe set.
+func (e *explorer) promote(p *PPS) {
+	for _, en := range p.Entries {
+		if !e.executable(en, p.State, p.Counters) {
+			continue
+		}
+		vars := e.g.PFVarsOf(en.Sync)
+		if len(vars) == 0 {
+			continue
+		}
+		for _, v := range vars {
+			va, ok := e.varAccess[v]
+			if !ok {
+				continue
+			}
+			moved := false
+			va.ForEach(func(id int) {
+				if p.OV.Has(id) {
+					p.OV.Remove(id)
+					p.SV.Add(id)
+					moved = true
+				}
+			})
+			if moved {
+				p.Remark += fmt.Sprintf(" PF(%s)", v.Name)
+			}
+		}
+	}
+}
+
+// enqueue inserts the PPS into the worklist, merging with an existing
+// state that has the same ASN set and state table (§III-C).
+func (e *explorer) enqueue(p *PPS) {
+	p.key = e.stateKey(p)
+	if old, ok := e.keyed[p.key]; ok && !e.opts.DisableMerge {
+		if e.merge(old, p) && !old.queued {
+			old.queued = true
+			e.worklist = append(e.worklist, old)
+		}
+		e.res.Stats.StatesMerged++
+		return
+	}
+	p.ID = e.nextID
+	e.nextID++
+	e.res.Stats.StatesCreated++
+	if !e.opts.DisableMerge {
+		e.keyed[p.key] = p
+	}
+	p.queued = true
+	e.worklist = append(e.worklist, p)
+	if len(e.worklist) > e.res.Stats.MaxWorklist {
+		e.res.Stats.MaxWorklist = len(e.worklist)
+	}
+}
+
+// merge folds src into dst (same ASN + state table), exactly as §III-C
+// specifies: OV is the union of the original OV sets, SV the intersection
+// of the original safe sets. An access promoted on one path and absent
+// from the other's OV∪SV (it never happened there) simply leaves both
+// sets; an access pending on one side and safe on the other stays in OV.
+// Pending node lists are unioned per entry. Returns true when dst
+// changed.
+func (e *explorer) merge(dst, src *PPS) bool {
+	changed := false
+
+	if dst.OV.UnionWith(src.OV) {
+		changed = true
+	}
+	svBoth := dst.SV.Clone()
+	svBoth.IntersectWith(src.SV)
+	if !dst.SV.Equal(svBoth) {
+		dst.SV = svBoth
+		changed = true
+	}
+	// Keep the OV ∩ SV = ∅ invariant and never resurrect reported
+	// accesses.
+	dst.OV.DiffWith(dst.SV)
+	dst.OV.DiffWith(e.reported)
+
+	if dst.Visited.UnionWith(src.Visited) {
+		changed = true
+	}
+	// Union pendings entry-wise (entries are sorted by sync node ID and
+	// the key guarantees identical node sets).
+	for i := range dst.Entries {
+		if i >= len(src.Entries) {
+			break
+		}
+		have := make(map[int]bool, len(dst.Entries[i].Pending))
+		for _, n := range dst.Entries[i].Pending {
+			have[n.ID] = true
+		}
+		for _, n := range src.Entries[i].Pending {
+			if !have[n.ID] {
+				dst.Entries[i].Pending = append(dst.Entries[i].Pending, n)
+				have[n.ID] = true
+				changed = true
+			}
+		}
+	}
+	if src.TS < dst.TS {
+		dst.TS = src.TS
+	}
+	return changed
+}
+
+func (e *explorer) stateKey(p *PPS) string {
+	buf := make([]byte, 0, len(p.Entries)*4+16)
+	for _, en := range p.Entries {
+		buf = append(buf, byte(en.Sync.ID), byte(en.Sync.ID>>8),
+			byte(en.Sync.ID>>16), byte(en.Sync.ID>>24))
+	}
+	buf = append(buf, '|')
+	buf = p.State.AppendKey(buf)
+	if len(p.Counters) > 0 {
+		buf = append(buf, '|')
+		buf = append(buf, p.Counters...)
+	}
+	return string(buf)
+}
+
+// satU8 clamps a non-negative constant into the counter range.
+func satU8(v int64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// satAdd adds with saturation at 255.
+func satAdd(a uint8, v int64) uint8 {
+	s := int64(a) + v
+	if s < 0 {
+		return 0
+	}
+	if s > 255 {
+		return 255
+	}
+	return uint8(s)
+}
+
+func (e *explorer) traceRow(p *PPS, extra string) {
+	row := TraceRow{ID: p.ID, TS: p.TS, Remark: strings.TrimSpace(p.Remark)}
+	if extra != "" {
+		if row.Remark != "" {
+			row.Remark += " "
+		}
+		row.Remark += extra
+	}
+	for _, en := range p.Entries {
+		row.ASN = append(row.ASN, en.Sync.ID)
+	}
+	p.OV.ForEach(func(id int) {
+		row.OV = append(row.OV, e.g.Accesses[id].Label())
+	})
+	p.SV.ForEach(func(id int) {
+		row.SV = append(row.SV, e.g.Accesses[id].Label())
+	})
+	for i, v := range e.g.SyncVars {
+		st := "E"
+		if p.State.Has(i) {
+			st = "F"
+		}
+		row.States = append(row.States, v.Name+"="+st)
+	}
+	for i, v := range e.g.CounterVars {
+		if i < len(p.Counters) {
+			row.States = append(row.States, fmt.Sprintf("%s=%d", v.Name, p.Counters[i]))
+		}
+	}
+	e.res.Trace = append(e.res.Trace, row)
+}
+
+// FormatTrace renders the trace as the paper's PPS table (Figures 3, 7),
+// ordered by PPS ID like the paper's listing. A state that was merged and
+// re-processed appears once, with its final sets.
+func FormatTrace(rows []TraceRow) string {
+	last := make(map[int]int, len(rows))
+	for i, r := range rows {
+		last[r.ID] = i
+	}
+	var uniq []TraceRow
+	for i, r := range rows {
+		if last[r.ID] == i {
+			uniq = append(uniq, r)
+		}
+	}
+	rows = uniq
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-3s %-16s %-24s %-24s %-20s %s\n",
+		"ID", "TS", "ASN", "OV", "SV", "states", "remark")
+	for _, r := range rows {
+		asn := make([]string, len(r.ASN))
+		for i, id := range r.ASN {
+			asn[i] = fmt.Sprintf("%d", id)
+		}
+		fmt.Fprintf(&b, "%-4d %-3d %-16s %-24s %-24s %-20s %s\n",
+			r.ID, r.TS,
+			"{"+strings.Join(asn, ",")+"}",
+			"{"+strings.Join(r.OV, ",")+"}",
+			"{"+strings.Join(r.SV, ",")+"}",
+			strings.Join(r.States, " "),
+			r.Remark)
+	}
+	return b.String()
+}
+
+// FormatTraceDOT renders the explored PPS state machine in Graphviz dot
+// syntax: one node per state (ASN + state table), edges labeled with the
+// applied rule. Sink states are doubly circled; states whose OV residue
+// produced warnings are shaded.
+func FormatTraceDOT(r *Result) string {
+	last := make(map[int]TraceRow, len(r.Trace))
+	for _, row := range r.Trace {
+		last[row.ID] = row
+	}
+	var b strings.Builder
+	b.WriteString("digraph pps {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n")
+	ids := make([]int, 0, len(last))
+	for id := range last {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		row := last[id]
+		asn := make([]string, len(row.ASN))
+		for i, n := range row.ASN {
+			asn[i] = fmt.Sprintf("%d", n)
+		}
+		label := fmt.Sprintf("PPS %d\\nASN {%s}\\n%s",
+			row.ID, strings.Join(asn, ","), strings.Join(row.States, " "))
+		shape := "box"
+		style := ""
+		if len(row.ASN) == 0 {
+			shape = "doubleoctagon"
+			if len(row.OV) > 0 {
+				style = ", style=filled, fillcolor=lightcoral"
+				label += "\\nunsafe: " + strings.Join(row.OV, " ")
+			}
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"%s\", shape=%s%s];\n", row.ID, label, shape, style)
+	}
+	for _, e := range r.Edges {
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s\"];\n", e.From, e.To, e.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

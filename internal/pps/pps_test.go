@@ -1,0 +1,476 @@
+package pps
+
+import (
+	"strings"
+	"testing"
+
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func explore(t *testing.T, src string, opts Options) (*ccfg.Graph, *Result) {
+	t.Helper()
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve:\n%s", diags)
+	}
+	prog := ir.Lower(info, mod.Procs[len(mod.Procs)-1], diags)
+	g := ccfg.Build(prog, diags, ccfg.DefaultBuildOptions())
+	return g, Explore(g, opts)
+}
+
+func unsafeVars(r *Result) []string {
+	var out []string
+	for _, u := range r.Unsafe {
+		out = append(out, u.Access.Sym.Name)
+	}
+	return out
+}
+
+func TestWaitChainIsSafe(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	}`, Options{})
+	if len(r.Unsafe) != 0 {
+		t.Fatalf("unsafe = %v", unsafeVars(r))
+	}
+	if r.Stats.Sinks == 0 {
+		t.Error("no sink reached")
+	}
+}
+
+func TestNoSyncIsNeverSynchronized(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) {
+	    writeln(x);
+	  }
+	}`, Options{})
+	if len(r.Unsafe) != 1 {
+		t.Fatalf("unsafe = %v", unsafeVars(r))
+	}
+	if r.Unsafe[0].Reason != NeverSynchronized {
+		t.Errorf("reason = %v", r.Unsafe[0].Reason)
+	}
+}
+
+func TestTrailingAccessAfterLastSync(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;          // safe: before the signal
+	    done$ = true;
+	    x = 3;          // trailing: after the task's last sync event
+	  }
+	  done$;
+	}`, Options{})
+	if len(r.Unsafe) != 1 {
+		t.Fatalf("unsafe = %v", unsafeVars(r))
+	}
+	u := r.Unsafe[0]
+	if u.Reason != NeverSynchronized {
+		t.Errorf("reason = %v, want never-synchronized", u.Reason)
+	}
+}
+
+func TestAfterFrontierSerialization(t *testing.T) {
+	// Figure 1's essence: the nested task's signal can fire after the
+	// parent consumed the frontier.
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var doneA$: sync bool;
+	  begin with (ref x) {
+	    var doneB$: sync bool;
+	    begin with (ref x) {
+	      writeln(x);
+	      doneB$ = true;
+	    }
+	    doneA$ = true;
+	    doneB$;
+	  }
+	  doneA$;
+	}`, Options{})
+	if len(r.Unsafe) != 1 {
+		t.Fatalf("unsafe = %v", unsafeVars(r))
+	}
+	if r.Unsafe[0].Reason != AfterFrontier {
+		t.Errorf("reason = %v, want after-frontier", r.Unsafe[0].Reason)
+	}
+	if r.Unsafe[0].Access.Task.Label != "TASK B" {
+		t.Errorf("task = %s", r.Unsafe[0].Access.Task.Label)
+	}
+}
+
+func TestSwappedWaitsAreSafe(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var doneA$: sync bool;
+	  begin with (ref x) {
+	    var doneB$: sync bool;
+	    begin with (ref x) {
+	      writeln(x);
+	      doneB$ = true;
+	    }
+	    doneB$;
+	    doneA$ = true;
+	  }
+	  doneA$;
+	}`, Options{})
+	if len(r.Unsafe) != 0 {
+		t.Fatalf("unsafe = %v, want none (wait chain B->A->parent)", unsafeVars(r))
+	}
+}
+
+func TestSingleReadRule(t *testing.T) {
+	// readFF retains the full state: two waiters both proceed.
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var y: int = 1;
+	  var go$: single bool;
+	  var dx$: sync bool;
+	  var dy$: sync bool;
+	  begin with (ref x) {
+	    go$.readFF();
+	    x = 2;
+	    dx$ = true;
+	  }
+	  begin with (ref y) {
+	    go$.readFF();
+	    y = 2;
+	    dy$ = true;
+	  }
+	  go$.writeEF(true);
+	  dx$;
+	  dy$;
+	}`, Options{})
+	if len(r.Unsafe) != 0 {
+		t.Fatalf("unsafe = %v; single broadcast should be safe", unsafeVars(r))
+	}
+	if len(r.Deadlocks) != 0 {
+		t.Fatalf("deadlocks = %d", len(r.Deadlocks))
+	}
+}
+
+func TestInitiallyFullGate(t *testing.T) {
+	// gate$ starts full (explicit initialization, §II): the task's
+	// readFE succeeds without a writer. If the initial state were
+	// wrongly empty, the exploration would deadlock.
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var gate$: sync bool = true;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    gate$;
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	}`, Options{})
+	if len(r.Unsafe) != 0 {
+		t.Fatalf("unsafe = %v", unsafeVars(r))
+	}
+	if len(r.Deadlocks) != 0 {
+		t.Fatalf("deadlocks = %d; initial full state not honored", len(r.Deadlocks))
+	}
+}
+
+func TestRacyTokenReuseDeadlocks(t *testing.T) {
+	// Two readers race for one initially-full token and only the task
+	// refills it: if the parent wins, the task blocks forever. The
+	// exploration must surface that serialization as a deadlock.
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var gate$: sync bool = true;
+	  begin with (ref x) {
+	    gate$;
+	    x = 2;
+	    gate$ = true;
+	  }
+	  gate$;
+	}`, Options{})
+	if len(r.Deadlocks) == 0 {
+		t.Error("racy token reuse: deadlock serialization not found")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  begin with (ref x) {
+	    a$;       // waits forever: nobody fills a$
+	    x = 2;
+	  }
+	  a$;
+	}`, Options{})
+	if len(r.Deadlocks) == 0 {
+		t.Fatal("deadlock not detected")
+	}
+	// The access behind the deadlock is never synchronized.
+	if len(r.Unsafe) != 1 || r.Unsafe[0].Reason != NeverSynchronized {
+		t.Errorf("unsafe = %v", r.Unsafe)
+	}
+	found := false
+	for _, d := range r.Deadlocks {
+		for _, b := range d.Blocked {
+			if strings.Contains(b, "readFE(a$)") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("deadlock blocked ops = %v", r.Deadlocks)
+	}
+}
+
+func TestAtomicsInvisible(t *testing.T) {
+	// The atomic handshake is real synchronization dynamically, but the
+	// paper's analysis does not model it: warnings expected (§IV-A).
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var flag: atomic int;
+	  begin with (ref x) {
+	    x = 2;
+	    flag.write(1);
+	  }
+	  flag.waitFor(1);
+	}`, Options{})
+	if len(r.Unsafe) != 1 {
+		t.Fatalf("unsafe = %v; atomics must be invisible to the analysis", unsafeVars(r))
+	}
+}
+
+func TestBranchBothPathsExplored(t *testing.T) {
+	// Safe on the if path, unsafe on the else path (no wait there).
+	_, r := explore(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  if (c) {
+	    done$;
+	  }
+	  writeln("exit");
+	}`, Options{})
+	if len(r.Unsafe) != 1 {
+		t.Fatalf("unsafe = %v; else path leaves x unprotected", unsafeVars(r))
+	}
+}
+
+func TestMergeReducesStates(t *testing.T) {
+	src := `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  begin with (ref x) { x = 2; a$ = true; }
+	  begin with (ref x) { x = 3; b$ = true; }
+	  if (c) { writeln(1); } else { writeln(2); }
+	  a$;
+	  b$;
+	}`
+	_, merged := explore(t, src, Options{})
+	_, unmerged := explore(t, src, Options{DisableMerge: true})
+	if merged.Stats.StatesProcessed >= unmerged.Stats.StatesProcessed {
+		t.Errorf("merge did not reduce states: %d vs %d",
+			merged.Stats.StatesProcessed, unmerged.Stats.StatesProcessed)
+	}
+	// Same verdicts either way.
+	if len(merged.Unsafe) != len(unmerged.Unsafe) {
+		t.Errorf("merge changed verdicts: %d vs %d", len(merged.Unsafe), len(unmerged.Unsafe))
+	}
+}
+
+func TestBudgetAbortsGracefully(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  var c$: sync bool;
+	  begin with (ref x) { x = 2; a$ = true; }
+	  begin with (ref x) { x = 3; b$ = true; }
+	  begin with (ref x) { x = 4; c$ = true; }
+	  a$;
+	  b$;
+	  c$;
+	}`, Options{MaxStates: 2})
+	if !r.Stats.Incomplete {
+		t.Error("budget exceeded but not reported incomplete")
+	}
+}
+
+func TestTraceRowsWellFormed(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) { x = 2; done$ = true; }
+	  done$;
+	}`, Options{Trace: true})
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace rows")
+	}
+	out := FormatTrace(r.Trace)
+	for _, want := range []string{"ID", "ASN", "states", "initial", "sink", "done$"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceDOT(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) { x = 2; done$ = true; }
+	  done$;
+	}`, Options{Trace: true})
+	dot := FormatTraceDOT(r)
+	for _, want := range []string{
+		"digraph pps", "PPS 0", "doubleoctagon", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, `\\n`) {
+		t.Error("double-escaped newline in DOT output")
+	}
+	if len(r.Edges) == 0 {
+		t.Error("no transition edges recorded")
+	}
+}
+
+// TestOVAndSVDisjointInvariant: at every traced state OV ∩ SV = ∅ and
+// every access label appears in at most one of the two sets.
+func TestOVAndSVDisjointInvariant(t *testing.T) {
+	_, r := explore(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  var doneA$: sync bool;
+	  begin with (ref x) {
+	    var doneB$: sync bool;
+	    begin with (ref x) { writeln(x); doneB$ = true; }
+	    if (c) { x = 5; }
+	    doneA$ = true;
+	    doneB$;
+	  }
+	  doneA$;
+	}`, Options{Trace: true})
+	for _, row := range r.Trace {
+		seen := map[string]bool{}
+		for _, l := range row.OV {
+			seen[l] = true
+		}
+		for _, l := range row.SV {
+			if seen[l] {
+				t.Fatalf("PPS %d: %s in both OV and SV", row.ID, l)
+			}
+		}
+	}
+}
+
+// TestReportedOnceAcrossPaths: an access unsafe on many serializations is
+// reported exactly once ("the algorithm removes the newly identified
+// dangerous access from further analysis").
+func TestReportedOnceAcrossPaths(t *testing.T) {
+	_, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  begin with (ref x) {
+	    var i$: sync bool;
+	    begin with (ref x) { writeln(x); i$ = true; }
+	    a$ = true;
+	    b$ = true;
+	    i$;
+	  }
+	  a$;
+	  b$;
+	}`, Options{})
+	count := 0
+	for _, u := range r.Unsafe {
+		if u.Access.Task.Label == "TASK B" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("TASK B access reported %d times, want 1", count)
+	}
+}
+
+// TestPromotionRequiresExecutableFrontier: a frontier node present in the
+// ASN but blocked must not promote.
+func TestPromotionRequiresExecutableFrontier(t *testing.T) {
+	g, r := explore(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  var gate$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    gate$ = true;    // signal
+	    done$ = true;    // then fill the frontier token
+	  }
+	  gate$;
+	  done$;             // frontier: only executable after the fill
+	}`, Options{})
+	_ = g
+	if len(r.Unsafe) != 0 {
+		t.Fatalf("unsafe = %v; chain gate->done orders the access", unsafeVars(r))
+	}
+}
+
+// TestUnsafeOrderingDeterministic: results are sorted by source position
+// and stable across runs.
+func TestUnsafeOrderingDeterministic(t *testing.T) {
+	src := `proc f() {
+	  var x: int = 1;
+	  var y: int = 2;
+	  begin with (ref x, ref y) {
+	    writeln(y);
+	    writeln(x);
+	  }
+	}`
+	_, r1 := explore(t, src, Options{})
+	_, r2 := explore(t, src, Options{})
+	if len(r1.Unsafe) != 2 || len(r2.Unsafe) != 2 {
+		t.Fatalf("unsafe = %d/%d", len(r1.Unsafe), len(r2.Unsafe))
+	}
+	for i := range r1.Unsafe {
+		if r1.Unsafe[i].Access.Sym.Name != r2.Unsafe[i].Access.Sym.Name {
+			t.Error("ordering not deterministic")
+		}
+	}
+	if r1.Unsafe[0].Access.Sym.Name != "y" {
+		t.Errorf("first unsafe = %s, want y (source order)", r1.Unsafe[0].Access.Sym.Name)
+	}
+}
+
+func TestRuleNumbering(t *testing.T) {
+	if ruleNumber(sym.OpReadFF) != 1 || ruleNumber(sym.OpReadFE) != 2 || ruleNumber(sym.OpWriteEF) != 3 {
+		t.Error("paper rule numbers wrong")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if AfterFrontier.String() != "after-frontier" || NeverSynchronized.String() != "never-synchronized" {
+		t.Error("reason strings wrong")
+	}
+}

@@ -1,0 +1,145 @@
+// Package progen generates random MiniChapel task programs for
+// differential and property-based testing. Unlike internal/corpus (which
+// emits calibrated idiom templates with ground-truth labels), progen
+// explores program SHAPES: random nesting of begins, sync blocks,
+// branches, sync-variable operations and accesses.
+//
+// Loops are excluded: the paper's analysis declares loops containing
+// sync nodes or begins out of scope (§IV-A), and their subsumption is not
+// a sound abstraction to test against.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options shape the generated programs.
+type Options struct {
+	// Budget is the statement budget (default 24).
+	Budget int
+	// MaxDepth bounds task/branch nesting (default 3).
+	MaxDepth int
+	// Atomics enables atomic-variable handshake statements.
+	Atomics bool
+}
+
+// Generate returns one random program whose entry procedure is "fuzz".
+func Generate(seed int64, opts Options) string {
+	if opts.Budget <= 0 {
+		opts.Budget = 24
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 3
+	}
+	g := &gen{r: rand.New(rand.NewSource(seed)), opts: opts, budget: opts.Budget}
+	g.ln("proc fuzz() {")
+	g.indent++
+	g.ln("var v0: int = 1;")
+	g.vars = append(g.vars, "v0")
+	g.nVars = 1
+	g.stmts(6+g.r.Intn(6), 0)
+	g.indent--
+	g.ln("}")
+	return g.b.String()
+}
+
+type gen struct {
+	r      *rand.Rand
+	opts   Options
+	b      strings.Builder
+	line   int
+	indent int
+	nVars  int
+	nSyncs int
+	nAtoms int
+	budget int
+	vars   []string
+	syncs  []string
+	atoms  []string
+}
+
+func (g *gen) ln(format string, args ...any) int {
+	g.line++
+	g.b.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+	return g.line
+}
+
+func (g *gen) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+func (g *gen) stmts(n, depth int) {
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.budget--
+		g.stmt(depth)
+	}
+}
+
+// nested runs body in a child scope, restoring the name lists after.
+func (g *gen) nested(body func()) {
+	savedV, savedS, savedA := len(g.vars), len(g.syncs), len(g.atoms)
+	g.indent++
+	body()
+	g.indent--
+	g.vars, g.syncs, g.atoms = g.vars[:savedV], g.syncs[:savedS], g.atoms[:savedA]
+}
+
+func (g *gen) stmt(depth int) {
+	roll := g.r.Intn(100)
+	switch {
+	case roll < 15:
+		name := fmt.Sprintf("v%d", g.nVars)
+		g.nVars++
+		g.ln("var %s: int = %d;", name, g.r.Intn(50))
+		g.vars = append(g.vars, name)
+	case roll < 30 && len(g.vars) > 0:
+		g.ln("%s = %s + %d;", g.pick(g.vars), g.pick(g.vars), g.r.Intn(9))
+	case roll < 38 && len(g.vars) > 0:
+		g.ln("writeln(%s);", g.pick(g.vars))
+	case roll < 46:
+		name := fmt.Sprintf("s%d$", g.nSyncs)
+		g.nSyncs++
+		g.ln("var %s: sync bool;", name)
+		g.syncs = append(g.syncs, name)
+	case roll < 54 && len(g.syncs) > 0:
+		g.ln("%s = true;", g.pick(g.syncs))
+	case roll < 62 && len(g.syncs) > 0:
+		g.ln("%s;", g.pick(g.syncs))
+	case roll < 66 && g.opts.Atomics:
+		name := fmt.Sprintf("a%d", g.nAtoms)
+		g.nAtoms++
+		g.ln("var %s: atomic int;", name)
+		g.atoms = append(g.atoms, name)
+	case roll < 70 && g.opts.Atomics && len(g.atoms) > 0:
+		if g.r.Intn(2) == 0 {
+			g.ln("%s.fetchAdd(1);", g.pick(g.atoms))
+		} else {
+			g.ln("%s.write(1);", g.pick(g.atoms))
+		}
+	case roll < 80 && depth < g.opts.MaxDepth && len(g.vars) > 0:
+		v := g.pick(g.vars)
+		intent := "ref"
+		if g.r.Intn(4) == 0 {
+			intent = "in"
+		}
+		g.ln("begin with (%s %s) {", intent, v)
+		g.nested(func() { g.stmts(1+g.r.Intn(3), depth+1) })
+		g.ln("}")
+	case roll < 88 && depth < g.opts.MaxDepth:
+		g.ln("sync {")
+		g.nested(func() { g.stmts(1+g.r.Intn(2), depth+1) })
+		g.ln("}")
+	case roll < 96 && depth < g.opts.MaxDepth && len(g.vars) > 0:
+		g.ln("if (%s > %d) {", g.pick(g.vars), g.r.Intn(40))
+		g.nested(func() { g.stmts(1+g.r.Intn(2), depth+1) })
+		if g.r.Intn(2) == 0 {
+			g.ln("} else {")
+			g.nested(func() { g.stmts(1+g.r.Intn(2), depth+1) })
+		}
+		g.ln("}")
+	default:
+		g.ln("writeln(%d);", g.r.Intn(100))
+	}
+}

@@ -1,0 +1,372 @@
+// Package pst implements a Program Structure Tree MHP analysis — the
+// §VI related-work approach ("the CCFG for MHP analysis can be
+// comprehended into a tree structure (Program Structure Tree) where the
+// begin task nodes can be attached as a child node to the immediately
+// enclosing sync block", citing Agarwal et al.'s X10 MHP analysis).
+//
+// The tree models the finish/async fragment: sequential composition
+// (Seq), begin tasks (Async) and sync blocks (Finish). Point-to-point
+// synchronization (sync/single variables) is NOT modelled — that is
+// precisely the paper's criticism: "None of the above mentioned
+// algorithms handle point-to-point synchronization."
+//
+// Two leaves may happen in parallel iff, at their least common ancestor,
+// the one in the earlier sibling subtree sits inside an async that
+// escapes its sibling — an async with no finish between it and the
+// sibling root. An outer-variable access is flagged as potentially
+// dangerous when it may happen in parallel with the end of the
+// variable's scope.
+package pst
+
+import (
+	"fmt"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// Kind classifies a tree node.
+type Kind int
+
+const (
+	// Seq is ordered sequential composition (a block).
+	Seq Kind = iota
+	// Async is a begin task body.
+	Async
+	// Finish is a sync block body: completion of every transitive async
+	// inside is awaited at its end.
+	Finish
+	// Leaf is one statement-level event (an access or a scope end).
+	Leaf
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Seq:
+		return "seq"
+	case Async:
+		return "async"
+	case Finish:
+		return "finish"
+	case Leaf:
+		return "leaf"
+	}
+	return "?"
+}
+
+// Node is one PST node.
+type Node struct {
+	ID       int
+	Kind     Kind
+	Parent   *Node
+	Children []*Node
+	// Index is the node's position among its parent's children.
+	Index int
+	// Label describes leaves ("access x" / "scope-end x") and asyncs.
+	Label string
+}
+
+// Access is an outer-variable access leaf.
+type Access struct {
+	Sym  *sym.Symbol
+	Leaf *Node
+	Sp   source.Span
+	Task string
+}
+
+// Tree is the PST of one procedure.
+type Tree struct {
+	Root *Node
+	// Accesses are the outer-variable accesses (lexical classification —
+	// this baseline does not inline nested procedures).
+	Accesses []*Access
+	// ScopeEnd maps each accessed variable to its scope-end leaf.
+	ScopeEnd map[*sym.Symbol]*Node
+	nodes    []*Node
+}
+
+// Violation is one flagged access.
+type Violation struct {
+	Access *Access
+}
+
+func (t *Tree) newNode(kind Kind, parent *Node, label string) *Node {
+	n := &Node{ID: len(t.nodes), Kind: kind, Parent: parent, Label: label}
+	t.nodes = append(t.nodes, n)
+	if parent != nil {
+		n.Index = len(parent.Children)
+		parent.Children = append(parent.Children, n)
+	}
+	return n
+}
+
+// Build constructs the PST of proc using resolved name information.
+func Build(info *sym.Info, proc *ast.ProcDecl) *Tree {
+	t := &Tree{ScopeEnd: make(map[*sym.Symbol]*Node)}
+	t.Root = t.newNode(Seq, nil, "proc "+proc.Name.Name)
+	b := &builder{t: t, info: info}
+	b.block(t.Root, proc.Body.Stmts, info.ScopeFor(proc))
+	return t
+}
+
+type builder struct {
+	t    *Tree
+	info *sym.Info
+	// taskDepth tracks how many asyncs enclose the walk position.
+	taskStack []string
+}
+
+func (b *builder) currentTask() string {
+	if len(b.taskStack) == 0 {
+		return "root"
+	}
+	return b.taskStack[len(b.taskStack)-1]
+}
+
+// block builds the Seq content of one statement list, then appends
+// scope-end leaves for the variables declared in it.
+func (b *builder) block(seq *Node, stmts []ast.Stmt, scope *sym.Scope) {
+	var declared []*sym.Symbol
+	for _, s := range stmts {
+		declared = append(declared, b.stmt(seq, s)...)
+	}
+	for _, sm := range declared {
+		leaf := b.t.newNode(Leaf, seq, "scope-end "+sm.Name)
+		b.t.ScopeEnd[sm] = leaf
+	}
+	_ = scope
+}
+
+// stmt appends the statement's tree content to seq and returns symbols it
+// declares (for scope-end placement).
+func (b *builder) stmt(seq *Node, s ast.Stmt) []*sym.Symbol {
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		if x.Init != nil {
+			b.exprAccesses(seq, x.Init)
+		}
+		if sm := b.info.Uses[x.Name]; sm != nil && !sm.IsSyncVar() && !sm.IsAtomic() {
+			return []*sym.Symbol{sm}
+		}
+	case *ast.AssignStmt:
+		b.exprAccesses(seq, x.Rhs)
+		b.identAccess(seq, x.Lhs)
+	case *ast.IncDecStmt:
+		b.identAccess(seq, x.X)
+	case *ast.ExprStmt:
+		b.exprAccesses(seq, x.X)
+	case *ast.CallStmt:
+		b.exprAccesses(seq, x.X)
+	case *ast.BeginStmt:
+		async := b.t.newNode(Async, seq, x.Label)
+		body := b.t.newNode(Seq, async, "")
+		b.taskStack = append(b.taskStack, x.Label)
+		b.block(body, x.Body.Stmts, b.info.ScopeFor(x))
+		b.taskStack = b.taskStack[:len(b.taskStack)-1]
+	case *ast.SyncStmt:
+		finish := b.t.newNode(Finish, seq, "")
+		body := b.t.newNode(Seq, finish, "")
+		b.block(body, x.Body.Stmts, b.info.ScopeFor(x))
+	case *ast.IfStmt:
+		b.exprAccesses(seq, x.Cond)
+		// Both arms are alternatives; for MHP purposes each arm is a
+		// child Seq of a common Seq (conservative union of behaviours).
+		arm := b.t.newNode(Seq, seq, "then")
+		b.block(arm, x.Then.Stmts, nil)
+		if x.Else != nil {
+			arm2 := b.t.newNode(Seq, seq, "else")
+			b.block(arm2, x.Else.Stmts, nil)
+		}
+	case *ast.WhileStmt:
+		b.exprAccesses(seq, x.Cond)
+		body := b.t.newNode(Seq, seq, "loop")
+		b.block(body, x.Body.Stmts, nil)
+	case *ast.ForStmt:
+		body := b.t.newNode(Seq, seq, "loop")
+		b.block(body, x.Body.Stmts, nil)
+	case *ast.ReturnStmt:
+		if x.Value != nil {
+			b.exprAccesses(seq, x.Value)
+		}
+	case *ast.BlockStmt:
+		inner := b.t.newNode(Seq, seq, "")
+		b.block(inner, x.Stmts, nil)
+	case *ast.ProcStmt:
+		// Nested procedures are not inlined by this baseline.
+	}
+	return nil
+}
+
+func (b *builder) exprAccesses(seq *Node, e ast.Expr) {
+	ast.Walk(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			b.identAccess(seq, id)
+		}
+		return true
+	})
+}
+
+// identAccess adds a leaf when the identifier is an outer-variable access
+// (declared outside the innermost enclosing begin, lexically).
+func (b *builder) identAccess(seq *Node, id *ast.Ident) {
+	sm := b.info.Uses[id]
+	if sm == nil || sm.IsSyncVar() || sm.IsAtomic() ||
+		sm.Kind == sym.KindProc || sm.Kind == sym.KindConfig {
+		return
+	}
+	if len(b.taskStack) == 0 {
+		return // accesses in the root strand are never outer
+	}
+	// Lexical task locality: the declaration is visible at the use, so
+	// its begin-scope chain is a prefix of the use's chain; equal depth
+	// means the variable is owned by the innermost current task.
+	declBegin := sm.Scope.EnclosingBegin()
+	if declBegin != nil && scopeDepth(declBegin) >= len(b.taskStack) {
+		return
+	}
+	// One site per (variable, line), matching the paper analysis'
+	// duplicate suppression, so baseline counts compare one-to-one.
+	line := b.info.Module.File.Line(id.Sp.Start)
+	for _, prev := range b.t.Accesses {
+		if prev.Sym == sm && b.info.Module.File.Line(prev.Sp.Start) == line {
+			return
+		}
+	}
+	leaf := b.t.newNode(Leaf, seq, "access "+sm.Name)
+	b.t.Accesses = append(b.t.Accesses, &Access{
+		Sym: sm, Leaf: leaf, Sp: id.Sp, Task: b.currentTask(),
+	})
+}
+
+// scopeDepth counts begin scopes from the scope up to the root.
+func scopeDepth(sc *sym.Scope) int {
+	n := 0
+	for s := sc; s != nil; s = s.Parent {
+		if s.Kind == sym.ScopeBegin {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------- MHP
+
+// pathTo returns the ancestor chain from n (exclusive) up to anc
+// (exclusive), or nil when anc is not an ancestor.
+func childOf(anc, n *Node) *Node {
+	for c := n; c != nil; c = c.Parent {
+		if c.Parent == anc {
+			return c
+		}
+	}
+	return nil
+}
+
+// lca computes the least common ancestor.
+func lca(a, b *Node) *Node {
+	depth := func(n *Node) int {
+		d := 0
+		for c := n; c != nil; c = c.Parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// escapes reports whether leaf can keep running after the subtree rooted
+// at stop completes its sequential position: true iff walking from leaf
+// up to stop crosses an async with no finish above it (below stop).
+func escapes(leaf, stop *Node) bool {
+	escaped := false
+	for n := leaf; n != nil && n != stop; n = n.Parent {
+		switch n.Kind {
+		case Async:
+			escaped = true
+		case Finish:
+			escaped = false
+		}
+	}
+	return escaped
+}
+
+// MHP reports whether the two leaves may execute in parallel.
+func (t *Tree) MHP(a, b *Node) bool {
+	if a == b {
+		return false
+	}
+	l := lca(a, b)
+	ca, cb := childOf(l, a), childOf(l, b)
+	if ca == nil || cb == nil {
+		// One is an ancestor of the other: an access inside an async
+		// whose subtree contains the other leaf... for leaves this cannot
+		// happen (leaves have no children).
+		return false
+	}
+	switch l.Kind {
+	case Seq:
+		// Ordered siblings: the earlier subtree finishes first unless
+		// the leaf escapes via an unfenced async below the LCA.
+		firstLeaf := a
+		if cb.Index < ca.Index {
+			firstLeaf = b
+		}
+		return escapes(firstLeaf, l)
+	case Async, Finish:
+		// Single-child nodes: both paths go through the same child, so
+		// the LCA cannot be one of these.
+		return false
+	}
+	return false
+}
+
+// CheckUAF flags every outer-variable access that may happen in parallel
+// with the end of its variable's scope — the §VI MHP-oracle formulation:
+// "any outer variable access is potentially dangerous if the end of the
+// variable scope may-happen-in-parallel with the access".
+func (t *Tree) CheckUAF() []Violation {
+	var out []Violation
+	for _, a := range t.Accesses {
+		end := t.ScopeEnd[a.Sym]
+		if end == nil {
+			// Parameters and anything without a tracked scope end are
+			// conservatively flagged.
+			out = append(out, Violation{Access: a})
+			continue
+		}
+		if t.MHP(a.Leaf, end) {
+			out = append(out, Violation{Access: a})
+		}
+	}
+	return out
+}
+
+// Render prints the tree for debugging.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s %s\n", strings.Repeat("  ", depth), n.Kind, n.Label)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package pst
+
+import (
+	"strings"
+	"testing"
+
+	"uafcheck/internal/parser"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func buildTree(t *testing.T, src string) *Tree {
+	t.Helper()
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource("t.chpl", src, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve:\n%s", diags)
+	}
+	return Build(info, mod.Procs[0])
+}
+
+func accessLeaf(t *testing.T, tree *Tree, varName string, i int) *Node {
+	t.Helper()
+	n := 0
+	for _, a := range tree.Accesses {
+		if a.Sym.Name == varName {
+			if n == i {
+				return a.Leaf
+			}
+			n++
+		}
+	}
+	t.Fatalf("access %d of %s not found (have %d)", i, varName, n)
+	return nil
+}
+
+func TestTreeShape(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin with (ref x) { x = 2; }
+	  }
+	  writeln(x);
+	}`)
+	r := tree.Render()
+	for _, want := range []string{"seq proc f", "finish", "async TASK A", "access x", "scope-end x"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("render missing %q:\n%s", want, r)
+		}
+	}
+	if len(tree.Accesses) != 1 {
+		t.Fatalf("accesses = %d, want 1 (root reads are not outer)", len(tree.Accesses))
+	}
+}
+
+func TestMHPUnfencedAsyncEscapes(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) { x = 2; }
+	  writeln(x);
+	}`)
+	access := accessLeaf(t, tree, "x", 0)
+	end := tree.ScopeEnd[tree.Accesses[0].Sym]
+	if !tree.MHP(access, end) {
+		t.Error("unfenced async must be MHP with the scope end")
+	}
+	if tree.MHP(access, access) {
+		t.Error("a leaf is never MHP with itself")
+	}
+}
+
+func TestMHPFinishFences(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin with (ref x) { x = 2; }
+	  }
+	  writeln(x);
+	}`)
+	access := accessLeaf(t, tree, "x", 0)
+	end := tree.ScopeEnd[tree.Accesses[0].Sym]
+	if tree.MHP(access, end) {
+		t.Error("finish-fenced async must NOT be MHP with the scope end")
+	}
+}
+
+func TestMHPTwoAsyncsParallel(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  var y: int = 1;
+	  begin with (ref x) { x = 2; }
+	  begin with (ref y) { y = 2; }
+	}`)
+	ax := accessLeaf(t, tree, "x", 0)
+	ay := accessLeaf(t, tree, "y", 0)
+	if !tree.MHP(ax, ay) {
+		t.Error("two sibling asyncs must be MHP")
+	}
+}
+
+func TestMHPNestedFinishStillEscapesOuter(t *testing.T) {
+	// An async containing a finish: the inner finish does not stop the
+	// OUTER async from escaping.
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  begin with (ref x) {
+	    sync {
+	      begin with (ref x) { x = 3; }
+	    }
+	    x = 2;
+	  }
+	  writeln(x);
+	}`)
+	// Both accesses (inner task and outer task) are MHP with scope end:
+	// the outer async is unfenced.
+	for i, a := range tree.Accesses {
+		end := tree.ScopeEnd[a.Sym]
+		if end == nil {
+			continue
+		}
+		if !tree.MHP(a.Leaf, end) {
+			t.Errorf("access %d should be MHP with the scope end (outer async unfenced)", i)
+		}
+	}
+}
+
+func TestMHPIgnoresPointToPointSync(t *testing.T) {
+	// THE key property §VI criticizes: PST-based MHP cannot see the
+	// done$ wait chain, so it flags code the paper's analysis proves
+	// safe.
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  var done$: sync bool;
+	  begin with (ref x) {
+	    x = 2;
+	    done$ = true;
+	  }
+	  done$;
+	}`)
+	v := tree.CheckUAF()
+	if len(v) != 1 {
+		t.Fatalf("PST flags = %d, want 1 (wait chain invisible)", len(v))
+	}
+}
+
+func TestCheckUAFSyncBlockClean(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  sync {
+	    begin with (ref x) { x = 2; }
+	    begin with (ref x) { writeln(x); }
+	  }
+	}`)
+	if v := tree.CheckUAF(); len(v) != 0 {
+		t.Fatalf("PST flags = %d, want 0 for fenced tasks", len(v))
+	}
+}
+
+func TestCheckUAFInnerScope(t *testing.T) {
+	// Variable declared inside an async, leaked to a nested async: the
+	// scope end is within the outer async; the inner async escapes it.
+	tree := buildTree(t, `proc f() {
+	  begin {
+	    var y: int = 1;
+	    begin with (ref y) { writeln(y); }
+	  }
+	}`)
+	v := tree.CheckUAF()
+	if len(v) != 1 || v[0].Access.Sym.Name != "y" {
+		t.Fatalf("PST flags = %v, want the y access", v)
+	}
+}
+
+func TestCheckUAFTaskLocalNotFlagged(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  begin {
+	    var z: int = 1;
+	    z = 2;
+	    writeln(z);
+	  }
+	}`)
+	if len(tree.Accesses) != 0 {
+		t.Fatalf("task-local accesses classified as outer: %d", len(tree.Accesses))
+	}
+}
+
+func TestInIntentNotOuter(t *testing.T) {
+	tree := buildTree(t, `proc f() {
+	  var x: int = 1;
+	  begin with (in x) { writeln(x); }
+	}`)
+	if len(tree.Accesses) != 0 {
+		t.Fatalf("in-intent copy classified as outer access")
+	}
+}
+
+func TestBranchArmsConservative(t *testing.T) {
+	tree := buildTree(t, `config const c = true;
+	proc f() {
+	  var x: int = 1;
+	  if (c) {
+	    begin with (ref x) { x = 2; }
+	  }
+	  writeln(x);
+	}`)
+	v := tree.CheckUAF()
+	if len(v) != 1 {
+		t.Fatalf("conditional async should still be flagged: %d", len(v))
+	}
+}

@@ -1,0 +1,364 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// evalConfig evaluates a module config declaration's initializer.
+func (m *Machine) evalConfig(t *task, cfg *ast.VarDecl) Value {
+	if cfg.Init == nil {
+		return zeroValue(cfg.Type)
+	}
+	return m.eval(t, cfg.Init)
+}
+
+// eval evaluates an expression in the task's environment. Reads of sync
+// variables block per readFE/readFF semantics; reads of dead cells record
+// use-after-free events but still return the stale value (the program
+// keeps running, as a real racy execution would).
+func (m *Machine) eval(t *task, e ast.Expr) Value {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntV(x.Value)
+	case *ast.BoolLit:
+		return BoolV(x.Value)
+	case *ast.StringLit:
+		return StringV(x.Value)
+	case *ast.Ident:
+		return m.evalIdent(t, x)
+	case *ast.UnaryExpr:
+		v := m.eval(t, x.X)
+		switch x.Op {
+		case "!":
+			return BoolV(!v.Truthy())
+		case "-":
+			return IntV(-v.I)
+		}
+		return v
+	case *ast.BinaryExpr:
+		return m.evalBinary(t, x)
+	case *ast.RangeExpr:
+		// Ranges only appear in for headers; evaluating one directly
+		// yields its low bound.
+		return m.eval(t, x.Lo)
+	case *ast.CallExpr:
+		return m.evalCall(t, x)
+	case *ast.MethodCallExpr:
+		return m.evalMethod(t, x)
+	}
+	return Value{}
+}
+
+func (m *Machine) evalIdent(t *task, x *ast.Ident) Value {
+	s := m.info.Uses[x]
+	if s == nil {
+		return Value{}
+	}
+	switch {
+	case s.Type.Qual == ast.QualSync:
+		return m.readFE(t, s, x.Sp)
+	case s.Type.Qual == ast.QualSingle:
+		return m.readFF(t, s, x.Sp)
+	case s.IsAtomic():
+		if ac := t.env.atomicCell(s); ac != nil {
+			m.atomicHB(t, ac)
+			return IntV(ac.Val)
+		}
+		return IntV(0)
+	}
+	c := t.env.cell(s)
+	if c == nil {
+		return Value{}
+	}
+	m.checkCell(t, c, x.Sp, false)
+	return c.Val
+}
+
+func (m *Machine) evalBinary(t *task, x *ast.BinaryExpr) Value {
+	a := m.eval(t, x.X)
+	b := m.eval(t, x.Y)
+	switch x.Op {
+	case "+":
+		if a.Kind == KString || b.Kind == KString {
+			return StringV(a.String() + b.String())
+		}
+		return IntV(a.I + b.I)
+	case "-":
+		return IntV(a.I - b.I)
+	case "*":
+		return IntV(a.I * b.I)
+	case "/":
+		if b.I == 0 {
+			m.res.RuntimeErrors = append(m.res.RuntimeErrors, "division by zero")
+			return IntV(0)
+		}
+		return IntV(a.I / b.I)
+	case "%":
+		if b.I == 0 {
+			m.res.RuntimeErrors = append(m.res.RuntimeErrors, "modulo by zero")
+			return IntV(0)
+		}
+		return IntV(a.I % b.I)
+	case "==":
+		return BoolV(valueEq(a, b))
+	case "!=":
+		return BoolV(!valueEq(a, b))
+	case "<":
+		return BoolV(a.I < b.I)
+	case "<=":
+		return BoolV(a.I <= b.I)
+	case ">":
+		return BoolV(a.I > b.I)
+	case ">=":
+		return BoolV(a.I >= b.I)
+	case "&&":
+		return BoolV(a.Truthy() && b.Truthy())
+	case "||":
+		return BoolV(a.Truthy() || b.Truthy())
+	}
+	return Value{}
+}
+
+func valueEq(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return a.I == b.I
+	}
+	switch a.Kind {
+	case KInt:
+		return a.I == b.I
+	case KBool:
+		return a.B == b.B
+	default:
+		return a.S == b.S
+	}
+}
+
+func (m *Machine) evalCall(t *task, x *ast.CallExpr) Value {
+	if sym.IsBuiltin(x.Fun.Name) {
+		return m.evalBuiltin(t, x)
+	}
+	callee := m.info.Uses[x.Fun]
+	if callee == nil || callee.Proc == nil {
+		return Value{}
+	}
+	proc := callee.Proc
+	args := make([]argVal, 0, len(x.Args))
+	for i, a := range x.Args {
+		byRef := i < len(proc.Params) && proc.Params[i].ByRef
+		if byRef {
+			if id, ok := a.(*ast.Ident); ok {
+				if s := m.info.Uses[id]; s != nil {
+					if c := t.env.cell(s); c != nil {
+						args = append(args, argVal{cell: c})
+						continue
+					}
+				}
+			}
+		}
+		args = append(args, argVal{val: m.eval(t, a)})
+	}
+	return m.callProc(t, proc, args)
+}
+
+func (m *Machine) evalBuiltin(t *task, x *ast.CallExpr) Value {
+	switch x.Fun.Name {
+	case "writeln", "write":
+		var parts []string
+		for _, a := range x.Args {
+			parts = append(parts, m.eval(t, a).String())
+		}
+		if m.cfg.CaptureOutput {
+			m.res.Output = append(m.res.Output, strings.Join(parts, ""))
+		}
+		return Value{}
+	case "assert":
+		if len(x.Args) > 0 && !m.eval(t, x.Args[0]).Truthy() {
+			m.res.RuntimeErrors = append(m.res.RuntimeErrors,
+				fmt.Sprintf("assertion failed at line %d", m.line(x.Sp)))
+		}
+		return Value{}
+	case "sleep":
+		// Compute delay: a scheduling point with no semantic effect.
+		m.yield(t)
+		return Value{}
+	}
+	return Value{}
+}
+
+func (m *Machine) evalMethod(t *task, x *ast.MethodCallExpr) Value {
+	recv := m.info.Uses[x.Recv]
+	if recv == nil {
+		return Value{}
+	}
+	var arg Value
+	if len(x.Args) > 0 {
+		arg = m.eval(t, x.Args[0])
+	}
+	switch {
+	case recv.Type.Qual == ast.QualSync:
+		switch x.Method {
+		case "readFE":
+			return m.readFE(t, recv, x.Sp)
+		case "writeEF", "writeXF":
+			m.writeEF(t, recv, arg, x.Sp)
+			return Value{}
+		case "reset":
+			if sc := t.env.syncCell(recv); sc != nil {
+				sc.Full = false
+				m.stateVer++
+			}
+			return Value{}
+		case "isFull":
+			if sc := t.env.syncCell(recv); sc != nil {
+				return BoolV(sc.Full)
+			}
+			return BoolV(false)
+		}
+	case recv.Type.Qual == ast.QualSingle:
+		switch x.Method {
+		case "readFF":
+			return m.readFF(t, recv, x.Sp)
+		case "writeEF":
+			m.writeEF(t, recv, arg, x.Sp)
+			return Value{}
+		case "isFull":
+			if sc := t.env.syncCell(recv); sc != nil {
+				return BoolV(sc.Full)
+			}
+			return BoolV(false)
+		}
+	case recv.IsAtomic():
+		ac := t.env.atomicCell(recv)
+		if ac == nil {
+			return IntV(0)
+		}
+		m.atomicHB(t, ac)
+		switch x.Method {
+		case "read":
+			return IntV(ac.Val)
+		case "write":
+			ac.Val = arg.I
+			m.stateVer++
+			return Value{}
+		case "add":
+			ac.Val += arg.I
+			m.stateVer++
+			return Value{}
+		case "sub":
+			ac.Val -= arg.I
+			m.stateVer++
+			return Value{}
+		case "fetchAdd":
+			old := ac.Val
+			ac.Val += arg.I
+			m.stateVer++
+			return IntV(old)
+		case "fetchSub":
+			old := ac.Val
+			ac.Val -= arg.I
+			m.stateVer++
+			return IntV(old)
+		case "compareExchange":
+			var want int64
+			if len(x.Args) > 1 {
+				want = m.eval(t, x.Args[1]).I
+			}
+			if ac.Val == arg.I {
+				ac.Val = want
+				m.stateVer++
+				return BoolV(true)
+			}
+			return BoolV(false)
+		case "waitFor":
+			for ac.Val != arg.I {
+				m.block(t, fmt.Sprintf("%s.waitFor(%d)", recv.Name, arg.I))
+				ac = t.env.atomicCell(recv)
+				if ac == nil {
+					return Value{}
+				}
+			}
+			m.atomicHB(t, ac)
+			return Value{}
+		}
+	}
+	return Value{}
+}
+
+// ---------------------------------------------------------------- sync
+
+func (m *Machine) syncCellOf(t *task, s *sym.Symbol, sp source.Span) *SyncCell {
+	sc := t.env.syncCell(s)
+	if sc == nil {
+		m.res.RuntimeErrors = append(m.res.RuntimeErrors,
+			fmt.Sprintf("sync variable %s unbound at line %d", s.Name, m.file.Line(sp.Start)))
+	}
+	return sc
+}
+
+// readFE blocks until full, returns the value and empties the variable.
+func (m *Machine) readFE(t *task, s *sym.Symbol, sp source.Span) Value {
+	sc := m.syncCellOf(t, s, sp)
+	if sc == nil {
+		return Value{}
+	}
+	for !sc.Full {
+		m.block(t, "readFE("+s.Name+")")
+	}
+	sc.Full = false
+	m.stateVer++
+	if m.cfg.DetectRaces && sc.clock != nil {
+		t.clock.join(sc.clock)
+		t.tick()
+	}
+	m.trace(t, "readFE(%s) -> empty", s.Name)
+	return sc.Val
+}
+
+// readFF blocks until full and retains the full state.
+func (m *Machine) readFF(t *task, s *sym.Symbol, sp source.Span) Value {
+	sc := m.syncCellOf(t, s, sp)
+	if sc == nil {
+		return Value{}
+	}
+	for !sc.Full {
+		m.block(t, "readFF("+s.Name+")")
+	}
+	if m.cfg.DetectRaces && sc.clock != nil {
+		t.clock.join(sc.clock)
+		t.tick()
+	}
+	return sc.Val
+}
+
+// writeEF blocks until empty, then fills the variable.
+func (m *Machine) writeEF(t *task, s *sym.Symbol, v Value, sp source.Span) {
+	sc := m.syncCellOf(t, s, sp)
+	if sc == nil {
+		return
+	}
+	for sc.Full {
+		m.block(t, "writeEF("+s.Name+")")
+	}
+	if sc.IsSingle && sc.WriteCount > 0 {
+		m.res.RuntimeErrors = append(m.res.RuntimeErrors,
+			fmt.Sprintf("second write to single variable %s at line %d", s.Name, m.file.Line(sp.Start)))
+	}
+	sc.Val = v
+	sc.Full = true
+	sc.WriteCount++
+	m.stateVer++
+	if m.cfg.DetectRaces {
+		// Transfer the writer's history to whoever consumes the value.
+		if sc.clock == nil {
+			sc.clock = vclock{}
+		}
+		sc.clock.join(t.clock)
+		t.tick()
+	}
+	m.trace(t, "writeEF(%s) -> full", s.Name)
+}

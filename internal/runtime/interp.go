@@ -1,0 +1,320 @@
+package runtime
+
+import (
+	"uafcheck/internal/ast"
+	"uafcheck/internal/source"
+)
+
+// loopIterCap bounds loop iterations so buggy corpus programs terminate.
+const loopIterCap = 100000
+
+// callProc executes a procedure body in a fresh environment frame.
+// refCells maps by-ref formals to caller cells; nil entries (and missing
+// params) get fresh cells with zero values.
+func (m *Machine) callProc(t *task, proc *ast.ProcDecl, args []argVal) Value {
+	frame := newEnv(t.env)
+	saved := t.env
+	t.env = frame
+	defer func() { t.env = saved }()
+
+	var owned []*Cell
+	for i, prm := range proc.Params {
+		s := m.info.Uses[prm.Name]
+		if s == nil {
+			continue
+		}
+		if i < len(args) && args[i].cell != nil {
+			// By-ref: alias the caller's cell.
+			frame.vars[s] = args[i].cell
+			continue
+		}
+		c := &Cell{Name: s.Name, DeclLine: m.line(prm.Name.Sp)}
+		if i < len(args) {
+			c.Val = args[i].val
+		} else {
+			c.Val = zeroValue(prm.Type)
+		}
+		frame.vars[s] = c
+		owned = append(owned, c)
+	}
+	ret, _ := m.stmts(t, proc.Body.Stmts)
+	for _, c := range owned {
+		c.Dead = true
+	}
+	return ret
+}
+
+type argVal struct {
+	val  Value
+	cell *Cell // non-nil for by-ref arguments
+}
+
+func zeroValue(tp ast.Type) Value {
+	switch tp.Kind {
+	case ast.TypeBool:
+		return BoolV(false)
+	case ast.TypeString:
+		return StringV("")
+	default:
+		return IntV(0)
+	}
+}
+
+// stmts executes a statement list; the bool result reports early return.
+// Cells declared directly in the list die when it exits (scope end).
+func (m *Machine) stmts(t *task, list []ast.Stmt) (Value, bool) {
+	ret, returned, owned := m.stmtsCollect(t, list)
+	for _, c := range owned {
+		c.Dead = true
+	}
+	m.stateVer++
+	return ret, returned
+}
+
+// stmtsCollect executes a statement list but leaves the lifetime of the
+// directly-declared cells to the caller. The sync-block fence needs this:
+// in Chapel the fence at the closing brace runs BEFORE the block's locals
+// are deallocated, so tasks created inside may legally use them.
+func (m *Machine) stmtsCollect(t *task, list []ast.Stmt) (Value, bool, []*Cell) {
+	var owned []*Cell
+	for _, s := range list {
+		ret, returned, cells := m.stmt(t, s)
+		owned = append(owned, cells...)
+		if returned {
+			return ret, true, owned
+		}
+	}
+	return Value{}, false, owned
+}
+
+// stmt executes one statement. It returns the declared cells so the
+// caller (the enclosing block) can end their lifetime at scope exit.
+func (m *Machine) stmt(t *task, s ast.Stmt) (ret Value, returned bool, owned []*Cell) {
+	m.yield(t) // statement-level scheduling point
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		return Value{}, false, m.varDecl(t, x)
+	case *ast.AssignStmt:
+		m.assign(t, x)
+	case *ast.IncDecStmt:
+		sm := m.info.Uses[x.X]
+		if sm == nil {
+			return
+		}
+		c := t.env.cell(sm)
+		if c == nil {
+			return
+		}
+		m.checkCell(t, c, x.X.Sp, false)
+		m.checkCell(t, c, x.X.Sp, true)
+		if x.Op == "++" {
+			c.Val = IntV(c.Val.I + 1)
+		} else {
+			c.Val = IntV(c.Val.I - 1)
+		}
+	case *ast.ExprStmt:
+		m.eval(t, x.X)
+	case *ast.CallStmt:
+		m.eval(t, x.X)
+	case *ast.BeginStmt:
+		m.begin(t, x)
+	case *ast.SyncStmt:
+		ret, returned = m.syncBlock(t, x)
+	case *ast.IfStmt:
+		if m.eval(t, x.Cond).Truthy() {
+			ret, returned = m.stmts(t, x.Then.Stmts)
+		} else if x.Else != nil {
+			ret, returned = m.stmts(t, x.Else.Stmts)
+		}
+	case *ast.WhileStmt:
+		for i := 0; m.eval(t, x.Cond).Truthy(); i++ {
+			if i >= loopIterCap {
+				m.res.RuntimeErrors = append(m.res.RuntimeErrors, "while loop iteration cap hit")
+				break
+			}
+			ret, returned = m.stmts(t, x.Body.Stmts)
+			if returned {
+				return
+			}
+		}
+	case *ast.ForStmt:
+		lo := m.eval(t, x.Range.Lo).I
+		hi := m.eval(t, x.Range.Hi).I
+		lv := m.info.Uses[x.Var]
+		cell := &Cell{Name: x.Var.Name, DeclLine: m.line(x.Var.Sp)}
+		if lv != nil {
+			t.env.vars[lv] = cell
+		}
+		for i := lo; i <= hi; i++ {
+			if i-lo >= loopIterCap {
+				m.res.RuntimeErrors = append(m.res.RuntimeErrors, "for loop iteration cap hit")
+				break
+			}
+			cell.Val = IntV(i)
+			ret, returned = m.stmts(t, x.Body.Stmts)
+			if returned {
+				break
+			}
+		}
+		cell.Dead = true
+	case *ast.ReturnStmt:
+		if x.Value != nil {
+			ret = m.eval(t, x.Value)
+		}
+		returned = true
+	case *ast.BlockStmt:
+		ret, returned = m.stmts(t, x.Stmts)
+	case *ast.ProcStmt:
+		// Definition only; executed at call sites.
+	}
+	return
+}
+
+func (m *Machine) varDecl(t *task, x *ast.VarDecl) []*Cell {
+	s := m.info.Uses[x.Name]
+	if s == nil {
+		return nil
+	}
+	switch x.Type.Qual {
+	case ast.QualSync, ast.QualSingle:
+		sc := &SyncCell{IsSingle: x.Type.Qual == ast.QualSingle, Name: s.Name}
+		if x.Init != nil {
+			sc.Val = m.eval(t, x.Init)
+			sc.Full = true
+			sc.WriteCount = 1
+		}
+		t.env.syncs[s] = sc
+		m.stateVer++
+		return nil // sync vars are universally visible; lifetime not modelled
+	case ast.QualAtomic:
+		ac := &AtomicCell{Name: s.Name}
+		if x.Init != nil {
+			ac.Val = m.eval(t, x.Init).I
+		}
+		t.env.atomics[s] = ac
+		m.stateVer++
+		return nil
+	}
+	c := &Cell{Name: s.Name, DeclLine: m.line(x.Name.Sp)}
+	if x.Init != nil {
+		c.Val = m.eval(t, x.Init)
+	} else {
+		c.Val = zeroValue(x.Type)
+	}
+	t.env.vars[s] = c
+	return []*Cell{c}
+}
+
+func (m *Machine) assign(t *task, x *ast.AssignStmt) {
+	sm := m.info.Uses[x.Lhs]
+	if sm == nil {
+		return
+	}
+	if sm.IsSyncVar() {
+		// `done$ = v` is writeEF.
+		v := m.eval(t, x.Rhs)
+		m.writeEF(t, sm, v, x.Sp)
+		return
+	}
+	if sm.IsAtomic() {
+		v := m.eval(t, x.Rhs)
+		if ac := t.env.atomicCell(sm); ac != nil {
+			m.atomicHB(t, ac)
+			ac.Val = v.I
+			m.stateVer++
+		}
+		return
+	}
+	c := t.env.cell(sm)
+	if c == nil {
+		return
+	}
+	rhs := m.eval(t, x.Rhs)
+	switch x.Op {
+	case "+=":
+		m.checkCell(t, c, x.Lhs.Sp, false)
+		if c.Val.Kind == KString {
+			c.Val = StringV(c.Val.S + rhs.String())
+		} else {
+			c.Val = IntV(c.Val.I + rhs.I)
+		}
+	case "-=":
+		m.checkCell(t, c, x.Lhs.Sp, false)
+		c.Val = IntV(c.Val.I - rhs.I)
+	case "*=":
+		m.checkCell(t, c, x.Lhs.Sp, false)
+		c.Val = IntV(c.Val.I * rhs.I)
+	default:
+		c.Val = rhs
+	}
+	m.checkCell(t, c, x.Lhs.Sp, true)
+}
+
+func (m *Machine) begin(t *task, x *ast.BeginStmt) {
+	childEnv := newEnv(t.env)
+	// `in`-intent copies are snapshotted at creation time in the parent.
+	for _, w := range x.With {
+		outer := m.info.Uses[w.Name]
+		if outer == nil || outer.IsSyncVar() || outer.IsAtomic() {
+			continue
+		}
+		if w.Intent == ast.IntentIn {
+			cp := m.info.CopyFor[x][outer]
+			src := t.env.cell(outer)
+			var v Value
+			if src != nil {
+				m.checkCell(t, src, w.Name.Sp, false)
+				v = src.Val
+			}
+			if cp != nil {
+				childEnv.vars[cp] = &Cell{Name: cp.Name, Val: v, DeclLine: m.line(w.Name.Sp)}
+			}
+		}
+	}
+	child := m.newTask(x.Label, childEnv, t.groups)
+	if m.cfg.DetectRaces {
+		// Spawn edge: the child starts after everything the parent did.
+		child.clock.join(t.clock)
+		child.tick()
+		t.tick()
+	}
+	m.trace(t, "spawn %s", x.Label)
+	go m.taskBody(child, func() {
+		m.stmts(child, x.Body.Stmts)
+		m.trace(child, "task exits")
+	})
+	m.stateVer++
+}
+
+func (m *Machine) syncBlock(t *task, x *ast.SyncStmt) (Value, bool) {
+	g := &syncGroup{}
+	t.groups = append(t.groups, g)
+	ret, returned, owned := m.stmtsCollect(t, x.Body.Stmts)
+	t.groups = t.groups[:len(t.groups)-1]
+	// Fence: wait until every task created inside the block (transitively)
+	// has completed — BEFORE the block's own locals die, so tasks inside
+	// the block may legally reference them.
+	for g.live > 0 {
+		m.block(t, "sync block fence")
+	}
+	if m.cfg.DetectRaces && g.clock != nil {
+		// Fence edge: everything the fenced tasks did happened before
+		// the code after the block.
+		t.clock.join(g.clock)
+		t.tick()
+	}
+	for _, c := range owned {
+		c.Dead = true
+	}
+	m.stateVer++
+	return ret, returned
+}
+
+// checkCell records a use-after-free when the cell's scope has exited,
+// and feeds the race detector.
+func (m *Machine) checkCell(t *task, c *Cell, sp source.Span, write bool) {
+	if c.Dead {
+		m.recordUAF(t, c, m.file.Line(sp.Start), write)
+	}
+	m.onAccess(t, c, m.file.Line(sp.Start), write)
+}

@@ -1,0 +1,387 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// UAFEvent is one observed use-after-free: an access to a cell whose
+// declaring scope had already exited.
+type UAFEvent struct {
+	Var   string
+	Line  int
+	Task  string
+	Write bool
+}
+
+// Key identifies the event site (variable + access line), the granularity
+// at which static warnings are matched against dynamic observations.
+func (e UAFEvent) Key() string { return fmt.Sprintf("%s:%d", e.Var, e.Line) }
+
+// RunResult is the outcome of executing one schedule.
+type RunResult struct {
+	UAF    []UAFEvent
+	Output []string
+	// Races are the data races observed when Config.DetectRaces is set.
+	Races []RaceEvent
+	// Trace is the execution event log when Config.Trace is set.
+	Trace         []string
+	Deadlock      bool
+	Blocked       []string // what each task was blocked on at deadlock
+	Steps         int
+	RuntimeErrors []string
+	// Decisions records the scheduling choices taken (replay/explore).
+	Decisions []int
+	// Alternatives records, per decision, how many tasks were runnable.
+	Alternatives []int
+	// ContIdx records, per decision, the runnable index that would have
+	// CONTINUED the previously running task (-1 when it was blocked or
+	// done). Choosing any other index is a preemption — the quantity the
+	// bounded explorer limits.
+	ContIdx []int
+}
+
+// Policy chooses the next task among runnable candidates.
+type Policy interface {
+	// Choose returns an index into the runnable slice. cont is the index
+	// that would continue the previously running task, or -1 when that
+	// task is blocked or finished.
+	Choose(step int, runnable []int, cont int) int
+}
+
+// Config configures one run.
+type Config struct {
+	// Entry is the procedure to execute; empty means the first proc.
+	Entry string
+	// MaxSteps bounds scheduler steps (livelock guard). 0 = default.
+	MaxSteps int
+	// Policy picks tasks; nil means first-runnable.
+	Policy Policy
+	// CaptureOutput retains writeln output.
+	CaptureOutput bool
+	// Trace records an execution event log (spawns, blocks, sync
+	// operations, scope deaths, use-after-free hits).
+	Trace bool
+	// DetectRaces enables the vector-clock data-race detector.
+	DetectRaces bool
+}
+
+const defaultMaxSteps = 200000
+
+// Machine executes one program once under one schedule.
+type Machine struct {
+	mod  *ast.Module
+	info *sym.Info
+	file *source.File
+	cfg  Config
+
+	tasks     []*task
+	nextTask  int
+	stateVer  int
+	steps     int
+	res       *RunResult
+	killed    bool
+	schedCh   chan *task
+	uafSeen   map[string]bool
+	taskCount int // live tasks
+	lastTask  *task
+	raceCells map[*Cell]*raceState
+	raceSeen  map[string]bool
+}
+
+type task struct {
+	id       int
+	label    string
+	resume   chan struct{}
+	done     bool
+	blocked  bool
+	blockVer int
+	blockWhy string
+	env      *env
+	groups   []*syncGroup
+	// clock is the task's vector clock (race detection).
+	clock vclock
+}
+
+// env is a chained environment frame: one per procedure invocation and
+// one per begin task (for in-intent copies).
+type env struct {
+	parent  *env
+	vars    map[*sym.Symbol]*Cell
+	syncs   map[*sym.Symbol]*SyncCell
+	atomics map[*sym.Symbol]*AtomicCell
+}
+
+func newEnv(parent *env) *env {
+	return &env{
+		parent:  parent,
+		vars:    make(map[*sym.Symbol]*Cell),
+		syncs:   make(map[*sym.Symbol]*SyncCell),
+		atomics: make(map[*sym.Symbol]*AtomicCell),
+	}
+}
+
+func (e *env) cell(s *sym.Symbol) *Cell {
+	for f := e; f != nil; f = f.parent {
+		if c, ok := f.vars[s]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (e *env) syncCell(s *sym.Symbol) *SyncCell {
+	for f := e; f != nil; f = f.parent {
+		if c, ok := f.syncs[s]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (e *env) atomicCell(s *sym.Symbol) *AtomicCell {
+	for f := e; f != nil; f = f.parent {
+		if c, ok := f.atomics[s]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// syncGroup counts live tasks inside one sync block's dynamic extent.
+type syncGroup struct {
+	live int
+	// clock accumulates the exit clocks of completed members so the
+	// fence establishes happens-before into the waiter.
+	clock vclock
+}
+
+type killSignal struct{}
+
+// Run executes the program under the configured schedule.
+func Run(mod *ast.Module, info *sym.Info, cfg Config) *RunResult {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	m := &Machine{
+		mod: mod, info: info, file: mod.File, cfg: cfg,
+		res:       &RunResult{},
+		uafSeen:   make(map[string]bool),
+		schedCh:   make(chan *task),
+		raceCells: make(map[*Cell]*raceState),
+		raceSeen:  make(map[string]bool),
+	}
+	entry := cfg.Entry
+	if entry == "" && len(mod.Procs) > 0 {
+		entry = mod.Procs[0].Name.Name
+	}
+	proc := mod.Proc(entry)
+	if proc == nil {
+		m.res.RuntimeErrors = append(m.res.RuntimeErrors, "entry proc not found: "+entry)
+		return m.res
+	}
+
+	root := m.newTask("main", newEnv(nil), nil)
+	go m.taskBody(root, func() {
+		// Module-level config constants are evaluated before the entry
+		// procedure, like Chapel module initialization.
+		for _, cfg := range m.mod.Configs {
+			root.env.vars[m.info.Uses[cfg.Name]] = &Cell{
+				Name: cfg.Name.Name,
+				Val:  m.evalConfig(root, cfg),
+			}
+		}
+		m.callProc(root, proc, nil)
+	})
+	m.schedule()
+	return m.res
+}
+
+func (m *Machine) newTask(label string, e *env, groups []*syncGroup) *task {
+	t := &task{
+		id:     m.nextTask,
+		label:  label,
+		resume: make(chan struct{}),
+		env:    e,
+		groups: append([]*syncGroup(nil), groups...),
+		clock:  vclock{},
+	}
+	t.clock[t.id] = 1
+	m.nextTask++
+	m.tasks = append(m.tasks, t)
+	m.taskCount++
+	for _, g := range t.groups {
+		g.live++
+	}
+	return t
+}
+
+// taskBody wraps a task goroutine: it waits for its first resume, runs
+// body, and reports completion to the scheduler.
+func (m *Machine) taskBody(t *task, body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); !ok {
+				m.res.RuntimeErrors = append(m.res.RuntimeErrors,
+					fmt.Sprintf("task %s panicked: %v", t.label, r))
+			}
+		}
+		t.done = true
+		m.taskCount--
+		for _, g := range t.groups {
+			g.live--
+			if m.cfg.DetectRaces {
+				if g.clock == nil {
+					g.clock = vclock{}
+				}
+				g.clock.join(t.clock)
+			}
+		}
+		m.stateVer++
+		// Always hand control back so the scheduler (or kill) can
+		// account for the exit; exactly one receiver is waiting.
+		m.schedCh <- t
+	}()
+	<-t.resume
+	if m.killed {
+		panic(killSignal{})
+	}
+	body()
+}
+
+// yield hands control back to the scheduler and waits to be resumed.
+func (m *Machine) yield(t *task) {
+	m.schedCh <- t
+	<-t.resume
+	if m.killed {
+		panic(killSignal{})
+	}
+}
+
+// block marks the task blocked on a condition and yields. The scheduler
+// only re-runs it after the global state version changes.
+func (m *Machine) block(t *task, why string) {
+	m.trace(t, "blocked on %s", why)
+	t.blocked = true
+	t.blockVer = m.stateVer
+	t.blockWhy = why
+	m.yield(t)
+	t.blocked = false
+}
+
+// schedule is the scheduler loop, run by the caller of Run.
+func (m *Machine) schedule() {
+	defer func() { m.res.Steps = m.steps }()
+	for {
+		if m.taskCount == 0 {
+			return
+		}
+		var runnable []int
+		for i, t := range m.tasks {
+			if t.done {
+				continue
+			}
+			if t.blocked && t.blockVer >= m.stateVer {
+				continue
+			}
+			runnable = append(runnable, i)
+		}
+		if len(runnable) == 0 {
+			// Every live task is blocked on an unchanged state: deadlock.
+			m.res.Deadlock = true
+			for _, t := range m.tasks {
+				if !t.done {
+					m.res.Blocked = append(m.res.Blocked,
+						fmt.Sprintf("%s: %s", t.label, t.blockWhy))
+				}
+			}
+			m.kill()
+			return
+		}
+		m.steps++
+		if m.steps > m.cfg.MaxSteps {
+			m.res.RuntimeErrors = append(m.res.RuntimeErrors, "step budget exceeded")
+			m.kill()
+			return
+		}
+		cont := -1
+		for i, ti := range runnable {
+			if m.tasks[ti] == m.lastTask {
+				cont = i
+			}
+		}
+		choice := 0
+		if m.cfg.Policy != nil {
+			choice = m.cfg.Policy.Choose(m.steps, runnable, cont)
+			if choice < 0 || choice >= len(runnable) {
+				choice = 0
+			}
+		}
+		m.res.Decisions = append(m.res.Decisions, choice)
+		m.res.Alternatives = append(m.res.Alternatives, len(runnable))
+		m.res.ContIdx = append(m.res.ContIdx, cont)
+		t := m.tasks[runnable[choice]]
+		m.lastTask = t
+		t.resume <- struct{}{}
+		<-m.schedCh // task yields or completes
+	}
+}
+
+// kill unwinds all live task goroutines. Whenever the scheduler holds
+// control, every live task goroutine is parked in <-t.resume; resuming it
+// with killed set makes it panic(killSignal) and send its completion
+// notice, which we consume before moving on — so no two goroutines touch
+// machine state concurrently.
+func (m *Machine) kill() {
+	m.killed = true
+	for _, t := range m.tasks {
+		if t.done {
+			continue
+		}
+		t.resume <- struct{}{}
+		<-m.schedCh
+	}
+}
+
+func (m *Machine) recordUAF(t *task, c *Cell, line int, write bool) {
+	ev := UAFEvent{Var: c.Name, Line: line, Task: t.label, Write: write}
+	m.trace(t, "USE-AFTER-FREE %s (declared line %d) at line %d", c.Name, c.DeclLine, line)
+	if !m.uafSeen[ev.Key()] {
+		m.uafSeen[ev.Key()] = true
+		m.res.UAF = append(m.res.UAF, ev)
+	}
+}
+
+// trace appends one event to the run log when tracing is enabled.
+func (m *Machine) trace(t *task, format string, args ...any) {
+	if !m.cfg.Trace {
+		return
+	}
+	who := "main"
+	if t != nil {
+		who = t.label
+	}
+	m.res.Trace = append(m.res.Trace, fmt.Sprintf("[%s] %s", who, fmt.Sprintf(format, args...)))
+}
+
+func (m *Machine) line(sp source.Span) int { return m.file.Line(sp.Start) }
+
+// Summary renders the run result compactly (tests, examples).
+func (r *RunResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d uaf=%d deadlock=%t", r.Steps, len(r.UAF), r.Deadlock)
+	if len(r.UAF) > 0 {
+		keys := make([]string, 0, len(r.UAF))
+		for _, e := range r.UAF {
+			keys = append(keys, e.Key())
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, " [%s]", strings.Join(keys, " "))
+	}
+	return b.String()
+}

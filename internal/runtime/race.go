@@ -1,0 +1,149 @@
+package runtime
+
+import "fmt"
+
+// The dynamic race detector: vector clocks track the happens-before
+// order induced by task creation, sync-variable transfers, sync-block
+// fences and atomic operations. Two accesses to the same plain variable
+// race when they are unordered and at least one writes. This extends the
+// oracle beyond use-after-free into the §VI related-work territory
+// (static race detection) — dynamically, on the same interpreter.
+//
+// The design follows the classic vector-clock discipline:
+//
+//   - spawn: the child inherits a copy of the parent's clock; the parent
+//     then advances its own component;
+//   - writeEF transfers the writer's clock into the sync cell; readFE /
+//     readFF join it into the reader (message-passing edge);
+//   - atomic cells behave like SC variables: every operation joins the
+//     cell clock into the task and the task clock into the cell;
+//   - a sync-block fence joins the exit clocks of every task the group
+//     waited for.
+
+// vclock is a sparse vector clock keyed by task ID.
+type vclock map[int]int
+
+func (v vclock) clone() vclock {
+	out := make(vclock, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// join folds other into v (pointwise max).
+func (v vclock) join(other vclock) {
+	for k, x := range other {
+		if x > v[k] {
+			v[k] = x
+		}
+	}
+}
+
+// leq reports v ≤ other pointwise (v happened before or equals other).
+func (v vclock) leq(other vclock) bool {
+	for k, x := range v {
+		if x > other[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// accessStamp records one access for race checking.
+type accessStamp struct {
+	clock vclock
+	task  string
+	line  int
+}
+
+// RaceEvent is one detected data race on a plain variable.
+type RaceEvent struct {
+	Var string
+	// First/Second describe the two unordered accesses.
+	FirstTask  string
+	FirstLine  int
+	SecondTask string
+	SecondLine int
+	// Write marks whether the SECOND access is a write.
+	Write bool
+}
+
+// Key identifies the race site pair (order-normalized).
+func (e RaceEvent) Key() string {
+	a := fmt.Sprintf("%s:%d", e.Var, e.FirstLine)
+	b := fmt.Sprintf("%s:%d", e.Var, e.SecondLine)
+	if a > b {
+		a, b = b, a
+	}
+	return a + "/" + b
+}
+
+// raceState is the per-cell detector state.
+type raceState struct {
+	lastWrite *accessStamp
+	// reads holds the most recent read per task.
+	reads map[string]*accessStamp
+}
+
+// onAccess checks and records an access under the task's current clock.
+func (m *Machine) onAccess(t *task, c *Cell, line int, write bool) {
+	if !m.cfg.DetectRaces {
+		return
+	}
+	st := m.raceCells[c]
+	if st == nil {
+		st = &raceState{reads: make(map[string]*accessStamp)}
+		m.raceCells[c] = st
+	}
+	cur := t.clock
+	report := func(prev *accessStamp) {
+		ev := RaceEvent{
+			Var:        c.Name,
+			FirstTask:  prev.task,
+			FirstLine:  prev.line,
+			SecondTask: t.label,
+			SecondLine: line,
+			Write:      write,
+		}
+		if !m.raceSeen[ev.Key()] {
+			m.raceSeen[ev.Key()] = true
+			m.res.Races = append(m.res.Races, ev)
+		}
+	}
+	if st.lastWrite != nil && !st.lastWrite.clock.leq(cur) {
+		// Unordered with the previous write: read-write or write-write
+		// race.
+		report(st.lastWrite)
+	}
+	if write {
+		for _, r := range st.reads {
+			if !r.clock.leq(cur) {
+				report(r)
+			}
+		}
+		st.lastWrite = &accessStamp{clock: cur.clone(), task: t.label, line: line}
+		st.reads = make(map[string]*accessStamp)
+		return
+	}
+	st.reads[t.label] = &accessStamp{clock: cur.clone(), task: t.label, line: line}
+}
+
+// tick advances the task's own clock component.
+func (t *task) tick() {
+	t.clock[t.id]++
+}
+
+// atomicHB makes an atomic operation a sequentially-consistent
+// synchronization point: the cell and the task exchange histories.
+func (m *Machine) atomicHB(t *task, ac *AtomicCell) {
+	if !m.cfg.DetectRaces || ac == nil {
+		return
+	}
+	if ac.clock == nil {
+		ac.clock = vclock{}
+	}
+	t.clock.join(ac.clock)
+	ac.clock.join(t.clock)
+	t.tick()
+}

@@ -1,0 +1,213 @@
+package runtime
+
+import (
+	"math/rand"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/sym"
+)
+
+// RandomPolicy picks uniformly among runnable tasks with a seeded PRNG,
+// giving reproducible schedule sampling.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy seeds a random scheduling policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Policy.
+func (p *RandomPolicy) Choose(step int, runnable []int, cont int) int {
+	return p.rng.Intn(len(runnable))
+}
+
+// replayPolicy follows a fixed decision prefix, then always picks the
+// first runnable task. The exhaustive explorer uses it for systematic
+// depth-first schedule enumeration.
+type replayPolicy struct {
+	prefix []int
+	// preferContinue makes the post-prefix default follow the previously
+	// running task, spending no preemption budget (bounded exploration).
+	preferContinue bool
+}
+
+// Choose implements Policy.
+func (p *replayPolicy) Choose(step int, runnable []int, cont int) int {
+	// step counts from 1.
+	if step-1 < len(p.prefix) {
+		c := p.prefix[step-1]
+		if c < len(runnable) {
+			return c
+		}
+		return len(runnable) - 1
+	}
+	if p.preferContinue && cont >= 0 {
+		return cont
+	}
+	return 0
+}
+
+// ExploreResult aggregates observations across many schedules.
+type ExploreResult struct {
+	Runs      int
+	UAF       map[string]UAFEvent // keyed by Var:Line
+	Races     map[string]RaceEvent
+	Deadlocks int
+	// Truncated reports whether the exploration hit its run budget
+	// before exhausting the schedule tree.
+	Truncated bool
+}
+
+// sawUAF merges one run's events.
+func (er *ExploreResult) absorb(r *RunResult) {
+	for _, e := range r.UAF {
+		if _, ok := er.UAF[e.Key()]; !ok {
+			er.UAF[e.Key()] = e
+		}
+	}
+	for _, e := range r.Races {
+		if _, ok := er.Races[e.Key()]; !ok {
+			er.Races[e.Key()] = e
+		}
+	}
+	if r.Deadlock {
+		er.Deadlocks++
+	}
+}
+
+// ExploreRandom runs n seeded random schedules.
+func ExploreRandom(mod *ast.Module, info *sym.Info, entry string, n int, seed int64) *ExploreResult {
+	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
+	for i := 0; i < n; i++ {
+		r := Run(mod, info, Config{
+			Entry:       entry,
+			DetectRaces: true,
+			Policy:      NewRandomPolicy(seed + int64(i)),
+		})
+		er.Runs++
+		er.absorb(r)
+	}
+	return er
+}
+
+// ExploreExhaustive enumerates schedules depth-first up to maxRuns
+// executions. Each run replays a decision prefix and then follows the
+// first-runnable default; after the run, every decision point at or past
+// the prefix with unexplored alternatives spawns a sibling prefix.
+//
+// For small programs (the paper's figures, corpus unit patterns) this
+// covers the complete schedule space and is a sound oracle: an access is
+// a true use-after-free iff some schedule triggers it.
+func ExploreExhaustive(mod *ast.Module, info *sym.Info, entry string, maxRuns int) *ExploreResult {
+	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
+	type job struct{ prefix []int }
+	stack := []job{{prefix: nil}}
+	for len(stack) > 0 {
+		if er.Runs >= maxRuns {
+			er.Truncated = true
+			return er
+		}
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := Run(mod, info, Config{
+			Entry:       entry,
+			DetectRaces: true,
+			Policy:      &replayPolicy{prefix: j.prefix},
+		})
+		er.Runs++
+		er.absorb(r)
+		// Spawn siblings for unexplored alternatives discovered beyond
+		// the prefix (standard stateless-DFS enumeration).
+		for i := len(j.prefix); i < len(r.Decisions); i++ {
+			for alt := r.Decisions[i] + 1; alt < r.Alternatives[i]; alt++ {
+				np := make([]int, i+1)
+				copy(np, r.Decisions[:i])
+				np[i] = alt
+				stack = append(stack, job{prefix: np})
+			}
+		}
+	}
+	return er
+}
+
+// ExploreBounded enumerates schedules depth-first like ExploreExhaustive
+// but limits PREEMPTIONS per schedule (iterative context bounding, the
+// CHESS insight): a decision only counts against the bound when it
+// switches away from a task that could have continued. Most concurrency
+// bugs — including every use-after-free pattern in the paper — manifest
+// within one or two preemptions, so the bounded space is exponentially
+// smaller while retaining almost all bug-finding power.
+func ExploreBounded(mod *ast.Module, info *sym.Info, entry string, maxRuns, bound int) *ExploreResult {
+	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
+	type job struct {
+		prefix     []int
+		preemptive int
+	}
+	stack := []job{{prefix: nil}}
+	for len(stack) > 0 {
+		if er.Runs >= maxRuns {
+			er.Truncated = true
+			return er
+		}
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := Run(mod, info, Config{
+			Entry:       entry,
+			DetectRaces: true,
+			Policy:      &replayPolicy{prefix: j.prefix, preferContinue: true},
+		})
+		er.Runs++
+		er.absorb(r)
+		// Preemptions along the replayed prefix are j.preemptive; beyond
+		// the prefix the default policy continues the previous task when
+		// possible (choice 0 may still preempt if the previous task
+		// blocked — that's free).
+		used := j.preemptive
+		for i := len(j.prefix); i < len(r.Decisions); i++ {
+			// The default (taken) choice is the continuation, not
+			// necessarily index 0 — enumerate every OTHER alternative.
+			for alt := 0; alt < r.Alternatives[i]; alt++ {
+				if alt == r.Decisions[i] {
+					continue
+				}
+				cost := 0
+				if r.ContIdx[i] >= 0 && alt != r.ContIdx[i] {
+					cost = 1
+				}
+				if used+cost > bound {
+					continue
+				}
+				np := make([]int, i+1)
+				copy(np, r.Decisions[:i])
+				np[i] = alt
+				stack = append(stack, job{prefix: np, preemptive: used + cost})
+			}
+			// Following the default path: did step i itself preempt?
+			if r.ContIdx[i] >= 0 && r.Decisions[i] != r.ContIdx[i] {
+				used++
+			}
+		}
+	}
+	return er
+}
+
+// Oracle classifies a static warning site (variable name + access line):
+// true positive iff some explored schedule observed a use-after-free at
+// that site.
+type Oracle struct {
+	er *ExploreResult
+}
+
+// NewOracle builds an oracle from exploration results.
+func NewOracle(er *ExploreResult) *Oracle { return &Oracle{er: er} }
+
+// TruePositive reports whether the site was dynamically confirmed.
+func (o *Oracle) TruePositive(varName string, line int) bool {
+	_, ok := o.er.UAF[UAFEvent{Var: varName, Line: line}.Key()]
+	return ok
+}
+
+// Events returns all observed events.
+func (o *Oracle) Events() map[string]UAFEvent { return o.er.UAF }

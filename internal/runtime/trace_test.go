@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecutionTrace: the event log records spawns, sync transitions,
+// blocking and use-after-free hits in schedule order.
+func TestExecutionTrace(t *testing.T) {
+	mod, info := load(t, `
+proc main() {
+  var x: int = 0;
+  var done$: sync bool;
+  begin with (ref x) {
+    x = 1;
+    done$ = true;
+  }
+  done$;
+  writeln(x);
+}`)
+	r := Run(mod, info, Config{Trace: true})
+	log := strings.Join(r.Trace, "\n")
+	for _, want := range []string{
+		"[main] spawn TASK A",
+		"[TASK A] writeEF(done$) -> full",
+		"[main] readFE(done$) -> empty",
+		"[TASK A] task exits",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("trace missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestTraceRecordsBlockingAndUAF(t *testing.T) {
+	mod, info := load(t, `
+proc main() {
+  var x: int = 0;
+  begin with (ref x) {
+    writeln(x);
+  }
+}`)
+	// Force the racy schedule: main runs to completion first (index 0 is
+	// main at every decision), then the task.
+	r := Run(mod, info, Config{Trace: true, Policy: &replayPolicy{}})
+	log := strings.Join(r.Trace, "\n")
+	if !strings.Contains(log, "USE-AFTER-FREE x") {
+		t.Errorf("trace missing the UAF event:\n%s", log)
+	}
+
+	mod2, info2 := load(t, `
+proc main() {
+  var g$: sync bool;
+  begin {
+    g$ = true;
+  }
+  g$;
+}`)
+	r = Run(mod2, info2, Config{Trace: true, Policy: &replayPolicy{}})
+	log = strings.Join(r.Trace, "\n")
+	if !strings.Contains(log, "blocked on readFE(g$)") {
+		t.Errorf("trace missing the blocking event:\n%s", log)
+	}
+}
+
+// TestTraceOffByDefault: no events are collected unless asked for.
+func TestTraceOffByDefault(t *testing.T) {
+	mod, info := load(t, `proc main() { var x: int = 1; writeln(x); }`)
+	r := Run(mod, info, Config{})
+	if len(r.Trace) != 0 {
+		t.Errorf("trace collected without Config.Trace: %v", r.Trace)
+	}
+}

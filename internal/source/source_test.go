@@ -1,0 +1,147 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineColumn(t *testing.T) {
+	f := NewFile("t.chpl", "ab\ncde\n\nx")
+	cases := []struct {
+		pos  Pos
+		line int
+		col  int
+	}{
+		{0, 1, 1}, // 'a'
+		{1, 1, 2}, // 'b'
+		{2, 1, 3}, // '\n' belongs to line 1
+		{3, 2, 1}, // 'c'
+		{5, 2, 3}, // 'e'
+		{7, 3, 1}, // empty line
+		{8, 4, 1}, // 'x'
+	}
+	for _, c := range cases {
+		if got := f.Line(c.pos); got != c.line {
+			t.Errorf("Line(%d) = %d, want %d", c.pos, got, c.line)
+		}
+		if got := f.Column(c.pos); got != c.col {
+			t.Errorf("Column(%d) = %d, want %d", c.pos, got, c.col)
+		}
+	}
+	if f.NumLines() != 4 {
+		t.Errorf("NumLines = %d, want 4", f.NumLines())
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := NewFile("t", "first\nsecond\nthird")
+	if got := f.LineText(2); got != "second" {
+		t.Errorf("LineText(2) = %q", got)
+	}
+	if got := f.LineText(3); got != "third" {
+		t.Errorf("LineText(3) = %q", got)
+	}
+	if got := f.LineText(0); got != "" {
+		t.Errorf("LineText(0) = %q, want empty", got)
+	}
+	if got := f.LineText(99); got != "" {
+		t.Errorf("LineText(99) = %q, want empty", got)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	f := NewFile("a.chpl", "hello\nworld")
+	if got := f.Position(6); got != "a.chpl:2:1" {
+		t.Errorf("Position(6) = %q", got)
+	}
+	if got := f.Position(NoPos); got != "a.chpl:-" {
+		t.Errorf("Position(NoPos) = %q", got)
+	}
+}
+
+// Property: for every position in the file, the (line, column) pair maps
+// back to the same offset via the line-start index.
+func TestLineColumnRoundTripProperty(t *testing.T) {
+	f := NewFile("t", "alpha\nbeta gamma\n\n\ndelta\nx\n")
+	check := func(raw uint16) bool {
+		pos := Pos(int(raw) % len(f.Content))
+		line, col := f.Line(pos), f.Column(pos)
+		if line < 1 || col < 1 {
+			return false
+		}
+		// Reconstruct: offset of line start + (col-1) == pos.
+		lineStart := int(pos) - (col - 1)
+		if lineStart < 0 || lineStart > len(f.Content) {
+			return false
+		}
+		if lineStart > 0 && f.Content[lineStart-1] != '\n' {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpanCover(t *testing.T) {
+	a := Span{Start: 5, End: 10}
+	b := Span{Start: 2, End: 7}
+	c := a.Cover(b)
+	if c.Start != 2 || c.End != 10 {
+		t.Errorf("Cover = %+v", c)
+	}
+	if got := a.Cover(NoSpan); got != a {
+		t.Errorf("Cover(NoSpan) = %+v", got)
+	}
+	if got := NoSpan.Cover(a); got != a {
+		t.Errorf("NoSpan.Cover = %+v", got)
+	}
+}
+
+func TestDiagnosticsCountsAndSort(t *testing.T) {
+	f := NewFile("z.chpl", "one\ntwo\nthree\n")
+	var ds Diagnostics
+	ds.Addf(f, Span{Start: 8, End: 9}, Warning, "late")
+	ds.Addf(f, Span{Start: 0, End: 1}, Error, "early")
+	ds.Addf(f, Span{Start: 4, End: 5}, Note, "middle %d", 42)
+
+	if ds.Count(Warning) != 1 || ds.Count(Error) != 1 || ds.Count(Note) != 1 {
+		t.Fatalf("counts wrong: %d/%d/%d", ds.Count(Warning), ds.Count(Error), ds.Count(Note))
+	}
+	if !ds.HasErrors() {
+		t.Error("HasErrors = false")
+	}
+	ds.SortByPos()
+	all := ds.All()
+	if all[0].Message != "early" || all[1].Message != "middle 42" || all[2].Message != "late" {
+		t.Errorf("sort order wrong: %v", all)
+	}
+	out := ds.String()
+	if !strings.Contains(out, "z.chpl:1:1: error: early") {
+		t.Errorf("String() = %q", out)
+	}
+	if all[1].Line() != 2 {
+		t.Errorf("Line() = %d, want 2", all[1].Line())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Warning.String() != "warning" || Error.String() != "error" || Note.String() != "note" {
+		t.Error("severity strings wrong")
+	}
+	if Severity(99).String() == "" {
+		t.Error("unknown severity should render something")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := NewFile("empty", "")
+	if f.NumLines() != 1 {
+		t.Errorf("NumLines(empty) = %d", f.NumLines())
+	}
+	if f.Line(0) != 1 {
+		t.Errorf("Line(0) in empty file = %d", f.Line(0))
+	}
+}

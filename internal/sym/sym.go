@@ -1,0 +1,601 @@
+// Package sym performs name resolution and scope construction for
+// MiniChapel modules.
+//
+// The resolver produces the facts the paper's analysis consumes:
+//
+//   - a lexical scope tree in which procedure bodies, blocks, begin task
+//     bodies, sync blocks and loop bodies each open a scope;
+//   - a resolution map from every identifier use to its declaration;
+//   - classification of variables: plain, sync, single, atomic, config;
+//   - capture handling for begin-with clauses: `ref x` keeps uses bound to
+//     the outer variable, while `in x` introduces a task-local copy so all
+//     uses inside the task are provably safe (paper §I, Task C);
+//   - the set of nested procedures, which the lowering stage inlines at
+//     call sites to expose hidden outer-variable accesses (paper §III-A).
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/source"
+)
+
+// Kind classifies a symbol.
+type Kind int
+
+const (
+	// KindVar is an ordinary variable declaration.
+	KindVar Kind = iota
+	// KindConst is a const declaration.
+	KindConst
+	// KindConfig is a top-level config const: program lifetime, never an
+	// outer-variable hazard.
+	KindConfig
+	// KindParam is a procedure formal.
+	KindParam
+	// KindLoopVar is a for-loop induction variable.
+	KindLoopVar
+	// KindCopy is a task-local copy introduced by an `in` intent.
+	KindCopy
+	// KindProc is a procedure name.
+	KindProc
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindVar:
+		return "var"
+	case KindConst:
+		return "const"
+	case KindConfig:
+		return "config"
+	case KindParam:
+		return "param"
+	case KindLoopVar:
+		return "loopvar"
+	case KindCopy:
+		return "copy"
+	case KindProc:
+		return "proc"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Symbol is one declared name.
+type Symbol struct {
+	ID    int
+	Name  string
+	Kind  Kind
+	Type  ast.Type
+	Decl  ast.Node // *ast.VarDecl, *ast.ProcDecl, begin stmt (for copies), ...
+	Scope *Scope   // declaring scope
+	// ByRef marks a formal declared `ref name: T`.
+	ByRef bool
+	// Origin links an `in`-intent copy to the outer variable it copies.
+	Origin *Symbol
+	// Proc is set for KindProc symbols.
+	Proc *ast.ProcDecl
+}
+
+// IsSyncVar reports whether the symbol is a sync or single variable —
+// the point-to-point synchronization primitives the analysis models.
+func (s *Symbol) IsSyncVar() bool {
+	return s.Type.Qual == ast.QualSync || s.Type.Qual == ast.QualSingle
+}
+
+// IsAtomic reports whether the symbol is an atomic variable.
+func (s *Symbol) IsAtomic() bool { return s.Type.Qual == ast.QualAtomic }
+
+// String renders the symbol for diagnostics.
+func (s *Symbol) String() string {
+	return fmt.Sprintf("%s %s#%d", s.Kind, s.Name, s.ID)
+}
+
+// ScopeKind classifies what opened a scope.
+type ScopeKind int
+
+const (
+	// ScopeModule is the file-level scope holding configs and procs.
+	ScopeModule ScopeKind = iota
+	// ScopeProc is a procedure body.
+	ScopeProc
+	// ScopeBlock is a plain block or branch arm.
+	ScopeBlock
+	// ScopeBegin is a begin task body — the task boundary for
+	// outer-variable classification.
+	ScopeBegin
+	// ScopeSync is a sync { } block.
+	ScopeSync
+	// ScopeLoop is a while/for body.
+	ScopeLoop
+)
+
+// String implements fmt.Stringer.
+func (k ScopeKind) String() string {
+	switch k {
+	case ScopeModule:
+		return "module"
+	case ScopeProc:
+		return "proc"
+	case ScopeBlock:
+		return "block"
+	case ScopeBegin:
+		return "begin"
+	case ScopeSync:
+		return "sync"
+	case ScopeLoop:
+		return "loop"
+	}
+	return fmt.Sprintf("scope(%d)", int(k))
+}
+
+// Scope is one lexical scope.
+type Scope struct {
+	ID       int
+	Kind     ScopeKind
+	Parent   *Scope
+	Children []*Scope
+	Node     ast.Node // the AST node that opened the scope
+	names    map[string]*Symbol
+	ordered  []*Symbol
+}
+
+// Lookup resolves name in this scope or any ancestor; nil if unknown.
+func (sc *Scope) Lookup(name string) *Symbol {
+	for s := sc; s != nil; s = s.Parent {
+		if sym, ok := s.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+// LookupLocal resolves name in this scope only.
+func (sc *Scope) LookupLocal(name string) *Symbol {
+	return sc.names[name]
+}
+
+// Symbols returns the scope's symbols in declaration order.
+func (sc *Scope) Symbols() []*Symbol { return sc.ordered }
+
+// EnclosingBegin returns the nearest enclosing begin scope (possibly sc
+// itself), or nil when sc is outside any task.
+func (sc *Scope) EnclosingBegin() *Scope {
+	for s := sc; s != nil; s = s.Parent {
+		if s.Kind == ScopeBegin {
+			return s
+		}
+	}
+	return nil
+}
+
+// EnclosingProc returns the nearest enclosing proc scope.
+func (sc *Scope) EnclosingProc() *Scope {
+	for s := sc; s != nil; s = s.Parent {
+		if s.Kind == ScopeProc {
+			return s
+		}
+	}
+	return nil
+}
+
+// TaskDistance counts the begin boundaries crossed walking from sc up to
+// target (the declaring scope). A positive distance means an access in sc
+// to a variable of target is an outer-variable access (paper §I).
+// target must be an ancestor of sc (or sc itself); otherwise -1.
+func (sc *Scope) TaskDistance(target *Scope) int {
+	n := 0
+	for s := sc; s != nil; s = s.Parent {
+		if s == target {
+			return n
+		}
+		if s.Kind == ScopeBegin {
+			n++
+		}
+	}
+	return -1
+}
+
+// Path renders the scope chain for debugging, e.g. "module/proc/begin".
+func (sc *Scope) Path() string {
+	var parts []string
+	for s := sc; s != nil; s = s.Parent {
+		parts = append(parts, s.Kind.String())
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// SyncOpKind classifies a resolved synchronization operation.
+type SyncOpKind int
+
+const (
+	// OpNone marks a non-synchronizing method (or plain access).
+	OpNone SyncOpKind = iota
+	// OpReadFE is the blocking full→empty read on a sync variable.
+	OpReadFE
+	// OpReadFF is the blocking full-retaining read on a single variable.
+	OpReadFF
+	// OpWriteEF is the blocking empty→full write on sync/single.
+	OpWriteEF
+	// OpAtomicRead is a non-blocking atomic read.
+	OpAtomicRead
+	// OpAtomicWrite is a non-blocking atomic write (incl. fetchAdd etc.).
+	OpAtomicWrite
+	// OpAtomicWait is waitFor: a spin until the atomic holds the target
+	// value. The optional atomics extension (§IV-A sketch, §VII future
+	// work) models it as a SINGLE-READ-like wait-until-full event.
+	OpAtomicWait
+)
+
+// String returns the Chapel method name of the operation.
+func (k SyncOpKind) String() string {
+	switch k {
+	case OpNone:
+		return "none"
+	case OpReadFE:
+		return "readFE"
+	case OpReadFF:
+		return "readFF"
+	case OpWriteEF:
+		return "writeEF"
+	case OpAtomicRead:
+		return "read"
+	case OpAtomicWrite:
+		return "write"
+	case OpAtomicWait:
+		return "waitFor"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Blocking reports whether the operation can block the executing task.
+func (k SyncOpKind) Blocking() bool {
+	switch k {
+	case OpReadFE, OpReadFF, OpWriteEF:
+		return true
+	}
+	return false
+}
+
+// Info is the resolver output for one module.
+type Info struct {
+	Module *ast.Module
+	// Uses maps every resolved identifier use to its symbol.
+	Uses map[*ast.Ident]*Symbol
+	// Decls maps declaration nodes to the symbol they introduce.
+	Decls map[ast.Node]*Symbol
+	// ScopeOf maps scope-opening nodes (module handled separately) to
+	// their scope: *ast.ProcDecl, *ast.BlockStmt of begin/sync/branch...
+	ScopeOf map[ast.Node]*Scope
+	// MethodOps classifies every method call that is a sync/atomic op.
+	MethodOps map[*ast.MethodCallExpr]SyncOpKind
+	// ModuleScope is the root scope.
+	ModuleScope *Scope
+	// ProcSyms maps proc name symbols (both top-level and nested).
+	ProcSyms map[*ast.ProcDecl]*Symbol
+	// CopyFor maps (begin, outer symbol) pairs to the in-intent copy.
+	CopyFor map[*ast.BeginStmt]map[*Symbol]*Symbol
+
+	nextSymID   int
+	nextScopeID int
+	diags       *source.Diagnostics
+	file        *source.File
+}
+
+// Resolve runs name resolution over the module. Errors are appended to
+// diags; resolution is best-effort so later stages can still run on
+// partially-broken corpus inputs.
+func Resolve(m *ast.Module, diags *source.Diagnostics) *Info {
+	info := &Info{
+		Module:    m,
+		Uses:      make(map[*ast.Ident]*Symbol),
+		Decls:     make(map[ast.Node]*Symbol),
+		ScopeOf:   make(map[ast.Node]*Scope),
+		MethodOps: make(map[*ast.MethodCallExpr]SyncOpKind),
+		ProcSyms:  make(map[*ast.ProcDecl]*Symbol),
+		CopyFor:   make(map[*ast.BeginStmt]map[*Symbol]*Symbol),
+		diags:     diags,
+		file:      m.File,
+	}
+	root := info.newScope(ScopeModule, nil, m)
+	info.ModuleScope = root
+
+	for _, cfg := range m.Configs {
+		sym := info.declare(root, cfg.Name, KindConfig, cfg.Type, cfg)
+		if cfg.Init != nil {
+			info.expr(root, cfg.Init)
+		}
+		_ = sym
+	}
+	// Two passes over procs so mutually-referencing top-level procs
+	// resolve regardless of order.
+	for _, p := range m.Procs {
+		ps := info.declare(root, p.Name, KindProc, p.Ret, p)
+		ps.Proc = p
+		info.ProcSyms[p] = ps
+	}
+	for _, p := range m.Procs {
+		info.proc(root, p)
+	}
+	return info
+}
+
+func (in *Info) newScope(kind ScopeKind, parent *Scope, node ast.Node) *Scope {
+	sc := &Scope{ID: in.nextScopeID, Kind: kind, Parent: parent, Node: node,
+		names: make(map[string]*Symbol)}
+	in.nextScopeID++
+	if parent != nil {
+		parent.Children = append(parent.Children, sc)
+	}
+	if node != nil {
+		in.ScopeOf[node] = sc
+	}
+	return sc
+}
+
+func (in *Info) declare(sc *Scope, name *ast.Ident, kind Kind, typ ast.Type, decl ast.Node) *Symbol {
+	if prev := sc.LookupLocal(name.Name); prev != nil {
+		in.diags.Addf(in.file, name.Sp, source.Error,
+			"%s redeclared in this scope (previous declaration as %s)", name.Name, prev.Kind)
+	}
+	sym := &Symbol{ID: in.nextSymID, Name: name.Name, Kind: kind, Type: typ,
+		Decl: decl, Scope: sc}
+	in.nextSymID++
+	sc.names[name.Name] = sym
+	sc.ordered = append(sc.ordered, sym)
+	in.Decls[decl] = sym
+	in.Uses[name] = sym
+	return sym
+}
+
+func (in *Info) proc(parent *Scope, p *ast.ProcDecl) {
+	sc := in.newScope(ScopeProc, parent, p)
+	for _, prm := range p.Params {
+		s := in.declare(sc, prm.Name, KindParam, prm.Type, prm.Name)
+		s.ByRef = prm.ByRef
+	}
+	in.stmts(sc, p.Body.Stmts)
+	// Register the body block's scope as the proc scope so span lookups
+	// through either node agree.
+	in.ScopeOf[p.Body] = sc
+}
+
+func (in *Info) block(parent *Scope, kind ScopeKind, node ast.Node, b *ast.BlockStmt) *Scope {
+	sc := in.newScope(kind, parent, node)
+	if node != b {
+		in.ScopeOf[b] = sc
+	}
+	in.stmts(sc, b.Stmts)
+	return sc
+}
+
+func (in *Info) stmts(sc *Scope, list []ast.Stmt) {
+	// Pre-declare nested procs in the scope so calls before the lexical
+	// definition resolve (Chapel allows forward use within a scope).
+	for _, s := range list {
+		if ps, ok := s.(*ast.ProcStmt); ok {
+			sym := in.declare(sc, ps.Proc.Name, KindProc, ps.Proc.Ret, ps.Proc)
+			sym.Proc = ps.Proc
+			in.ProcSyms[ps.Proc] = sym
+		}
+	}
+	for _, s := range list {
+		in.stmt(sc, s)
+	}
+}
+
+func (in *Info) stmt(sc *Scope, s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		if x.Init != nil {
+			in.expr(sc, x.Init)
+		}
+		kind := KindVar
+		if x.Const {
+			kind = KindConst
+		}
+		if x.Config {
+			kind = KindConfig
+		}
+		in.declare(sc, x.Name, kind, x.Type, x)
+	case *ast.AssignStmt:
+		in.expr(sc, x.Rhs)
+		in.useIdent(sc, x.Lhs)
+	case *ast.IncDecStmt:
+		in.useIdent(sc, x.X)
+	case *ast.ExprStmt:
+		in.expr(sc, x.X)
+	case *ast.CallStmt:
+		in.expr(sc, x.X)
+	case *ast.BeginStmt:
+		in.begin(sc, x)
+	case *ast.SyncStmt:
+		in.block(sc, ScopeSync, x, x.Body)
+	case *ast.IfStmt:
+		in.expr(sc, x.Cond)
+		in.block(sc, ScopeBlock, x.Then, x.Then)
+		if x.Else != nil {
+			in.block(sc, ScopeBlock, x.Else, x.Else)
+		}
+	case *ast.WhileStmt:
+		in.expr(sc, x.Cond)
+		in.block(sc, ScopeLoop, x, x.Body)
+	case *ast.ForStmt:
+		in.expr(sc, x.Range.Lo)
+		in.expr(sc, x.Range.Hi)
+		loop := in.newScope(ScopeLoop, sc, x)
+		in.ScopeOf[x.Body] = loop
+		in.declare(loop, x.Var, KindLoopVar, ast.Type{Kind: ast.TypeInt}, x.Var)
+		in.stmts(loop, x.Body.Stmts)
+	case *ast.ReturnStmt:
+		if x.Value != nil {
+			in.expr(sc, x.Value)
+		}
+	case *ast.BlockStmt:
+		in.block(sc, ScopeBlock, x, x)
+	case *ast.ProcStmt:
+		// Symbol already declared by stmts pre-pass; resolve the body in
+		// a child scope of the *defining* scope — Chapel nested functions
+		// see the live variables of the parent procedure (paper §I).
+		in.proc(sc, x.Proc)
+	}
+}
+
+func (in *Info) begin(sc *Scope, b *ast.BeginStmt) {
+	task := in.newScope(ScopeBegin, sc, b)
+	in.ScopeOf[b.Body] = task
+	copies := make(map[*Symbol]*Symbol)
+	for _, w := range b.With {
+		outer := sc.Lookup(w.Name.Name)
+		if outer == nil {
+			in.diags.Addf(in.file, w.Name.Sp, source.Error,
+				"with-clause names unknown variable %q", w.Name.Name)
+			continue
+		}
+		in.Uses[w.Name] = outer
+		if outer.IsSyncVar() {
+			in.diags.Addf(in.file, w.Name.Sp, source.Note,
+				"sync/single variable %q is universally visible; the with-clause is redundant", w.Name.Name)
+			continue
+		}
+		if w.Intent == ast.IntentIn {
+			// Introduce a task-local copy shadowing the outer variable:
+			// every use inside the task binds to the copy, making the
+			// accesses safe by construction (paper §I, Task C).
+			cp := &Symbol{ID: in.nextSymID, Name: outer.Name, Kind: KindCopy,
+				Type: outer.Type, Decl: b, Scope: task, Origin: outer}
+			in.nextSymID++
+			task.names[outer.Name] = cp
+			task.ordered = append(task.ordered, cp)
+			copies[outer] = cp
+		}
+		// ref intent: uses keep resolving to the outer symbol through
+		// ordinary lexical lookup; nothing to declare.
+	}
+	if len(copies) > 0 {
+		in.CopyFor[b] = copies
+	}
+	in.stmts(task, b.Body.Stmts)
+}
+
+func (in *Info) useIdent(sc *Scope, id *ast.Ident) *Symbol {
+	sym := sc.Lookup(id.Name)
+	if sym == nil {
+		in.diags.Addf(in.file, id.Sp, source.Error, "undefined: %s", id.Name)
+		return nil
+	}
+	in.Uses[id] = sym
+	return sym
+}
+
+// Builtins accepted in call position.
+var builtins = map[string]bool{
+	"writeln": true,
+	"write":   true,
+	"assert":  true,
+	"sleep":   true, // models a compute delay; no concurrency semantics
+}
+
+// IsBuiltin reports whether name is a MiniChapel builtin procedure.
+func IsBuiltin(name string) bool { return builtins[name] }
+
+func (in *Info) expr(sc *Scope, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		in.useIdent(sc, x)
+	case *ast.BinaryExpr:
+		in.expr(sc, x.X)
+		in.expr(sc, x.Y)
+	case *ast.UnaryExpr:
+		in.expr(sc, x.X)
+	case *ast.RangeExpr:
+		in.expr(sc, x.Lo)
+		in.expr(sc, x.Hi)
+	case *ast.CallExpr:
+		if !IsBuiltin(x.Fun.Name) {
+			sym := sc.Lookup(x.Fun.Name)
+			if sym == nil || sym.Kind != KindProc {
+				in.diags.Addf(in.file, x.Fun.Sp, source.Error,
+					"call to undefined procedure %q", x.Fun.Name)
+			} else {
+				in.Uses[x.Fun] = sym
+			}
+		}
+		for _, a := range x.Args {
+			in.expr(sc, a)
+		}
+	case *ast.MethodCallExpr:
+		recv := in.useIdent(sc, x.Recv)
+		for _, a := range x.Args {
+			in.expr(sc, a)
+		}
+		in.classifyMethod(sc, x, recv)
+	case *ast.IntLit, *ast.BoolLit, *ast.StringLit:
+		// Leaves.
+	}
+}
+
+func (in *Info) classifyMethod(sc *Scope, call *ast.MethodCallExpr, recv *Symbol) {
+	if recv == nil {
+		return
+	}
+	op := OpNone
+	switch {
+	case recv.Type.Qual == ast.QualSync:
+		switch call.Method {
+		case "readFE":
+			op = OpReadFE
+		case "writeEF", "writeXF":
+			op = OpWriteEF
+		case "reset", "isFull":
+			op = OpNone
+		default:
+			in.diags.Addf(in.file, call.Sp, source.Error,
+				"sync variable %s has no method %q", recv.Name, call.Method)
+		}
+	case recv.Type.Qual == ast.QualSingle:
+		switch call.Method {
+		case "readFF":
+			op = OpReadFF
+		case "writeEF":
+			op = OpWriteEF
+		case "isFull":
+			op = OpNone
+		default:
+			in.diags.Addf(in.file, call.Sp, source.Error,
+				"single variable %s has no method %q", recv.Name, call.Method)
+		}
+	case recv.Type.Qual == ast.QualAtomic:
+		switch call.Method {
+		case "read":
+			op = OpAtomicRead
+		case "write", "add", "sub", "fetchAdd", "fetchSub", "compareExchange":
+			op = OpAtomicWrite
+		case "waitFor":
+			// waitFor spins until the atomic holds a value. The default
+			// analysis ignores it (§IV-A); the atomics extension models
+			// it as a wait-until-full event.
+			op = OpAtomicWait
+		default:
+			in.diags.Addf(in.file, call.Sp, source.Error,
+				"atomic variable %s has no method %q", recv.Name, call.Method)
+		}
+	default:
+		in.diags.Addf(in.file, call.Sp, source.Error,
+			"%s is not a sync, single or atomic variable; method call %q is invalid",
+			recv.Name, call.Method)
+	}
+	in.MethodOps[call] = op
+}
+
+// SymbolOf returns the resolved symbol of an identifier use, or nil.
+func (in *Info) SymbolOf(id *ast.Ident) *Symbol { return in.Uses[id] }
+
+// ScopeFor returns the scope opened by node, or nil.
+func (in *Info) ScopeFor(node ast.Node) *Scope { return in.ScopeOf[node] }

@@ -1,0 +1,99 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"proc":   KwProc,
+		"var":    KwVar,
+		"begin":  KwBegin,
+		"sync":   KwSync,
+		"single": KwSingle,
+		"atomic": KwAtomic,
+		"with":   KwWith,
+		"ref":    KwRef,
+		"in":     KwIn,
+		"if":     KwIf,
+		"else":   KwElse,
+		"while":  KwWhile,
+		"for":    KwFor,
+		"return": KwReturn,
+		"config": KwConfig,
+		"const":  KwConst,
+		"int":    KwInt,
+		"bool":   KwBool,
+		"string": KwString,
+		"void":   KwVoid,
+		"true":   BoolLit,
+		"false":  BoolLit,
+		"x":      Ident,
+		"doneA$": Ident,
+		"begins": Ident, // prefix of keyword is still an identifier
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !KwProc.IsKeyword() || !KwVoid.IsKeyword() {
+		t.Error("keyword kinds not recognized")
+	}
+	for _, k := range []Kind{Ident, IntLit, Plus, EOF, LBrace} {
+		if k.IsKeyword() {
+			t.Errorf("%v wrongly classified as keyword", k)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// || < && < comparisons < range < additive < multiplicative
+	chain := [][]Kind{
+		{OrOr},
+		{AndAnd},
+		{Eq, NotEq, Lt, LtEq, Gt, GtEq},
+		{DotDot},
+		{Plus, Minus},
+		{Star, Slash, Percent},
+	}
+	prev := 0
+	for _, level := range chain {
+		p := level[0].Precedence()
+		if p <= prev {
+			t.Errorf("precedence level %v = %d, not greater than %d", level, p, prev)
+		}
+		for _, k := range level {
+			if k.Precedence() != p {
+				t.Errorf("%v precedence %d != level %d", k, k.Precedence(), p)
+			}
+		}
+		prev = p
+	}
+	for _, k := range []Kind{Assign, Not, LParen, Ident, KwIf} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v should have no binary precedence", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KwBegin.String() != "begin" || Plus.String() != "+" || DotDot.String() != ".." {
+		t.Error("kind spellings wrong")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "doneA$"}
+	if tok.String() != `IDENT("doneA$")` {
+		t.Errorf("Token.String() = %q", tok.String())
+	}
+	op := Token{Kind: PlusEq}
+	if op.String() != "+=" {
+		t.Errorf("op String() = %q", op.String())
+	}
+}

@@ -1,0 +1,25 @@
+// Figure 1 of the paper: three tasks with outer-variable accesses.
+// The access of x inside TASK B (writeln(x) below) is potentially
+// dangerous: no wait chain connects TASK B back to the parent.
+proc outerVarUse() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) { // TASK A
+    // safe access
+    writeln(x);
+    x += 1;
+    var doneB$: sync bool;
+    begin with (ref x) { // TASK B
+      // potentially dangerous access
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x); // safe: parent waits for line "doneA$ = true"
+    doneA$ = true;
+    doneB$;
+  }
+  doneA$;
+  begin with (in x) { // TASK C
+    writeln(x);
+  }
+}

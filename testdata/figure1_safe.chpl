@@ -1,0 +1,22 @@
+// Figure 1 variant discussed in §I: lines 14 and 15 swapped, creating the
+// wait chain TASK B -> TASK A -> parent. All accesses of x become safe.
+proc outerVarUseSafe() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) { // TASK A
+    writeln(x);
+    x += 1;
+    var doneB$: sync bool;
+    begin with (ref x) { // TASK B
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneB$;        // swapped: wait for TASK B first,
+    doneA$ = true; // then release the parent
+  }
+  doneA$;
+  begin with (in x) { // TASK C
+    writeln(x);
+  }
+}

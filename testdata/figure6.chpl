@@ -1,0 +1,21 @@
+// Figure 6 of the paper: a branch inside a begin task. If the flag is
+// true, TASK B is created and its access of x may be dangerous: done$ may
+// be consumed by the parent before TASK B writes it.
+config const flag = true;
+proc multipleUse() {
+  var x: int = 10;
+  var done$: sync bool;
+  // Task A
+  begin with (ref x) {
+    if (flag) {
+      // Task B
+      begin with (ref x) {
+        writeln(x);
+        done$ = true;
+        done$;
+      }
+    }
+    done$ = true;
+  }
+  done$;
+}

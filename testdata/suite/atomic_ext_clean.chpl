@@ -1,0 +1,13 @@
+// options: model-atomics
+// expect: clean
+// The same handshake as atomic_fp.chpl, analyzed under the §VII
+// extension: the fill/waitFor pair is now modelled and proven safe.
+proc atomicGuardExt() {
+  var buf: int = 0;
+  var flag: atomic int;
+  begin with (ref buf) {
+    buf = 9;
+    flag.write(1);
+  }
+  flag.waitFor(1);
+}

@@ -1,0 +1,13 @@
+// expect: warning buf TASK A never-synchronized
+// Dynamically safe (the parent spins on waitFor) but flagged: atomics
+// are outside the default analysis (§IV-A) — the canonical Table I
+// false positive.
+proc atomicGuard() {
+  var buf: int = 0;
+  var flag: atomic int;
+  begin with (ref buf) {
+    buf = 9;
+    flag.write(1);
+  }
+  flag.waitFor(1);
+}

@@ -1,0 +1,9 @@
+// expect: warning acc TASK A never-synchronized
+// Compound assignments and inc/dec are reads AND writes of the outer
+// location; the site is reported once per line.
+proc compound() {
+  var acc: int = 1;
+  begin with (ref acc) {
+    acc += 2;
+  }
+}

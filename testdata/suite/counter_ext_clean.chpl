@@ -1,0 +1,18 @@
+// options: count-atomics
+// expect: clean
+// A counting protocol, provable only under the counting refinement:
+// waitFor(2) fires after BOTH fetchAdds.
+proc counterExt() {
+  var a: int = 1;
+  var b: int = 1;
+  var c: atomic int;
+  begin with (ref a) {
+    a = 2;
+    c.fetchAdd(1);
+  }
+  begin with (ref b) {
+    b = 2;
+    c.fetchAdd(1);
+  }
+  c.waitFor(2);
+}

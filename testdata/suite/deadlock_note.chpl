@@ -1,0 +1,13 @@
+// expect: note potential deadlock
+// expect: warning x TASK A never-synchronized
+// Nobody ever fills go$: the task blocks forever and its access can
+// never be ordered before the parent's exit.
+proc stuckTask() {
+  var x: int = 1;
+  var go$: sync bool;
+  begin with (ref x) {
+    go$;
+    x = 2;
+  }
+  writeln("parent leaves");
+}

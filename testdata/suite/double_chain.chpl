@@ -1,0 +1,17 @@
+// expect: clean
+// Figure 1's swapped-wait variant: the full wait chain B -> A -> parent.
+proc doubleChain() {
+  var x: int = 1;
+  var a$: sync bool;
+  begin with (ref x) {
+    var b$: sync bool;
+    begin with (ref x) {
+      x = x * 2;
+      b$ = true;
+    }
+    b$;
+    a$ = true;
+  }
+  a$;
+  writeln(x);
+}

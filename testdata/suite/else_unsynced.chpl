@@ -1,0 +1,16 @@
+// expect: warning x TASK A after-frontier
+// The parent only waits on the if path; the else path can exit first.
+config const cond = true;
+proc branchWait() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    x = 2;
+    done$ = true;
+  }
+  if (cond) {
+    done$;
+  } else {
+    writeln("skipped the wait");
+  }
+}

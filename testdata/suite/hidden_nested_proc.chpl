@@ -1,0 +1,12 @@
+// expect: warning counter TASK A never-synchronized
+// The nested procedure's access is exposed by inlining (§III-A) even
+// though 'counter' never appears in a with-clause.
+proc hidden() {
+  var counter: int = 0;
+  proc bump() {
+    counter = counter + 1;
+  }
+  begin {
+    bump();
+  }
+}

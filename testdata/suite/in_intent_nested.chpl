@@ -1,0 +1,11 @@
+// expect: warning x TASK B never-synchronized
+// The in-intent copy belongs to TASK A; the nested task captures the
+// COPY by reference and can outlive TASK A.
+proc copyLeak() {
+  var x: int = 1;
+  begin with (in x) {
+    begin with (ref x) {
+      writeln(x);
+    }
+  }
+}

@@ -1,0 +1,14 @@
+// expect: clean
+// An explicitly initialized sync variable starts full (§II): the task's
+// readFE succeeds without a writer.
+proc gateKeeper() {
+  var x: int = 5;
+  var gate$: sync bool = true;
+  var done$: sync bool;
+  begin with (ref x) {
+    gate$;
+    x = 6;
+    done$ = true;
+  }
+  done$;
+}

@@ -1,0 +1,12 @@
+// expect: warning base TASK A never-synchronized
+// The nested procedure is inlined even when called in expression
+// position; its hidden read of 'base' surfaces in the task.
+proc exprCall() {
+  var base: int = 10;
+  proc scaled(k: int): int {
+    return base * k;
+  }
+  begin {
+    writeln(scaled(3));
+  }
+}

@@ -1,0 +1,14 @@
+// expect: warning tmp TASK B never-synchronized
+// The variable belongs to TASK A; the nested task can outlive it even
+// though TASK A synchronizes with the parent.
+proc innerLeak() {
+  var done$: sync bool;
+  begin {
+    var tmp: int = 7;
+    begin with (ref tmp) {
+      writeln(tmp);
+    }
+    done$ = true;
+  }
+  done$;
+}

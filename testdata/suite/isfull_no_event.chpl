@@ -1,0 +1,12 @@
+// expect: warning x TASK A after-frontier
+// isFull is not a synchronization event: polling it establishes no
+// ordering, so the access stays dangerous.
+proc polling() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    writeln(x);
+    done$ = true;
+  }
+  writeln(done$.isFull());
+}

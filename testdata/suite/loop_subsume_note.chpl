@@ -1,0 +1,16 @@
+// expect: note subsumes the loop
+// expect: warning x TASK A never-synchronized
+// A loop containing a begin is out of scope (§IV-A): the loop collapses
+// and the analysis stays conservative about the surviving access.
+proc loopTask() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    while (x < 3) {
+      x = x + 1;
+      done$ = true;
+    }
+    writeln(x);
+  }
+  done$;
+}

@@ -1,0 +1,15 @@
+// expect: clean
+// The for-loop induction variable is task-local; iterating inside the
+// task touches no outer state.
+proc loopLocal() {
+  var total: int = 0;
+  var done$: sync bool;
+  begin with (ref total) {
+    for i in 1..4 {
+      total += i;
+    }
+    done$ = true;
+  }
+  done$;
+  writeln(total);
+}

@@ -1,0 +1,13 @@
+// options: no-prune
+// expect: clean
+// Pruning disabled: the sync-block-protected task is explored instead of
+// pruned, and the verdict must not change (§III-A correctness claim).
+proc unpruned() {
+  var x: int = 1;
+  sync {
+    begin with (ref x) {
+      x = 2;
+    }
+  }
+  writeln(x);
+}

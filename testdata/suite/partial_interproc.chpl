@@ -1,0 +1,16 @@
+// expect: clean
+// helper() is a TOP-LEVEL procedure: the partial inter-procedural
+// analysis treats the call as opaque (§III), and helper itself contains
+// no begin so it is never analyzed.
+proc helper(v: int): int {
+  return v * 2;
+}
+proc caller() {
+  var x: int = 3;
+  var done$: sync bool;
+  begin with (ref x) {
+    x = helper(x);
+    done$ = true;
+  }
+  done$;
+}

@@ -1,0 +1,14 @@
+// expect: warning depth TASK A never-synchronized
+// expect: note recursive nested procedure
+// Recursive nested procedures stop inlining with a note (§III-A); the
+// one inlined copy still reveals the dangerous access.
+proc recurse() {
+  var depth: int = 0;
+  proc dive() {
+    depth = depth + 1;
+    dive();
+  }
+  begin {
+    dive();
+  }
+}

@@ -1,0 +1,16 @@
+// expect: clean
+// entry: driver
+// The synced-scope list (§III-A): every call site of the worker is
+// enclosed in a sync block, so the by-ref parameter is safe.
+proc fill(ref buf: int) {
+  begin {
+    buf = 42;
+  }
+}
+proc driver() {
+  var data: int = 0;
+  sync {
+    fill(data);
+  }
+  writeln(data);
+}

@@ -1,0 +1,16 @@
+// expect: warning buf TASK A never-synchronized
+// One call site escapes the sync discipline: the ref-param accesses are
+// no longer structurally safe.
+proc fill2(ref buf: int) {
+  begin {
+    buf = 42;
+  }
+}
+proc driver2() {
+  var data: int = 0;
+  sync {
+    fill2(data);
+  }
+  fill2(data);
+  writeln(data);
+}

@@ -1,0 +1,11 @@
+// expect: clean
+// The task declares its own x: the inner accesses bind to the task-local
+// variable, not the outer one.
+proc shadow() {
+  var x: int = 1;
+  begin {
+    var x: int = 99;
+    x = x + 1;
+    writeln(x);
+  }
+}

@@ -1,0 +1,23 @@
+// expect: clean
+// A single variable broadcast: both workers block on readFF, the parent
+// fills once, and each worker signals its own completion token.
+proc broadcast() {
+  var x: int = 1;
+  var y: int = 1;
+  var go$: single bool;
+  var dx$: sync bool;
+  var dy$: sync bool;
+  begin with (ref x) {
+    go$.readFF();
+    x = x + 1;
+    dx$ = true;
+  }
+  begin with (ref y) {
+    go$.readFF();
+    y = y + 1;
+    dy$ = true;
+  }
+  go$.writeEF(true);
+  dx$;
+  dy$;
+}

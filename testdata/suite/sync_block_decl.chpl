@@ -1,0 +1,14 @@
+// expect: clean
+// A variable declared inside the sync block outlives the fence: tasks in
+// the block may use it freely.
+proc fenceLocal() {
+  sync {
+    var acc: int = 0;
+    begin with (ref acc) {
+      acc = acc + 1;
+    }
+    begin with (ref acc) {
+      acc = acc + 2;
+    }
+  }
+}

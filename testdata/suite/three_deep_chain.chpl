@@ -1,0 +1,22 @@
+// expect: clean
+// Three levels of nesting with a complete wait chain C -> B -> A -> parent.
+proc deepChain() {
+  var x: int = 1;
+  var a$: sync bool;
+  begin with (ref x) {
+    var b$: sync bool;
+    begin with (ref x) {
+      var c$: sync bool;
+      begin with (ref x) {
+        x = x + 1;
+        c$ = true;
+      }
+      c$;
+      b$ = true;
+    }
+    b$;
+    a$ = true;
+  }
+  a$;
+  writeln(x);
+}

@@ -1,0 +1,13 @@
+// expect: warning x TASK A never-synchronized
+// The write after the task's last sync event cannot be ordered before
+// the parent's exit.
+proc trailing() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    x = 2;
+    done$ = true;
+    x = 3;
+  }
+  done$;
+}

@@ -1,0 +1,19 @@
+// expect: clean
+// One token per task, both consumed before scope end.
+proc twoTokens() {
+  var x: int = 1;
+  var y: int = 2;
+  var dx$: sync bool;
+  var dy$: sync bool;
+  begin with (ref x) {
+    x = 10;
+    dx$ = true;
+  }
+  begin with (ref y) {
+    y = 20;
+    dy$ = true;
+  }
+  dx$;
+  dy$;
+  writeln(x + y);
+}

@@ -1,0 +1,11 @@
+// expect: warning a TASK A never-synchronized
+// expect: warning b TASK A never-synchronized
+// Both captured variables are endangered by the same unsynchronized task.
+proc twoVars() {
+  var a: int = 1;
+  var b: int = 2;
+  begin with (ref a, ref b) {
+    a = a + b;
+    b = 0;
+  }
+}

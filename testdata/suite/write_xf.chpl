@@ -1,0 +1,11 @@
+// expect: clean
+// writeXF is an unconditional fill; the wait chain still holds.
+proc xfWrite() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    x = 2;
+    done$.writeXF(true);
+  }
+  done$;
+}

@@ -1,0 +1,486 @@
+// Package uafcheck identifies potential use-after-free accesses of outer
+// variables in fire-and-forget (begin) tasks of MiniChapel programs — a
+// from-scratch reproduction of "Identifying Use-After-Free Variables in
+// Fire-and-Forget Tasks" (Krishna & Litvinov, IPPS 2017).
+//
+// The package exposes the full pipeline of the paper:
+//
+//   - Analyze runs the compile-time pass: parse → resolve → lower (with
+//     nested-procedure inlining) → Concurrent Control Flow Graph → prune
+//     (rules A-D) → Parallel Program State exploration → warnings.
+//   - CCFGText / CCFGDot / PPSTrace expose the intermediate artifacts the
+//     paper draws in Figures 2, 3 and 7.
+//   - ExploreSchedules runs the dynamic oracle: a task-parallel
+//     interpreter with real sync-variable semantics and scope-lifetime
+//     tracking, driven by seeded random or exhaustive schedulers.
+//   - GenerateCorpus / RunTableI regenerate the paper's evaluation
+//     (Table I) on a synthetic Chapel-1.11-style test suite.
+//
+// Quick start:
+//
+//	report, err := uafcheck.Analyze("prog.chpl", src)
+//	if err != nil { ... }
+//	for _, w := range report.Warnings {
+//	    fmt.Println(w)
+//	}
+package uafcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/corpus"
+	"uafcheck/internal/eval"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/repair"
+	"uafcheck/internal/runtime"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// Options configure the static analysis.
+type Options struct {
+	// Prune applies the paper's CCFG pruning rules A-D. Default true.
+	Prune bool
+	// MaxStates bounds the PPS exploration (0 = library default).
+	MaxStates int
+	// Trace records the PPS table (see Report.PPSTraces).
+	Trace bool
+	// DisableMerge turns off the identical-(ASN, state-table) merge
+	// optimization of §III-C — exposed for the ablation benchmarks.
+	DisableMerge bool
+	// ModelAtomics enables the paper's future-work atomics extension:
+	// atomic writes become non-blocking fill events and waitFor becomes a
+	// SINGLE-READ-like wait (§IV-A sketch). With it on, atomic-handshake
+	// programs are proven safe instead of producing false positives.
+	ModelAtomics bool
+	// CountAtomics (implies ModelAtomics) refines the extension further:
+	// atomic variables used only monotonically become saturating
+	// counters, so counting protocols (n fetchAdds before a waitFor(n))
+	// verify as well.
+	CountAtomics bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{Prune: true} }
+
+func (o Options) internal() analysis.Options {
+	return analysis.Options{
+		Prune:        o.Prune,
+		ModelAtomics: o.ModelAtomics || o.CountAtomics,
+		CountAtomics: o.CountAtomics,
+		PPS: pps.Options{
+			MaxStates:    o.MaxStates,
+			Trace:        o.Trace,
+			DisableMerge: o.DisableMerge,
+		},
+	}
+}
+
+// Warning is one potentially dangerous outer-variable access.
+type Warning struct {
+	// Var is the outer variable's name.
+	Var string
+	// Task labels the begin task performing the access ("TASK A", ...).
+	Task string
+	// Proc is the analyzed root procedure.
+	Proc string
+	// Write distinguishes writes from reads.
+	Write bool
+	// Reason is "after-frontier" (the access can happen after the
+	// variable's parallel frontier) or "never-synchronized" (no explored
+	// execution orders the access before the parent's exit).
+	Reason string
+	// Pos is the access position as file:line:col.
+	Pos string
+	// AccessLine and DeclLine are 1-based source lines.
+	AccessLine int
+	DeclLine   int
+}
+
+// String renders the warning in compiler style.
+func (w Warning) String() string {
+	verb := "read"
+	if w.Write {
+		verb = "write"
+	}
+	return fmt.Sprintf("%s: warning: potentially dangerous %s of outer variable %q "+
+		"(declared at line %d) inside %s of proc %s [%s]",
+		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason)
+}
+
+// ProcStats summarizes the analysis of one root procedure.
+type ProcStats struct {
+	Proc              string
+	Nodes             int
+	Tasks             int
+	PrunedTasks       int
+	TrackedAccesses   int
+	ProtectedAccesses int
+	StatesProcessed   int
+	StatesMerged      int
+	Sinks             int
+	Deadlocks         int
+	Incomplete        bool
+}
+
+// Report is the outcome of analyzing one file.
+type Report struct {
+	// Warnings are the potentially dangerous accesses, in source order
+	// per analyzed procedure.
+	Warnings []Warning
+	// Notes carry analysis-limit information (subsumed loops, recursion
+	// cutoffs, potential deadlocks, style notes).
+	Notes []string
+	// Stats has one entry per analyzed root procedure.
+	Stats []ProcStats
+	// PPSTraces maps procedure names to their formatted PPS tables when
+	// Options.Trace is set.
+	PPSTraces map[string]string
+}
+
+// ErrFrontend is returned when the source fails to lex, parse or resolve;
+// the error text lists the diagnostics.
+var ErrFrontend = errors.New("uafcheck: frontend errors")
+
+// Analyze runs the static analysis with default options.
+func Analyze(filename, src string) (*Report, error) {
+	return AnalyzeWithOptions(filename, src, DefaultOptions())
+}
+
+// AnalyzeWithOptions runs the static analysis.
+func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
+	in := opts.internal()
+	in.KeepGraphs = opts.Trace
+	res := analysis.AnalyzeSource(filename, src, in)
+	if res.Diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+	}
+	rep := &Report{}
+	for _, w := range res.Warnings() {
+		rep.Warnings = append(rep.Warnings, Warning{
+			Var: w.Var, Task: w.Task, Proc: w.Proc, Write: w.Write,
+			Reason: w.Reason.String(), Pos: w.Pos,
+			AccessLine: w.AccessLine, DeclLine: w.DeclLine,
+		})
+	}
+	for _, d := range res.Diags.All() {
+		if d.Severity == source.Note {
+			rep.Notes = append(rep.Notes, d.String())
+		}
+	}
+	for _, pr := range res.Procs {
+		rep.Stats = append(rep.Stats, ProcStats{
+			Proc:              pr.Proc.Name.Name,
+			Nodes:             pr.GraphStats.Nodes,
+			Tasks:             pr.GraphStats.Tasks,
+			PrunedTasks:       pr.GraphStats.PrunedTasks,
+			TrackedAccesses:   pr.GraphStats.TrackedAccesses,
+			ProtectedAccesses: pr.GraphStats.ProtectedAccesses,
+			StatesProcessed:   pr.PPSStats.StatesProcessed,
+			StatesMerged:      pr.PPSStats.StatesMerged,
+			Sinks:             pr.PPSStats.Sinks,
+			Deadlocks:         pr.Deadlocks,
+			Incomplete:        pr.PPSStats.Incomplete,
+		})
+		if opts.Trace && pr.PPS != nil {
+			if rep.PPSTraces == nil {
+				rep.PPSTraces = make(map[string]string)
+			}
+			rep.PPSTraces[pr.Proc.Name.Name] = pps.FormatTrace(pr.PPS.Trace)
+		}
+	}
+	return rep, nil
+}
+
+func frontendErrors(d *source.Diagnostics) string {
+	var b strings.Builder
+	for _, x := range d.All() {
+		if x.Severity == source.Error {
+			b.WriteString(x.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CCFGText renders the Concurrent Control Flow Graph of one procedure as
+// an indented listing (Figure 2 / Figure 7 regeneration).
+func CCFGText(filename, src, proc string) (string, error) {
+	return renderCCFG(filename, src, proc, false)
+}
+
+// CCFGDot renders the CCFG in Graphviz dot syntax.
+func CCFGDot(filename, src, proc string) (string, error) {
+	return renderCCFG(filename, src, proc, true)
+}
+
+func renderCCFG(filename, src, proc string, dot bool) (string, error) {
+	in := analysis.DefaultOptions()
+	in.KeepGraphs = true
+	res := analysis.AnalyzeSource(filename, src, in)
+	if res.Diags.HasErrors() {
+		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+	}
+	for _, pr := range res.Procs {
+		if proc == "" || pr.Proc.Name.Name == proc {
+			if dot {
+				return pr.Graph.DOT(), nil
+			}
+			return pr.Graph.Text(), nil
+		}
+	}
+	return "", fmt.Errorf("uafcheck: no analyzed procedure %q (only procs containing begin are analyzed)", proc)
+}
+
+// PPSStateDOT renders the explored Parallel Program State machine of one
+// procedure in Graphviz dot syntax: states, rule-labeled transitions,
+// sinks and unsafe residues.
+func PPSStateDOT(filename, src, proc string) (string, error) {
+	in := analysis.DefaultOptions()
+	in.KeepGraphs = true
+	in.PPS.Trace = true
+	res := analysis.AnalyzeSource(filename, src, in)
+	if res.Diags.HasErrors() {
+		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+	}
+	for _, pr := range res.Procs {
+		if proc == "" || pr.Proc.Name.Name == proc {
+			return pps.FormatTraceDOT(pr.PPS), nil
+		}
+	}
+	return "", fmt.Errorf("uafcheck: no analyzed procedure %q", proc)
+}
+
+// PPSTrace renders the Parallel Program State table of one procedure
+// (Figure 3 / Figure 7 regeneration).
+func PPSTrace(filename, src, proc string) (string, error) {
+	in := analysis.DefaultOptions()
+	in.KeepGraphs = true
+	in.PPS.Trace = true
+	res := analysis.AnalyzeSource(filename, src, in)
+	if res.Diags.HasErrors() {
+		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+	}
+	for _, pr := range res.Procs {
+		if proc == "" || pr.Proc.Name.Name == proc {
+			return pps.FormatTrace(pr.PPS.Trace), nil
+		}
+	}
+	return "", fmt.Errorf("uafcheck: no analyzed procedure %q", proc)
+}
+
+// ---------------------------------------------------------------- oracle
+
+// DynamicReport is the dynamic-oracle outcome.
+type DynamicReport struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// UAFSites lists observed use-after-free sites as "var:line".
+	UAFSites []string
+	// RaceSites lists observed data-race site pairs as
+	// "var:line1/var:line2" (vector-clock detector).
+	RaceSites []string
+	// Deadlocks counts schedules that deadlocked.
+	Deadlocks int
+	// Exhausted is true when the full schedule space was covered.
+	Exhausted bool
+}
+
+// ObservedUAF reports whether the site (variable name + access line) was
+// dynamically confirmed.
+func (d *DynamicReport) ObservedUAF(varName string, line int) bool {
+	key := fmt.Sprintf("%s:%d", varName, line)
+	for _, s := range d.UAFSites {
+		if s == key {
+			return true
+		}
+	}
+	return false
+}
+
+// ExploreSchedules runs the program under many schedules. With
+// exhaustive=true it enumerates the schedule space depth-first up to runs
+// executions; otherwise it samples runs seeded random schedules.
+func ExploreSchedules(filename, src, entry string, runs int, seed int64, exhaustive bool) (*DynamicReport, error) {
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource(filename, src, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	var er *runtime.ExploreResult
+	if exhaustive {
+		er = runtime.ExploreExhaustive(mod, info, entry, runs)
+	} else {
+		er = runtime.ExploreRandom(mod, info, entry, runs, seed)
+	}
+	rep := &DynamicReport{Runs: er.Runs, Deadlocks: er.Deadlocks, Exhausted: exhaustive && !er.Truncated}
+	for k := range er.UAF {
+		rep.UAFSites = append(rep.UAFSites, k)
+	}
+	for k := range er.Races {
+		rep.RaceSites = append(rep.RaceSites, k)
+	}
+	return rep, nil
+}
+
+// ExploreSchedulesBounded enumerates schedules with at most `bound`
+// preemptions each (iterative context bounding): exponentially fewer
+// schedules than full exhaustion while retaining almost all bug-finding
+// power — most use-after-free schedules need only one or two
+// preemptions.
+func ExploreSchedulesBounded(filename, src, entry string, maxRuns, bound int) (*DynamicReport, error) {
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource(filename, src, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	er := runtime.ExploreBounded(mod, info, entry, maxRuns, bound)
+	rep := &DynamicReport{Runs: er.Runs, Deadlocks: er.Deadlocks, Exhausted: !er.Truncated}
+	for k := range er.UAF {
+		rep.UAFSites = append(rep.UAFSites, k)
+	}
+	for k := range er.Races {
+		rep.RaceSites = append(rep.RaceSites, k)
+	}
+	return rep, nil
+}
+
+// RunProgram executes the program once under a seeded random schedule and
+// returns its writeln output (examples and demos).
+func RunProgram(filename, src, entry string, seed int64) ([]string, error) {
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource(filename, src, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	r := runtime.Run(mod, info, runtime.Config{
+		Entry:         entry,
+		CaptureOutput: true,
+		Policy:        runtime.NewRandomPolicy(seed),
+	})
+	return r.Output, nil
+}
+
+// ExecuteTraced runs the program once under a seeded random schedule and
+// returns its writeln output plus the execution event trace (task spawns,
+// sync-variable transitions, blocking, scope deaths, use-after-free
+// hits) — the dynamic counterpart of the PPS table.
+func ExecuteTraced(filename, src, entry string, seed int64) (output, trace []string, err error) {
+	diags := &source.Diagnostics{}
+	mod := parser.ParseSource(filename, src, diags)
+	if diags.HasErrors() {
+		return nil, nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		return nil, nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+	}
+	r := runtime.Run(mod, info, runtime.Config{
+		Entry:         entry,
+		CaptureOutput: true,
+		Trace:         true,
+		Policy:        runtime.NewRandomPolicy(seed),
+	})
+	return r.Output, r.Trace, nil
+}
+
+// ---------------------------------------------------------------- corpus
+
+// CorpusParams parameterize the synthetic test-suite generator; see
+// internal/corpus for the population model.
+type CorpusParams = corpus.Params
+
+// CorpusCase is one generated test program.
+type CorpusCase = corpus.TestCase
+
+// DefaultCorpusParams reproduce the paper's Table I population.
+func DefaultCorpusParams(seed int64) CorpusParams { return corpus.DefaultParams(seed) }
+
+// GenerateCorpus builds the synthetic suite.
+func GenerateCorpus(p CorpusParams) []CorpusCase { return corpus.Generate(p) }
+
+// TableI mirrors the paper's Table I.
+type TableI = eval.TableI
+
+// RunTableI analyzes the corpus and assembles Table I. The returned
+// string is the per-pattern breakdown.
+func RunTableI(cases []CorpusCase, opts Options) (TableI, string) {
+	table, det := eval.RunTableI(cases, opts.internal())
+	return table, det.FormatPatternBreakdown()
+}
+
+// BaselineComparison runs the §VI baselines over the corpus's begin-task
+// cases and formats the comparison.
+func BaselineComparison(cases []CorpusCase, opts Options) string {
+	rep := eval.RunBaselines(cases, opts.internal())
+	return rep.Format()
+}
+
+// ---------------------------------------------------------------- repair
+
+// RepairStep records one applied synchronization patch.
+type RepairStep struct {
+	// Strategy is "token-chain", "sync-wrap" or "sync-wrap-chain".
+	Strategy string
+	Proc     string
+	Task     string
+	// Token names the introduced sync variable for token-chain steps.
+	Token string
+}
+
+// RepairResult is the outcome of automatic warning repair.
+type RepairResult struct {
+	// Fixed is the repaired source.
+	Fixed string
+	// Steps lists the accepted patches in order.
+	Steps []RepairStep
+	// InitialWarnings / RemainingWarnings count before and after.
+	InitialWarnings   int
+	RemainingWarnings int
+	// Rejected explains candidates the verifier refused.
+	Rejected []string
+}
+
+// Clean reports whether the repaired source analyzes without warnings.
+func (r *RepairResult) Clean() bool { return r.RemainingWarnings == 0 }
+
+// RepairSource synthesizes synchronization fixes for every warning
+// (§VII: "optimize the amount and position of synchronization points").
+// Each candidate patch is verified by re-analysis AND bounded schedule
+// exploration before being accepted; see internal/repair for the
+// strategy catalogue (token chains with branch-total protocols,
+// sync-block fences).
+func RepairSource(filename, src string, opts Options) (*RepairResult, error) {
+	res, err := repair.Repair(filename, src, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	out := &RepairResult{
+		Fixed:             res.Fixed,
+		InitialWarnings:   res.InitialWarnings,
+		RemainingWarnings: res.RemainingWarnings,
+		Rejected:          res.Rejected,
+	}
+	for _, s := range res.Steps {
+		out.Steps = append(out.Steps, RepairStep{
+			Strategy: string(s.Strategy), Proc: s.Proc, Task: s.Task, Token: s.Token,
+		})
+	}
+	return out, nil
+}
