@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet fmt-check bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet fmt-check test

@@ -10,6 +10,7 @@ package uafcheck_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"uafcheck/internal/corpus"
 	"uafcheck/internal/eval"
 	"uafcheck/internal/ir"
+	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
 	"uafcheck/internal/pps"
 	"uafcheck/internal/pst"
@@ -403,6 +405,66 @@ func BenchmarkRaceDetection(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ----------------------------------------------------------- telemetry
+
+// BenchmarkObsOverhead measures the telemetry tax on the full pass:
+// no sinks (Report.Metrics still populated), a text sink, and a JSONL
+// trace sink. The hot PPS loop accumulates into plain integers and
+// flushes once per phase, so the spread should be flush-sized, not
+// per-state.
+func BenchmarkObsOverhead(b *testing.B) {
+	src := mustRead(b, "testdata/figure1.chpl")
+	sinks := []struct {
+		name string
+		mk   func() []uafcheck.MetricsSink
+	}{
+		{"nil-sink", func() []uafcheck.MetricsSink { return nil }},
+		{"text-sink", func() []uafcheck.MetricsSink {
+			return []uafcheck.MetricsSink{uafcheck.TextMetricsSink(io.Discard)}
+		}},
+		{"jsonl-sink", func() []uafcheck.MetricsSink {
+			return []uafcheck.MetricsSink{uafcheck.JSONLinesMetricsSink(io.Discard)}
+		}},
+	}
+	for _, s := range sinks {
+		b.Run(s.name, func(b *testing.B) {
+			opts := uafcheck.DefaultOptions()
+			opts.MetricsSinks = s.mk()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := uafcheck.AnalyzeWithOptions("figure1.chpl", src, opts)
+				if err != nil || len(rep.Warnings) != 1 {
+					b.Fatalf("warnings=%d err=%v", len(rep.Warnings), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreObs isolates the recorder's cost on the raw PPS loop:
+// nil recorder vs an attached one, same prebuilt graph.
+func BenchmarkExploreObs(b *testing.B) {
+	src := mustRead(b, "testdata/figure6.chpl")
+	info, _ := mustFrontend(b, "figure6.chpl", src)
+	proc := info.Module.Proc("multipleUse")
+	diags := &source.Diagnostics{}
+	prog := ir.Lower(info, proc, diags)
+	g := ccfg.Build(prog, diags, ccfg.DefaultBuildOptions())
+	b.Run("obs=nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pps.Explore(g, pps.Options{})
+		}
+	})
+	b.Run("obs=recorder", func(b *testing.B) {
+		rec := obs.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pps.Explore(g, pps.Options{Obs: rec})
+		}
+	})
 }
 
 // BenchmarkScalingTasks charts PPS state growth against the number of

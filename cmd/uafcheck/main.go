@@ -8,13 +8,17 @@
 //
 // Flags:
 //
-//	-ccfg        also print the Concurrent Control Flow Graph
-//	-dot         print the CCFG in Graphviz dot syntax
-//	-trace       also print the Parallel Program State table
-//	-stats       print per-procedure analysis statistics
-//	-no-prune    disable CCFG pruning rules A-D
-//	-oracle N    validate warnings dynamically with N random schedules
-//	-seed S      oracle schedule seed
+//	-ccfg           also print the Concurrent Control Flow Graph
+//	-dot            print the CCFG in Graphviz dot syntax
+//	-trace          also print the Parallel Program State table
+//	-stats          print per-file analysis statistics (from Metrics)
+//	-metrics        print phase timings, counters and gauges
+//	-explain        print each warning's provenance chain
+//	-trace-out=F    append the telemetry trace to F as JSON lines
+//	-prom-out=F     write aggregated metrics to F in Prometheus format
+//	-no-prune       disable CCFG pruning rules A-D
+//	-oracle N       validate warnings dynamically with N random schedules
+//	-seed S         oracle schedule seed
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"uafcheck"
@@ -33,7 +38,11 @@ func main() {
 		showCCFG = flag.Bool("ccfg", false, "print the CCFG as text")
 		showDot  = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
 		trace    = flag.Bool("trace", false, "print the PPS exploration table")
-		stats    = flag.Bool("stats", false, "print per-procedure statistics")
+		stats    = flag.Bool("stats", false, "print per-file statistics (sourced from the metrics snapshot)")
+		metrics  = flag.Bool("metrics", false, "print phase timings, counters and gauges")
+		explain  = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
+		traceOut = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
+		promOut  = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
 		noPrune  = flag.Bool("no-prune", false, "disable pruning rules A-D")
 		atomics  = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
 		count    = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
@@ -55,6 +64,18 @@ func main() {
 	opts.ModelAtomics = *atomics
 	opts.CountAtomics = *count
 
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		defer f.Close()
+		opts.MetricsSinks = append(opts.MetricsSinks, uafcheck.JSONLinesMetricsSink(f))
+	}
+
 	exit := 0
 	var paths []string
 	for _, arg := range flag.Args() {
@@ -71,6 +92,11 @@ func main() {
 		}
 		paths = append(paths, arg)
 	}
+	// Deterministic multi-file output: directory walks and shell globs
+	// may deliver paths in any order.
+	sort.Strings(paths)
+
+	var agg uafcheck.Metrics
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -79,14 +105,23 @@ func main() {
 			continue
 		}
 		src := string(data)
+		if traceFile != nil {
+			// Header line so the JSONL trace attributes spans to inputs.
+			fmt.Fprintf(traceFile, "{\"type\":\"run\",\"file\":%q}\n", path)
+		}
 		rep, err := uafcheck.AnalyzeWithOptions(path, src, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			exit = 1
 			continue
 		}
+		agg.Merge(rep.Metrics)
+		sortWarnings(rep.Warnings)
 		for _, w := range rep.Warnings {
 			fmt.Println(w)
+			if *explain {
+				printProvenance(w)
+			}
 		}
 		for _, n := range rep.Notes {
 			fmt.Println(n)
@@ -109,11 +144,10 @@ func main() {
 			}
 		}
 		if *stats {
-			for _, ps := range rep.Stats {
-				fmt.Printf("proc %-20s nodes=%-4d tasks=%-3d pruned=%-3d tracked=%-4d protected=%-4d states=%-6d merged=%-6d sinks=%-4d deadlocks=%d\n",
-					ps.Proc, ps.Nodes, ps.Tasks, ps.PrunedTasks, ps.TrackedAccesses,
-					ps.ProtectedAccesses, ps.StatesProcessed, ps.StatesMerged, ps.Sinks, ps.Deadlocks)
-			}
+			printStats(path, rep.Metrics)
+		}
+		if *metrics {
+			fmt.Printf("metrics for %s:\n%s", path, indent(rep.Metrics.FormatText()))
 		}
 		if *oracle > 0 && len(rep.Warnings) > 0 {
 			validateDynamically(path, src, rep, *oracle, *seed)
@@ -153,15 +187,108 @@ func main() {
 			exit = 1
 		}
 	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			os.Exit(1)
+		}
+		if err := uafcheck.PrometheusMetricsSink(f).Emit(agg); err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			exit = 1
+		}
+		f.Close()
+	}
 	os.Exit(exit)
+}
+
+// sortWarnings orders warnings by (file, line, column, variable) so
+// multi-file and multi-proc output is stable.
+func sortWarnings(ws []uafcheck.Warning) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {
+			return af < bf
+		}
+		if a.AccessLine != b.AccessLine {
+			return a.AccessLine < b.AccessLine
+		}
+		if a.AccessCol != b.AccessCol {
+			return a.AccessCol < b.AccessCol
+		}
+		return a.Var < b.Var
+	})
+}
+
+// posFile extracts the file component of a "file:line:col" position.
+func posFile(pos string) string {
+	// Trim the trailing ":line:col"; file names may themselves contain
+	// colons, so cut from the right.
+	s := pos
+	for i := 0; i < 2; i++ {
+		if j := strings.LastIndexByte(s, ':'); j >= 0 {
+			s = s[:j]
+		}
+	}
+	return s
+}
+
+// printProvenance renders the explain-mode block under a warning.
+func printProvenance(w uafcheck.Warning) {
+	p := w.Prov
+	if p == nil {
+		fmt.Println("  explain: no provenance recorded")
+		return
+	}
+	fmt.Printf("  explain: access %q performed in CCFG node %s\n", w.Var, p.Node)
+	switch {
+	case p.SinkPPS < 0:
+		fmt.Println("  explain: never attributed to any executed sync event on any explored path")
+	case p.Stuck:
+		fmt.Printf("  explain: still pending in OV of deadlocked PPS %d\n", p.SinkPPS)
+	default:
+		fmt.Printf("  explain: still pending in OV of sink PPS %d\n", p.SinkPPS)
+	}
+	if len(p.Chain) > 0 {
+		fmt.Printf("  explain: transition chain: %s\n", strings.Join(p.Chain, " -> "))
+	}
+}
+
+// printStats renders the per-file summary, sourced exclusively from the
+// metrics snapshot so -stats and -metrics can never disagree.
+func printStats(path string, m uafcheck.Metrics) {
+	c := m.Counter
+	fmt.Printf("stats for %s:\n", path)
+	fmt.Printf("  procs=%d warnings=%d nodes=%d tasks=%d pruned=%d (A=%d B=%d C=%d D=%d) tracked=%d protected=%d\n",
+		c("analysis.procs"), c("analysis.warnings"), c("ccfg.nodes"), c("ccfg.tasks"),
+		c("prune.tasks"), c("prune.rule_a"), c("prune.rule_b"), c("prune.rule_c"), c("prune.rule_d"),
+		c("ccfg.tracked_accesses"), c("ccfg.protected_accesses"))
+	fmt.Printf("  states: created=%d processed=%d merged=%d forked=%d sinks=%d deadlock-states=%d peak-frontier=%d\n",
+		c("pps.states_created"), c("pps.states_processed"), c("pps.states_merged"),
+		c("pps.states_forked"), c("pps.sinks"), c("pps.deadlocks"), m.Gauge("pps.peak_frontier"))
+}
+
+// indent shifts a block two spaces for nesting under a header line.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, ln := range lines {
+		lines[i] = "  " + ln
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func validateDynamically(path, src string, rep *uafcheck.Report, runs int, seed int64) {
 	byProc := make(map[string][]uafcheck.Warning)
+	var procs []string
 	for _, w := range rep.Warnings {
+		if _, ok := byProc[w.Proc]; !ok {
+			procs = append(procs, w.Proc)
+		}
 		byProc[w.Proc] = append(byProc[w.Proc], w)
 	}
-	for proc, ws := range byProc {
+	sort.Strings(procs)
+	for _, proc := range procs {
+		ws := byProc[proc]
 		dyn, err := uafcheck.ExploreSchedules(path, src, proc, runs, seed, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oracle: %v\n", err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,18 @@ import (
 	"uafcheck/internal/eval"
 )
 
+// benchArtifact is the schema of the BENCH_corpus.json file: the run
+// configuration, wall-clock phase times, Table I, and the per-pattern
+// telemetry (timing and state-count histograms).
+type benchArtifact struct {
+	Seed         int64           `json:"seed"`
+	Tests        int             `json:"tests"`
+	GenerationMS int64           `json:"generation_ms"`
+	AnalysisMS   int64           `json:"analysis_ms"`
+	Table        eval.TableI     `json:"table"`
+	Telemetry    *eval.Telemetry `json:"telemetry"`
+}
+
 func main() {
 	var (
 		seed         = flag.Int64("seed", 1711, "corpus generation seed")
@@ -31,6 +44,7 @@ func main() {
 		modelAtomics = flag.Bool("model-atomics", false, "enable the atomics extension (§VII future work) and rerun the table")
 		countAtomics = flag.Bool("count-atomics", false, "enable the counting refinement of the atomics extension and rerun the table")
 		dump         = flag.String("dump", "", "write the generated corpus to this directory")
+		benchOut     = flag.String("bench-out", "BENCH_corpus.json", "write the aggregate telemetry artifact to this file (\"\" disables)")
 	)
 	flag.Parse()
 
@@ -76,6 +90,29 @@ func main() {
 	fmt.Printf("generation %v, analysis %v\n\n", genTime.Round(time.Millisecond), anaTime.Round(time.Millisecond))
 	fmt.Println("Per-pattern breakdown:")
 	fmt.Print(breakdown)
+
+	tel := det.Telemetry()
+	fmt.Println("\nAggregate telemetry (per-pattern timing and state counts):")
+	fmt.Print(tel.Format())
+	if *benchOut != "" {
+		art := benchArtifact{
+			Seed:         *seed,
+			Tests:        *tests,
+			GenerationMS: genTime.Milliseconds(),
+			AnalysisMS:   anaTime.Milliseconds(),
+			Table:        table,
+			Telemetry:    tel,
+		}
+		buf, err := json.MarshalIndent(art, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry artifact to %s\n", *benchOut)
+	}
 
 	if *modelAtomics {
 		opts := uafcheck.DefaultOptions()

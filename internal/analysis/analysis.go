@@ -12,6 +12,7 @@ import (
 	"uafcheck/internal/ast"
 	"uafcheck/internal/ccfg"
 	"uafcheck/internal/ir"
+	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
 	"uafcheck/internal/pps"
 	"uafcheck/internal/source"
@@ -36,6 +37,9 @@ type Options struct {
 	// KeepGraphs retains the per-proc CCFG and PPS results (figure
 	// regeneration, tests); corpus runs leave it off to save memory.
 	KeepGraphs bool
+	// Obs receives phase spans and pipeline counters from every stage;
+	// nil disables telemetry at zero cost.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns the standard configuration.
@@ -51,8 +55,14 @@ type Warning struct {
 	Write      bool
 	Reason     pps.UnsafeReason
 	AccessLine int
-	DeclLine   int
-	Pos        string // file:line:col of the access
+	// AccessCol is the 1-based source column of the access.
+	AccessCol int
+	DeclLine  int
+	Pos       string // file:line:col of the access
+	// Prov carries the explain-mode provenance: the CCFG node of the
+	// access, the sink PPS that still held it, and the transition chain
+	// that reached it.
+	Prov *pps.Provenance
 }
 
 // String renders the warning in compiler style.
@@ -110,14 +120,18 @@ func AnalyzeSource(name, src string, opts Options) *Result {
 // AnalyzeFile analyzes a source file.
 func AnalyzeFile(file *source.File, opts Options) *Result {
 	diags := &source.Diagnostics{}
+	endParse := opts.Obs.Span(obs.PhaseParse)
 	mod := parser.Parse(file, diags)
+	endParse()
 	res := &Result{Module: mod, Diags: diags}
 	if diags.HasErrors() {
 		// Frontend errors: skip the concurrency pass, matching a compiler
 		// that stops before its analysis phases.
 		return res
 	}
+	endResolve := opts.Obs.Span(obs.PhaseResolve)
 	info := sym.Resolve(mod, diags)
+	endResolve()
 	res.Info = info
 	if diags.HasErrors() {
 		return res
@@ -129,21 +143,29 @@ func AnalyzeFile(file *source.File, opts Options) *Result {
 			// procedures containing begin tasks are analyzed (§III).
 			continue
 		}
-		res.Procs = append(res.Procs, analyzeProc(info, proc, synced, opts, diags))
+		pr := analyzeProc(info, proc, synced, opts, diags)
+		res.Procs = append(res.Procs, pr)
+		opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+		opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
 	}
 	return res
 }
 
 func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
 	opts Options, diags *source.Diagnostics) *ProcResult {
+	endLower := opts.Obs.Span(obs.PhaseLower)
 	prog := ir.Lower(info, proc, diags)
+	endLower()
 	g := ccfg.Build(prog, diags, ccfg.BuildOptions{
 		Prune:           opts.Prune,
 		SyncedRefParams: synced,
 		ModelAtomics:    opts.ModelAtomics,
 		CountAtomics:    opts.CountAtomics,
+		Obs:             opts.Obs,
 	})
-	r := pps.Explore(g, opts.PPS)
+	ppsOpts := opts.PPS
+	ppsOpts.Obs = opts.Obs
+	r := pps.Explore(g, ppsOpts)
 
 	pr := &ProcResult{
 		Proc:       proc,
@@ -167,8 +189,10 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 			Write:      a.Write,
 			Reason:     u.Reason,
 			AccessLine: file.Line(a.Sp.Start),
+			AccessCol:  file.Column(a.Sp.Start),
 			DeclLine:   declLine(file, a.Sym),
 			Pos:        file.Position(a.Sp.Start),
+			Prov:       u.Prov,
 		})
 	}
 	for _, w := range pr.Warnings {

@@ -3,6 +3,7 @@ package ccfg
 import (
 	"uafcheck/internal/ast"
 	"uafcheck/internal/ir"
+	"uafcheck/internal/obs"
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
 )
@@ -28,6 +29,9 @@ type BuildOptions struct {
 	// "waitFor(n) after n fetchAdds" verify. Other atomics fall back to
 	// the full/empty model.
 	CountAtomics bool
+	// Obs receives construction/prune spans and graph counters; nil
+	// disables telemetry at zero cost.
+	Obs *obs.Recorder
 }
 
 // DefaultBuildOptions enables pruning.
@@ -35,6 +39,8 @@ func DefaultBuildOptions() BuildOptions { return BuildOptions{Prune: true} }
 
 // Build constructs the CCFG for a lowered program.
 func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Graph {
+	endBuild := opts.Obs.Span(obs.PhaseCCFG)
+	defer endBuild()
 	if opts.CountAtomics {
 		opts.ModelAtomics = true
 	}
@@ -61,11 +67,33 @@ func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Grap
 	root.Exit = b.cur
 
 	if opts.Prune {
+		endPrune := opts.Obs.Span(obs.PhasePrune)
 		prune(g)
+		endPrune()
 	}
 	collectTracked(g)
 	computeFrontiers(g, b.declNode)
+	recordGraphStats(opts.Obs, g)
 	return g
+}
+
+// recordGraphStats flushes the built graph's summary counters.
+func recordGraphStats(r *obs.Recorder, g *Graph) {
+	if r == nil {
+		return
+	}
+	st := g.Stats()
+	r.Add(obs.CtrCCFGNodes, int64(st.Nodes))
+	r.Add(obs.CtrCCFGTasks, int64(st.Tasks))
+	r.Add(obs.CtrCCFGSyncVars, int64(st.SyncVars))
+	r.Add(obs.CtrCCFGAtomicOps, int64(st.AtomicOps))
+	r.Add(obs.CtrTrackedAccesses, int64(st.TrackedAccesses))
+	r.Add(obs.CtrProtectedAccesses, int64(st.ProtectedAccesses))
+	r.Add(obs.CtrPrunedTasks, int64(st.PrunedTasks))
+	r.Add(obs.CtrPruneRuleA, int64(st.PrunedByRule[PruneA]))
+	r.Add(obs.CtrPruneRuleB, int64(st.PrunedByRule[PruneB]))
+	r.Add(obs.CtrPruneRuleC, int64(st.PrunedByRule[PruneC]))
+	r.Add(obs.CtrPruneRuleD, int64(st.PrunedByRule[PruneD]))
 }
 
 type builder struct {

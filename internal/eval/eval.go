@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"uafcheck/internal/analysis"
 	"uafcheck/internal/corpus"
@@ -60,6 +61,13 @@ type CaseOutcome struct {
 	// MissedSites are ground-truth sites the analysis did not flag
 	// (soundness gaps — should stay empty).
 	MissedSites []string
+	// Duration is the wall time of this case's analysis.
+	Duration time.Duration
+	// StatesCreated / StatesProcessed / StatesMerged sum the PPS stats
+	// across the case's analyzed procedures (telemetry aggregates).
+	StatesCreated   int
+	StatesProcessed int
+	StatesMerged    int
 }
 
 // Details carries everything beyond the headline table.
@@ -74,39 +82,58 @@ type Details struct {
 	FrontendFailures int
 }
 
-// PatternStats aggregates one generator pattern.
+// PatternStats aggregates one generator pattern, including the
+// telemetry aggregates the corpus benchmark report serializes.
 type PatternStats struct {
 	Cases    int
 	Warnings int
 	TrueHits int
+	// TotalTime / MaxTime aggregate per-case analysis wall time.
+	TotalTime time.Duration
+	MaxTime   time.Duration
+	// TotalStates / MaxStates aggregate per-case PPS states created.
+	TotalStates int64
+	MaxStates   int64
+	// StateHist is a power-of-two histogram of per-case states created
+	// (see HistBucket).
+	StateHist [HistBuckets]int
 }
 
 // RunTableI analyzes every case and assembles the table.
 func RunTableI(cases []corpus.TestCase, opts analysis.Options) (TableI, *Details) {
+	outcomes := make([]CaseOutcome, len(cases))
+	for i := range cases {
+		outcomes[i] = analyzeCase(&cases[i], opts)
+	}
+	return aggregate(cases, outcomes)
+}
+
+// aggregate folds per-case outcomes into the table and details; shared
+// by the sequential and parallel drivers so both stay deterministic and
+// can never diverge.
+func aggregate(cases []corpus.TestCase, outcomes []CaseOutcome) (TableI, *Details) {
 	var table TableI
 	det := &Details{PerPattern: make(map[string]*PatternStats)}
 	table.TotalTests = len(cases)
 	for i := range cases {
 		tc := &cases[i]
+		out := outcomes[i]
 		if tc.HasBegin {
 			table.TestsWithBegin++
 		}
-		out := analyzeCase(tc, opts)
 		ps := det.PerPattern[tc.Pattern]
 		if ps == nil {
 			ps = &PatternStats{}
 			det.PerPattern[tc.Pattern] = ps
 		}
-		ps.Cases++
+		ps.absorb(out)
 		if !out.FrontendOK {
 			det.FrontendFailures++
 		}
 		if len(out.Warnings) > 0 {
 			table.TestsWithWarnings++
 			table.WarningsReported += len(out.Warnings)
-			ps.Warnings += len(out.Warnings)
 			table.TruePositives += out.TrueHits
-			ps.TrueHits += out.TrueHits
 			if !tc.WantWarn {
 				det.UnexpectedWarnCases = append(det.UnexpectedWarnCases, tc.Name)
 			}
@@ -116,10 +143,32 @@ func RunTableI(cases []corpus.TestCase, opts analysis.Options) (TableI, *Details
 	return table, det
 }
 
+// absorb folds one case outcome into the pattern aggregates.
+func (ps *PatternStats) absorb(out CaseOutcome) {
+	ps.Cases++
+	ps.Warnings += len(out.Warnings)
+	ps.TrueHits += out.TrueHits
+	ps.TotalTime += out.Duration
+	if out.Duration > ps.MaxTime {
+		ps.MaxTime = out.Duration
+	}
+	ps.TotalStates += int64(out.StatesCreated)
+	if int64(out.StatesCreated) > ps.MaxStates {
+		ps.MaxStates = int64(out.StatesCreated)
+	}
+	ps.StateHist[HistBucket(out.StatesCreated)]++
+}
+
 func analyzeCase(tc *corpus.TestCase, opts analysis.Options) CaseOutcome {
+	start := time.Now()
 	res := analysis.AnalyzeSource(tc.Name+".chpl", tc.Source, opts)
-	out := CaseOutcome{Case: tc, FrontendOK: !res.Diags.HasErrors()}
+	out := CaseOutcome{Case: tc, FrontendOK: !res.Diags.HasErrors(), Duration: time.Since(start)}
 	out.Warnings = res.Warnings()
+	for _, pr := range res.Procs {
+		out.StatesCreated += pr.PPSStats.StatesCreated
+		out.StatesProcessed += pr.PPSStats.StatesProcessed
+		out.StatesMerged += pr.PPSStats.StatesMerged
+	}
 	truth := make(map[string]bool, len(tc.TrueSites))
 	for _, s := range tc.TrueSites {
 		truth[s] = false

@@ -34,36 +34,6 @@ func RunTableIParallel(cases []corpus.TestCase, opts analysis.Options, workers i
 	close(jobs)
 	wg.Wait()
 
-	// Sequential, deterministic aggregation.
-	var table TableI
-	det := &Details{PerPattern: make(map[string]*PatternStats)}
-	table.TotalTests = len(cases)
-	for i := range cases {
-		tc := &cases[i]
-		out := outcomes[i]
-		if tc.HasBegin {
-			table.TestsWithBegin++
-		}
-		ps := det.PerPattern[tc.Pattern]
-		if ps == nil {
-			ps = &PatternStats{}
-			det.PerPattern[tc.Pattern] = ps
-		}
-		ps.Cases++
-		if !out.FrontendOK {
-			det.FrontendFailures++
-		}
-		if len(out.Warnings) > 0 {
-			table.TestsWithWarnings++
-			table.WarningsReported += len(out.Warnings)
-			ps.Warnings += len(out.Warnings)
-			table.TruePositives += out.TrueHits
-			ps.TrueHits += out.TrueHits
-			if !tc.WantWarn {
-				det.UnexpectedWarnCases = append(det.UnexpectedWarnCases, tc.Name)
-			}
-		}
-		det.Outcomes = append(det.Outcomes, out)
-	}
-	return table, det
+	// Sequential, deterministic aggregation shared with RunTableI.
+	return aggregate(cases, outcomes)
 }

@@ -1,0 +1,286 @@
+// Package obs is the pipeline's telemetry layer: span-based phase
+// tracing, typed counters and gauges, and pluggable sinks.
+//
+// Every stage of the analysis pipeline (parse, resolve, lower, CCFG
+// build, prune, PPS exploration, dynamic oracle) opens a Span on a
+// Recorder and bumps counters for the state-space work it performs. The
+// Recorder is nil-safe: a nil *Recorder turns every call into a no-op,
+// so library code records unconditionally and pays nothing when
+// telemetry is off. Counters that live on hot loops (one bump per PPS
+// transition) are accumulated in plain integers by the caller and
+// flushed into the Recorder once per phase, so the exploration loop
+// itself never touches a map or a mutex.
+//
+// A Snapshot of a Recorder is a Metrics value — a plain, serializable
+// struct — which the sinks render: TextSink for humans, JSONLSink as a
+// JSON-lines trace file, PromSink in Prometheus text exposition format.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase names used by the pipeline spans.
+const (
+	PhaseParse   = "parse"
+	PhaseResolve = "resolve"
+	PhaseLower   = "lower"
+	PhaseCCFG    = "ccfg-build"
+	PhasePrune   = "prune"
+	PhaseExplore = "pps-explore"
+	PhaseOracle  = "oracle"
+)
+
+// Counter names. The dotted names are stable identifiers; the Prometheus
+// sink rewrites dots to underscores.
+const (
+	// CCFG construction.
+	CtrCCFGNodes         = "ccfg.nodes"
+	CtrCCFGTasks         = "ccfg.tasks"
+	CtrCCFGSyncVars      = "ccfg.sync_vars"
+	CtrCCFGAtomicOps     = "ccfg.atomic_ops"
+	CtrTrackedAccesses   = "ccfg.tracked_accesses"
+	CtrProtectedAccesses = "ccfg.protected_accesses"
+
+	// Pruning rules A-D (§III-A).
+	CtrPrunedTasks = "prune.tasks"
+	CtrPruneRuleA  = "prune.rule_a"
+	CtrPruneRuleB  = "prune.rule_b"
+	CtrPruneRuleC  = "prune.rule_c"
+	CtrPruneRuleD  = "prune.rule_d"
+
+	// PPS exploration (§III-B/C).
+	CtrStatesCreated   = "pps.states_created"
+	CtrStatesMerged    = "pps.states_merged"
+	CtrStatesForked    = "pps.states_forked"
+	CtrStatesProcessed = "pps.states_processed"
+	CtrSinkStates      = "pps.sinks"
+	CtrDeadlockStates  = "pps.deadlocks"
+
+	// Sync transitions by rule kind (paper rules 1-3 + atomics extension).
+	CtrTransSingleRead = "pps.trans_single_read"
+	CtrTransRead       = "pps.trans_read"
+	CtrTransWrite      = "pps.trans_write"
+	CtrTransAtomicFill = "pps.trans_atomic_fill"
+	CtrTransAtomicWait = "pps.trans_atomic_wait"
+
+	// Whole-pass accounting.
+	CtrProcsAnalyzed = "analysis.procs"
+	CtrWarnings      = "analysis.warnings"
+
+	// Dynamic oracle.
+	CtrOracleSchedules = "oracle.schedules"
+	CtrOracleSteps     = "oracle.steps"
+	CtrOracleDeadlocks = "oracle.deadlocks"
+	CtrOracleUAFSites  = "oracle.uaf_sites"
+)
+
+// Gauge names.
+const (
+	GaugePeakFrontier = "pps.peak_frontier"
+)
+
+// Span is one timed phase execution. Start is the offset from the
+// Recorder's creation, so spans order and nest naturally.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Metrics is a plain snapshot of a Recorder: what the sinks render and
+// what the public API attaches to reports.
+type Metrics struct {
+	Spans    []Span           `json:"spans,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Counter returns the named counter, or 0.
+func (m Metrics) Counter(name string) int64 { return m.Counters[name] }
+
+// Gauge returns the named gauge, or 0.
+func (m Metrics) Gauge(name string) int64 { return m.Gauges[name] }
+
+// PhaseTotal sums the durations of every span with the given name.
+func (m Metrics) PhaseTotal(name string) time.Duration {
+	var d time.Duration
+	for _, s := range m.Spans {
+		if s.Name == name {
+			d += s.Dur
+		}
+	}
+	return d
+}
+
+// CounterNames returns the counter names in sorted order.
+func (m Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the gauge names in sorted order.
+func (m Metrics) GaugeNames() []string {
+	names := make([]string, 0, len(m.Gauges))
+	for n := range m.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// phaseAgg is one aggregated span line of FormatText.
+type phaseAgg struct {
+	name  string
+	count int
+	total time.Duration
+	first time.Duration
+}
+
+// aggregateSpans folds spans by name, ordered by first start.
+func (m Metrics) aggregateSpans() []phaseAgg {
+	idx := make(map[string]int)
+	var out []phaseAgg
+	for _, s := range m.Spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, phaseAgg{name: s.Name, first: s.Start})
+		}
+		out[i].count++
+		out[i].total += s.Dur
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].first < out[j].first })
+	return out
+}
+
+// Merge folds other into m: spans are concatenated, counters summed,
+// gauges kept at their maximum. Used by aggregate runs (corpus
+// evaluation) to combine per-case metrics.
+func (m *Metrics) Merge(other Metrics) {
+	m.Spans = append(m.Spans, other.Spans...)
+	for k, v := range other.Counters {
+		if m.Counters == nil {
+			m.Counters = make(map[string]int64)
+		}
+		m.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		if m.Gauges == nil {
+			m.Gauges = make(map[string]int64)
+		}
+		if v > m.Gauges[k] {
+			m.Gauges[k] = v
+		}
+	}
+}
+
+// ---------------------------------------------------------------- recorder
+
+// Recorder accumulates spans, counters and gauges. All methods are safe
+// on a nil receiver (no-ops) and safe for concurrent use otherwise.
+type Recorder struct {
+	t0    time.Time
+	sinks []Sink
+
+	mu       sync.Mutex
+	spans    []Span
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// New creates a Recorder emitting to the given sinks on Flush.
+func New(sinks ...Sink) *Recorder {
+	return &Recorder{
+		t0:       time.Now(),
+		sinks:    sinks,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+	}
+}
+
+// noopEnd is returned by Span on a nil Recorder so the caller's
+// `defer end()` costs nothing and allocates nothing.
+var noopEnd = func() {}
+
+// Span opens a named phase span and returns its closer.
+//
+//	end := rec.Span(obs.PhaseParse)
+//	defer end()
+func (r *Recorder) Span(name string) (end func()) {
+	if r == nil {
+		return noopEnd
+	}
+	start := time.Since(r.t0)
+	return func() {
+		dur := time.Since(r.t0) - start
+		r.mu.Lock()
+		r.spans = append(r.spans, Span{Name: name, Start: start, Dur: dur})
+		r.mu.Unlock()
+	}
+}
+
+// Add bumps a counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Max raises a gauge to v if v exceeds its current value.
+func (r *Recorder) Max(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the current state.
+func (r *Recorder) Snapshot() Metrics {
+	if r == nil {
+		return Metrics{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := Metrics{
+		Spans:    append([]Span(nil), r.spans...),
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+	}
+	for k, v := range r.counters {
+		m.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		m.Gauges[k] = v
+	}
+	return m
+}
+
+// Flush emits a snapshot to every sink; the first error wins.
+func (r *Recorder) Flush() error {
+	if r == nil || len(r.sinks) == 0 {
+		return nil
+	}
+	m := r.Snapshot()
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Emit(m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

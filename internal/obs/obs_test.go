@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	end := r.Span(PhaseParse)
+	end()
+	r.Add(CtrCCFGNodes, 5)
+	r.Max(GaugePeakFrontier, 9)
+	if m := r.Snapshot(); len(m.Spans) != 0 || len(m.Counters) != 0 || len(m.Gauges) != 0 {
+		t.Fatalf("nil recorder produced data: %+v", m)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("nil flush: %v", err)
+	}
+}
+
+func TestRecorderCountersGaugesSpans(t *testing.T) {
+	r := New()
+	end := r.Span(PhaseParse)
+	end()
+	r.Add(CtrStatesCreated, 3)
+	r.Add(CtrStatesCreated, 4)
+	r.Add(CtrStatesMerged, 0) // zero deltas are dropped
+	r.Max(GaugePeakFrontier, 2)
+	r.Max(GaugePeakFrontier, 7)
+	r.Max(GaugePeakFrontier, 5)
+
+	m := r.Snapshot()
+	if got := m.Counter(CtrStatesCreated); got != 7 {
+		t.Errorf("states_created = %d, want 7", got)
+	}
+	if _, ok := m.Counters[CtrStatesMerged]; ok {
+		t.Errorf("zero-delta counter materialized")
+	}
+	if got := m.Gauge(GaugePeakFrontier); got != 7 {
+		t.Errorf("peak_frontier = %d, want 7", got)
+	}
+	if len(m.Spans) != 1 || m.Spans[0].Name != PhaseParse {
+		t.Errorf("spans = %+v", m.Spans)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := New()
+	r.Add(CtrWarnings, 1)
+	m := r.Snapshot()
+	m.Counters[CtrWarnings] = 99
+	if got := r.Snapshot().Counter(CtrWarnings); got != 1 {
+		t.Fatalf("snapshot aliases recorder state: %d", got)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				end := r.Span(PhaseExplore)
+				r.Add(CtrStatesProcessed, 1)
+				r.Max(GaugePeakFrontier, int64(j))
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	m := r.Snapshot()
+	if got := m.Counter(CtrStatesProcessed); got != 800 {
+		t.Errorf("states_processed = %d, want 800", got)
+	}
+	if len(m.Spans) != 800 {
+		t.Errorf("spans = %d, want 800", len(m.Spans))
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	var agg Metrics
+	agg.Merge(Metrics{
+		Counters: map[string]int64{CtrWarnings: 2},
+		Gauges:   map[string]int64{GaugePeakFrontier: 5},
+		Spans:    []Span{{Name: PhaseParse, Dur: time.Millisecond}},
+	})
+	agg.Merge(Metrics{
+		Counters: map[string]int64{CtrWarnings: 3},
+		Gauges:   map[string]int64{GaugePeakFrontier: 4},
+		Spans:    []Span{{Name: PhaseParse, Dur: 2 * time.Millisecond}},
+	})
+	if agg.Counter(CtrWarnings) != 5 {
+		t.Errorf("merged counter = %d, want 5", agg.Counter(CtrWarnings))
+	}
+	if agg.Gauge(GaugePeakFrontier) != 5 {
+		t.Errorf("merged gauge = %d, want 5 (max)", agg.Gauge(GaugePeakFrontier))
+	}
+	if agg.PhaseTotal(PhaseParse) != 3*time.Millisecond {
+		t.Errorf("phase total = %v", agg.PhaseTotal(PhaseParse))
+	}
+}
+
+func sampleMetrics() Metrics {
+	return Metrics{
+		Spans: []Span{
+			{Name: PhaseParse, Start: 0, Dur: 120 * time.Microsecond},
+			{Name: PhaseExplore, Start: 200 * time.Microsecond, Dur: time.Millisecond},
+			{Name: PhaseExplore, Start: 2 * time.Millisecond, Dur: time.Millisecond},
+		},
+		Counters: map[string]int64{CtrStatesCreated: 11, CtrCCFGNodes: 12},
+		Gauges:   map[string]int64{GaugePeakFrontier: 4},
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (TextSink{W: &buf}).Emit(sampleMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"phase timings:", "parse", "pps-explore", "(2 spans)",
+		"counters:", "ccfg.nodes", "pps.states_created",
+		"gauges:", "pps.peak_frontier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters render sorted: ccfg.nodes before pps.states_created.
+	if strings.Index(out, "ccfg.nodes") > strings.Index(out, "pps.states_created") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (JSONLSink{W: &buf}).Emit(sampleMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // 3 spans + 2 counters + 1 gauge
+		t.Fatalf("lines = %d, want 6:\n%s", len(lines), buf.String())
+	}
+	types := map[string]int{}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", ln, err)
+		}
+		types[rec["type"].(string)]++
+	}
+	if types["span"] != 3 || types["counter"] != 2 || types["gauge"] != 1 {
+		t.Errorf("record types = %v", types)
+	}
+}
+
+func TestPromSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (PromSink{W: &buf}).Emit(sampleMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`uafcheck_phase_seconds{phase="parse"}`,
+		"# TYPE uafcheck_pps_states_created counter",
+		"uafcheck_pps_states_created 11",
+		"uafcheck_pps_peak_frontier 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanTimesAreSane(t *testing.T) {
+	r := New()
+	end := r.Span(PhaseOracle)
+	time.Sleep(2 * time.Millisecond)
+	end()
+	m := r.Snapshot()
+	if len(m.Spans) != 1 || m.Spans[0].Dur < time.Millisecond {
+		t.Fatalf("span duration too small: %+v", m.Spans)
+	}
+	if m.PhaseTotal(PhaseOracle) != m.Spans[0].Dur {
+		t.Fatalf("PhaseTotal mismatch")
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Sink renders a Metrics snapshot somewhere.
+type Sink interface {
+	Emit(m Metrics) error
+}
+
+// ---------------------------------------------------------------- text
+
+// TextSink renders a human-readable report: phase timings aggregated by
+// name (in first-start order), then counters and gauges sorted by name.
+type TextSink struct {
+	W io.Writer
+}
+
+// Emit implements Sink.
+func (s TextSink) Emit(m Metrics) error {
+	_, err := io.WriteString(s.W, m.FormatText())
+	return err
+}
+
+// FormatText renders the snapshot as the TextSink prints it.
+func (m Metrics) FormatText() string {
+	var b strings.Builder
+	aggs := m.aggregateSpans()
+	if len(aggs) > 0 {
+		b.WriteString("phase timings:\n")
+		for _, a := range aggs {
+			count := ""
+			if a.count > 1 {
+				count = fmt.Sprintf("  (%d spans)", a.count)
+			}
+			fmt.Fprintf(&b, "  %-14s %12s%s\n", a.name, formatDur(a.total), count)
+		}
+	}
+	if len(m.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, n := range m.CounterNames() {
+			fmt.Fprintf(&b, "  %-28s %10d\n", n, m.Counters[n])
+		}
+	}
+	if len(m.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, n := range m.GaugeNames() {
+			fmt.Fprintf(&b, "  %-28s %10d\n", n, m.Gauges[n])
+		}
+	}
+	return b.String()
+}
+
+// formatDur trims a duration to a readable precision.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// ---------------------------------------------------------------- jsonl
+
+// JSONLSink writes one JSON object per line: each span as
+// {"type":"span",...}, then each counter and gauge. Lines from
+// successive Emit calls append, making the output a trace file that
+// accumulates across analyzed inputs.
+type JSONLSink struct {
+	W io.Writer
+}
+
+// jsonlRecord is the line schema of JSONLSink.
+type jsonlRecord struct {
+	Type    string `json:"type"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us,omitempty"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+}
+
+// Emit implements Sink.
+func (s JSONLSink) Emit(m Metrics) error {
+	enc := json.NewEncoder(s.W)
+	for _, sp := range m.Spans {
+		rec := jsonlRecord{
+			Type:    "span",
+			Name:    sp.Name,
+			StartUS: sp.Start.Microseconds(),
+			DurUS:   sp.Dur.Microseconds(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, n := range m.CounterNames() {
+		if err := enc.Encode(jsonlRecord{Type: "counter", Name: n, Value: m.Counters[n]}); err != nil {
+			return err
+		}
+	}
+	for _, n := range m.GaugeNames() {
+		if err := enc.Encode(jsonlRecord{Type: "gauge", Name: n, Value: m.Gauges[n]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- prom
+
+// PromSink writes Prometheus text exposition format. Metric names are
+// prefixed (default "uafcheck") and dots become underscores; phase
+// durations are exported as <prefix>_phase_seconds{phase="..."}.
+type PromSink struct {
+	W io.Writer
+	// Prefix defaults to "uafcheck".
+	Prefix string
+}
+
+// Emit implements Sink.
+func (s PromSink) Emit(m Metrics) error {
+	prefix := s.Prefix
+	if prefix == "" {
+		prefix = "uafcheck"
+	}
+	var b strings.Builder
+	aggs := m.aggregateSpans()
+	if len(aggs) > 0 {
+		fmt.Fprintf(&b, "# TYPE %s_phase_seconds gauge\n", prefix)
+		for _, a := range aggs {
+			fmt.Fprintf(&b, "%s_phase_seconds{phase=%q} %g\n", prefix, a.name, a.total.Seconds())
+		}
+	}
+	for _, n := range m.CounterNames() {
+		pn := promName(prefix, n)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, m.Counters[n])
+	}
+	for _, n := range m.GaugeNames() {
+		pn := promName(prefix, n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Gauges[n])
+	}
+	_, err := io.WriteString(s.W, b.String())
+	return err
+}
+
+func promName(prefix, name string) string {
+	return prefix + "_" + strings.ReplaceAll(name, ".", "_")
+}

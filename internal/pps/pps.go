@@ -38,6 +38,7 @@ import (
 
 	"uafcheck/internal/bits"
 	"uafcheck/internal/ccfg"
+	"uafcheck/internal/obs"
 	"uafcheck/internal/sym"
 )
 
@@ -69,6 +70,10 @@ type PPS struct {
 	key       string
 	queued    bool
 	processed bool
+	// parent is the PPS this state was forked from (nil for initial
+	// states); with Remark it reconstructs the provenance chain of a
+	// warning. Merged states keep the first parent seen.
+	parent *PPS
 }
 
 // Options configure the exploration.
@@ -84,6 +89,10 @@ type Options struct {
 	// DisableMerge turns off the identical-(ASN,ST) merge optimization
 	// (§III-C) for the ablation benchmark.
 	DisableMerge bool
+	// Obs receives the exploration span and state-space counters; nil
+	// disables telemetry. The hot loop accumulates into plain integers
+	// and flushes once at the end, so a nil recorder costs nothing.
+	Obs *obs.Recorder
 }
 
 const (
@@ -118,6 +127,53 @@ func (r UnsafeReason) String() string {
 type Unsafe struct {
 	Access *ccfg.Access
 	Reason UnsafeReason
+	// Prov explains how the exploration reached the report.
+	Prov *Provenance
+}
+
+// Provenance records why a warning was emitted: the CCFG node of the
+// access, the sink (or stuck) PPS whose OV set still held it, and the
+// transition chain from the initial PPS to that state.
+type Provenance struct {
+	// NodeID is the CCFG node performing the access.
+	NodeID int
+	// Node is the node's compact rendering (accesses + bounding sync op).
+	Node string
+	// SinkPPS is the ID of the PPS at which the access was reported, or
+	// -1 for accesses reported by the final never-visited sweep.
+	SinkPPS int
+	// Stuck marks reports from a deadlocked (stuck) state rather than a
+	// sink.
+	Stuck bool
+	// Chain lists the transition remarks from the initial PPS to the
+	// reporting state, oldest first ("initial", "r#3 N#2", ...). Long
+	// chains are truncated at the front with a "…" marker.
+	Chain []string
+}
+
+// maxProvChain bounds the recorded transition chain per warning.
+const maxProvChain = 64
+
+// provenance builds the chain for a report at state p.
+func (e *explorer) provenance(a *ccfg.Access, p *PPS, stuck bool) *Provenance {
+	pr := &Provenance{NodeID: a.Node.ID, Node: a.Node.String(), SinkPPS: -1, Stuck: stuck}
+	if p == nil {
+		return pr
+	}
+	pr.SinkPPS = p.ID
+	var rev []string
+	for q := p; q != nil; q = q.parent {
+		if len(rev) == maxProvChain {
+			rev = append(rev, "…")
+			break
+		}
+		rev = append(rev, q.Remark)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	pr.Chain = rev
+	return pr
 }
 
 // Deadlock describes a stuck PPS (non-empty ASN, no applicable rule).
@@ -142,9 +198,12 @@ type Stats struct {
 	StatesProcessed int
 	StatesCreated   int
 	StatesMerged    int
-	Sinks           int
-	MaxWorklist     int
-	Incomplete      bool
+	// StatesForked counts every successor handed to the worklist before
+	// merge deduplication (StatesCreated + StatesMerged).
+	StatesForked int
+	Sinks        int
+	MaxWorklist  int
+	Incomplete   bool
 }
 
 // Edge is one recorded PPS transition (tracing only).
@@ -164,6 +223,8 @@ type Result struct {
 
 // Explore runs the PPS algorithm over a built CCFG.
 func Explore(g *ccfg.Graph, opts Options) *Result {
+	endExplore := opts.Obs.Span(obs.PhaseExplore)
+	defer endExplore()
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = defaultMaxStates
 	}
@@ -180,7 +241,30 @@ func Explore(g *ccfg.Graph, opts Options) *Result {
 		varAccess:   buildVarAccess(g),
 	}
 	e.run()
+	e.flushObs()
 	return e.res
+}
+
+// flushObs records the exploration's counters once, after the run: the
+// hot loop accumulates into plain struct fields only.
+func (e *explorer) flushObs() {
+	r := e.opts.Obs
+	if r == nil {
+		return
+	}
+	st := e.res.Stats
+	r.Add(obs.CtrStatesCreated, int64(st.StatesCreated))
+	r.Add(obs.CtrStatesMerged, int64(st.StatesMerged))
+	r.Add(obs.CtrStatesForked, int64(st.StatesForked))
+	r.Add(obs.CtrStatesProcessed, int64(st.StatesProcessed))
+	r.Add(obs.CtrSinkStates, int64(st.Sinks))
+	r.Add(obs.CtrDeadlockStates, int64(len(e.res.Deadlocks)))
+	r.Max(obs.GaugePeakFrontier, int64(st.MaxWorklist))
+	r.Add(obs.CtrTransSingleRead, e.trans[1])
+	r.Add(obs.CtrTransRead, e.trans[2])
+	r.Add(obs.CtrTransWrite, e.trans[3])
+	r.Add(obs.CtrTransAtomicFill, e.trans[4])
+	r.Add(obs.CtrTransAtomicWait, e.trans[5])
 }
 
 // buildVarAccess indexes tracked accesses by variable.
@@ -209,6 +293,9 @@ type explorer struct {
 	varAccess   map[*sym.Symbol]bits.Set
 	res         *Result
 	budgetHit   bool
+	// trans counts executed sync transitions, indexed by ruleNumber
+	// (1=SINGLE-READ, 2=READ, 3=WRITE, 4=ATOMIC-FILL, 5=ATOMIC-WAIT).
+	trans [6]int64
 	// mhp, when non-nil, accumulates may-happen-in-parallel pairs from
 	// every processed state (see BuildMHP).
 	mhp *MHPOracle
@@ -273,7 +360,8 @@ func (e *explorer) run() {
 		for _, a := range e.g.Accesses {
 			if !e.everVisited.Has(a.Node.ID) && !e.reported.Has(a.ID) {
 				e.reported.Add(a.ID)
-				e.res.Unsafe = append(e.res.Unsafe, Unsafe{Access: a, Reason: NeverSynchronized})
+				e.res.Unsafe = append(e.res.Unsafe,
+					Unsafe{Access: a, Reason: NeverSynchronized, Prov: e.provenance(a, nil, false)})
 			}
 		}
 	}
@@ -418,8 +506,9 @@ func (e *explorer) step(p *PPS) {
 		p.OV.ForEach(func(id int) {
 			if !e.reported.Has(id) {
 				e.reported.Add(id)
+				a := e.g.Accesses[id]
 				e.res.Unsafe = append(e.res.Unsafe,
-					Unsafe{Access: e.g.Accesses[id], Reason: AfterFrontier})
+					Unsafe{Access: a, Reason: AfterFrontier, Prov: e.provenance(a, p, false)})
 			}
 		})
 		if e.opts.Trace {
@@ -477,8 +566,9 @@ func (e *explorer) step(p *PPS) {
 		p.OV.ForEach(func(id int) {
 			if !e.reported.Has(id) {
 				e.reported.Add(id)
+				a := e.g.Accesses[id]
 				e.res.Unsafe = append(e.res.Unsafe,
-					Unsafe{Access: e.g.Accesses[id], Reason: AfterFrontier})
+					Unsafe{Access: a, Reason: AfterFrontier, Prov: e.provenance(a, p, true)})
 			}
 		})
 		for _, en := range p.Entries {
@@ -490,7 +580,7 @@ func (e *explorer) step(p *PPS) {
 					if !e.reported.Has(a.ID) && !p.SV.Has(a.ID) {
 						e.reported.Add(a.ID)
 						e.res.Unsafe = append(e.res.Unsafe,
-							Unsafe{Access: a, Reason: NeverSynchronized})
+							Unsafe{Access: a, Reason: NeverSynchronized, Prov: e.provenance(a, p, true)})
 					}
 				}
 			}
@@ -557,6 +647,7 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 				// retains full state
 			}
 		}
+		e.trans[ruleNumber(op)]++
 		remark = append(remark, fmt.Sprintf("r#%d N#%d", ruleNumber(op), en.Sync.ID))
 		// Attribute the path since the strand's previous sync event,
 		// then the executed node itself ("∀ Nk from Sprev to Si").
@@ -603,6 +694,7 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 			Visited:  visited.Clone(),
 			Remark:   strings.Join(remark, " "),
 			Trailing: trailing,
+			parent:   p,
 		}
 		e.promote(np)
 		e.enqueue(np)
@@ -647,6 +739,7 @@ func (e *explorer) promote(p *PPS) {
 // enqueue inserts the PPS into the worklist, merging with an existing
 // state that has the same ASN set and state table (§III-C).
 func (e *explorer) enqueue(p *PPS) {
+	e.res.Stats.StatesForked++
 	p.key = e.stateKey(p)
 	if old, ok := e.keyed[p.key]; ok && !e.opts.DisableMerge {
 		if e.merge(old, p) && !old.queued {

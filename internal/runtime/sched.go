@@ -55,6 +55,8 @@ type ExploreResult struct {
 	UAF       map[string]UAFEvent // keyed by Var:Line
 	Races     map[string]RaceEvent
 	Deadlocks int
+	// TotalSteps sums scheduler steps across all runs (oracle telemetry).
+	TotalSteps int
 	// Truncated reports whether the exploration hit its run budget
 	// before exhausting the schedule tree.
 	Truncated bool
@@ -75,6 +77,7 @@ func (er *ExploreResult) absorb(r *RunResult) {
 	if r.Deadlock {
 		er.Deadlocks++
 	}
+	er.TotalSteps += r.Steps
 }
 
 // ExploreRandom runs n seeded random schedules.

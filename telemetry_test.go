@@ -1,0 +1,310 @@
+package uafcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/obs"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+func loadTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// checkCounters asserts exact golden values; every named counter must
+// match and no unnamed counter may be nonzero.
+func checkCounters(t *testing.T, m Metrics, want map[string]int64) {
+	t.Helper()
+	for name, v := range want {
+		if got := m.Counter(name); got != v {
+			t.Errorf("counter %s = %d, want %d", name, got, v)
+		}
+	}
+	for _, name := range m.CounterNames() {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected nonzero counter %s = %d", name, m.Counter(name))
+		}
+	}
+}
+
+// TestMetricsGoldenFigure1 pins the exact pipeline counters for the
+// paper's Figure 1 program: the CCFG shape, the pruning outcome (rule A
+// removes the printf-only task) and the PPS exploration counts. Any
+// change to the exploration order or the merge optimization shows up
+// here as an exact-number diff.
+func TestMetricsGoldenFigure1(t *testing.T) {
+	src := loadTestdata(t, "figure1.chpl")
+	rep, err := Analyze("figure1.chpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(rep.Warnings))
+	}
+	checkCounters(t, rep.Metrics, map[string]int64{
+		obs.CtrProcsAnalyzed:   1,
+		obs.CtrWarnings:        1,
+		obs.CtrCCFGNodes:       11,
+		obs.CtrCCFGTasks:       4,
+		obs.CtrCCFGSyncVars:    2,
+		obs.CtrTrackedAccesses: 4,
+		obs.CtrPrunedTasks:     1,
+		obs.CtrPruneRuleA:      1,
+		obs.CtrStatesCreated:   8,
+		obs.CtrStatesProcessed: 8,
+		obs.CtrStatesMerged:    3,
+		obs.CtrStatesForked:    11,
+		obs.CtrSinkStates:      1,
+		obs.CtrTransRead:       5,
+		obs.CtrTransWrite:      5,
+	})
+	if got := rep.Metrics.Gauge(obs.GaugePeakFrontier); got != 3 {
+		t.Errorf("peak frontier = %d, want 3", got)
+	}
+	// -stats consistency by construction: ProcStats must agree with the
+	// metrics snapshot, since both now flow from the same Stats structs.
+	if len(rep.Stats) != 1 {
+		t.Fatalf("Stats = %d entries, want 1", len(rep.Stats))
+	}
+	ps := rep.Stats[0]
+	if int64(ps.StatesCreated) != rep.Metrics.Counter(obs.CtrStatesCreated) {
+		t.Errorf("ProcStats.StatesCreated = %d, metrics say %d",
+			ps.StatesCreated, rep.Metrics.Counter(obs.CtrStatesCreated))
+	}
+}
+
+// TestMetricsGoldenFigure6 pins the counters for the branching example
+// (Figure 6): no task is prunable, three sink states, and the merge
+// optimization collapses six states.
+func TestMetricsGoldenFigure6(t *testing.T) {
+	src := loadTestdata(t, "figure6.chpl")
+	rep, err := Analyze("figure6.chpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(rep.Warnings))
+	}
+	checkCounters(t, rep.Metrics, map[string]int64{
+		obs.CtrProcsAnalyzed:   1,
+		obs.CtrWarnings:        1,
+		obs.CtrCCFGNodes:       11,
+		obs.CtrCCFGTasks:       3,
+		obs.CtrCCFGSyncVars:    1,
+		obs.CtrTrackedAccesses: 1,
+		obs.CtrStatesCreated:   9,
+		obs.CtrStatesProcessed: 14,
+		obs.CtrStatesMerged:    6,
+		obs.CtrStatesForked:    15,
+		obs.CtrSinkStates:      3,
+		obs.CtrTransRead:       7,
+		obs.CtrTransWrite:      6,
+	})
+}
+
+// TestMetricsGoldenFigure1Safe: the repaired program produces no
+// warnings and a single linear exploration (no merges, frontier 1).
+func TestMetricsGoldenFigure1Safe(t *testing.T) {
+	src := loadTestdata(t, "figure1_safe.chpl")
+	rep, err := Analyze("figure1_safe.chpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("warnings = %d, want 0", len(rep.Warnings))
+	}
+	m := rep.Metrics
+	for name, want := range map[string]int64{
+		obs.CtrStatesCreated: 5,
+		obs.CtrStatesMerged:  0,
+		obs.CtrSinkStates:    1,
+	} {
+		if got := m.Counter(name); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := m.Gauge(obs.GaugePeakFrontier); got != 1 {
+		t.Errorf("peak frontier = %d, want 1", got)
+	}
+}
+
+// TestDisableMergeCreatesMoreStates: switching off the §III-C merge
+// optimization must create strictly more states on a program whose
+// exploration has converging interleavings.
+func TestDisableMergeCreatesMoreStates(t *testing.T) {
+	src := loadTestdata(t, "figure6.chpl")
+	merged, err := Analyze("figure6.chpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.DisableMerge = true
+	unmerged, err := AnalyzeWithOptions("figure6.chpl", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := merged.Metrics.Counter(obs.CtrStatesCreated)
+	uc := unmerged.Metrics.Counter(obs.CtrStatesCreated)
+	if uc <= mc {
+		t.Errorf("DisableMerge states created = %d, want strictly more than %d", uc, mc)
+	}
+	if unmerged.Metrics.Counter(obs.CtrStatesMerged) != 0 {
+		t.Errorf("DisableMerge still merged %d states",
+			unmerged.Metrics.Counter(obs.CtrStatesMerged))
+	}
+	// Both configurations must report the same warnings — merging is an
+	// optimization, not an abstraction change.
+	if lw, lu := len(merged.Warnings), len(unmerged.Warnings); lw != lu {
+		t.Errorf("warning count changed with DisableMerge: %d vs %d", lw, lu)
+	}
+}
+
+// TestWarningProvenance: explain mode must attach a provenance chain to
+// the Figure 1 warning — the access node, a concrete sink PPS, and a
+// nonempty transition chain ending at that sink.
+func TestWarningProvenance(t *testing.T) {
+	src := loadTestdata(t, "figure1.chpl")
+	rep, err := Analyze("figure1.chpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(rep.Warnings))
+	}
+	p := rep.Warnings[0].Prov
+	if p == nil {
+		t.Fatal("warning has no provenance")
+	}
+	if p.Node == "" {
+		t.Error("provenance has empty CCFG node description")
+	}
+	if p.SinkPPS < 0 {
+		t.Errorf("provenance sink PPS = %d, want a concrete state id", p.SinkPPS)
+	}
+	if p.Stuck {
+		t.Error("figure1 sink should not be a deadlock state")
+	}
+	if len(p.Chain) == 0 {
+		t.Error("provenance transition chain is empty")
+	}
+	if !strings.Contains(p.Node, rep.Warnings[0].Var) {
+		t.Errorf("provenance node %q does not mention variable %q",
+			p.Node, rep.Warnings[0].Var)
+	}
+}
+
+// TestMetricsSinksReceiveSnapshot: every attached sink gets the same
+// snapshot that lands on Report.Metrics.
+func TestMetricsSinksReceiveSnapshot(t *testing.T) {
+	src := loadTestdata(t, "figure1.chpl")
+	var text, jsonl, prom bytes.Buffer
+	opts := DefaultOptions()
+	opts.MetricsSinks = []MetricsSink{
+		TextMetricsSink(&text),
+		JSONLinesMetricsSink(&jsonl),
+		PrometheusMetricsSink(&prom),
+	}
+	rep, err := AnalyzeWithOptions("figure1.chpl", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "pps.states_created") {
+		t.Errorf("text sink missing counter section:\n%s", text.String())
+	}
+	// Each JSONL line must be a standalone JSON object.
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	var sawCreated bool
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+		if rec["name"] == "pps.states_created" {
+			sawCreated = true
+			if int64(rec["value"].(float64)) != rep.Metrics.Counter(obs.CtrStatesCreated) {
+				t.Errorf("JSONL states_created = %v, metrics say %d",
+					rec["value"], rep.Metrics.Counter(obs.CtrStatesCreated))
+			}
+		}
+	}
+	if !sawCreated {
+		t.Error("JSONL sink never emitted pps.states_created")
+	}
+	if !strings.Contains(prom.String(), "uafcheck_pps_states_created 8") {
+		t.Errorf("prom sink missing exact counter:\n%s", prom.String())
+	}
+}
+
+// buildGraph runs the frontend once so the alloc test can call
+// pps.Explore directly, isolating the hot loop from parser allocations.
+func buildGraph(t testing.TB, name string) *ccfg.Graph {
+	t.Helper()
+	data, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := source.NewFile(name, string(data))
+	diags := &source.Diagnostics{}
+	mod := parser.Parse(file, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve: %v", diags)
+	}
+	for _, proc := range mod.Procs {
+		prog := ir.Lower(info, proc, diags)
+		return ccfg.Build(prog, diags, ccfg.BuildOptions{Prune: true})
+	}
+	t.Fatal("no proc found")
+	return nil
+}
+
+// TestExploreNilObsNoExtraAllocs: the nil-recorder path must not add
+// allocations to the PPS hot loop, and attaching a recorder may only
+// add a small constant (the end-of-run flush), independent of how many
+// states the exploration visits.
+func TestExploreNilObsNoExtraAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting in -short mode")
+	}
+	deltas := make(map[string]float64)
+	for _, name := range []string{"figure1.chpl", "figure6.chpl"} {
+		g := buildGraph(t, name)
+		base := testing.AllocsPerRun(50, func() {
+			pps.Explore(g, pps.Options{})
+		})
+		rec := obs.New()
+		withObs := testing.AllocsPerRun(50, func() {
+			pps.Explore(g, pps.Options{Obs: rec})
+		})
+		delta := withObs - base
+		deltas[name] = delta
+		// The recorder's cost is one span closure plus one batch of
+		// counter-map updates at flush time: bounded, not per-state.
+		if delta > 64 {
+			t.Errorf("%s: recorder added %.0f allocs/run (base %.0f), want <= 64",
+				name, delta, base)
+		}
+	}
+	// The overhead must not scale with exploration size: figure6 visits
+	// nearly twice the states of figure1 yet pays the same flush cost.
+	if d1, d6 := deltas["figure1.chpl"], deltas["figure6.chpl"]; d6 > d1+32 {
+		t.Errorf("recorder overhead scales with states: figure1 %+.0f, figure6 %+.0f", d1, d6)
+	}
+}

@@ -28,11 +28,13 @@ package uafcheck
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"uafcheck/internal/analysis"
 	"uafcheck/internal/corpus"
 	"uafcheck/internal/eval"
+	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
 	"uafcheck/internal/pps"
 	"uafcheck/internal/repair"
@@ -40,6 +42,30 @@ import (
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
 )
+
+// ------------------------------------------------------------- telemetry
+
+// Metrics is a telemetry snapshot of one pipeline run: phase spans
+// (parse, resolve, lower, ccfg-build, prune, pps-explore, oracle),
+// counters (CCFG nodes, tasks pruned per rule, PPS states created /
+// merged / forked, sync transitions by kind, oracle schedules) and
+// gauges (peak exploration frontier). Every Analyze, ExploreSchedules
+// and RunTableI call populates one on its report.
+type Metrics = obs.Metrics
+
+// MetricsSink receives Metrics snapshots; attach sinks via
+// Options.MetricsSinks.
+type MetricsSink = obs.Sink
+
+// TextMetricsSink renders metrics human-readably.
+func TextMetricsSink(w io.Writer) MetricsSink { return obs.TextSink{W: w} }
+
+// JSONLinesMetricsSink appends one JSON object per span/counter/gauge —
+// a machine-readable trace file that accumulates across runs.
+func JSONLinesMetricsSink(w io.Writer) MetricsSink { return obs.JSONLSink{W: w} }
+
+// PrometheusMetricsSink writes Prometheus text exposition format.
+func PrometheusMetricsSink(w io.Writer) MetricsSink { return obs.PromSink{W: w} }
 
 // Options configure the static analysis.
 type Options struct {
@@ -62,6 +88,9 @@ type Options struct {
 	// counters, so counting protocols (n fetchAdds before a waitFor(n))
 	// verify as well.
 	CountAtomics bool
+	// MetricsSinks receive the run's Metrics snapshot when the analysis
+	// finishes. The snapshot is attached to Report.Metrics regardless.
+	MetricsSinks []MetricsSink
 }
 
 // DefaultOptions returns the standard configuration.
@@ -96,10 +125,20 @@ type Warning struct {
 	Reason string
 	// Pos is the access position as file:line:col.
 	Pos string
-	// AccessLine and DeclLine are 1-based source lines.
+	// AccessLine and DeclLine are 1-based source lines; AccessCol is the
+	// 1-based source column of the access.
 	AccessLine int
+	AccessCol  int
 	DeclLine   int
+	// Prov is the explain-mode provenance: the CCFG node performing the
+	// access, the sink PPS whose OV set still held it, and the
+	// transition chain that reached that state.
+	Prov *WarningProvenance
 }
+
+// WarningProvenance explains why a warning was emitted (see
+// Warning.Prov and the -explain flag of cmd/uafcheck).
+type WarningProvenance = pps.Provenance
 
 // String renders the warning in compiler style.
 func (w Warning) String() string {
@@ -120,6 +159,7 @@ type ProcStats struct {
 	PrunedTasks       int
 	TrackedAccesses   int
 	ProtectedAccesses int
+	StatesCreated     int
 	StatesProcessed   int
 	StatesMerged      int
 	Sinks             int
@@ -140,6 +180,9 @@ type Report struct {
 	// PPSTraces maps procedure names to their formatted PPS tables when
 	// Options.Trace is set.
 	PPSTraces map[string]string
+	// Metrics is the run's telemetry snapshot: phase timings, pipeline
+	// counters and gauges (see the obs sink flags of cmd/uafcheck).
+	Metrics Metrics
 }
 
 // ErrFrontend is returned when the source fails to lex, parse or resolve;
@@ -153,8 +196,10 @@ func Analyze(filename, src string) (*Report, error) {
 
 // AnalyzeWithOptions runs the static analysis.
 func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
+	rec := obs.New(opts.MetricsSinks...)
 	in := opts.internal()
 	in.KeepGraphs = opts.Trace
+	in.Obs = rec
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
 		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
@@ -164,7 +209,8 @@ func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
 		rep.Warnings = append(rep.Warnings, Warning{
 			Var: w.Var, Task: w.Task, Proc: w.Proc, Write: w.Write,
 			Reason: w.Reason.String(), Pos: w.Pos,
-			AccessLine: w.AccessLine, DeclLine: w.DeclLine,
+			AccessLine: w.AccessLine, AccessCol: w.AccessCol,
+			DeclLine: w.DeclLine, Prov: w.Prov,
 		})
 	}
 	for _, d := range res.Diags.All() {
@@ -180,6 +226,7 @@ func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
 			PrunedTasks:       pr.GraphStats.PrunedTasks,
 			TrackedAccesses:   pr.GraphStats.TrackedAccesses,
 			ProtectedAccesses: pr.GraphStats.ProtectedAccesses,
+			StatesCreated:     pr.PPSStats.StatesCreated,
 			StatesProcessed:   pr.PPSStats.StatesProcessed,
 			StatesMerged:      pr.PPSStats.StatesMerged,
 			Sinks:             pr.PPSStats.Sinks,
@@ -192,6 +239,10 @@ func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
 			}
 			rep.PPSTraces[pr.Proc.Name.Name] = pps.FormatTrace(pr.PPS.Trace)
 		}
+	}
+	rep.Metrics = rec.Snapshot()
+	if err := rec.Flush(); err != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
 	}
 	return rep, nil
 }
@@ -288,6 +339,9 @@ type DynamicReport struct {
 	Deadlocks int
 	// Exhausted is true when the full schedule space was covered.
 	Exhausted bool
+	// Metrics is the oracle's telemetry snapshot (oracle span, schedules
+	// run, scheduler steps, deadlocks, distinct UAF sites).
+	Metrics Metrics
 }
 
 // ObservedUAF reports whether the site (variable name + access line) was
@@ -315,12 +369,15 @@ func ExploreSchedules(filename, src, entry string, runs int, seed int64, exhaust
 	if diags.HasErrors() {
 		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
 	}
+	rec := obs.New()
+	endOracle := rec.Span(obs.PhaseOracle)
 	var er *runtime.ExploreResult
 	if exhaustive {
 		er = runtime.ExploreExhaustive(mod, info, entry, runs)
 	} else {
 		er = runtime.ExploreRandom(mod, info, entry, runs, seed)
 	}
+	endOracle()
 	rep := &DynamicReport{Runs: er.Runs, Deadlocks: er.Deadlocks, Exhausted: exhaustive && !er.Truncated}
 	for k := range er.UAF {
 		rep.UAFSites = append(rep.UAFSites, k)
@@ -328,7 +385,17 @@ func ExploreSchedules(filename, src, entry string, runs int, seed int64, exhaust
 	for k := range er.Races {
 		rep.RaceSites = append(rep.RaceSites, k)
 	}
+	rep.Metrics = oracleMetrics(rec, er)
 	return rep, nil
+}
+
+// oracleMetrics records the oracle counters and snapshots the recorder.
+func oracleMetrics(rec *obs.Recorder, er *runtime.ExploreResult) Metrics {
+	rec.Add(obs.CtrOracleSchedules, int64(er.Runs))
+	rec.Add(obs.CtrOracleSteps, int64(er.TotalSteps))
+	rec.Add(obs.CtrOracleDeadlocks, int64(er.Deadlocks))
+	rec.Add(obs.CtrOracleUAFSites, int64(len(er.UAF)))
+	return rec.Snapshot()
 }
 
 // ExploreSchedulesBounded enumerates schedules with at most `bound`
@@ -346,7 +413,10 @@ func ExploreSchedulesBounded(filename, src, entry string, maxRuns, bound int) (*
 	if diags.HasErrors() {
 		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
 	}
+	rec := obs.New()
+	endOracle := rec.Span(obs.PhaseOracle)
 	er := runtime.ExploreBounded(mod, info, entry, maxRuns, bound)
+	endOracle()
 	rep := &DynamicReport{Runs: er.Runs, Deadlocks: er.Deadlocks, Exhausted: !er.Truncated}
 	for k := range er.UAF {
 		rep.UAFSites = append(rep.UAFSites, k)
@@ -354,6 +424,7 @@ func ExploreSchedulesBounded(filename, src, entry string, maxRuns, bound int) (*
 	for k := range er.Races {
 		rep.RaceSites = append(rep.RaceSites, k)
 	}
+	rep.Metrics = oracleMetrics(rec, er)
 	return rep, nil
 }
 
@@ -423,6 +494,19 @@ type TableI = eval.TableI
 func RunTableI(cases []CorpusCase, opts Options) (TableI, string) {
 	table, det := eval.RunTableI(cases, opts.internal())
 	return table, det.FormatPatternBreakdown()
+}
+
+// CorpusTelemetry is the aggregate evaluation telemetry: per-pattern
+// analysis timing and PPS state-count aggregates with power-of-two
+// histograms. It serializes to the BENCH_corpus.json schema of
+// cmd/uafcorpus.
+type CorpusTelemetry = eval.Telemetry
+
+// RunTableIWithTelemetry runs the evaluation like RunTableI and also
+// returns the aggregate telemetry report.
+func RunTableIWithTelemetry(cases []CorpusCase, opts Options) (TableI, *CorpusTelemetry, string) {
+	table, det := eval.RunTableI(cases, opts.internal())
+	return table, det.Telemetry(), det.FormatPatternBreakdown()
 }
 
 // BaselineComparison runs the §VI baselines over the corpus's begin-task
