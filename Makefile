@@ -1,12 +1,24 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build test vet fmt-check bench check
+.PHONY: build test test-race vet fmt-check bench fuzz-short check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass: certifies the batch driver, the synchronized
+# metrics sinks, and every other concurrent path.
+test-race:
+	$(GO) test -race ./...
+
+# Short native-fuzzing pass over the frontend (lexer + parser). The
+# targets also run their seed corpora as plain tests under `make test`.
+fuzz-short:
+	$(GO) test -fuzz=FuzzLex -fuzztime=$(FUZZTIME) ./internal/lexer/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser/
 
 vet:
 	$(GO) vet ./...

@@ -19,9 +19,22 @@
 //	-no-prune       disable CCFG pruning rules A-D
 //	-oracle N       validate warnings dynamically with N random schedules
 //	-seed S         oracle schedule seed
+//	-timeout D      per-file analysis deadline (degrades, never truncates)
+//	-deadline D     wall-clock bound for the whole run
+//	-jobs N         parallel workers for multi-file runs (0 = GOMAXPROCS)
+//	-retries N      retry a timed-out file N times with shrinking budgets
+//
+// Exit codes:
+//
+//	0  clean — every file analyzed completely, no warnings
+//	1  warnings — at least one exact (non-degraded) warning
+//	2  degraded — some analysis was incomplete (budget, deadline,
+//	   cancellation or a recovered crash); warnings are conservative
+//	3  errors — unreadable inputs or frontend (parse/resolve) failures
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -29,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"uafcheck"
 )
@@ -50,12 +64,16 @@ func main() {
 		execProc = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
 		oracle   = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
 		seed     = flag.Int64("seed", 1, "oracle schedule seed")
+		timeout  = flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); on expiry the file degrades to conservative warnings")
+		deadline = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = none)")
+		jobs     = flag.Int("jobs", 0, "parallel analysis workers (0 = GOMAXPROCS)")
+		retries  = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: uafcheck [flags] file.chpl ...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(3)
 	}
 
 	opts := uafcheck.DefaultOptions()
@@ -69,14 +87,12 @@ func main() {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
-			os.Exit(1)
+			os.Exit(3)
 		}
 		traceFile = f
 		defer f.Close()
-		opts.MetricsSinks = append(opts.MetricsSinks, uafcheck.JSONLinesMetricsSink(f))
 	}
 
-	exit := 0
 	var paths []string
 	for _, arg := range flag.Args() {
 		st, err := os.Stat(arg)
@@ -96,26 +112,65 @@ func main() {
 	// may deliver paths in any order.
 	sort.Strings(paths)
 
-	var agg uafcheck.Metrics
+	ioErrors := false
+	var files []uafcheck.FileInput
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
-			exit = 1
+			ioErrors = true
 			continue
 		}
-		src := string(data)
+		files = append(files, uafcheck.FileInput{Name: path, Src: string(data)})
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	// All file sets — including a single file — go through the batch
+	// driver: per-file deadlines, retry-with-smaller-budget and panic
+	// isolation apply uniformly, and results come back index-aligned so
+	// output order matches the sorted path list.
+	batchRep := uafcheck.AnalyzeFiles(files, opts, uafcheck.BatchOptions{
+		Workers:     *jobs,
+		FileTimeout: *timeout,
+		Retries:     *retries,
+		Context:     ctx,
+	})
+
+	var agg uafcheck.Metrics
+	for i, fr := range batchRep.Files {
+		path, src := files[i].Name, files[i].Src
+		if fr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", fr.Err)
+			continue
+		}
+		rep := fr.Report
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %s: analysis %s after %d attempt(s) in %v\n",
+				path, fr.Status, fr.Attempts, fr.Duration.Round(time.Millisecond))
+			continue
+		}
 		if traceFile != nil {
 			// Header line so the JSONL trace attributes spans to inputs.
+			// Emitted here, after the parallel run, so multi-file traces
+			// stay ordered and never interleave.
 			fmt.Fprintf(traceFile, "{\"type\":\"run\",\"file\":%q}\n", path)
-		}
-		rep, err := uafcheck.AnalyzeWithOptions(path, src, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
-			exit = 1
-			continue
+			if err := uafcheck.JSONLinesMetricsSink(traceFile).Emit(rep.Metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "uafcheck: trace-out: %v\n", err)
+			}
 		}
 		agg.Merge(rep.Metrics)
+		if d := rep.Degraded; d != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %s: analysis degraded (%s); warnings are conservative\n",
+				path, d.Reason)
+			for _, c := range d.Crashes {
+				fmt.Fprintf(os.Stderr, "uafcheck: %s: recovered panic in phase %s: %s\n", path, c.Phase, c.Err)
+			}
+		}
 		sortWarnings(rep.Warnings)
 		for _, w := range rep.Warnings {
 			fmt.Println(w)
@@ -183,21 +238,27 @@ func main() {
 				fmt.Print(fr.Fixed)
 			}
 		}
-		if len(rep.Warnings) > 0 {
-			exit = 1
-		}
+	}
+	if s := batchRep.Summary; s.Degradations() > 0 {
+		fmt.Fprintf(os.Stderr,
+			"uafcheck: %d/%d file(s) degraded (%d budget/cancelled, %d timed out, %d crashed; %d retries)\n",
+			s.Degradations(), s.Files, s.Degraded, s.TimedOut, s.Crashed, s.Retries)
 	}
 	if *promOut != "" {
 		f, err := os.Create(*promOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
-			os.Exit(1)
+			os.Exit(3)
 		}
 		if err := uafcheck.PrometheusMetricsSink(f).Emit(agg); err != nil {
 			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
-			exit = 1
+			ioErrors = true
 		}
 		f.Close()
+	}
+	exit := batchRep.ExitCode()
+	if ioErrors {
+		exit = 3
 	}
 	os.Exit(exit)
 }

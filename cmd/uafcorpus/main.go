@@ -7,6 +7,12 @@
 // Usage:
 //
 //	uafcorpus [-seed N] [-tests N] [-oracle N] [-baselines] [-dump dir]
+//	          [-jobs N] [-case-timeout D] [-retries N]
+//
+// The evaluation runs on the fault-isolated batch driver: every generated
+// case gets its own deadline and panic isolation, so one pathological
+// program degrades only itself. The robustness summary after Table I
+// accounts for every case (ok / degraded / timed out / crashed).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"uafcheck"
 	"uafcheck/internal/analysis"
+	"uafcheck/internal/batch"
 	"uafcheck/internal/eval"
 )
 
@@ -45,6 +52,9 @@ func main() {
 		countAtomics = flag.Bool("count-atomics", false, "enable the counting refinement of the atomics extension and rerun the table")
 		dump         = flag.String("dump", "", "write the generated corpus to this directory")
 		benchOut     = flag.String("bench-out", "BENCH_corpus.json", "write the aggregate telemetry artifact to this file (\"\" disables)")
+		jobs         = flag.Int("jobs", 0, "parallel analysis workers (0 = GOMAXPROCS)")
+		caseTimeout  = flag.Duration("case-timeout", 0, "per-case analysis deadline (0 = none); expired cases degrade to conservative warnings")
+		retries      = flag.Int("retries", 0, "extra attempts for a timed-out case, each with a 4x smaller state budget")
 	)
 	flag.Parse()
 
@@ -80,7 +90,11 @@ func main() {
 	}
 
 	start = time.Now()
-	table, det := eval.RunTableIParallel(cases, analysis.DefaultOptions(), 0)
+	table, det, robust := eval.RunTableIBatch(cases, analysis.DefaultOptions(), batch.Options{
+		Workers:     *jobs,
+		FileTimeout: *caseTimeout,
+		Retries:     *retries,
+	})
 	breakdown := det.FormatPatternBreakdown()
 	anaTime := time.Since(start)
 
@@ -88,6 +102,8 @@ func main() {
 	fmt.Print(table.Format())
 	fmt.Printf("\nPaper reference: 5127 / 218 / 38 / 437 / 63 / 14.4%%\n")
 	fmt.Printf("generation %v, analysis %v\n\n", genTime.Round(time.Millisecond), anaTime.Round(time.Millisecond))
+	fmt.Printf("Robustness: %d cases — %d ok, %d degraded, %d timed out, %d crashed, %d frontend errors (%d retries)\n\n",
+		robust.Files, robust.OK, robust.Degraded, robust.TimedOut, robust.Crashed, robust.Errors, robust.Retries)
 	fmt.Println("Per-pattern breakdown:")
 	fmt.Print(breakdown)
 

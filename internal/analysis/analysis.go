@@ -7,7 +7,9 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"uafcheck/internal/ast"
 	"uafcheck/internal/ccfg"
@@ -40,6 +42,11 @@ type Options struct {
 	// Obs receives phase spans and pipeline counters from every stage;
 	// nil disables telemetry at zero cost.
 	Obs *obs.Recorder
+	// Ctx carries the file's deadline/cancellation budget. It is polled
+	// at phase boundaries and inside the PPS hot loop; when it fires,
+	// each remaining procedure degrades to conservative warnings instead
+	// of being skipped. nil means no budget.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the standard configuration.
@@ -49,12 +56,17 @@ func DefaultOptions() Options {
 
 // Warning is one reported potentially dangerous outer-variable access.
 type Warning struct {
-	Var        string
-	Task       string
-	Proc       string
-	Write      bool
-	Reason     pps.UnsafeReason
-	AccessLine int
+	Var   string
+	Task  string
+	Proc  string
+	Write bool
+	// Conservative marks warnings emitted by the degradation ladder: the
+	// exploration stopped early (budget, deadline, cancellation) and the
+	// access was flagged because it was not proven safe, not because it
+	// was proven dangerous.
+	Conservative bool
+	Reason       pps.UnsafeReason
+	AccessLine   int
 	// AccessCol is the 1-based source column of the access.
 	AccessCol int
 	DeclLine  int
@@ -71,10 +83,35 @@ func (w Warning) String() string {
 	if w.Write {
 		verb = "write"
 	}
+	if w.Conservative {
+		return fmt.Sprintf("%s: warning: potentially dangerous %s of outer variable %q "+
+			"(declared at line %d) inside %s of proc %s: analysis degraded before the "+
+			"access could be proven safe [%s]",
+			w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason)
+	}
 	return fmt.Sprintf("%s: warning: potentially dangerous %s of outer variable %q "+
 		"(declared at line %d) inside %s of proc %s: the task may execute after "+
 		"the variable's scope has exited [%s]",
 		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason)
+}
+
+// StopPanic extends the pps stop reasons with the panic-isolation rung
+// of the degradation ladder: a recovered pipeline crash.
+const StopPanic pps.StopReason = "panic"
+
+// Crash is a recovered panic inside the per-procedure pipeline — the
+// structured diagnostic the fault-isolated drivers aggregate instead of
+// letting one bad input take down a batch.
+type Crash struct {
+	// Proc is the procedure being analyzed when the panic fired.
+	Proc string
+	// Phase is the pipeline phase that crashed (lower, ccfg-build,
+	// pps-explore, report).
+	Phase string
+	// Err is the panic value's rendering.
+	Err string
+	// Stack is the recovered goroutine stack.
+	Stack string
 }
 
 // ProcResult holds the analysis artifacts of one root procedure.
@@ -99,6 +136,29 @@ type Result struct {
 	Info   *sym.Info
 	Diags  *source.Diagnostics
 	Procs  []*ProcResult
+	// Crashes lists procedures whose pipeline panicked; the panic was
+	// recovered, the remaining procedures still analyzed.
+	Crashes []Crash
+}
+
+// Degraded returns the file's aggregate degradation cause, or StopNone
+// when every procedure ran to completion. When procedures degraded for
+// different reasons the most severe wins: panic > cancelled > deadline >
+// budget.
+func (r *Result) Degraded() pps.StopReason {
+	rank := map[pps.StopReason]int{
+		pps.StopBudget: 1, pps.StopDeadline: 2, pps.StopCancelled: 3, StopPanic: 4,
+	}
+	worst := pps.StopNone
+	if len(r.Crashes) > 0 {
+		worst = StopPanic
+	}
+	for _, pr := range r.Procs {
+		if s := pr.PPSStats.Stop; rank[s] > rank[worst] {
+			worst = s
+		}
+	}
+	return worst
 }
 
 // Warnings returns all warnings across procedures, in source order per
@@ -143,7 +203,14 @@ func AnalyzeFile(file *source.File, opts Options) *Result {
 			// procedures containing begin tasks are analyzed (§III).
 			continue
 		}
-		pr := analyzeProc(info, proc, synced, opts, diags)
+		pr, crash := analyzeProcSafe(info, proc, synced, opts, diags)
+		if crash != nil {
+			res.Crashes = append(res.Crashes, *crash)
+			diags.Addf(file, proc.Name.Sp, source.Note,
+				"proc %s: internal analysis panic in phase %s (recovered): %s",
+				proc.Name.Name, crash.Phase, crash.Err)
+			continue
+		}
 		res.Procs = append(res.Procs, pr)
 		opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
 		opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
@@ -151,21 +218,49 @@ func AnalyzeFile(file *source.File, opts Options) *Result {
 	return res
 }
 
+// analyzeProcSafe is the fault-isolation rung of the ladder: a panic
+// anywhere in one procedure's lower → CCFG → PPS pipeline is converted
+// into a structured Crash instead of aborting the file (or a whole
+// batch). phase is threaded through analyzeProc so the crash records
+// which stage died.
+func analyzeProcSafe(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
+	opts Options, diags *source.Diagnostics) (pr *ProcResult, crash *Crash) {
+	phase := obs.PhaseLower
+	defer func() {
+		if r := recover(); r != nil {
+			crash = &Crash{
+				Proc:  proc.Name.Name,
+				Phase: phase,
+				Err:   fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			}
+			pr = nil
+		}
+	}()
+	pr = analyzeProc(info, proc, synced, opts, diags, &phase)
+	return pr, nil
+}
+
 func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
-	opts Options, diags *source.Diagnostics) *ProcResult {
+	opts Options, diags *source.Diagnostics, phase *string) *ProcResult {
 	endLower := opts.Obs.Span(obs.PhaseLower)
 	prog := ir.Lower(info, proc, diags)
 	endLower()
+	*phase = obs.PhaseCCFG
 	g := ccfg.Build(prog, diags, ccfg.BuildOptions{
 		Prune:           opts.Prune,
 		SyncedRefParams: synced,
 		ModelAtomics:    opts.ModelAtomics,
 		CountAtomics:    opts.CountAtomics,
 		Obs:             opts.Obs,
+		Ctx:             opts.Ctx,
 	})
+	*phase = obs.PhaseExplore
 	ppsOpts := opts.PPS
 	ppsOpts.Obs = opts.Obs
+	ppsOpts.Ctx = opts.Ctx
 	r := pps.Explore(g, ppsOpts)
+	*phase = "report"
 
 	pr := &ProcResult{
 		Proc:       proc,
@@ -183,16 +278,17 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 	for _, u := range r.Unsafe {
 		a := u.Access
 		pr.Warnings = append(pr.Warnings, Warning{
-			Var:        a.Sym.Name,
-			Task:       a.Task.Label,
-			Proc:       proc.Name.Name,
-			Write:      a.Write,
-			Reason:     u.Reason,
-			AccessLine: file.Line(a.Sp.Start),
-			AccessCol:  file.Column(a.Sp.Start),
-			DeclLine:   declLine(file, a.Sym),
-			Pos:        file.Position(a.Sp.Start),
-			Prov:       u.Prov,
+			Var:          a.Sym.Name,
+			Task:         a.Task.Label,
+			Proc:         proc.Name.Name,
+			Write:        a.Write,
+			Conservative: u.Conservative,
+			Reason:       u.Reason,
+			AccessLine:   file.Line(a.Sp.Start),
+			AccessCol:    file.Column(a.Sp.Start),
+			DeclLine:     declLine(file, a.Sym),
+			Pos:          file.Position(a.Sp.Start),
+			Prov:         u.Prov,
 		})
 	}
 	for _, w := range pr.Warnings {
@@ -203,9 +299,18 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 			"proc %s: %d parallel program state(s) block with no applicable rule (potential deadlock)",
 			proc.Name.Name, len(r.Deadlocks))
 	}
-	if r.Stats.Incomplete {
+	switch r.Stats.Stop {
+	case pps.StopBudget:
 		diags.Addf(file, proc.Name.Sp, source.Note,
-			"proc %s: PPS exploration budget exceeded; results may be incomplete",
+			"proc %s: PPS exploration budget exceeded; degraded to conservative warnings",
+			proc.Name.Name)
+	case pps.StopDeadline:
+		diags.Addf(file, proc.Name.Sp, source.Note,
+			"proc %s: PPS exploration deadline exceeded; degraded to conservative warnings",
+			proc.Name.Name)
+	case pps.StopCancelled:
+		diags.Addf(file, proc.Name.Sp, source.Note,
+			"proc %s: PPS exploration cancelled; degraded to conservative warnings",
 			proc.Name.Name)
 	}
 	return pr

@@ -1,0 +1,361 @@
+// Package batch is the fault-isolated parallel driver for multi-file
+// analysis runs: a worker pool with per-file wall-clock budgets, bounded
+// retry-with-smaller-budget after deadline hits, panic isolation (one
+// crashing input never aborts the batch) and aggregate robustness
+// telemetry through internal/obs.
+//
+// The driver is the operational contract the resource governor was built
+// for: every input produces exactly one classified Result — OK, Degraded
+// (sound conservative over-approximation), TimedOut, Crashed or
+// FrontendError — so a corpus run over millions of files can always
+// account for every file, and a shell caller can always distinguish a
+// clean run from a degraded one.
+package batch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/obs"
+	"uafcheck/internal/pps"
+)
+
+// File is one batch input.
+type File struct {
+	// Name labels diagnostics and reports (usually a path).
+	Name string
+	// Src is the MiniChapel source text.
+	Src string
+}
+
+// Status classifies one file's final outcome, most severe last.
+type Status int
+
+const (
+	// OK: the pipeline ran to completion; warnings (if any) are exact.
+	OK Status = iota
+	// Degraded: the exploration stopped on a state budget or batch
+	// cancellation and fell back to conservative warnings. Sound, but
+	// over-approximate.
+	Degraded
+	// TimedOut: the per-file deadline fired on every attempt; the final
+	// result (when present) is the conservative fallback.
+	TimedOut
+	// Crashed: a pipeline stage panicked. The panic was recovered into
+	// Result.Crashes and the rest of the batch was unaffected.
+	Crashed
+	// FrontendError: the input failed to lex, parse or resolve.
+	FrontendError
+)
+
+// String renders the status for reports and telemetry.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case TimedOut:
+		return "timed-out"
+	case Crashed:
+		return "crashed"
+	case FrontendError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Options configure a batch run.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// FileTimeout bounds each attempt's wall clock (0 = unbounded). The
+	// per-file context it derives is polled inside the PPS hot loop, so
+	// a pathological file returns — degraded — within a few poll
+	// intervals of the deadline.
+	FileTimeout time.Duration
+	// Retries is how many extra attempts a deadline hit earns. Each
+	// retry divides the PPS MaxStates budget by BudgetShrink, trading
+	// wall-clock flakiness for a deterministic state budget: a file that
+	// times out under load converges to a reproducible budget-degraded
+	// result instead of flapping.
+	Retries int
+	// BudgetShrink is the per-retry MaxStates divisor (default 4).
+	BudgetShrink int
+	// Analysis configures the per-file pipeline.
+	Analysis analysis.Options
+	// Ctx cancels the whole batch. Files not yet started still produce
+	// Results: their analyses observe the cancelled context immediately
+	// and degrade to the conservative fallback.
+	Ctx context.Context
+	// Obs receives the batch span and the aggregate outcome counters
+	// (files, ok, degraded, crashed, timed_out, errors, retries,
+	// warnings). The Recorder is mutex-guarded, so one instance is
+	// shared by all workers.
+	Obs *obs.Recorder
+	// PerFileObs, when set, supplies a telemetry recorder per file; it
+	// is attached to the file's analysis options (all attempts of the
+	// file share it) and flushed by the worker when the file finishes —
+	// so sinks shared across files must be wrapped with
+	// obs.Synchronized. Flush errors are best-effort-ignored.
+	PerFileObs func(i int, f File) *obs.Recorder
+}
+
+// Result is one file's classified outcome.
+type Result struct {
+	File  File
+	Index int
+	// Status is the outcome class; Stop refines Degraded/TimedOut with
+	// the machine-readable ladder reason.
+	Status Status
+	Stop   pps.StopReason
+	// Res is the final attempt's analysis (nil only when the attempt was
+	// abandoned as a hard hang).
+	Res *analysis.Result
+	// Crashes carries recovered panics (Status == Crashed).
+	Crashes []analysis.Crash
+	// Attempts counts pipeline runs for this file (≥ 1 unless the batch
+	// context was already dead).
+	Attempts int
+	// Duration is the wall clock across all attempts.
+	Duration time.Duration
+	// Warnings / Conservative count the final attempt's warnings and how
+	// many of them are degradation-ladder over-approximations.
+	Warnings     int
+	Conservative int
+	// Hung marks an attempt that did not return even after its context
+	// fired plus a grace period (the analysis goroutine was abandoned).
+	Hung bool
+}
+
+// Summary aggregates a batch run — the "files OK / degraded / crashed /
+// timed out" accounting line.
+type Summary struct {
+	Files        int
+	OK           int
+	Degraded     int
+	TimedOut     int
+	Crashed      int
+	Errors       int
+	Retries      int
+	Warnings     int
+	Conservative int
+	Hung         int
+}
+
+// Degradations returns how many files produced something other than an
+// exact, complete result.
+func (s Summary) Degradations() int { return s.Degraded + s.TimedOut + s.Crashed }
+
+// hangGraceMin bounds how long a worker waits for a cancelled analysis
+// to come back before abandoning its goroutine.
+const hangGraceMin = 100 * time.Millisecond
+
+// Run analyzes every file and returns per-file results (index-aligned
+// with files) plus the aggregate summary. Results are deterministic for
+// a fixed input set and options: workers race only on who analyzes
+// what, never on what a file's analysis observes.
+func Run(files []File, opts Options) ([]Result, Summary) {
+	endBatch := opts.Obs.Span(obs.PhaseBatch)
+	defer endBatch()
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BudgetShrink <= 1 {
+		opts.BudgetShrink = 4
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
+
+	results := make([]Result, len(files))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runFile(files[i], i, opts)
+			}
+		}()
+	}
+	for i := range files {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	sum := summarize(results)
+	flushObs(opts.Obs, sum)
+	return results, sum
+}
+
+// runFile drives one file through the attempt/retry ladder.
+func runFile(f File, idx int, opts Options) Result {
+	start := time.Now()
+	res := Result{File: f, Index: idx}
+
+	aopts := opts.Analysis
+	if opts.PerFileObs != nil {
+		aopts.Obs = opts.PerFileObs(idx, f)
+		defer aopts.Obs.Flush() //nolint:errcheck — telemetry is best-effort
+	}
+	budget := aopts.PPS.MaxStates
+	maxAttempts := 1 + opts.Retries
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		if attempt > 0 {
+			// Retry rung: a deadline hit means the state space outran the
+			// wall clock. Shrink the deterministic budget so the retry
+			// terminates by state count, not by timer.
+			if budget <= 0 {
+				budget = pps.DefaultMaxStates()
+			}
+			budget /= opts.BudgetShrink
+			if budget < 1 {
+				budget = 1
+			}
+			aopts.PPS.MaxStates = budget
+		}
+		ar, hung := runAttempt(f, aopts, opts)
+		if hung {
+			res.Hung = true
+			res.Status = TimedOut
+			res.Stop = pps.StopDeadline
+			continue // retry with a smaller budget, if any attempts remain
+		}
+		res.Res = ar
+		res.Hung = false
+		classify(&res, ar)
+		if res.Status != TimedOut {
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// runAttempt executes one pipeline run under the per-file deadline. The
+// analysis runs in its own goroutine so a hard hang (a loop that never
+// reaches a cancellation poll) can be abandoned; the cooperative path —
+// by far the common one — returns promptly after the context fires.
+func runAttempt(f File, aopts analysis.Options, opts Options) (ar *analysis.Result, hung bool) {
+	ctx := opts.Ctx
+	cancel := context.CancelFunc(func() {})
+	if opts.FileTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.FileTimeout)
+	}
+	defer cancel()
+	aopts.Ctx = ctx
+
+	done := make(chan *analysis.Result, 1)
+	go func() {
+		// analysis recovers per-proc panics itself; this recover is the
+		// net under frontend/report crashes so the worker never dies.
+		defer func() {
+			if r := recover(); r != nil {
+				done <- nil
+			}
+		}()
+		done <- analysis.AnalyzeSource(f.Name, f.Src, aopts)
+	}()
+
+	select {
+	case ar = <-done:
+		return ar, false
+	case <-ctx.Done():
+	}
+	grace := opts.FileTimeout
+	if grace < hangGraceMin {
+		grace = hangGraceMin
+	}
+	select {
+	case ar = <-done:
+		return ar, false
+	case <-time.After(grace):
+		return nil, true
+	}
+}
+
+// classify maps one attempt's analysis result onto the outcome ladder.
+func classify(res *Result, ar *analysis.Result) {
+	res.Warnings = 0
+	res.Conservative = 0
+	res.Stop = pps.StopNone
+	if ar == nil {
+		// The attempt goroutine panicked outside the per-proc recovery.
+		res.Status = Crashed
+		res.Stop = analysis.StopPanic
+		return
+	}
+	res.Crashes = ar.Crashes
+	for _, w := range ar.Warnings() {
+		res.Warnings++
+		if w.Conservative {
+			res.Conservative++
+		}
+	}
+	if ar.Diags.HasErrors() {
+		res.Status = FrontendError
+		return
+	}
+	res.Stop = ar.Degraded()
+	switch res.Stop {
+	case pps.StopNone:
+		res.Status = OK
+	case analysis.StopPanic:
+		res.Status = Crashed
+	case pps.StopDeadline:
+		res.Status = TimedOut
+	default: // budget, cancelled
+		res.Status = Degraded
+	}
+}
+
+// summarize folds the per-file results.
+func summarize(results []Result) Summary {
+	var s Summary
+	s.Files = len(results)
+	for i := range results {
+		r := &results[i]
+		switch r.Status {
+		case OK:
+			s.OK++
+		case Degraded:
+			s.Degraded++
+		case TimedOut:
+			s.TimedOut++
+		case Crashed:
+			s.Crashed++
+		case FrontendError:
+			s.Errors++
+		}
+		s.Retries += r.Attempts - 1
+		s.Warnings += r.Warnings
+		s.Conservative += r.Conservative
+		if r.Hung {
+			s.Hung++
+		}
+	}
+	return s
+}
+
+// flushObs records the aggregate counters once per batch.
+func flushObs(r *obs.Recorder, s Summary) {
+	if r == nil {
+		return
+	}
+	r.Add(obs.CtrBatchFiles, int64(s.Files))
+	r.Add(obs.CtrBatchOK, int64(s.OK))
+	r.Add(obs.CtrBatchDegraded, int64(s.Degraded))
+	r.Add(obs.CtrBatchTimedOut, int64(s.TimedOut))
+	r.Add(obs.CtrBatchCrashed, int64(s.Crashed))
+	r.Add(obs.CtrBatchErrors, int64(s.Errors))
+	r.Add(obs.CtrBatchRetries, int64(s.Retries))
+	r.Add(obs.CtrBatchWarnings, int64(s.Warnings))
+}

@@ -1,6 +1,8 @@
 package ccfg
 
 import (
+	"context"
+
 	"uafcheck/internal/ast"
 	"uafcheck/internal/ir"
 	"uafcheck/internal/obs"
@@ -32,6 +34,11 @@ type BuildOptions struct {
 	// Obs receives construction/prune spans and graph counters; nil
 	// disables telemetry at zero cost.
 	Obs *obs.Recorder
+	// Ctx carries the analysis deadline. Construction itself is linear
+	// and fast; the only elective work is pruning, which is skipped when
+	// the context has already fired (sound: pruning only removes tasks
+	// proven irrelevant, so skipping it over-approximates).
+	Ctx context.Context
 }
 
 // DefaultBuildOptions enables pruning.
@@ -66,7 +73,7 @@ func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Grap
 	b.walkBlock(prog.Root, false)
 	root.Exit = b.cur
 
-	if opts.Prune {
+	if opts.Prune && (opts.Ctx == nil || opts.Ctx.Err() == nil) {
 		endPrune := opts.Obs.Span(obs.PhasePrune)
 		prune(g)
 		endPrune()

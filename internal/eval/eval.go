@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -162,7 +163,18 @@ func (ps *PatternStats) absorb(out CaseOutcome) {
 func analyzeCase(tc *corpus.TestCase, opts analysis.Options) CaseOutcome {
 	start := time.Now()
 	res := analysis.AnalyzeSource(tc.Name+".chpl", tc.Source, opts)
-	out := CaseOutcome{Case: tc, FrontendOK: !res.Diags.HasErrors(), Duration: time.Since(start)}
+	return outcomeFrom(tc, res, time.Since(start))
+}
+
+// outcomeFrom scores one analysis result against the case's ground-truth
+// labels. res may be nil — a batch attempt abandoned as a hard hang —
+// which scores as a frontend-level failure with no warnings.
+func outcomeFrom(tc *corpus.TestCase, res *analysis.Result, dur time.Duration) CaseOutcome {
+	out := CaseOutcome{Case: tc, Duration: dur}
+	if res == nil {
+		return out
+	}
+	out.FrontendOK = !res.Diags.HasErrors()
 	out.Warnings = res.Warnings()
 	for _, pr := range res.Procs {
 		out.StatesCreated += pr.PPSStats.StatesCreated
@@ -216,12 +228,23 @@ type OracleReport struct {
 	// FalseAlarms counts safe/atomic cases where the oracle DID observe a
 	// use-after-free (generator labeling bugs — should be zero).
 	FalseAlarms []string
+	// Cancelled marks a validation stopped early by its context; the
+	// counts above cover only the cases validated before the cut.
+	Cancelled bool
 }
 
 // ValidateWithOracle replays flagged cases under many schedules and
 // checks the ground-truth labels dynamically. maxCases bounds the work
 // (0 = all flagged cases); runsPerCase bounds schedules per case.
 func ValidateWithOracle(cases []corpus.TestCase, maxCases, runsPerCase int, seed int64) OracleReport {
+	return ValidateWithOracleContext(context.Background(), cases, maxCases, runsPerCase, seed)
+}
+
+// ValidateWithOracleContext is ValidateWithOracle under a cancellation
+// context: the schedule explorer polls ctx between runs, so a deadline or
+// cancellation stops the validation promptly with the cases validated so
+// far (Cancelled marks the cut).
+func ValidateWithOracleContext(ctx context.Context, cases []corpus.TestCase, maxCases, runsPerCase int, seed int64) OracleReport {
 	rep := OracleReport{}
 	for i := range cases {
 		tc := &cases[i]
@@ -229,6 +252,10 @@ func ValidateWithOracle(cases []corpus.TestCase, maxCases, runsPerCase int, seed
 			continue
 		}
 		if maxCases > 0 && rep.CasesValidated >= maxCases {
+			break
+		}
+		if ctx.Err() != nil {
+			rep.Cancelled = true
 			break
 		}
 		rep.CasesValidated++
@@ -241,7 +268,10 @@ func ValidateWithOracle(cases []corpus.TestCase, maxCases, runsPerCase int, seed
 		if diags.HasErrors() {
 			continue
 		}
-		er := runtime.ExploreRandom(mod, info, tc.EntryProc, runsPerCase, seed+int64(i))
+		er := runtime.ExploreRandomContext(ctx, mod, info, tc.EntryProc, runsPerCase, seed+int64(i))
+		if er.Cancelled {
+			rep.Cancelled = true
+		}
 		oracle := runtime.NewOracle(er)
 		rep.TotalTrue += len(tc.TrueSites)
 		for _, s := range tc.TrueSites {

@@ -31,6 +31,7 @@ const (
 	PhasePrune   = "prune"
 	PhaseExplore = "pps-explore"
 	PhaseOracle  = "oracle"
+	PhaseBatch   = "batch"
 )
 
 // Counter names. The dotted names are stable identifiers; the Prometheus
@@ -75,6 +76,17 @@ const (
 	CtrOracleSteps     = "oracle.steps"
 	CtrOracleDeadlocks = "oracle.deadlocks"
 	CtrOracleUAFSites  = "oracle.uaf_sites"
+
+	// Batch driver (internal/batch): per-file outcome classes and
+	// recovery work.
+	CtrBatchFiles    = "batch.files"
+	CtrBatchOK       = "batch.ok"
+	CtrBatchDegraded = "batch.degraded"
+	CtrBatchCrashed  = "batch.crashed"
+	CtrBatchTimedOut = "batch.timed_out"
+	CtrBatchErrors   = "batch.errors"
+	CtrBatchRetries  = "batch.retries"
+	CtrBatchWarnings = "batch.warnings"
 )
 
 // Gauge names.

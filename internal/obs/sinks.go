@@ -5,12 +5,44 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Sink renders a Metrics snapshot somewhere.
 type Sink interface {
 	Emit(m Metrics) error
+}
+
+// ---------------------------------------------------------------- sync
+
+// syncSink serializes Emit calls to a wrapped sink with a mutex.
+type syncSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// Synchronized wraps a sink so concurrent Emit calls serialize — the
+// stock sinks write whole snapshots to one io.Writer and are not safe
+// to share between goroutines bare. The batch driver wraps every sink
+// it fans out to workers. Wrapping an already-synchronized sink returns
+// it unchanged.
+func Synchronized(s Sink) Sink {
+	if s == nil {
+		return nil
+	}
+	if _, ok := s.(*syncSink); ok {
+		return s
+	}
+	return &syncSink{sink: s}
+}
+
+// Emit implements Sink, holding the mutex across the wrapped emit so
+// interleaved snapshots can never corrupt each other's output lines.
+func (s *syncSink) Emit(m Metrics) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Emit(m)
 }
 
 // ---------------------------------------------------------------- text

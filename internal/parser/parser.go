@@ -40,6 +40,30 @@ type parser struct {
 	// beginCount assigns stable "TASK A", "TASK B" ... labels in source
 	// order, matching the paper's Figure 1 naming.
 	beginCount int
+	// depth counts statement/expression nesting. Recursive descent turns
+	// input nesting into Go stack depth, and stack exhaustion is not a
+	// recoverable panic — so nesting past maxNestingDepth is rejected with
+	// a diagnostic instead of being followed.
+	depth     int
+	depthDiag bool
+}
+
+// maxNestingDepth bounds statement/expression nesting. Real MiniChapel
+// programs nest a handful of levels; the limit only exists so adversarial
+// input (one megabyte of '(' or '{') cannot exhaust the goroutine stack.
+const maxNestingDepth = 256
+
+// tooDeep reports (once) and returns true when the nesting budget is
+// spent; callers must then consume input without recursing.
+func (p *parser) tooDeep() bool {
+	if p.depth < maxNestingDepth {
+		return false
+	}
+	if !p.depthDiag {
+		p.depthDiag = true
+		p.errorf(p.cur(), "construct nests deeper than %d levels", maxNestingDepth)
+	}
+	return true
 }
 
 func (p *parser) cur() token.Token { return p.toks[p.pos] }
@@ -216,6 +240,13 @@ func (p *parser) block() *ast.BlockStmt {
 // ---------------------------------------------------------------- stmts
 
 func (p *parser) stmt() ast.Stmt {
+	if p.tooDeep() {
+		p.advance()
+		p.syncStmt()
+		return nil
+	}
+	p.depth++
+	defer func() { p.depth-- }()
 	switch p.cur().Kind {
 	case token.KwConfig, token.KwVar, token.KwConst:
 		return p.varDecl()
@@ -378,6 +409,15 @@ func (p *parser) syncBlock() *ast.SyncStmt {
 
 func (p *parser) ifStmt() *ast.IfStmt {
 	start := p.expect(token.KwIf)
+	// The else-if chain recurses directly (not through stmt), so it needs
+	// its own rung on the nesting budget.
+	if p.tooDeep() {
+		p.syncStmt()
+		sp := p.span(start)
+		return &ast.IfStmt{Cond: &ast.BoolLit{Sp: sp}, Then: &ast.BlockStmt{Sp: sp}, Sp: sp}
+	}
+	p.depth++
+	defer func() { p.depth-- }()
 	p.expect(token.LParen)
 	cond := p.expr()
 	p.expect(token.RParen)
@@ -475,7 +515,15 @@ func opSpelling(op string) string {
 
 // ---------------------------------------------------------------- exprs
 
-func (p *parser) expr() ast.Expr { return p.binExpr(1) }
+func (p *parser) expr() ast.Expr {
+	if p.tooDeep() {
+		t := p.advance()
+		return &ast.IntLit{Value: 0, Sp: p.span(t)}
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	return p.binExpr(1)
+}
 
 func (p *parser) binExpr(minPrec int) ast.Expr {
 	lhs := p.unary()
@@ -500,7 +548,14 @@ func (p *parser) unary() ast.Expr {
 	switch p.cur().Kind {
 	case token.Not, token.Minus:
 		op := p.advance()
+		// Operator chains (`----x`) recurse one frame per operator; they
+		// share the nesting budget with parenthesized expressions.
+		if p.tooDeep() {
+			return &ast.IntLit{Value: 0, Sp: p.span(op)}
+		}
+		p.depth++
 		x := p.unary()
+		p.depth--
 		return &ast.UnaryExpr{Op: op.Kind.String(), X: x, Sp: p.span(op).Cover(x.Span())}
 	}
 	return p.postfix()

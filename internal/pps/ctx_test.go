@@ -1,0 +1,92 @@
+package pps
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// explosionSrc forks enough interleavings that the exploration runs for
+// many poll intervals — the governor has to stop it, not the worklist
+// draining on its own.
+const explosionSrc = `proc f() {
+	  var x: int = 1;
+	  var a$: sync bool;
+	  var b$: sync bool;
+	  var c$: sync bool;
+	  var d$: sync bool;
+	  var e$: sync bool;
+	  var f$: sync bool;
+	  begin with (ref x) { x = 2; a$ = true; b$ = true; }
+	  begin with (ref x) { x = 3; c$ = true; d$ = true; }
+	  begin with (ref x) { x = 4; e$ = true; f$ = true; }
+	  a$; b$; c$; d$; e$; f$;
+	}`
+
+func TestCancelledContextStopsExploration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, r := explore(t, explosionSrc, Options{Ctx: ctx})
+	if !r.Stats.Incomplete {
+		t.Error("cancelled exploration not marked Incomplete")
+	}
+	if r.Stats.Stop != StopCancelled {
+		t.Errorf("Stats.Stop = %q, want %q", r.Stats.Stop, StopCancelled)
+	}
+	if r.Stats.StatesProcessed > 2*ctxCheckInterval {
+		t.Errorf("cancelled exploration still processed %d states", r.Stats.StatesProcessed)
+	}
+}
+
+func TestDeadlineContextStopReason(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, r := explore(t, explosionSrc, Options{Ctx: ctx})
+	if r.Stats.Stop != StopDeadline {
+		t.Errorf("Stats.Stop = %q, want %q", r.Stats.Stop, StopDeadline)
+	}
+}
+
+func TestBudgetStopReasonAndConservativeFallback(t *testing.T) {
+	g, r := explore(t, explosionSrc, Options{MaxStates: 4})
+	if r.Stats.Stop != StopBudget {
+		t.Errorf("Stats.Stop = %q, want %q", r.Stats.Stop, StopBudget)
+	}
+	// The degradation ladder must flag every tracked access that was not
+	// proven safe — on such an early stop, that is all of them.
+	if len(g.Accesses) == 0 {
+		t.Fatal("test program tracks no accesses")
+	}
+	flagged := make(map[int]bool)
+	conservative := 0
+	for _, u := range r.Unsafe {
+		if u.Conservative {
+			if u.Reason != Conservative {
+				t.Errorf("conservative unsafe entry has reason %v", u.Reason)
+			}
+			conservative++
+		}
+		flagged[u.Access.ID] = true
+	}
+	if conservative == 0 {
+		t.Error("early stop produced no conservative fallback entries")
+	}
+	for _, a := range g.Accesses {
+		if !flagged[a.ID] {
+			t.Errorf("tracked access %d (%s) not flagged after early stop", a.ID, a.Sym.Name)
+		}
+	}
+}
+
+func TestCompleteRunHasNoStopReason(t *testing.T) {
+	_, r := explore(t, explosionSrc, Options{})
+	if r.Stats.Incomplete || r.Stats.Stop != StopNone {
+		t.Errorf("complete run reports Incomplete=%v Stop=%q", r.Stats.Incomplete, r.Stats.Stop)
+	}
+	for _, u := range r.Unsafe {
+		if u.Conservative {
+			t.Errorf("complete run emitted a conservative warning: %+v", u)
+		}
+	}
+}

@@ -32,6 +32,8 @@
 package pps
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -93,12 +95,51 @@ type Options struct {
 	// disables telemetry. The hot loop accumulates into plain integers
 	// and flushes once at the end, so a nil recorder costs nothing.
 	Obs *obs.Recorder
+	// Ctx carries the run's deadline/cancellation. The worklist loop
+	// polls it every ctxCheckInterval processed states; when it fires,
+	// exploration stops and the result degrades to the conservative
+	// fallback (every access not yet proven anything about is flagged).
+	// nil means no deadline.
+	Ctx context.Context
 }
 
 const (
 	defaultMaxStates   = 1 << 20
 	defaultMaxOutcomes = 1 << 14
+	// ctxCheckInterval is how many processed states pass between
+	// cancellation polls of Options.Ctx. States are microsecond-scale, so
+	// this bounds deadline overshoot to well under a millisecond while
+	// keeping the poll off the per-state fast path.
+	ctxCheckInterval = 64
 )
+
+// DefaultMaxStates returns the library-default MaxStates bound — the
+// value a zero Options.MaxStates resolves to. The batch driver's
+// retry-with-smaller-budget ladder shrinks from it.
+func DefaultMaxStates() int { return defaultMaxStates }
+
+// StopReason says why an exploration terminated early. Empty means it
+// ran to completion.
+type StopReason string
+
+const (
+	// StopNone: the exploration exhausted its worklist.
+	StopNone StopReason = ""
+	// StopBudget: MaxStates or MaxOutcomes was exceeded.
+	StopBudget StopReason = "budget"
+	// StopDeadline: Options.Ctx expired (context.DeadlineExceeded).
+	StopDeadline StopReason = "deadline"
+	// StopCancelled: Options.Ctx was cancelled.
+	StopCancelled StopReason = "cancelled"
+)
+
+// stopFromCtx classifies a context error.
+func stopFromCtx(err error) StopReason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
 
 // UnsafeReason classifies why an access is reported.
 type UnsafeReason int
@@ -113,12 +154,20 @@ const (
 	// blocked behind a deadlocked operation, or its task performs no
 	// synchronization at all.
 	NeverSynchronized
+	// Conservative: the exploration stopped early (budget, deadline or
+	// cancellation) and the access was not yet proven safe, so it is
+	// flagged by over-approximation. A full run's warning set is always a
+	// subset of a degraded run's.
+	Conservative
 )
 
 // String implements fmt.Stringer.
 func (r UnsafeReason) String() string {
-	if r == AfterFrontier {
+	switch r {
+	case AfterFrontier:
 		return "after-frontier"
+	case Conservative:
+		return "conservative"
 	}
 	return "never-synchronized"
 }
@@ -127,6 +176,10 @@ func (r UnsafeReason) String() string {
 type Unsafe struct {
 	Access *ccfg.Access
 	Reason UnsafeReason
+	// Conservative marks fallback reports of a degraded (early-stopped)
+	// exploration: the access was not proven dangerous, only not proven
+	// safe.
+	Conservative bool
 	// Prov explains how the exploration reached the report.
 	Prov *Provenance
 }
@@ -203,7 +256,10 @@ type Stats struct {
 	StatesForked int
 	Sinks        int
 	MaxWorklist  int
-	Incomplete   bool
+	// Incomplete is true when the exploration stopped before exhausting
+	// the state space; Stop carries the machine-readable cause.
+	Incomplete bool
+	Stop       StopReason
 }
 
 // Edge is one recorded PPS transition (tracing only).
@@ -293,6 +349,8 @@ type explorer struct {
 	varAccess   map[*sym.Symbol]bits.Set
 	res         *Result
 	budgetHit   bool
+	// ctxStop records why Options.Ctx interrupted the worklist loop.
+	ctxStop StopReason
 	// trans counts executed sync transitions, indexed by ruleNumber
 	// (1=SINGLE-READ, 2=READ, 3=WRITE, 4=ATOMIC-FILL, 5=ATOMIC-WAIT).
 	trans [6]int64
@@ -344,6 +402,12 @@ func (e *explorer) run() {
 			e.budgetHit = true
 			break
 		}
+		if e.opts.Ctx != nil && e.res.Stats.StatesProcessed%ctxCheckInterval == 0 {
+			if err := e.opts.Ctx.Err(); err != nil {
+				e.ctxStop = stopFromCtx(err)
+				break
+			}
+		}
 		p := e.worklist[len(e.worklist)-1]
 		e.worklist = e.worklist[:len(e.worklist)-1]
 		p.queued = false
@@ -351,12 +415,31 @@ func (e *explorer) run() {
 		p.processed = true
 		e.res.Stats.StatesProcessed++
 	}
-	e.res.Stats.Incomplete = e.budgetHit
+	switch {
+	case e.ctxStop != StopNone:
+		e.res.Stats.Stop = e.ctxStop
+	case e.budgetHit:
+		e.res.Stats.Stop = StopBudget
+	}
+	e.res.Stats.Incomplete = e.res.Stats.Stop != StopNone
 
-	// Final sweep: the "∀ evi !(visited)" clause. Accesses never
-	// attributed to an executed sync node on any explored path cannot be
-	// ordered before the parent's exit.
-	if !e.budgetHit {
+	if e.res.Stats.Incomplete {
+		// Degradation ladder: the exploration stopped early, so no access
+		// it has not already cleared or reported can be trusted. Flag all
+		// of them conservatively — the result stays sound (a superset of
+		// the full run's warnings) instead of silently partial.
+		for _, a := range e.g.Accesses {
+			if !e.reported.Has(a.ID) {
+				e.reported.Add(a.ID)
+				e.res.Unsafe = append(e.res.Unsafe,
+					Unsafe{Access: a, Reason: Conservative, Conservative: true,
+						Prov: e.provenance(a, nil, false)})
+			}
+		}
+	} else {
+		// Final sweep: the "∀ evi !(visited)" clause. Accesses never
+		// attributed to an executed sync node on any explored path cannot
+		// be ordered before the parent's exit.
 		for _, a := range e.g.Accesses {
 			if !e.everVisited.Has(a.Node.ID) && !e.reported.Has(a.ID) {
 				e.reported.Add(a.ID)

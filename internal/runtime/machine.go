@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,10 @@ import (
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
 )
+
+// ctxCheckSteps is how many scheduler steps pass between cancellation
+// polls of Config.Ctx.
+const ctxCheckSteps = 64
 
 // UAFEvent is one observed use-after-free: an access to a cell whose
 // declaring scope had already exited.
@@ -35,6 +40,9 @@ type RunResult struct {
 	Blocked       []string // what each task was blocked on at deadlock
 	Steps         int
 	RuntimeErrors []string
+	// Cancelled reports that Config.Ctx fired and the run was killed
+	// before the program finished.
+	Cancelled bool
 	// Decisions records the scheduling choices taken (replay/explore).
 	Decisions []int
 	// Alternatives records, per decision, how many tasks were runnable.
@@ -69,6 +77,10 @@ type Config struct {
 	Trace bool
 	// DetectRaces enables the vector-clock data-race detector.
 	DetectRaces bool
+	// Ctx carries a deadline/cancellation for the run; the scheduler
+	// polls it every ctxCheckSteps steps and kills the machine when it
+	// fires (RunResult.Cancelled). nil means no deadline.
+	Ctx context.Context
 }
 
 const defaultMaxSteps = 200000
@@ -306,6 +318,11 @@ func (m *Machine) schedule() {
 		m.steps++
 		if m.steps > m.cfg.MaxSteps {
 			m.res.RuntimeErrors = append(m.res.RuntimeErrors, "step budget exceeded")
+			m.kill()
+			return
+		}
+		if m.cfg.Ctx != nil && m.steps%ctxCheckSteps == 0 && m.cfg.Ctx.Err() != nil {
+			m.res.Cancelled = true
 			m.kill()
 			return
 		}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 
 	"uafcheck/internal/ast"
@@ -60,6 +61,9 @@ type ExploreResult struct {
 	// Truncated reports whether the exploration hit its run budget
 	// before exhausting the schedule tree.
 	Truncated bool
+	// Cancelled reports that the context fired before the exploration
+	// finished; the observations so far are still valid (under-approx).
+	Cancelled bool
 }
 
 // sawUAF merges one run's events.
@@ -82,15 +86,31 @@ func (er *ExploreResult) absorb(r *RunResult) {
 
 // ExploreRandom runs n seeded random schedules.
 func ExploreRandom(mod *ast.Module, info *sym.Info, entry string, n int, seed int64) *ExploreResult {
+	return ExploreRandomContext(context.Background(), mod, info, entry, n, seed)
+}
+
+// ExploreRandomContext is ExploreRandom under a deadline: the context is
+// polled between runs and inside each run's scheduler loop, so a
+// pathological program cannot hold the oracle past its budget.
+func ExploreRandomContext(ctx context.Context, mod *ast.Module, info *sym.Info, entry string, n int, seed int64) *ExploreResult {
 	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			er.Cancelled = true
+			return er
+		}
 		r := Run(mod, info, Config{
 			Entry:       entry,
 			DetectRaces: true,
 			Policy:      NewRandomPolicy(seed + int64(i)),
+			Ctx:         ctx,
 		})
 		er.Runs++
 		er.absorb(r)
+		if r.Cancelled {
+			er.Cancelled = true
+			return er
+		}
 	}
 	return er
 }
@@ -104,11 +124,23 @@ func ExploreRandom(mod *ast.Module, info *sym.Info, entry string, n int, seed in
 // covers the complete schedule space and is a sound oracle: an access is
 // a true use-after-free iff some schedule triggers it.
 func ExploreExhaustive(mod *ast.Module, info *sym.Info, entry string, maxRuns int) *ExploreResult {
+	return ExploreExhaustiveContext(context.Background(), mod, info, entry, maxRuns)
+}
+
+// ExploreExhaustiveContext is ExploreExhaustive under a deadline; when
+// the context fires the enumeration stops with Cancelled (and Truncated,
+// since the tree was not exhausted).
+func ExploreExhaustiveContext(ctx context.Context, mod *ast.Module, info *sym.Info, entry string, maxRuns int) *ExploreResult {
 	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
 	type job struct{ prefix []int }
 	stack := []job{{prefix: nil}}
 	for len(stack) > 0 {
 		if er.Runs >= maxRuns {
+			er.Truncated = true
+			return er
+		}
+		if ctx.Err() != nil {
+			er.Cancelled = true
 			er.Truncated = true
 			return er
 		}
@@ -118,9 +150,15 @@ func ExploreExhaustive(mod *ast.Module, info *sym.Info, entry string, maxRuns in
 			Entry:       entry,
 			DetectRaces: true,
 			Policy:      &replayPolicy{prefix: j.prefix},
+			Ctx:         ctx,
 		})
 		er.Runs++
 		er.absorb(r)
+		if r.Cancelled {
+			er.Cancelled = true
+			er.Truncated = true
+			return er
+		}
 		// Spawn siblings for unexplored alternatives discovered beyond
 		// the prefix (standard stateless-DFS enumeration).
 		for i := len(j.prefix); i < len(r.Decisions); i++ {
@@ -143,6 +181,11 @@ func ExploreExhaustive(mod *ast.Module, info *sym.Info, entry string, maxRuns in
 // within one or two preemptions, so the bounded space is exponentially
 // smaller while retaining almost all bug-finding power.
 func ExploreBounded(mod *ast.Module, info *sym.Info, entry string, maxRuns, bound int) *ExploreResult {
+	return ExploreBoundedContext(context.Background(), mod, info, entry, maxRuns, bound)
+}
+
+// ExploreBoundedContext is ExploreBounded under a deadline.
+func ExploreBoundedContext(ctx context.Context, mod *ast.Module, info *sym.Info, entry string, maxRuns, bound int) *ExploreResult {
 	er := &ExploreResult{UAF: make(map[string]UAFEvent), Races: make(map[string]RaceEvent)}
 	type job struct {
 		prefix     []int
@@ -154,15 +197,26 @@ func ExploreBounded(mod *ast.Module, info *sym.Info, entry string, maxRuns, boun
 			er.Truncated = true
 			return er
 		}
+		if ctx.Err() != nil {
+			er.Cancelled = true
+			er.Truncated = true
+			return er
+		}
 		j := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		r := Run(mod, info, Config{
 			Entry:       entry,
 			DetectRaces: true,
 			Policy:      &replayPolicy{prefix: j.prefix, preferContinue: true},
+			Ctx:         ctx,
 		})
 		er.Runs++
 		er.absorb(r)
+		if r.Cancelled {
+			er.Cancelled = true
+			er.Truncated = true
+			return er
+		}
 		// Preemptions along the replayed prefix are j.preemptive; beyond
 		// the prefix the default policy continues the previous task when
 		// possible (choice 0 may still preempt if the previous task

@@ -26,12 +26,16 @@
 package uafcheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"uafcheck/internal/analysis"
+	"uafcheck/internal/batch"
 	"uafcheck/internal/corpus"
 	"uafcheck/internal/eval"
 	"uafcheck/internal/obs"
@@ -91,6 +95,15 @@ type Options struct {
 	// MetricsSinks receive the run's Metrics snapshot when the analysis
 	// finishes. The snapshot is attached to Report.Metrics regardless.
 	MetricsSinks []MetricsSink
+	// Context carries an external cancellation signal through the whole
+	// pipeline (PPS hot loop, CCFG pruning, oracle scheduler). nil means
+	// context.Background().
+	Context context.Context
+	// Deadline bounds the wall-clock time of one Analyze call (0 = none).
+	// When it fires, the analysis degrades instead of truncating: every
+	// access not yet proven safe is reported as a conservative warning
+	// and Report.Degraded records the reason.
+	Deadline time.Duration
 }
 
 // DefaultOptions returns the standard configuration.
@@ -130,6 +143,12 @@ type Warning struct {
 	AccessLine int
 	AccessCol  int
 	DeclLine   int
+	// Conservative marks a degradation-ladder warning: the exploration
+	// stopped early (see Report.Degraded) and the access is flagged
+	// because it was not proven safe, not because a dangerous
+	// serialization was found. Conservative warnings are always a
+	// superset of the warnings a completed run would report.
+	Conservative bool
 	// Prov is the explain-mode provenance: the CCFG node performing the
 	// access, the sink PPS whose OV set still held it, and the
 	// transition chain that reached that state.
@@ -146,9 +165,13 @@ func (w Warning) String() string {
 	if w.Write {
 		verb = "write"
 	}
+	suffix := ""
+	if w.Conservative {
+		suffix = " (conservative: analysis degraded)"
+	}
 	return fmt.Sprintf("%s: warning: potentially dangerous %s of outer variable %q "+
-		"(declared at line %d) inside %s of proc %s [%s]",
-		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason)
+		"(declared at line %d) inside %s of proc %s [%s]%s",
+		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason, suffix)
 }
 
 // ProcStats summarizes the analysis of one root procedure.
@@ -165,6 +188,55 @@ type ProcStats struct {
 	Sinks             int
 	Deadlocks         int
 	Incomplete        bool
+	// StopReason says why the exploration stopped early ("budget",
+	// "deadline", "cancelled"); empty when Incomplete is false.
+	StopReason string
+}
+
+// DegradeReason identifies the rung of the degradation ladder that
+// fired (Report.Degraded.Reason).
+type DegradeReason string
+
+// The degradation ladder, least to most severe.
+const (
+	// DegradeBudget: the PPS exploration exhausted MaxStates.
+	DegradeBudget DegradeReason = "budget"
+	// DegradeDeadline: Options.Deadline (or the context's deadline)
+	// expired mid-analysis.
+	DegradeDeadline DegradeReason = "deadline"
+	// DegradeCancelled: Options.Context was cancelled.
+	DegradeCancelled DegradeReason = "cancelled"
+	// DegradePanic: a pipeline stage panicked; the panic was recovered
+	// and converted into a structured Crash.
+	DegradePanic DegradeReason = "panic"
+)
+
+// Crash is a recovered pipeline panic: the per-file structured
+// diagnostic that replaces a process crash.
+type Crash struct {
+	// Proc is the procedure being analyzed ("" when the frontend died).
+	Proc string
+	// Phase is the pipeline phase that panicked (parse, resolve, lower,
+	// ccfg-build, pps-explore, report).
+	Phase string
+	// Err renders the panic value.
+	Err string
+	// Stack is the recovered goroutine stack.
+	Stack string
+}
+
+// Degradation explains an incomplete-but-sound result. Its presence
+// means the warning list over-approximates: every real issue is still
+// reported (soundness is preserved), but conservative warnings may be
+// false positives.
+type Degradation struct {
+	// Reason is the most severe rung that fired:
+	// panic > cancelled > deadline > budget.
+	Reason DegradeReason
+	// Procs lists the procedures whose exploration degraded.
+	Procs []string
+	// Crashes carries the recovered panics when Reason is DegradePanic.
+	Crashes []Crash
 }
 
 // Report is the outcome of analyzing one file.
@@ -183,6 +255,12 @@ type Report struct {
 	// Metrics is the run's telemetry snapshot: phase timings, pipeline
 	// counters and gauges (see the obs sink flags of cmd/uafcheck).
 	Metrics Metrics
+	// Degraded is non-nil when the analysis stopped before exhausting
+	// the state space (budget, deadline, cancellation or a recovered
+	// panic). The result is still sound — conservative warnings
+	// over-approximate a full run — but callers that need completeness
+	// must check this field (cmd/uafcheck maps it to exit code 2).
+	Degraded *Degradation
 }
 
 // ErrFrontend is returned when the source fails to lex, parse or resolve;
@@ -195,22 +273,63 @@ func Analyze(filename, src string) (*Report, error) {
 }
 
 // AnalyzeWithOptions runs the static analysis.
-func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
+//
+// The call never panics: a crash anywhere in the pipeline is recovered
+// and reported through Report.Degraded (reason DegradePanic), so batch
+// drivers can keep going past a pathological input.
+func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	defer func() {
+		// Last-resort fault isolation for crashes outside the per-proc
+		// pipeline (frontend, report assembly). Per-proc panics are
+		// already recovered and attributed by internal/analysis.
+		if r := recover(); r != nil {
+			rep = &Report{Degraded: &Degradation{
+				Reason: DegradePanic,
+				Crashes: []Crash{{
+					Phase: "frontend",
+					Err:   fmt.Sprint(r),
+					Stack: string(debug.Stack()),
+				}},
+			}}
+			err = nil
+		}
+	}()
 	rec := obs.New(opts.MetricsSinks...)
 	in := opts.internal()
 	in.KeepGraphs = opts.Trace
 	in.Obs = rec
+	in.Ctx = ctx
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
 		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
 	}
+	rep = buildReport(res, opts)
+	rep.Metrics = rec.Snapshot()
+	if err := rec.Flush(); err != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
+	}
+	return rep, nil
+}
+
+// buildReport converts an internal analysis result into the public
+// Report shape (shared by the single-file and batch entry points).
+func buildReport(res *analysis.Result, opts Options) *Report {
 	rep := &Report{}
 	for _, w := range res.Warnings() {
 		rep.Warnings = append(rep.Warnings, Warning{
 			Var: w.Var, Task: w.Task, Proc: w.Proc, Write: w.Write,
 			Reason: w.Reason.String(), Pos: w.Pos,
 			AccessLine: w.AccessLine, AccessCol: w.AccessCol,
-			DeclLine: w.DeclLine, Prov: w.Prov,
+			DeclLine: w.DeclLine, Conservative: w.Conservative, Prov: w.Prov,
 		})
 	}
 	for _, d := range res.Diags.All() {
@@ -232,6 +351,7 @@ func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
 			Sinks:             pr.PPSStats.Sinks,
 			Deadlocks:         pr.Deadlocks,
 			Incomplete:        pr.PPSStats.Incomplete,
+			StopReason:        string(pr.PPSStats.Stop),
 		})
 		if opts.Trace && pr.PPS != nil {
 			if rep.PPSTraces == nil {
@@ -240,11 +360,30 @@ func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
 			rep.PPSTraces[pr.Proc.Name.Name] = pps.FormatTrace(pr.PPS.Trace)
 		}
 	}
-	rep.Metrics = rec.Snapshot()
-	if err := rec.Flush(); err != nil {
-		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
+	rep.Degraded = degradationOf(res)
+	return rep
+}
+
+// degradationOf maps an analysis result to the public Degradation
+// summary (nil when the run completed).
+func degradationOf(res *analysis.Result) *Degradation {
+	reason := res.Degraded()
+	if reason == pps.StopNone {
+		return nil
 	}
-	return rep, nil
+	deg := &Degradation{Reason: DegradeReason(reason)}
+	for _, pr := range res.Procs {
+		if pr.PPSStats.Incomplete {
+			deg.Procs = append(deg.Procs, pr.Proc.Name.Name)
+		}
+	}
+	for _, c := range res.Crashes {
+		deg.Procs = append(deg.Procs, c.Proc)
+		deg.Crashes = append(deg.Crashes, Crash{
+			Proc: c.Proc, Phase: c.Phase, Err: c.Err, Stack: c.Stack,
+		})
+	}
+	return deg
 }
 
 func frontendErrors(d *source.Diagnostics) string {
@@ -256,6 +395,144 @@ func frontendErrors(d *source.Diagnostics) string {
 		}
 	}
 	return b.String()
+}
+
+// ---------------------------------------------------------------- batch
+
+// FileInput is one file of a batch analysis.
+type FileInput struct {
+	// Name labels the file in warnings and reports (usually its path).
+	Name string
+	// Src is the source text.
+	Src string
+}
+
+// BatchOptions configure the fault-isolated parallel driver.
+type BatchOptions struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// FileTimeout bounds each per-file attempt's wall clock (0 = none).
+	FileTimeout time.Duration
+	// Retries is how many extra attempts a file earns after a deadline
+	// hit, each with a 4×-smaller PPS state budget, converging on a
+	// deterministic budget-degraded result instead of a flaky timeout.
+	Retries int
+	// Context cancels the whole batch; files not yet analyzed degrade
+	// immediately to conservative results instead of being dropped.
+	Context context.Context
+}
+
+// BatchSummary is the aggregate accounting of one batch run: files OK /
+// degraded / crashed / timed out / frontend errors, retries spent, and
+// warning totals.
+type BatchSummary = batch.Summary
+
+// FileReport is one file's outcome in a batch run.
+type FileReport struct {
+	// Name echoes the input name.
+	Name string
+	// Status classifies the outcome: "ok", "degraded", "timed-out",
+	// "crashed" or "error".
+	Status string
+	// Report is the file's analysis report; nil when the frontend
+	// rejected the file or the analysis hung and was abandoned. For
+	// degraded statuses Report.Degraded carries the ladder reason.
+	Report *Report
+	// Err is set for frontend-rejected files.
+	Err error
+	// Attempts counts analysis runs (retries included).
+	Attempts int
+	// Duration is the file's wall clock across attempts.
+	Duration time.Duration
+}
+
+// BatchReport is the outcome of AnalyzeFiles.
+type BatchReport struct {
+	// Files holds one report per input, index-aligned.
+	Files []FileReport
+	// Summary is the aggregate accounting.
+	Summary BatchSummary
+	// Metrics aggregates per-file telemetry plus the batch counters.
+	Metrics Metrics
+}
+
+// ExitCode maps the batch outcome onto the documented uafcheck shell
+// contract: 0 = clean, 1 = exact warnings, 2 = degraded/incomplete
+// somewhere (conservative warnings, timeouts, recovered crashes),
+// 3 = input or I/O errors. Higher codes dominate.
+func (b *BatchReport) ExitCode() int {
+	s := b.Summary
+	switch {
+	case s.Errors > 0:
+		return 3
+	case s.Degradations() > 0:
+		return 2
+	case s.Warnings > 0:
+		return 1
+	}
+	return 0
+}
+
+// AnalyzeFiles analyzes many files on a worker pool with per-file
+// deadlines, bounded retry-with-smaller-budget, and panic isolation: one
+// pathological or crashing input degrades that file's report and never
+// takes down the batch. Results are index-aligned with files.
+//
+// Options.MetricsSinks are shared across workers (wrapped to serialize
+// concurrent emits) and receive one snapshot per file; BatchReport.
+// Metrics carries the merged aggregate.
+func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchReport {
+	shared := make([]MetricsSink, len(opts.MetricsSinks))
+	for i, s := range opts.MetricsSinks {
+		shared[i] = obs.Synchronized(s)
+	}
+	in := opts.internal()
+	in.KeepGraphs = opts.Trace
+
+	bfiles := make([]batch.File, len(files))
+	for i, f := range files {
+		bfiles[i] = batch.File{Name: f.Name, Src: f.Src}
+	}
+	rec := obs.New() // batch-level counters and span
+	recs := make([]*obs.Recorder, len(files))
+	results, sum := batch.Run(bfiles, batch.Options{
+		Workers:     bopts.Workers,
+		FileTimeout: bopts.FileTimeout,
+		Retries:     bopts.Retries,
+		Analysis:    in,
+		Ctx:         bopts.Context,
+		Obs:         rec,
+		PerFileObs: func(i int, f batch.File) *obs.Recorder {
+			recs[i] = obs.New(shared...)
+			return recs[i]
+		},
+	})
+
+	out := &BatchReport{Summary: sum}
+	for i := range results {
+		r := &results[i]
+		fr := FileReport{
+			Name:     r.File.Name,
+			Status:   r.Status.String(),
+			Attempts: r.Attempts,
+			Duration: r.Duration,
+		}
+		switch {
+		case r.Status == batch.FrontendError:
+			fr.Err = fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(r.Res.Diags))
+		case r.Res != nil:
+			fr.Report = buildReport(r.Res, opts)
+			if rec := recs[i]; rec != nil {
+				fr.Report.Metrics = rec.Snapshot()
+			}
+		}
+		if fr.Report != nil {
+			out.Metrics.Merge(fr.Report.Metrics)
+		}
+		out.Files = append(out.Files, fr)
+	}
+	out.Metrics.Merge(rec.Snapshot())
+	return out
 }
 
 // CCFGText renders the Concurrent Control Flow Graph of one procedure as
