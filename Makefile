@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench fuzz-short check
+.PHONY: build test test-race vet fmt-check bench bench-all fuzz-short check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ fmt-check:
 	fi
 
 bench:
+	$(GO) test -bench='BenchmarkExplore(Seq|Par)|BenchmarkAnalyzeCached' -benchmem .
+	$(GO) run ./cmd/uafcorpus -tests 400 -bench-out "" -pps-bench-out BENCH_pps.json
+
+# The full benchmark sweep (every table, figure and ablation).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-check: build vet fmt-check test
+check: build vet fmt-check test test-race

@@ -215,6 +215,52 @@ func syntheticFanout(tasks, branches int) string {
 	return sb.String()
 }
 
+// BenchmarkExploreSeq and BenchmarkExplorePar compare the wave explorer
+// at Parallelism 1 and 4 on a wide synthetic fanout whose frontiers are
+// broad enough to cross the parallel threshold. The states/op metric
+// must be identical between the two: the exploration is deterministic
+// by construction regardless of worker count.
+func BenchmarkExploreSeq(b *testing.B) { benchExploreWorkers(b, 1) }
+
+func BenchmarkExplorePar(b *testing.B) { benchExploreWorkers(b, 4) }
+
+func benchExploreWorkers(b *testing.B, par int) {
+	src := syntheticFanout(6, 2)
+	info, _ := mustFrontend(b, "fan.chpl", src)
+	proc := info.Module.Proc("fan")
+	diags := &source.Diagnostics{}
+	prog := ir.Lower(info, proc, diags)
+	g := ccfg.Build(prog, diags, ccfg.DefaultBuildOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states int
+	for i := 0; i < b.N; i++ {
+		r := pps.Explore(g, pps.Options{Parallelism: par})
+		states = r.Stats.StatesProcessed
+	}
+	b.ReportMetric(float64(states), "states/op")
+}
+
+// BenchmarkAnalyzeCached measures the content-addressed cache's hit
+// path against the full pipeline (the miss that populates it happens
+// outside the timer).
+func BenchmarkAnalyzeCached(b *testing.B) {
+	src := mustRead(b, "testdata/figure1.chpl")
+	opts := uafcheck.DefaultOptions()
+	opts.Cache = uafcheck.NewCache(uafcheck.CacheConfig{})
+	if _, err := uafcheck.AnalyzeWithOptions("figure1.chpl", src, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := uafcheck.AnalyzeWithOptions("figure1.chpl", src, opts)
+		if err != nil || len(rep.Warnings) != 1 {
+			b.Fatalf("warnings=%d err=%v", len(rep.Warnings), err)
+		}
+	}
+}
+
 // BenchmarkPPSMerge quantifies the §III-C merge optimization: identical
 // (ASN, state-table) states are folded. Without it the same program
 // explores many times more states.

@@ -1,0 +1,71 @@
+package uafcheck
+
+import (
+	"encoding/json"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/cache"
+)
+
+// Cache memoizes complete analysis reports by content address: the
+// SHA-256 of (tool Version, file name, source text, effective analysis
+// options). A hit is correct by construction — changing any input
+// changes the key — so there is no invalidation protocol and no
+// staleness. Degraded reports are never stored; see Options.Cache.
+//
+// A Cache is safe for concurrent use and may be shared across Analyze
+// calls, batches and goroutines. Every value crosses the cache boundary
+// through Report.Clone, so callers can mutate what they get back.
+type Cache struct {
+	c *cache.Cache[*Report]
+}
+
+// CacheConfig sizes a Cache.
+type CacheConfig struct {
+	// MaxEntries bounds the in-memory LRU layer (<= 0 means the library
+	// default of 1024 entries).
+	MaxEntries int
+	// Dir, when non-empty, enables a persistent on-disk layer (one JSON
+	// file per key) shared by concurrent processes and surviving
+	// restarts. Writes are temp-file + rename, reads of corrupt entries
+	// degrade to misses.
+	Dir string
+}
+
+// CacheStats counts cache traffic (hits, disk hits, misses, stores,
+// evictions).
+type CacheStats = cache.Stats
+
+// NewCache creates an analysis report cache.
+func NewCache(cfg CacheConfig) *Cache {
+	codec := cache.Codec[*Report]{
+		Encode: func(r *Report) ([]byte, error) { return json.Marshal(r) },
+		Decode: func(b []byte) (*Report, error) {
+			r := &Report{}
+			if err := json.Unmarshal(b, r); err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+		Clone: (*Report).Clone,
+	}
+	return &Cache{c: cache.New(codec, cfg.MaxEntries, cfg.Dir)}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() CacheStats { return c.c.Stats() }
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int { return c.c.Len() }
+
+func (c *Cache) get(k cache.Key) (*Report, bool) { return c.c.Get(k) }
+
+func (c *Cache) put(k cache.Key, r *Report) { c.c.Put(k, r) }
+
+// reportKey is the content address of one file's analysis: everything
+// that determines the report participates, and nothing else —
+// Parallelism in particular is excluded because results are identical
+// across worker counts, so sequential and parallel runs share entries.
+func reportKey(filename, src string, in analysis.Options) cache.Key {
+	return cache.KeyOf("uafcheck/report", Version, filename, src, in.Fingerprint())
+}

@@ -21,8 +21,14 @@
 //	-seed S         oracle schedule seed
 //	-timeout D      per-file analysis deadline (degrades, never truncates)
 //	-deadline D     wall-clock bound for the whole run
-//	-jobs N         parallel workers for multi-file runs (0 = GOMAXPROCS)
+//	-jobs N         parallel file workers for multi-file runs (0 = GOMAXPROCS)
+//	-par N          parallel PPS exploration workers inside each analysis
+//	                (0 = batch default of 1; total concurrency ≈ jobs × par)
 //	-retries N      retry a timed-out file N times with shrinking budgets
+//	-cache-dir D    persist a content-addressed report cache under D;
+//	                unchanged files on unchanged options are served
+//	                from the cache without re-analysis
+//	-cache-size N   in-memory cache entries (0 = default 1024)
 //
 // Exit codes:
 //
@@ -49,25 +55,28 @@ import (
 
 func main() {
 	var (
-		showCCFG = flag.Bool("ccfg", false, "print the CCFG as text")
-		showDot  = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
-		trace    = flag.Bool("trace", false, "print the PPS exploration table")
-		stats    = flag.Bool("stats", false, "print per-file statistics (sourced from the metrics snapshot)")
-		metrics  = flag.Bool("metrics", false, "print phase timings, counters and gauges")
-		explain  = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
-		traceOut = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
-		promOut  = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
-		noPrune  = flag.Bool("no-prune", false, "disable pruning rules A-D")
-		atomics  = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
-		count    = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
-		fix      = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
-		execProc = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
-		oracle   = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
-		seed     = flag.Int64("seed", 1, "oracle schedule seed")
-		timeout  = flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); on expiry the file degrades to conservative warnings")
-		deadline = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = none)")
-		jobs     = flag.Int("jobs", 0, "parallel analysis workers (0 = GOMAXPROCS)")
-		retries  = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
+		showCCFG  = flag.Bool("ccfg", false, "print the CCFG as text")
+		showDot   = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
+		trace     = flag.Bool("trace", false, "print the PPS exploration table")
+		stats     = flag.Bool("stats", false, "print per-file statistics (sourced from the metrics snapshot)")
+		metrics   = flag.Bool("metrics", false, "print phase timings, counters and gauges")
+		explain   = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
+		traceOut  = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
+		promOut   = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
+		noPrune   = flag.Bool("no-prune", false, "disable pruning rules A-D")
+		atomics   = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
+		count     = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
+		fix       = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
+		execProc  = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
+		oracle    = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
+		seed      = flag.Int64("seed", 1, "oracle schedule seed")
+		timeout   = flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); on expiry the file degrades to conservative warnings")
+		deadline  = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = none)")
+		jobs      = flag.Int("jobs", 0, "parallel file workers (0 = GOMAXPROCS)")
+		par       = flag.Int("par", 0, "parallel PPS exploration workers per analysis (0 = 1 in batch runs; total ≈ jobs × par)")
+		retries   = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
+		cacheDir  = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = no cache)")
+		cacheSize = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -134,12 +143,23 @@ func main() {
 	// driver: per-file deadlines, retry-with-smaller-budget and panic
 	// isolation apply uniformly, and results come back index-aligned so
 	// output order matches the sorted path list.
-	batchRep := uafcheck.AnalyzeFiles(files, opts, uafcheck.BatchOptions{
-		Workers:     *jobs,
-		FileTimeout: *timeout,
-		Retries:     *retries,
-		Context:     ctx,
-	})
+	apiOpts := []uafcheck.Option{
+		uafcheck.WithPrune(!*noPrune),
+		uafcheck.WithTrace(*trace),
+		uafcheck.WithAtomicsModel(*atomics),
+		uafcheck.WithAtomicsCounting(*count),
+		uafcheck.WithParallelism(*par),
+		uafcheck.WithWorkers(*jobs),
+		uafcheck.WithFileTimeout(*timeout),
+		uafcheck.WithRetries(*retries),
+	}
+	if *cacheDir != "" {
+		apiOpts = append(apiOpts, uafcheck.WithCache(uafcheck.NewCache(uafcheck.CacheConfig{
+			MaxEntries: *cacheSize,
+			Dir:        *cacheDir,
+		})))
+	}
+	batchRep := uafcheck.AnalyzeFilesContext(ctx, files, apiOpts...)
 
 	var agg uafcheck.Metrics
 	for i, fr := range batchRep.Files {

@@ -52,6 +52,7 @@ func main() {
 		countAtomics = flag.Bool("count-atomics", false, "enable the counting refinement of the atomics extension and rerun the table")
 		dump         = flag.String("dump", "", "write the generated corpus to this directory")
 		benchOut     = flag.String("bench-out", "BENCH_corpus.json", "write the aggregate telemetry artifact to this file (\"\" disables)")
+		ppsBenchOut  = flag.String("pps-bench-out", "", "run the parallel-exploration + cache benchmark over the corpus and write the artifact to this file")
 		jobs         = flag.Int("jobs", 0, "parallel analysis workers (0 = GOMAXPROCS)")
 		caseTimeout  = flag.Duration("case-timeout", 0, "per-case analysis deadline (0 = none); expired cases degrade to conservative warnings")
 		retries      = flag.Int("retries", 0, "extra attempts for a timed-out case, each with a 4x smaller state budget")
@@ -128,6 +129,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote telemetry artifact to %s\n", *benchOut)
+	}
+
+	if *ppsBenchOut != "" {
+		if err := runPPSBench(cases, *ppsBenchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *modelAtomics {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"uafcheck"
+)
+
+// ppsBenchArtifact is the BENCH_pps.json schema: host shape, corpus
+// wall-clock at Parallelism 1 vs 4 with a warning-set identity check, a
+// wide-fanout micro-benchmark of the wave explorer, and the
+// content-addressed cache's cold-vs-warm speedup.
+type ppsBenchArtifact struct {
+	Host struct {
+		CPUs       int `json:"cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
+	Corpus struct {
+		Cases             int     `json:"cases"`
+		SeqMS             int64   `json:"seq_ms"`
+		Par4MS            int64   `json:"par4_ms"`
+		ParSpeedup        float64 `json:"par_speedup"`
+		Warnings          int     `json:"warnings"`
+		IdenticalWarnings bool    `json:"identical_warnings"`
+	} `json:"corpus"`
+	Fanout struct {
+		Tasks           int   `json:"tasks"`
+		StatesProcessed int   `json:"states_processed"`
+		SeqUS           int64 `json:"seq_us"`
+		Par4US          int64 `json:"par4_us"`
+	} `json:"fanout"`
+	Cache struct {
+		ColdMS  int64   `json:"cold_ms"`
+		WarmMS  int64   `json:"warm_ms"`
+		Speedup float64 `json:"speedup"`
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+	} `json:"cache"`
+	Note string `json:"note"`
+}
+
+// runPPSBench measures the parallel wave explorer and the report cache
+// over the already-generated corpus and writes the artifact.
+func runPPSBench(cases []uafcheck.CorpusCase, out string) error {
+	ctx := context.Background()
+	art := ppsBenchArtifact{}
+	art.Host.CPUs = runtime.NumCPU()
+	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	art.Note = "par_speedup needs >= 4 hardware threads to show the parallel win; " +
+		"identical_warnings is the determinism contract and must hold everywhere"
+
+	// Corpus pass at Parallelism=1 vs 4. The warning sets must be
+	// byte-identical: parallel exploration is deterministic by design.
+	pass := func(par int) (time.Duration, []string) {
+		start := time.Now()
+		var warnings []string
+		for i := range cases {
+			rep, err := uafcheck.AnalyzeContext(ctx, cases[i].Name, cases[i].Source,
+				uafcheck.WithParallelism(par))
+			if err != nil {
+				continue // frontend-rejected cases count for neither pass
+			}
+			for _, w := range rep.Warnings {
+				warnings = append(warnings, cases[i].Name+": "+w.String())
+			}
+		}
+		sort.Strings(warnings)
+		return time.Since(start), warnings
+	}
+	seqDur, seqWarn := pass(1)
+	parDur, parWarn := pass(4)
+	art.Corpus.Cases = len(cases)
+	art.Corpus.SeqMS = seqDur.Milliseconds()
+	art.Corpus.Par4MS = parDur.Milliseconds()
+	if parDur > 0 {
+		art.Corpus.ParSpeedup = float64(seqDur) / float64(parDur)
+	}
+	art.Corpus.Warnings = len(seqWarn)
+	art.Corpus.IdenticalWarnings = strings.Join(seqWarn, "\n") == strings.Join(parWarn, "\n")
+	if !art.Corpus.IdenticalWarnings {
+		return fmt.Errorf("pps-bench: warning sets differ between Parallelism=1 (%d) and Parallelism=4 (%d)",
+			len(seqWarn), len(parWarn))
+	}
+
+	// Wide-fanout micro-benchmark: frontiers broad enough to cross the
+	// parallel threshold, timed per exploration.
+	fanout := fanoutProgram(7)
+	art.Fanout.Tasks = 7
+	timeOne := func(par int) (time.Duration, int) {
+		const reps = 3
+		best := time.Duration(0)
+		states := 0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			rep, err := uafcheck.AnalyzeContext(ctx, "fan.chpl", fanout,
+				uafcheck.WithParallelism(par))
+			if err != nil {
+				return 0, 0
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			for _, ps := range rep.Stats {
+				states = ps.StatesProcessed
+			}
+		}
+		return best, states
+	}
+	seqOne, states := timeOne(1)
+	parOne, _ := timeOne(4)
+	art.Fanout.StatesProcessed = states
+	art.Fanout.SeqUS = seqOne.Microseconds()
+	art.Fanout.Par4US = parOne.Microseconds()
+
+	// Cache cold vs warm: the second pass over an unchanged corpus is
+	// served entirely by content-addressed hits.
+	cc := uafcheck.NewCache(uafcheck.CacheConfig{MaxEntries: len(cases) + 1})
+	cachePass := func() time.Duration {
+		start := time.Now()
+		for i := range cases {
+			uafcheck.AnalyzeContext(ctx, cases[i].Name, cases[i].Source, //nolint:errcheck
+				uafcheck.WithCache(cc))
+		}
+		return time.Since(start)
+	}
+	cold := cachePass()
+	warm := cachePass()
+	st := cc.Stats()
+	art.Cache.ColdMS = cold.Milliseconds()
+	art.Cache.WarmMS = warm.Milliseconds()
+	if warm > 0 {
+		art.Cache.Speedup = float64(cold) / float64(warm)
+	}
+	art.Cache.Hits = st.Hits
+	art.Cache.Misses = st.Misses
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nPPS benchmark: corpus %d cases — seq %v, par4 %v (speedup %.2fx, identical warnings: %v);"+
+		" cache cold %v, warm %v (speedup %.1fx)\n",
+		art.Corpus.Cases, seqDur.Round(time.Millisecond), parDur.Round(time.Millisecond),
+		art.Corpus.ParSpeedup, art.Corpus.IdenticalWarnings,
+		cold.Round(time.Millisecond), warm.Round(time.Millisecond), art.Cache.Speedup)
+	fmt.Printf("wrote PPS benchmark artifact to %s\n", out)
+	return nil
+}
+
+// fanoutProgram builds a proc with n sync-chained tasks and two branch
+// diamonds — wide frontiers for the parallel explorer.
+func fanoutProgram(tasks int) string {
+	var sb strings.Builder
+	sb.WriteString("config const flag = true;\nproc fan() {\n  var x: int = 1;\n")
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  var d%d$: sync bool;\n", i)
+	}
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  begin with (ref x) {\n    x += %d;\n    d%d$ = true;\n  }\n", i+1, i)
+	}
+	sb.WriteString("  if (flag) { writeln(1); } else { writeln(0); }\n")
+	sb.WriteString("  if (flag) { writeln(2); } else { writeln(0); }\n")
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  d%d$;\n", i)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,13 +1,14 @@
 package uafcheck_test
 
 import (
+	"context"
 	"fmt"
 
 	"uafcheck"
 )
 
 // The headline use: analyze a program and print the warnings.
-func ExampleAnalyze() {
+func ExampleAnalyzeContext() {
 	src := `
 proc main() {
   var x: int = 10;
@@ -15,7 +16,7 @@ proc main() {
     writeln(x);
   }
 }`
-	report, err := uafcheck.Analyze("main.chpl", src)
+	report, err := uafcheck.AnalyzeContext(context.Background(), "main.chpl", src)
 	if err != nil {
 		panic(err)
 	}
@@ -27,7 +28,7 @@ proc main() {
 }
 
 // A sync-variable wait chain makes the same program clean.
-func ExampleAnalyze_waitChain() {
+func ExampleAnalyzeContext_waitChain() {
 	src := `
 proc main() {
   var x: int = 10;
@@ -38,13 +39,37 @@ proc main() {
   }
   done$;
 }`
-	report, err := uafcheck.Analyze("main.chpl", src)
+	report, err := uafcheck.AnalyzeContext(context.Background(), "main.chpl", src)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("warnings:", len(report.Warnings))
 	// Output:
 	// warnings: 0
+}
+
+// A shared content-addressed cache serves repeat analyses of unchanged
+// sources without re-running the pipeline.
+func ExampleAnalyzeContext_cache() {
+	src := `
+proc main() {
+  var x: int = 10;
+  begin with (ref x) {
+    writeln(x);
+  }
+}`
+	cc := uafcheck.NewCache(uafcheck.CacheConfig{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := uafcheck.AnalyzeContext(ctx, "main.chpl", src,
+			uafcheck.WithCache(cc), uafcheck.WithParallelism(4)); err != nil {
+			panic(err)
+		}
+	}
+	st := cc.Stats()
+	fmt.Printf("misses: %d, hits: %d\n", st.Misses, st.Hits)
+	// Output:
+	// misses: 1, hits: 2
 }
 
 // Dynamic validation: exhaustively explore schedules and check whether
@@ -100,10 +125,10 @@ proc main() {
   }
   f.waitFor(1);
 }`
-	opts := uafcheck.DefaultOptions()
-	plain, _ := uafcheck.AnalyzeWithOptions("main.chpl", src, opts)
-	opts.ModelAtomics = true
-	modeled, _ := uafcheck.AnalyzeWithOptions("main.chpl", src, opts)
+	ctx := context.Background()
+	plain, _ := uafcheck.AnalyzeContext(ctx, "main.chpl", src)
+	modeled, _ := uafcheck.AnalyzeContext(ctx, "main.chpl", src,
+		uafcheck.WithAtomicsModel(true))
 	fmt.Printf("default: %d warning(s), extension: %d\n",
 		len(plain.Warnings), len(modeled.Warnings))
 	// Output:

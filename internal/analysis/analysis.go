@@ -54,6 +54,20 @@ func DefaultOptions() Options {
 	return Options{Prune: true}
 }
 
+// Fingerprint canonically encodes every option that can change an
+// analysis result — the options half of the content-addressed cache
+// key. Resource knobs that only change wall clock, never the committed
+// outcome, are deliberately excluded: PPS.Parallelism (the wave
+// explorer is deterministic by construction), Obs/sinks, and
+// Ctx/deadlines (a run that degrades is never cached). MaxStates and
+// MaxOutcomes ARE included: a budget-truncated result depends on them.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("prune=%t atomics=%t count=%t maxstates=%d maxoutcomes=%d trace=%t nomerge=%t keep=%t",
+		o.Prune, o.ModelAtomics, o.CountAtomics,
+		o.PPS.MaxStates, o.PPS.MaxOutcomes,
+		o.PPS.Trace, o.PPS.DisableMerge, o.KeepGraphs)
+}
+
 // Warning is one reported potentially dangerous outer-variable access.
 type Warning struct {
 	Var   string

@@ -164,6 +164,15 @@ func Run(files []File, opts Options) ([]Result, Summary) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Concurrency split: total parallelism ≈ Workers × per-analysis PPS
+	// workers. With many files, file-level workers already saturate the
+	// machine, so an unset in-analysis parallelism defaults to sequential
+	// exploration here (a single Analyze call defaults to GOMAXPROCS
+	// instead). An explicit value passes through — callers with few huge
+	// files can flip the split the other way.
+	if opts.Analysis.PPS.Parallelism <= 0 {
+		opts.Analysis.PPS.Parallelism = 1
+	}
 	if opts.BudgetShrink <= 1 {
 		opts.BudgetShrink = 4
 	}

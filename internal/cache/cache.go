@@ -1,0 +1,225 @@
+// Package cache provides a content-addressed result cache: values are
+// stored under a SHA-256 key derived from everything that determines
+// them (source text, effective options, tool version), so a hit is
+// correct by construction — any input change produces a different key
+// and a clean miss, and no invalidation protocol is needed.
+//
+// The cache is generic over its value type so higher layers can store
+// their own types (the public package instantiates it with *Report)
+// without this package importing them. Two storage tiers:
+//
+//   - an in-memory LRU holding decoded values, bounded by entry count;
+//   - an optional on-disk layer (one JSON file per key, written with a
+//     temp-file rename) that survives process restarts and is shared by
+//     concurrent processes.
+//
+// Every returned value is cloned through the Codec, so callers may
+// freely mutate what they get back without corrupting the cache.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key is a content address: the SHA-256 of the inputs that determine
+// the cached value.
+type Key [sha256.Size]byte
+
+// KeyOf hashes the given chunks into a Key. Chunks are length-prefix
+// separated so ("ab","c") and ("a","bc") cannot collide.
+func KeyOf(chunks ...string) Key {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, c := range chunks {
+		n := len(c)
+		for i := 0; i < 8; i++ {
+			lenbuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenbuf[:])
+		h.Write([]byte(c))
+	}
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// String returns the hex form of the key (also the disk file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Codec says how to serialize and defensively copy cached values. All
+// three functions must be safe for concurrent use.
+type Codec[V any] struct {
+	// Encode serializes a value for the disk layer.
+	Encode func(V) ([]byte, error)
+	// Decode deserializes a disk entry.
+	Decode func([]byte) (V, error)
+	// Clone deep-copies a value; Get and Put clone through this so the
+	// cache's copy is never aliased by callers.
+	Clone func(V) V
+}
+
+// Stats counts cache traffic. Retrieved via Cache.Stats.
+type Stats struct {
+	Hits      int64 // in-memory hits
+	DiskHits  int64 // misses served by the disk layer (subset of Hits)
+	Misses    int64
+	Stores    int64
+	Evictions int64
+}
+
+// Cache is a bounded LRU keyed by content address, with an optional
+// write-through disk layer. Safe for concurrent use.
+type Cache[V any] struct {
+	codec      Codec[V]
+	maxEntries int
+	dir        string // "" disables the disk layer
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	stats Stats
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+// DefaultMaxEntries bounds the in-memory layer when the caller passes
+// maxEntries <= 0.
+const DefaultMaxEntries = 1024
+
+// New creates a cache. maxEntries bounds the in-memory LRU (<= 0 means
+// DefaultMaxEntries); dir, when non-empty, enables the disk layer and
+// is created on first store.
+func New[V any](codec Codec[V], maxEntries int, dir string) *Cache[V] {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache[V]{
+		codec:      codec,
+		maxEntries: maxEntries,
+		dir:        dir,
+		ll:         list.New(),
+		items:      make(map[Key]*list.Element),
+	}
+}
+
+// Get returns a clone of the value stored under k. A memory miss falls
+// through to the disk layer (when configured) and promotes the decoded
+// value into memory.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		v := c.codec.Clone(el.Value.(*entry[V]).val)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(k)); err == nil {
+			if v, err := c.codec.Decode(data); err == nil {
+				c.mu.Lock()
+				c.insertLocked(k, v)
+				c.stats.Hits++
+				c.stats.DiskHits++
+				out := c.codec.Clone(v)
+				c.mu.Unlock()
+				return out, true
+			}
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// Put stores a clone of v under k in memory and (best-effort) on disk.
+// Disk write failures are deliberately swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func (c *Cache[V]) Put(k Key, v V) {
+	v = c.codec.Clone(v)
+	c.mu.Lock()
+	c.insertLocked(k, v)
+	c.stats.Stores++
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return
+	}
+	data, err := c.codec.Encode(v)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	// Temp-file + rename keeps concurrent readers from ever seeing a
+	// partial entry.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(k)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// insertLocked adds or refreshes the in-memory entry and evicts from
+// the LRU tail past maxEntries. Caller holds c.mu.
+func (c *Cache[V]) insertLocked(k Key, v V) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
+	for c.ll.Len() > c.maxEntries {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry[V]).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache[V]) path(k Key) string {
+	return filepath.Join(c.dir, k.String()+".json")
+}

@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string   `json:"name"`
+	Items []string `json:"items"`
+}
+
+func payloadCodec() Codec[*payload] {
+	return Codec[*payload]{
+		Encode: func(p *payload) ([]byte, error) { return json.Marshal(p) },
+		Decode: func(b []byte) (*payload, error) {
+			p := &payload{}
+			if err := json.Unmarshal(b, p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+		Clone: func(p *payload) *payload {
+			cp := *p
+			cp.Items = append([]string(nil), p.Items...)
+			return &cp
+		},
+	}
+}
+
+func TestKeyOfChunkBoundaries(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Error("length-prefixed chunks must not collide across boundaries")
+	}
+	if KeyOf("x") != KeyOf("x") {
+		t.Error("KeyOf must be deterministic")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(payloadCodec(), 8, "")
+	k := KeyOf("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(k, &payload{Name: "a", Items: []string{"one"}})
+	got, ok := c.Get(k)
+	if !ok || got.Name != "a" || len(got.Items) != 1 {
+		t.Fatalf("round trip lost data: %+v ok=%v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 store", st)
+	}
+}
+
+// TestMutationIsolation: mutating either the stored value after Put or
+// the returned value after Get must not leak into later Gets.
+func TestMutationIsolation(t *testing.T) {
+	c := New(payloadCodec(), 8, "")
+	k := KeyOf("a")
+	orig := &payload{Name: "a", Items: []string{"one"}}
+	c.Put(k, orig)
+	orig.Items[0] = "tampered-after-put"
+
+	first, _ := c.Get(k)
+	first.Items[0] = "tampered-after-get"
+	first.Name = "tampered"
+
+	second, _ := c.Get(k)
+	if second.Name != "a" || second.Items[0] != "one" {
+		t.Errorf("cache entry was mutated through aliases: %+v", second)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(payloadCodec(), 2, "")
+	k1, k2, k3 := KeyOf("1"), KeyOf("2"), KeyOf("3")
+	c.Put(k1, &payload{Name: "1"})
+	c.Put(k2, &payload{Name: "2"})
+	// Touch k1 so k2 becomes the LRU victim.
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	c.Put(k3, &payload{Name: "3"})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(k2); ok {
+		t.Error("LRU entry k2 survived eviction")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("recently used k1 was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestDiskLayerSurvivesNewCache(t *testing.T) {
+	dir := t.TempDir()
+	k := KeyOf("persisted")
+	first := New(payloadCodec(), 8, dir)
+	first.Put(k, &payload{Name: "p", Items: []string{"x", "y"}})
+
+	if _, err := os.Stat(filepath.Join(dir, k.String()+".json")); err != nil {
+		t.Fatalf("disk entry not written: %v", err)
+	}
+
+	second := New(payloadCodec(), 8, dir)
+	got, ok := second.Get(k)
+	if !ok || got.Name != "p" || len(got.Items) != 2 {
+		t.Fatalf("disk layer did not serve the entry: %+v ok=%v", got, ok)
+	}
+	st := second.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want the hit attributed to disk", st)
+	}
+	// Now promoted: the next Get must be a memory hit.
+	if _, ok := second.Get(k); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := second.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Errorf("stats after promotion = %+v", st)
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	k := KeyOf("corrupt")
+	if err := os.WriteFile(filepath.Join(dir, k.String()+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(payloadCodec(), 8, dir)
+	if _, ok := c.Get(k); ok {
+		t.Error("corrupt disk entry served as a hit")
+	}
+}
+
+// TestConcurrentAccess drives mixed Get/Put traffic from many
+// goroutines; correctness here is "no race, no panic, sane values"
+// under `go test -race`.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(payloadCodec(), 16, t.TempDir())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := KeyOf(fmt.Sprintf("key-%d", i%20))
+				if v, ok := c.Get(k); ok {
+					if v.Name == "" {
+						t.Error("hit returned empty payload")
+						return
+					}
+					continue
+				}
+				c.Put(k, &payload{Name: fmt.Sprintf("v-%d", i%20)})
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -59,6 +59,11 @@ const (
 	CtrStatesProcessed = "pps.states_processed"
 	CtrSinkStates      = "pps.sinks"
 	CtrDeadlockStates  = "pps.deadlocks"
+	// CtrPPSWaves counts bulk-synchronous frontier rounds of the wave
+	// explorer. Deliberately no worker-count gauge: every recorded pps.*
+	// value is independent of Options.Parallelism, so metrics stay
+	// byte-comparable across machines and worker counts.
+	CtrPPSWaves = "pps.waves"
 
 	// Sync transitions by rule kind (paper rules 1-3 + atomics extension).
 	CtrTransSingleRead = "pps.trans_single_read"
@@ -87,6 +92,13 @@ const (
 	CtrBatchErrors   = "batch.errors"
 	CtrBatchRetries  = "batch.retries"
 	CtrBatchWarnings = "batch.warnings"
+
+	// Content-addressed report cache (internal/cache): consult outcomes
+	// and store traffic, recorded by the public Analyze entry points.
+	CtrCacheHits     = "cache.hits"
+	CtrCacheMisses   = "cache.misses"
+	CtrCacheStores   = "cache.stores"
+	CtrCacheDiskHits = "cache.disk_hits"
 )
 
 // Gauge names.

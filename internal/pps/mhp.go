@@ -55,7 +55,8 @@ func BuildMHP(g *ccfg.Graph, opts Options) *MHPOracle {
 	e := &explorer{
 		g:           g,
 		opts:        opts,
-		keyed:       make(map[string]*PPS),
+		par:         resolveParallelism(opts.Parallelism),
+		intern:      newInterner(),
 		everVisited: bits.New(len(g.Nodes)),
 		reported:    bits.New(len(g.Accesses)),
 		res:         &Result{},

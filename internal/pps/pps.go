@@ -29,12 +29,25 @@
 // States with identical (ASN, state-table) pairs are merged: OV is
 // unioned, SV intersected (accesses promoted on only one side fall back
 // to OV so no warning is lost), mirroring the optimization of §III-C.
+// Merge identity is hash-consed: every PPS carries a canonical 64-bit
+// key over its (ASN, state-table, counters) triple (intern.go), so the
+// merge probe is a sharded map lookup.
+//
+// The worklist runs in bulk-synchronous waves (parallel.go): each wave
+// COMPUTES every frontier state's transitions in parallel — a pure
+// phase that only reads wave-start snapshots and buffers its output per
+// state — then COMMITS the buffered results sequentially in frontier
+// order (interning, merging, ID assignment, warning reporting). Because
+// the compute phase is side-effect-free and the commit order is fixed,
+// the Result is byte-identical for every Options.Parallelism value,
+// including the sequential run.
 package pps
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -69,9 +82,13 @@ type PPS struct {
 	// task exits, unordered with everything that still runs.
 	Trailing [][]*ccfg.Node
 
-	key       string
-	queued    bool
-	processed bool
+	// hkey/ckey are the hash-consed merge identity: ckey is the canonical
+	// byte encoding of (ASN, state-table, counters), hkey its 64-bit
+	// FNV-1a hash (see intern.go). Both are computed in the parallel
+	// compute phase so the commit loop only performs the map probe.
+	hkey   uint64
+	ckey   []byte
+	queued bool
 	// parent is the PPS this state was forked from (nil for initial
 	// states); with Remark it reconstructs the provenance chain of a
 	// warning. Merged states keep the first parent seen.
@@ -95,12 +112,17 @@ type Options struct {
 	// disables telemetry. The hot loop accumulates into plain integers
 	// and flushes once at the end, so a nil recorder costs nothing.
 	Obs *obs.Recorder
-	// Ctx carries the run's deadline/cancellation. The worklist loop
-	// polls it every ctxCheckInterval processed states; when it fires,
-	// exploration stops and the result degrades to the conservative
-	// fallback (every access not yet proven anything about is flagged).
-	// nil means no deadline.
+	// Ctx carries the run's deadline/cancellation. The wave loop checks
+	// it before every wave and each worker polls it every
+	// ctxCheckInterval computed states; when it fires, exploration stops
+	// and the result degrades to the conservative fallback (every access
+	// not yet proven anything about is flagged). nil means no deadline.
 	Ctx context.Context
+	// Parallelism is the number of compute workers per wave. 0 resolves
+	// to GOMAXPROCS; 1 forces the inline sequential path. Results are
+	// byte-identical for every value — parallelism only changes the
+	// wall-clock of the compute phase, never the committed outcome.
+	Parallelism int
 }
 
 const (
@@ -256,6 +278,9 @@ type Stats struct {
 	StatesForked int
 	Sinks        int
 	MaxWorklist  int
+	// Waves counts bulk-synchronous frontier rounds. Like every other
+	// field it is independent of Options.Parallelism.
+	Waves int
 	// Incomplete is true when the exploration stopped before exhausting
 	// the state space; Stop carries the machine-readable cause.
 	Incomplete bool
@@ -290,7 +315,8 @@ func Explore(g *ccfg.Graph, opts Options) *Result {
 	e := &explorer{
 		g:           g,
 		opts:        opts,
-		keyed:       make(map[string]*PPS),
+		par:         resolveParallelism(opts.Parallelism),
+		intern:      newInterner(),
 		everVisited: bits.New(len(g.Nodes)),
 		reported:    bits.New(len(g.Accesses)),
 		res:         &Result{},
@@ -299,6 +325,15 @@ func Explore(g *ccfg.Graph, opts Options) *Result {
 	e.run()
 	e.flushObs()
 	return e.res
+}
+
+// resolveParallelism maps the Options.Parallelism knob to a worker
+// count: 0 (and negatives) mean "use the machine".
+func resolveParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // flushObs records the exploration's counters once, after the run: the
@@ -315,6 +350,7 @@ func (e *explorer) flushObs() {
 	r.Add(obs.CtrStatesProcessed, int64(st.StatesProcessed))
 	r.Add(obs.CtrSinkStates, int64(st.Sinks))
 	r.Add(obs.CtrDeadlockStates, int64(len(e.res.Deadlocks)))
+	r.Add(obs.CtrPPSWaves, int64(st.Waves))
 	r.Max(obs.GaugePeakFrontier, int64(st.MaxWorklist))
 	r.Add(obs.CtrTransSingleRead, e.trans[1])
 	r.Add(obs.CtrTransRead, e.trans[2])
@@ -340,9 +376,13 @@ func buildVarAccess(g *ccfg.Graph) map[*sym.Symbol]bits.Set {
 type explorer struct {
 	g    *ccfg.Graph
 	opts Options
+	// par is the resolved compute-worker count (>= 1).
+	par int
 
-	worklist    []*PPS
-	keyed       map[string]*PPS
+	// next accumulates the frontier of the following wave: freshly
+	// created states plus merged states whose sets changed.
+	next        []*PPS
+	intern      *interner
 	nextID      int
 	everVisited bits.Set
 	reported    bits.Set
@@ -381,7 +421,11 @@ func (e *explorer) run() {
 			}
 		}
 	}
-	outs := e.expand(e.g.Root().Entry, nil)
+	var hit bool
+	outs := e.expand(e.g.Root().Entry, nil, &hit)
+	if hit {
+		e.budgetHit = true
+	}
 	for _, o := range outs {
 		p := &PPS{
 			Entries:  normalizeEntries(o.entries),
@@ -394,26 +438,50 @@ func (e *explorer) run() {
 			Trailing: o.dangling,
 		}
 		e.promote(p)
-		e.enqueue(p)
+		e.admit(p)
 	}
 
-	for len(e.worklist) > 0 {
-		if e.res.Stats.StatesProcessed >= e.opts.MaxStates {
+	// Bulk-synchronous wave loop: compute every frontier state in
+	// parallel, then commit the buffered outputs in frontier order. The
+	// degradation ladder gates each wave: budget by truncating the
+	// frontier to the remaining allowance, deadline/cancellation by a
+	// pre-wave check plus per-worker polls inside computeWave.
+	for len(e.next) > 0 {
+		frontier := e.next
+		e.next = nil
+		if len(frontier) > e.res.Stats.MaxWorklist {
+			e.res.Stats.MaxWorklist = len(frontier)
+		}
+		avail := e.opts.MaxStates - e.res.Stats.StatesProcessed
+		if avail <= 0 {
 			e.budgetHit = true
 			break
 		}
-		if e.opts.Ctx != nil && e.res.Stats.StatesProcessed%ctxCheckInterval == 0 {
+		if len(frontier) > avail {
+			frontier = frontier[:avail]
+			e.budgetHit = true
+		}
+		if e.opts.Ctx != nil {
 			if err := e.opts.Ctx.Err(); err != nil {
 				e.ctxStop = stopFromCtx(err)
 				break
 			}
 		}
-		p := e.worklist[len(e.worklist)-1]
-		e.worklist = e.worklist[:len(e.worklist)-1]
-		p.queued = false
-		e.step(p)
-		p.processed = true
-		e.res.Stats.StatesProcessed++
+		for _, p := range frontier {
+			p.queued = false
+		}
+		e.res.Stats.Waves++
+		wave, interrupted := e.computeWave(frontier)
+		if interrupted {
+			// A worker saw the context fire mid-wave; the whole wave is
+			// discarded uncommitted, so StatesProcessed never counts a
+			// partially applied round.
+			e.ctxStop = stopFromCtx(e.opts.Ctx.Err())
+			break
+		}
+		for i, p := range frontier {
+			e.commitState(p, wave[i])
+		}
 	}
 	switch {
 	case e.ctxStop != StopNone:
@@ -456,8 +524,10 @@ func (e *explorer) run() {
 // expand computes every way execution proceeds from node n (inclusive)
 // until each strand reaches a sync node or ends. prefix holds the nodes
 // already traversed on this path since the previous sync event; the slice
-// is never mutated (copy-on-append).
-func (e *explorer) expand(n *ccfg.Node, prefix []*ccfg.Node) []outcome {
+// is never mutated (copy-on-append). hit is set when MaxOutcomes
+// truncates the fan-out — a pointer, not a field, because expand runs
+// inside the parallel compute phase and must not write explorer state.
+func (e *explorer) expand(n *ccfg.Node, prefix []*ccfg.Node, hit *bool) []outcome {
 	if n.Sync != nil {
 		return []outcome{{entries: []Entry{{Sync: n, Pending: prefix}}}}
 	}
@@ -469,7 +539,7 @@ func (e *explorer) expand(n *ccfg.Node, prefix []*ccfg.Node) []outcome {
 		if sp.Task.Pruned {
 			continue
 		}
-		lists = append(lists, e.expand(sp, newPrefix))
+		lists = append(lists, e.expand(sp, newPrefix, hit))
 	}
 	// Continuation of the current strand; a branch forks one expansion
 	// per arm.
@@ -482,20 +552,20 @@ func (e *explorer) expand(n *ccfg.Node, prefix []*ccfg.Node) []outcome {
 		}
 	} else {
 		for _, s := range n.Succs {
-			cont = append(cont, e.expand(s, newPrefix)...)
+			cont = append(cont, e.expand(s, newPrefix, hit)...)
 			if len(cont) > e.opts.MaxOutcomes {
-				e.budgetHit = true
+				*hit = true
 				cont = cont[:e.opts.MaxOutcomes]
 				break
 			}
 		}
 	}
 	lists = append(lists, cont)
-	return e.product(lists)
+	return e.product(lists, hit)
 }
 
 // product combines one outcome from each list into merged outcomes.
-func (e *explorer) product(lists [][]outcome) []outcome {
+func (e *explorer) product(lists [][]outcome, hit *bool) []outcome {
 	acc := []outcome{{}}
 	for _, list := range lists {
 		var next []outcome
@@ -508,7 +578,7 @@ func (e *explorer) product(lists [][]outcome) []outcome {
 				merged.dangling = append(merged.dangling, b.dangling...)
 				next = append(next, merged)
 				if len(next) > e.opts.MaxOutcomes {
-					e.budgetHit = true
+					*hit = true
 					return next
 				}
 			}
@@ -578,29 +648,47 @@ func (e *explorer) executable(en Entry, st bits.Set, counters []uint8) bool {
 	return false
 }
 
-func (e *explorer) step(p *PPS) {
-	if e.mhp != nil {
-		e.mhp.record(p)
-	}
+// reportCand is a buffered warning candidate: the compute phase cannot
+// touch the shared reported set, so it emits candidates and the commit
+// phase deduplicates them in deterministic order.
+type reportCand struct {
+	access int
+	reason UnsafeReason
+	stuck  bool
+}
+
+// stepOut buffers everything one state's compute produces. The commit
+// phase applies it to the shared explorer state in frontier order.
+type stepOut struct {
+	sink      bool
+	rows      []TraceRow
+	reports   []reportCand
+	deadlock  *Deadlock
+	succs     []*PPS
+	trans     [6]int64
+	budgetHit bool
+}
+
+// computeState derives a state's transitions without writing any shared
+// explorer state — it reads p's sets, the graph, and the wave-start
+// snapshot of the reported set, and buffers all output in the returned
+// stepOut. This is the function wave workers run concurrently.
+func (e *explorer) computeState(p *PPS) *stepOut {
+	out := &stepOut{}
 	if len(p.Entries) == 0 {
 		// Sink PPS: every access still pending in OV can happen after the
 		// variable's parallel frontier (paper §III-B).
-		e.res.Stats.Sinks++
+		out.sink = true
 		p.OV.ForEach(func(id int) {
-			if !e.reported.Has(id) {
-				e.reported.Add(id)
-				a := e.g.Accesses[id]
-				e.res.Unsafe = append(e.res.Unsafe,
-					Unsafe{Access: a, Reason: AfterFrontier, Prov: e.provenance(a, p, false)})
-			}
+			out.reports = append(out.reports, reportCand{access: id, reason: AfterFrontier})
 		})
 		if e.opts.Trace {
-			e.traceRow(p, "sink")
+			out.rows = append(out.rows, e.makeRow(p, "sink"))
 		}
-		return
+		return out
 	}
 	if e.opts.Trace {
-		e.traceRow(p, "")
+		out.rows = append(out.rows, e.makeRow(p, ""))
 	}
 
 	fired := false
@@ -617,7 +705,7 @@ func (e *explorer) step(p *PPS) {
 		}
 	}
 	if len(singles) > 0 {
-		e.fire(p, singles)
+		e.computeFire(p, singles, out)
 		fired = true
 	}
 	// READ (rule 2), WRITE (rule 3) and ATOMIC-FILL (rule 4): explore
@@ -628,7 +716,7 @@ func (e *explorer) step(p *PPS) {
 			continue
 		}
 		if e.executable(en, p.State, p.Counters) {
-			e.fire(p, []int{i})
+			e.computeFire(p, []int{i}, out)
 			fired = true
 		}
 	}
@@ -639,7 +727,7 @@ func (e *explorer) step(p *PPS) {
 		for _, en := range p.Entries {
 			blocked = append(blocked, en.Sync.Sync.String())
 		}
-		e.res.Deadlocks = append(e.res.Deadlocks, Deadlock{Blocked: blocked})
+		out.deadlock = &Deadlock{Blocked: blocked}
 
 		// Soundness at stuck states: a strand's accesses that precede its
 		// blocked operation have already executed dynamically, and the
@@ -647,12 +735,7 @@ func (e *explorer) step(p *PPS) {
 		// are use-after-free. Report the attributed-but-unpromoted OV set
 		// and every pending access behind the blocked entries.
 		p.OV.ForEach(func(id int) {
-			if !e.reported.Has(id) {
-				e.reported.Add(id)
-				a := e.g.Accesses[id]
-				e.res.Unsafe = append(e.res.Unsafe,
-					Unsafe{Access: a, Reason: AfterFrontier, Prov: e.provenance(a, p, true)})
-			}
+			out.reports = append(out.reports, reportCand{access: id, reason: AfterFrontier, stuck: true})
 		})
 		for _, en := range p.Entries {
 			// A region's accesses precede its bounding sync op, so the
@@ -660,21 +743,22 @@ func (e *explorer) step(p *PPS) {
 			nodes := append(append([]*ccfg.Node(nil), en.Pending...), en.Sync)
 			for _, n := range nodes {
 				for _, a := range n.Accesses {
-					if !e.reported.Has(a.ID) && !p.SV.Has(a.ID) {
-						e.reported.Add(a.ID)
-						e.res.Unsafe = append(e.res.Unsafe,
-							Unsafe{Access: a, Reason: NeverSynchronized, Prov: e.provenance(a, p, true)})
+					if !p.SV.Has(a.ID) {
+						out.reports = append(out.reports, reportCand{access: a.ID, reason: NeverSynchronized, stuck: true})
 					}
 				}
 			}
 		}
 	}
+	return out
 }
 
-// fire executes the chosen entries (a single READ/WRITE, or a batch of
-// SINGLE-READs), producing one successor PPS per branch-arm combination
-// of the freed strands.
-func (e *explorer) fire(p *PPS, idxs []int) {
+// computeFire executes the chosen entries (a single READ/WRITE, or a
+// batch of SINGLE-READs), buffering one successor PPS per branch-arm
+// combination of the freed strands into out. Successors get their
+// canonical key here, in the parallel phase, so the commit loop only
+// probes the interner.
+func (e *explorer) computeFire(p *PPS, idxs []int, out *stepOut) {
 	state := p.State.Clone()
 	visited := p.Visited.Clone()
 	ov := p.OV.Clone()
@@ -691,7 +775,6 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 			return
 		}
 		visited.Add(n.ID)
-		e.everVisited.Add(n.ID)
 		for _, a := range n.Accesses {
 			if !ov.Has(a.ID) && !sv.Has(a.ID) && !e.reported.Has(a.ID) {
 				ov.Add(a.ID)
@@ -730,7 +813,7 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 				// retains full state
 			}
 		}
-		e.trans[ruleNumber(op)]++
+		out.trans[ruleNumber(op)]++
 		remark = append(remark, fmt.Sprintf("r#%d N#%d", ruleNumber(op), en.Sync.ID))
 		// Attribute the path since the strand's previous sync event,
 		// then the executed node itself ("∀ Nk from Sprev to Si").
@@ -744,7 +827,7 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 		} else {
 			var conts []outcome
 			for _, s := range en.Sync.Succs {
-				conts = append(conts, e.expand(s, nil)...)
+				conts = append(conts, e.expand(s, nil, &out.budgetHit)...)
 			}
 			lists = append(lists, conts)
 		}
@@ -757,7 +840,7 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 		}
 	}
 
-	for _, combo := range e.product(lists) {
+	for _, combo := range e.product(lists, &out.budgetHit) {
 		entries := make([]Entry, 0, len(remaining)+len(combo.entries))
 		entries = append(entries, remaining...)
 		entries = append(entries, combo.entries...)
@@ -780,11 +863,50 @@ func (e *explorer) fire(p *PPS, idxs []int) {
 			parent:   p,
 		}
 		e.promote(np)
-		e.enqueue(np)
+		if !e.opts.DisableMerge {
+			np.hkey, np.ckey = canonicalKey(np)
+		}
+		out.succs = append(out.succs, np)
+	}
+}
+
+// commitState applies one state's buffered compute output to the shared
+// explorer state. It runs strictly sequentially, in frontier order —
+// that single property is what makes warning order, state IDs, merge
+// counts and provenance chains independent of the worker count.
+func (e *explorer) commitState(p *PPS, out *stepOut) {
+	if e.mhp != nil {
+		e.mhp.record(p)
+	}
+	if out.sink {
+		e.res.Stats.Sinks++
+	}
+	for _, rc := range out.reports {
+		if e.reported.Has(rc.access) {
+			continue
+		}
+		e.reported.Add(rc.access)
+		a := e.g.Accesses[rc.access]
+		e.res.Unsafe = append(e.res.Unsafe,
+			Unsafe{Access: a, Reason: rc.reason, Prov: e.provenance(a, p, rc.stuck)})
+	}
+	if out.deadlock != nil {
+		e.res.Deadlocks = append(e.res.Deadlocks, *out.deadlock)
+	}
+	for i, n := range out.trans {
+		e.trans[i] += n
+	}
+	if out.budgetHit {
+		e.budgetHit = true
+	}
+	for _, np := range out.succs {
+		canon := e.admit(np)
 		if e.opts.Trace {
-			e.res.Edges = append(e.res.Edges, Edge{From: p.ID, To: np.ID, Label: np.Remark})
+			e.res.Edges = append(e.res.Edges, Edge{From: p.ID, To: canon.ID, Label: np.Remark})
 		}
 	}
+	e.res.Trace = append(e.res.Trace, out.rows...)
+	e.res.Stats.StatesProcessed++
 }
 
 // promote implements the Parallel Frontier rule: when a PF(x) node is in
@@ -819,30 +941,39 @@ func (e *explorer) promote(p *PPS) {
 	}
 }
 
-// enqueue inserts the PPS into the worklist, merging with an existing
-// state that has the same ASN set and state table (§III-C).
-func (e *explorer) enqueue(p *PPS) {
+// admit inserts a freshly computed PPS into the next frontier, merging
+// with the canonical state of identical (ASN, state-table, counters)
+// identity via the interner (§III-C). It returns the canonical state —
+// the merge target when one exists, otherwise p itself with its newly
+// assigned ID — so trace edges always point at a real state. Runs only
+// on the commit path.
+func (e *explorer) admit(p *PPS) *PPS {
 	e.res.Stats.StatesForked++
-	p.key = e.stateKey(p)
-	if old, ok := e.keyed[p.key]; ok && !e.opts.DisableMerge {
-		if e.merge(old, p) && !old.queued {
-			old.queued = true
-			e.worklist = append(e.worklist, old)
+	// The attributed nodes of a successor feed the final never-visited
+	// sweep even when the state itself merges away.
+	e.everVisited.UnionWith(p.Visited)
+	if !e.opts.DisableMerge {
+		if p.ckey == nil {
+			p.hkey, p.ckey = canonicalKey(p)
 		}
-		e.res.Stats.StatesMerged++
-		return
+		if old := e.intern.lookup(p.hkey, p.ckey); old != nil {
+			if e.merge(old, p) && !old.queued {
+				old.queued = true
+				e.next = append(e.next, old)
+			}
+			e.res.Stats.StatesMerged++
+			return old
+		}
 	}
 	p.ID = e.nextID
 	e.nextID++
 	e.res.Stats.StatesCreated++
 	if !e.opts.DisableMerge {
-		e.keyed[p.key] = p
+		e.intern.insert(p)
 	}
 	p.queued = true
-	e.worklist = append(e.worklist, p)
-	if len(e.worklist) > e.res.Stats.MaxWorklist {
-		e.res.Stats.MaxWorklist = len(e.worklist)
-	}
+	e.next = append(e.next, p)
+	return p
 }
 
 // merge folds src into dst (same ASN + state table), exactly as §III-C
@@ -896,21 +1027,6 @@ func (e *explorer) merge(dst, src *PPS) bool {
 	return changed
 }
 
-func (e *explorer) stateKey(p *PPS) string {
-	buf := make([]byte, 0, len(p.Entries)*4+16)
-	for _, en := range p.Entries {
-		buf = append(buf, byte(en.Sync.ID), byte(en.Sync.ID>>8),
-			byte(en.Sync.ID>>16), byte(en.Sync.ID>>24))
-	}
-	buf = append(buf, '|')
-	buf = p.State.AppendKey(buf)
-	if len(p.Counters) > 0 {
-		buf = append(buf, '|')
-		buf = append(buf, p.Counters...)
-	}
-	return string(buf)
-}
-
 // satU8 clamps a non-negative constant into the counter range.
 func satU8(v int64) uint8 {
 	if v < 0 {
@@ -934,7 +1050,10 @@ func satAdd(a uint8, v int64) uint8 {
 	return uint8(s)
 }
 
-func (e *explorer) traceRow(p *PPS, extra string) {
+// makeRow renders a state as a trace table row. Pure with respect to
+// explorer state (the compute phase calls it from wave workers); the
+// commit phase appends the buffered rows to the result.
+func (e *explorer) makeRow(p *PPS, extra string) TraceRow {
 	row := TraceRow{ID: p.ID, TS: p.TS, Remark: strings.TrimSpace(p.Remark)}
 	if extra != "" {
 		if row.Remark != "" {
@@ -963,7 +1082,7 @@ func (e *explorer) traceRow(p *PPS, extra string) {
 			row.States = append(row.States, fmt.Sprintf("%s=%d", v.Name, p.Counters[i]))
 		}
 	}
-	e.res.Trace = append(e.res.Trace, row)
+	return row
 }
 
 // FormatTrace renders the trace as the paper's PPS table (Figures 3, 7),

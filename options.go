@@ -1,0 +1,128 @@
+package uafcheck
+
+import (
+	"context"
+	"time"
+)
+
+// Option configures the context-first entry points AnalyzeContext and
+// AnalyzeFilesContext. Options compose left to right; unset knobs keep
+// the DefaultOptions behavior. Batch-only options (WithWorkers,
+// WithFileTimeout, WithRetries) are ignored by AnalyzeContext.
+type Option func(*apiConfig)
+
+// apiConfig is the merged configuration the functional options write
+// into; it wraps the v1 structs so both API generations share one
+// implementation.
+type apiConfig struct {
+	opts  Options
+	bopts BatchOptions
+}
+
+// WithPrune toggles the paper's CCFG pruning rules A-D (default on).
+func WithPrune(on bool) Option {
+	return func(c *apiConfig) { c.opts.Prune = on }
+}
+
+// WithMaxStates bounds the PPS exploration (0 = library default). When
+// the budget is exhausted the analysis degrades conservatively instead
+// of truncating.
+func WithMaxStates(n int) Option {
+	return func(c *apiConfig) { c.opts.MaxStates = n }
+}
+
+// WithTrace records the PPS tables on Report.PPSTraces.
+func WithTrace(on bool) Option {
+	return func(c *apiConfig) { c.opts.Trace = on }
+}
+
+// WithMergeDisabled turns off the identical-(ASN, state-table) merge
+// optimization of §III-C — exposed for ablation benchmarks.
+func WithMergeDisabled(on bool) Option {
+	return func(c *apiConfig) { c.opts.DisableMerge = on }
+}
+
+// WithAtomicsModel enables the atomics extension (non-blocking fills,
+// SINGLE-READ-like waitFor).
+func WithAtomicsModel(on bool) Option {
+	return func(c *apiConfig) { c.opts.ModelAtomics = on }
+}
+
+// WithAtomicsCounting enables the saturating-counter refinement of the
+// atomics extension (implies the atomics model).
+func WithAtomicsCounting(on bool) Option {
+	return func(c *apiConfig) { c.opts.CountAtomics = on }
+}
+
+// WithMetricsSinks attaches telemetry sinks; each receives one Metrics
+// snapshot per analyzed file.
+func WithMetricsSinks(sinks ...MetricsSink) Option {
+	return func(c *apiConfig) { c.opts.MetricsSinks = append(c.opts.MetricsSinks, sinks...) }
+}
+
+// WithDeadline bounds one analysis's wall clock (0 = none); on expiry
+// the analysis degrades conservatively.
+func WithDeadline(d time.Duration) Option {
+	return func(c *apiConfig) { c.opts.Deadline = d }
+}
+
+// WithParallelism sets the number of concurrent PPS exploration workers
+// per analyzed procedure; see Options.Parallelism for the defaults and
+// the determinism guarantee.
+func WithParallelism(n int) Option {
+	return func(c *apiConfig) { c.opts.Parallelism = n }
+}
+
+// WithCache attaches a content-addressed report cache; see NewCache.
+func WithCache(cc *Cache) Option {
+	return func(c *apiConfig) { c.opts.Cache = cc }
+}
+
+// WithWorkers sets the batch worker-pool size (0 = GOMAXPROCS). Batch
+// runs only.
+func WithWorkers(n int) Option {
+	return func(c *apiConfig) { c.bopts.Workers = n }
+}
+
+// WithFileTimeout bounds each per-file attempt's wall clock. Batch runs
+// only.
+func WithFileTimeout(d time.Duration) Option {
+	return func(c *apiConfig) { c.bopts.FileTimeout = d }
+}
+
+// WithRetries grants extra attempts after a per-file deadline hit, each
+// with a smaller state budget. Batch runs only.
+func WithRetries(n int) Option {
+	return func(c *apiConfig) { c.bopts.Retries = n }
+}
+
+// AnalyzeContext runs the static analysis under ctx — the context-first
+// form of Analyze/AnalyzeWithOptions:
+//
+//	cache := uafcheck.NewCache(uafcheck.CacheConfig{})
+//	report, err := uafcheck.AnalyzeContext(ctx, "prog.chpl", src,
+//	    uafcheck.WithParallelism(4),
+//	    uafcheck.WithCache(cache))
+//
+// Cancellation and deadlines on ctx degrade the analysis conservatively
+// (Report.Degraded) rather than aborting it.
+func AnalyzeContext(ctx context.Context, filename, src string, options ...Option) (*Report, error) {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	cfg.opts.Context = ctx
+	return AnalyzeWithOptions(filename, src, cfg.opts)
+}
+
+// AnalyzeFilesContext analyzes many files under ctx — the context-first
+// form of AnalyzeFiles. Cancelling ctx degrades unfinished files to
+// conservative results instead of dropping them.
+func AnalyzeFilesContext(ctx context.Context, files []FileInput, options ...Option) *BatchReport {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	cfg.bopts.Context = ctx
+	return AnalyzeFiles(files, cfg.opts, cfg.bopts)
+}

@@ -3,6 +3,7 @@ package uafcheck
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -69,11 +70,12 @@ func TestMetricsGoldenFigure1(t *testing.T) {
 		obs.CtrStatesMerged:    3,
 		obs.CtrStatesForked:    11,
 		obs.CtrSinkStates:      1,
+		obs.CtrPPSWaves:        5,
 		obs.CtrTransRead:       5,
 		obs.CtrTransWrite:      5,
 	})
-	if got := rep.Metrics.Gauge(obs.GaugePeakFrontier); got != 3 {
-		t.Errorf("peak frontier = %d, want 3", got)
+	if got := rep.Metrics.Gauge(obs.GaugePeakFrontier); got != 2 {
+		t.Errorf("peak frontier = %d, want 2", got)
 	}
 	// -stats consistency by construction: ProcStats must agree with the
 	// metrics snapshot, since both now flow from the same Stats structs.
@@ -107,11 +109,12 @@ func TestMetricsGoldenFigure6(t *testing.T) {
 		obs.CtrCCFGSyncVars:    1,
 		obs.CtrTrackedAccesses: 1,
 		obs.CtrStatesCreated:   9,
-		obs.CtrStatesProcessed: 14,
-		obs.CtrStatesMerged:    6,
-		obs.CtrStatesForked:    15,
-		obs.CtrSinkStates:      3,
-		obs.CtrTransRead:       7,
+		obs.CtrStatesProcessed: 12,
+		obs.CtrStatesMerged:    5,
+		obs.CtrStatesForked:    14,
+		obs.CtrSinkStates:      2,
+		obs.CtrPPSWaves:        5,
+		obs.CtrTransRead:       6,
 		obs.CtrTransWrite:      6,
 	})
 }
@@ -306,5 +309,71 @@ func TestExploreNilObsNoExtraAllocs(t *testing.T) {
 	// nearly twice the states of figure1 yet pays the same flush cost.
 	if d1, d6 := deltas["figure1.chpl"], deltas["figure6.chpl"]; d6 > d1+32 {
 		t.Errorf("recorder overhead scales with states: figure1 %+.0f, figure6 %+.0f", d1, d6)
+	}
+}
+
+// fanoutGraph builds a CCFG with n sync-chained tasks — enough frontier
+// width (> minParallelFrontier) that Parallelism > 1 actually spins up
+// wave workers.
+func fanoutGraph(t testing.TB, tasks int) *ccfg.Graph {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("proc fan() {\n  var x: int = 1;\n")
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  var d%d$: sync bool;\n", i)
+	}
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  begin with (ref x) {\n    x += %d;\n    d%d$ = true;\n  }\n", i+1, i)
+	}
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&sb, "  d%d$;\n", i)
+	}
+	sb.WriteString("}\n")
+	src := sb.String()
+
+	file := source.NewFile("fan.chpl", src)
+	diags := &source.Diagnostics{}
+	mod := parser.Parse(file, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	info := sym.Resolve(mod, diags)
+	if diags.HasErrors() {
+		t.Fatalf("resolve: %v", diags)
+	}
+	for _, proc := range mod.Procs {
+		prog := ir.Lower(info, proc, diags)
+		return ccfg.Build(prog, diags, ccfg.BuildOptions{Prune: true})
+	}
+	t.Fatal("no proc found")
+	return nil
+}
+
+// TestExploreParallelObsNoExtraAllocs extends the recorder-overhead
+// guard to the parallel explorer: with 4 wave workers actually running
+// (the fanout frontier exceeds minParallelFrontier), attaching a
+// recorder must still only cost the bounded end-of-run flush — the wave
+// workers themselves never touch the recorder.
+func TestExploreParallelObsNoExtraAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting in -short mode")
+	}
+	g := fanoutGraph(t, 6)
+	probe := pps.Explore(g, pps.Options{Parallelism: 4})
+	if probe.Stats.MaxWorklist < 8 {
+		t.Fatalf("fanout frontier = %d, too narrow to exercise the parallel path", probe.Stats.MaxWorklist)
+	}
+	base := testing.AllocsPerRun(20, func() {
+		pps.Explore(g, pps.Options{Parallelism: 4})
+	})
+	rec := obs.New()
+	withObs := testing.AllocsPerRun(20, func() {
+		pps.Explore(g, pps.Options{Parallelism: 4, Obs: rec})
+	})
+	// Slightly more slack than the sequential guard: goroutine scheduling
+	// adds run-to-run alloc noise, but the recorder cost itself must stay
+	// a flush-sized constant.
+	if delta := withObs - base; delta > 96 {
+		t.Errorf("parallel recorder added %.0f allocs/run (base %.0f), want <= 96", delta, base)
 	}
 }

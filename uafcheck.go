@@ -36,6 +36,7 @@ import (
 
 	"uafcheck/internal/analysis"
 	"uafcheck/internal/batch"
+	"uafcheck/internal/cache"
 	"uafcheck/internal/corpus"
 	"uafcheck/internal/eval"
 	"uafcheck/internal/obs"
@@ -46,6 +47,11 @@ import (
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
 )
+
+// Version identifies the analyzer release. It participates in cache
+// content addresses, so reports cached by one version are never served
+// by another.
+const Version = "0.3.0"
 
 // ------------------------------------------------------------- telemetry
 
@@ -92,12 +98,29 @@ type Options struct {
 	// counters, so counting protocols (n fetchAdds before a waitFor(n))
 	// verify as well.
 	CountAtomics bool
+	// Parallelism is the number of concurrent PPS exploration workers
+	// per analyzed procedure. 0 means GOMAXPROCS for single-file calls;
+	// batch runs default to 1 instead (file-level workers already
+	// saturate the machine — total concurrency ≈ Workers × Parallelism).
+	// Results are identical for every value: exploration proceeds in
+	// deterministic bulk-synchronous waves, so the warning set, stats and
+	// traces never depend on the worker count.
+	Parallelism int
+	// Cache, when non-nil, memoizes complete analysis reports by content
+	// address (source text + effective options + tool Version). Hits
+	// return a defensive clone and skip the pipeline entirely; degraded
+	// (incomplete) results are never cached. See NewCache.
+	Cache *Cache
 	// MetricsSinks receive the run's Metrics snapshot when the analysis
 	// finishes. The snapshot is attached to Report.Metrics regardless.
 	MetricsSinks []MetricsSink
 	// Context carries an external cancellation signal through the whole
 	// pipeline (PPS hot loop, CCFG pruning, oracle scheduler). nil means
 	// context.Background().
+	//
+	// Deprecated: pass the context positionally via AnalyzeContext /
+	// AnalyzeFilesContext instead. The field keeps working for existing
+	// callers of AnalyzeWithOptions and AnalyzeFiles.
 	Context context.Context
 	// Deadline bounds the wall-clock time of one Analyze call (0 = none).
 	// When it fires, the analysis degrades instead of truncating: every
@@ -118,6 +141,7 @@ func (o Options) internal() analysis.Options {
 			MaxStates:    o.MaxStates,
 			Trace:        o.Trace,
 			DisableMerge: o.DisableMerge,
+			Parallelism:  o.Parallelism,
 		},
 	}
 }
@@ -308,16 +332,51 @@ func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err er
 	in.KeepGraphs = opts.Trace
 	in.Obs = rec
 	in.Ctx = ctx
+
+	var key cache.Key
+	if opts.Cache != nil {
+		key = reportKey(filename, src, in)
+		if hit, ok := opts.Cache.get(key); ok {
+			return cacheHit(hit, opts.MetricsSinks), nil
+		}
+		rec.Add(obs.CtrCacheMisses, 1)
+	}
+
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
 		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
 	}
 	rep = buildReport(res, opts)
+	if opts.Cache != nil && rep.Degraded == nil {
+		rec.Add(obs.CtrCacheStores, 1)
+	}
 	rep.Metrics = rec.Snapshot()
 	if err := rec.Flush(); err != nil {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
 	}
+	// Only complete results are cached: a degraded report depends on the
+	// budget/deadline race of this particular run, so serving it later
+	// could mask a complete result the caller's options would produce.
+	if opts.Cache != nil && rep.Degraded == nil {
+		opts.Cache.put(key, rep)
+	}
 	return rep, nil
+}
+
+// cacheHit finalizes a report served from the cache: the clone keeps the
+// original run's telemetry (spans, pipeline counters, its own cache.misses
+// rung), gains a cache.hits mark, and is emitted to this call's sinks.
+func cacheHit(rep *Report, sinks []MetricsSink) *Report {
+	if rep.Metrics.Counters == nil {
+		rep.Metrics.Counters = make(map[string]int64)
+	}
+	rep.Metrics.Counters[obs.CtrCacheHits]++
+	for _, s := range sinks {
+		if err := s.Emit(rep.Metrics); err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
+		}
+	}
+	return rep
 }
 
 // buildReport converts an internal analysis result into the public
@@ -434,12 +493,17 @@ type FileReport struct {
 	// Status classifies the outcome: "ok", "degraded", "timed-out",
 	// "crashed" or "error".
 	Status string
-	// Report is the file's analysis report; nil when the frontend
-	// rejected the file or the analysis hung and was abandoned. For
+	// Report is the file's analysis report, structurally identical to
+	// what the single-file Analyze entry points return: nil only when the
+	// frontend rejected the file (Err is set); for every other status —
+	// including hung-and-abandoned analyses — it is non-nil, and for
 	// degraded statuses Report.Degraded carries the ladder reason.
 	Report *Report
 	// Err is set for frontend-rejected files.
 	Err error
+	// Cached marks a report served from Options.Cache without running
+	// the pipeline (Attempts is 0 for such files).
+	Cached bool
 	// Attempts counts analysis runs (retries included).
 	Attempts int
 	// Duration is the file's wall clock across attempts.
@@ -489,10 +553,25 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 	in := opts.internal()
 	in.KeepGraphs = opts.Trace
 
-	bfiles := make([]batch.File, len(files))
+	// Cache pre-pass: serve hits directly and hand the batch driver only
+	// the misses. hits is index-aligned with files; missOf maps the
+	// compacted batch index back to the original one.
+	hits := make([]*Report, len(files))
+	keys := make([]cache.Key, len(files))
+	var missOf []int
+	var bfiles []batch.File
 	for i, f := range files {
-		bfiles[i] = batch.File{Name: f.Name, Src: f.Src}
+		if opts.Cache != nil {
+			keys[i] = reportKey(f.Name, f.Src, in)
+			if rep, ok := opts.Cache.get(keys[i]); ok {
+				hits[i] = cacheHit(rep, opts.MetricsSinks)
+				continue
+			}
+		}
+		missOf = append(missOf, i)
+		bfiles = append(bfiles, batch.File{Name: f.Name, Src: f.Src})
 	}
+
 	rec := obs.New() // batch-level counters and span
 	recs := make([]*obs.Recorder, len(files))
 	results, sum := batch.Run(bfiles, batch.Options{
@@ -502,15 +581,20 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 		Analysis:    in,
 		Ctx:         bopts.Context,
 		Obs:         rec,
-		PerFileObs: func(i int, f batch.File) *obs.Recorder {
-			recs[i] = obs.New(shared...)
-			return recs[i]
+		PerFileObs: func(j int, f batch.File) *obs.Recorder {
+			r := obs.New(shared...)
+			if opts.Cache != nil {
+				r.Add(obs.CtrCacheMisses, 1)
+			}
+			recs[missOf[j]] = r
+			return r
 		},
 	})
 
-	out := &BatchReport{Summary: sum}
-	for i := range results {
-		r := &results[i]
+	frs := make([]FileReport, len(files))
+	for j := range results {
+		r := &results[j]
+		i := missOf[j]
 		fr := FileReport{
 			Name:     r.File.Name,
 			Status:   r.Status.String(),
@@ -525,11 +609,52 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 			if rec := recs[i]; rec != nil {
 				fr.Report.Metrics = rec.Snapshot()
 			}
+		default:
+			// The analysis hung (or hard-crashed) and was abandoned, so
+			// there is no internal result to convert. Synthesize a
+			// degraded report so per-file reports stay structurally
+			// identical to single-file ones: nil Report means frontend
+			// rejection, nothing else.
+			reason := DegradeDeadline
+			if r.Status == batch.Crashed {
+				reason = DegradePanic
+			}
+			fr.Report = &Report{Degraded: &Degradation{
+				Reason: reason,
+				Procs:  nil,
+			}}
 		}
-		if fr.Report != nil {
-			out.Metrics.Merge(fr.Report.Metrics)
+		if opts.Cache != nil && fr.Report != nil && fr.Report.Degraded == nil {
+			opts.Cache.put(keys[i], fr.Report)
 		}
-		out.Files = append(out.Files, fr)
+		frs[i] = fr
+	}
+	// Cached files: complete-by-construction reports, zero attempts.
+	for i, rep := range hits {
+		if rep == nil {
+			continue
+		}
+		frs[i] = FileReport{
+			Name:   files[i].Name,
+			Status: batch.OK.String(),
+			Report: rep,
+			Cached: true,
+		}
+		sum.Files++
+		sum.OK++
+		for _, w := range rep.Warnings {
+			sum.Warnings++
+			if w.Conservative {
+				sum.Conservative++
+			}
+		}
+	}
+
+	out := &BatchReport{Files: frs, Summary: sum}
+	for i := range frs {
+		if frs[i].Report != nil {
+			out.Metrics.Merge(frs[i].Report.Metrics)
+		}
 	}
 	out.Metrics.Merge(rec.Snapshot())
 	return out
