@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench bench-all fuzz-short check
+.PHONY: build test test-race vet fmt-check bench bench-all fuzz-short loadtest check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ test-race:
 fuzz-short:
 	$(GO) test -fuzz=FuzzLex -fuzztime=$(FUZZTIME) ./internal/lexer/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser/
+
+# End-to-end load test of the uafserve daemon: builds the real
+# binaries, boots the server, and drives it with concurrent clients
+# (byte-identity vs the CLI, 429 under overload, dedup, graceful
+# SIGTERM drain). Tagged so `make test` stays fast.
+loadtest:
+	$(GO) test -race -tags loadtest -run TestLoadEndToEnd -v ./internal/server/
 
 vet:
 	$(GO) vet ./...

@@ -30,6 +30,14 @@ type CacheConfig struct {
 	// restarts. Writes are temp-file + rename, reads of corrupt entries
 	// degrade to misses.
 	Dir string
+	// AsyncDiskWrites, when > 0, queues disk-tier writes on a bounded
+	// background queue of this depth instead of writing synchronously on
+	// the analysis path — the configuration the uafserve daemon uses so
+	// request latency never includes cache serialization or I/O. Writes
+	// that find the queue full are dropped (CacheStats.DroppedWrites);
+	// call Flush to checkpoint and Close at shutdown. Ignored when Dir
+	// is empty.
+	AsyncDiskWrites int
 }
 
 // CacheStats counts cache traffic (hits, disk hits, misses, stores,
@@ -49,7 +57,11 @@ func NewCache(cfg CacheConfig) *Cache {
 		},
 		Clone: (*Report).Clone,
 	}
-	return &Cache{c: cache.New(codec, cfg.MaxEntries, cfg.Dir)}
+	cc := &Cache{c: cache.New(codec, cfg.MaxEntries, cfg.Dir)}
+	if cfg.AsyncDiskWrites > 0 {
+		cc.c.StartAsyncDisk(cfg.AsyncDiskWrites)
+	}
+	return cc
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -57,6 +69,16 @@ func (c *Cache) Stats() CacheStats { return c.c.Stats() }
 
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int { return c.c.Len() }
+
+// Flush blocks until every queued asynchronous disk write has reached
+// the filesystem. A no-op for synchronous caches.
+func (c *Cache) Flush() { c.c.Flush() }
+
+// Close drains the asynchronous write queue and stops its background
+// writer; the cache stays usable (later stores write synchronously).
+// uafserve calls this as the last step of graceful shutdown, after the
+// admission gate has drained.
+func (c *Cache) Close() { c.c.Close() }
 
 func (c *Cache) get(k cache.Key) (*Report, bool) { return c.c.Get(k) }
 

@@ -16,6 +16,10 @@
 //	-explain        print each warning's provenance chain
 //	-trace-out=F    append the telemetry trace to F as JSON lines
 //	-prom-out=F     write aggregated metrics to F in Prometheus format
+//	-format=F       output format: text (default), json (one canonical
+//	                result line per file — byte-identical to a uafserve
+//	                response for the same input and options), or sarif
+//	                (SARIF 2.1.0 for code-scanning consumers)
 //	-no-prune       disable CCFG pruning rules A-D
 //	-oracle N       validate warnings dynamically with N random schedules
 //	-seed S         oracle schedule seed
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"uafcheck"
+	"uafcheck/internal/wire"
 )
 
 func main() {
@@ -77,11 +82,18 @@ func main() {
 		retries   = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
 		cacheDir  = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = no cache)")
 		cacheSize = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
+		format    = flag.String("format", "text", "output format: text, json (canonical result lines) or sarif")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: uafcheck [flags] file.chpl ...")
 		flag.PrintDefaults()
+		os.Exit(3)
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "uafcheck: unknown -format %q (want text, json or sarif)\n", *format)
 		os.Exit(3)
 	}
 
@@ -161,6 +173,27 @@ func main() {
 	}
 	batchRep := uafcheck.AnalyzeFilesContext(ctx, files, apiOpts...)
 
+	if *format != "text" {
+		// Machine-readable formats own stdout entirely: the canonical
+		// wire encoding shared with the uafserve daemon, so piping a
+		// file through the CLI and POSTing it to the server produce
+		// identical bytes. Display flags (-ccfg, -stats, ...) are
+		// text-format concerns and are ignored here.
+		results := make([]wire.Result, len(batchRep.Files))
+		for i, fr := range batchRep.Files {
+			results[i] = wire.NewResult(files[i].Name, fr.Report, fr.Err, *metrics)
+		}
+		if err := emitFormatted(os.Stdout, *format, results); err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			ioErrors = true
+		}
+		exit := batchRep.ExitCode()
+		if ioErrors {
+			exit = 3
+		}
+		os.Exit(exit)
+	}
+
 	var agg uafcheck.Metrics
 	for i, fr := range batchRep.Files {
 		path, src := files[i].Name, files[i].Src
@@ -191,7 +224,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "uafcheck: %s: recovered panic in phase %s: %s\n", path, c.Phase, c.Err)
 			}
 		}
-		sortWarnings(rep.Warnings)
+		uafcheck.SortWarnings(rep.Warnings)
 		for _, w := range rep.Warnings {
 			fmt.Println(w)
 			if *explain {
@@ -283,35 +316,28 @@ func main() {
 	os.Exit(exit)
 }
 
-// sortWarnings orders warnings by (file, line, column, variable) so
-// multi-file and multi-proc output is stable.
-func sortWarnings(ws []uafcheck.Warning) {
-	sort.SliceStable(ws, func(i, j int) bool {
-		a, b := ws[i], ws[j]
-		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {
-			return af < bf
+// emitFormatted renders the machine-readable formats: "json" writes
+// one canonical result line per file, "sarif" one indented SARIF 2.1.0
+// document covering every file.
+func emitFormatted(w *os.File, format string, results []wire.Result) error {
+	if format == "sarif" {
+		b, err := wire.SARIF(results).EncodeIndent()
+		if err != nil {
+			return err
 		}
-		if a.AccessLine != b.AccessLine {
-			return a.AccessLine < b.AccessLine
+		_, err = w.Write(b)
+		return err
+	}
+	for _, res := range results {
+		line, err := res.Encode()
+		if err != nil {
+			return err
 		}
-		if a.AccessCol != b.AccessCol {
-			return a.AccessCol < b.AccessCol
-		}
-		return a.Var < b.Var
-	})
-}
-
-// posFile extracts the file component of a "file:line:col" position.
-func posFile(pos string) string {
-	// Trim the trailing ":line:col"; file names may themselves contain
-	// colons, so cut from the right.
-	s := pos
-	for i := 0; i < 2; i++ {
-		if j := strings.LastIndexByte(s, ':'); j >= 0 {
-			s = s[:j]
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
 		}
 	}
-	return s
+	return nil
 }
 
 // printProvenance renders the explain-mode block under a warning.

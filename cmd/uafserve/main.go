@@ -1,0 +1,136 @@
+// Command uafserve runs the use-after-free analysis as a long-lived
+// HTTP/JSON daemon: clients POST MiniChapel source and get back the
+// same canonical report JSON that `uafcheck -format=json` prints.
+//
+// Usage:
+//
+//	uafserve [flags]
+//
+// Flags:
+//
+//	-addr A          listen address (default :8420; use 127.0.0.1:0
+//	                 for an ephemeral port — the bound address is
+//	                 printed on startup)
+//	-inflight N      max concurrently running analyses (0 = GOMAXPROCS)
+//	-queue N         max requests waiting for a slot before 429 (default 64)
+//	-deadline D      default per-request analysis deadline (default 30s)
+//	-max-deadline D  cap on client-requested deadlines (default 2m)
+//	-par N           PPS exploration workers per analysis (default 1)
+//	-jobs N          file workers per batch request (0 = GOMAXPROCS)
+//	-cache-dir D     persist the content-addressed report cache under D
+//	-cache-size N    in-memory report cache entries (0 = default)
+//	-max-body N      max request body bytes (default 8 MiB)
+//
+// Endpoints:
+//
+//	POST /v1/analyze        {"name","src","options":{...}} -> canonical
+//	                        result JSON; 429 + Retry-After on overload
+//	POST /v1/analyze-batch  {"files":[{"name","src"},...],"options":{...}}
+//	                        -> NDJSON, one result line per file as each
+//	                        finishes
+//	GET  /healthz           readiness (503 while draining)
+//	GET  /livez             liveness
+//	GET  /metrics           Prometheus text format
+//
+// SIGINT/SIGTERM shut down gracefully: the admission gate closes,
+// in-flight analyses finish and are delivered, and the disk cache tier
+// is flushed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8420", "listen address (host:port; port 0 picks an ephemeral port)")
+		inflight    = flag.Int("inflight", 0, "max concurrently running analyses (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "max requests waiting for an analysis slot before 429 (negative = no queue)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request analysis deadline; on expiry the analysis degrades to conservative warnings")
+		maxDeadline = flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
+		par         = flag.Int("par", 0, "parallel PPS exploration workers per analysis (0 = 1)")
+		jobs        = flag.Int("jobs", 0, "parallel file workers per batch request (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = memory only)")
+		cacheSize   = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
+		maxBody     = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
+		drainFor    = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight analyses on shutdown")
+	)
+	flag.Parse()
+
+	// The daemon always runs a report cache: repeated sources across
+	// requests are the common case for a shared service. Disk writes go
+	// through the async tier so cache persistence never sits on a
+	// request's latency path; Shutdown flushes it.
+	cacheCfg := uafcheck.CacheConfig{MaxEntries: *cacheSize, Dir: *cacheDir}
+	if *cacheDir != "" {
+		cacheCfg.AsyncDiskWrites = 256
+	}
+
+	srv := server.New(server.Config{
+		MaxInflight:     *inflight,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Parallelism:     *par,
+		BatchWorkers:    *jobs,
+		MaxBodyBytes:    *maxBody,
+		Cache:           uafcheck.NewCache(cacheCfg),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address line is machine-readable on purpose: with
+	// -addr 127.0.0.1:0 it is how callers (and the loadtest harness)
+	// learn the ephemeral port.
+	fmt.Printf("uafserve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "uafserve: %v: draining (up to %v)\n", sig, *drainFor)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	// Order matters: the analysis server drains first (gate closes,
+	// queued waiters get 503, admitted requests run to completion and
+	// write their responses), then the HTTP layer closes idle
+	// connections. The cache flush happens inside srv.Shutdown.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "uafserve: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+	}
+	m := srv.MetricsSnapshot()
+	fmt.Fprintf(os.Stderr, "uafserve: served %d requests (%d analyses, %d dedup hits, %d rejects)\n",
+		m.Counter("server.requests"), m.Counter("server.analyses"),
+		m.Counter("server.dedup_hits"), m.Counter("server.rejects"))
+}

@@ -102,6 +102,14 @@ type Options struct {
 	// so sinks shared across files must be wrapped with
 	// obs.Synchronized. Flush errors are best-effort-ignored.
 	PerFileObs func(i int, f File) *obs.Recorder
+	// OnResult, when set, receives each file's classified result on the
+	// worker goroutine that finished it, immediately after the result
+	// slot is written and the per-file recorder flushed. Callbacks for
+	// different files may run concurrently; the callee must be safe for
+	// concurrent use. Streaming consumers (the uafserve batch endpoint)
+	// emit per-file responses from this hook instead of waiting for the
+	// whole batch.
+	OnResult func(r Result)
 }
 
 // Result is one file's classified outcome.
@@ -189,6 +197,9 @@ func Run(files []File, opts Options) ([]Result, Summary) {
 			defer wg.Done()
 			for i := range jobs {
 				results[i] = runFile(files[i], i, opts)
+				if opts.OnResult != nil {
+					opts.OnResult(results[i])
+				}
 			}
 		}()
 	}

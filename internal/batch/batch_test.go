@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,6 +203,40 @@ func TestBatchObsCounters(t *testing.T) {
 		}
 		if r.Snapshot().Counter(obs.CtrProcsAnalyzed) == 0 {
 			t.Errorf("file %d recorder saw no analysis counters", i)
+		}
+	}
+}
+
+func TestOnResultStreamsEveryFile(t *testing.T) {
+	files := []File{
+		{Name: "clean.chpl", Src: cleanSrc},
+		{Name: "warn.chpl", Src: warnSrc},
+		{Name: "broken.chpl", Src: "proc ( nope"},
+	}
+	var mu sync.Mutex
+	seen := map[int]Result{}
+	results, _ := Run(files, Options{
+		Workers:  3,
+		Analysis: analysis.DefaultOptions(),
+		OnResult: func(r Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[r.Index]; dup {
+				t.Errorf("OnResult fired twice for index %d", r.Index)
+			}
+			seen[r.Index] = r
+		},
+	})
+	if len(seen) != len(files) {
+		t.Fatalf("OnResult fired %d times, want %d", len(seen), len(files))
+	}
+	// The streamed results must be the same values that land in the
+	// final slice — index, status and report alike.
+	for i, r := range results {
+		s := seen[i]
+		if s.File.Name != r.File.Name || s.Status != r.Status || s.Res != r.Res {
+			t.Errorf("index %d: streamed %v/%p, final %v/%p",
+				i, s.Status, s.Res, r.Status, r.Res)
 		}
 	}
 }

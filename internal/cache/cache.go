@@ -70,6 +70,10 @@ type Stats struct {
 	Misses    int64
 	Stores    int64
 	Evictions int64
+	// DroppedWrites counts async disk writes discarded because the write
+	// queue was full (StartAsyncDisk). The in-memory entry is unaffected;
+	// only persistence across restarts is lost for those entries.
+	DroppedWrites int64
 }
 
 // Cache is a bounded LRU keyed by content address, with an optional
@@ -83,6 +87,23 @@ type Cache[V any] struct {
 	ll    *list.List // front = most recently used
 	items map[Key]*list.Element
 	stats Stats
+
+	// Async disk tier (StartAsyncDisk): jobs feed a single background
+	// writer; pending tracks enqueued-but-unwritten entries for Flush.
+	// Enqueues happen under mu (non-blocking sends to a buffered
+	// channel), so Close can atomically cut off producers before closing
+	// the channel.
+	async   chan diskJob[V]
+	pending sync.WaitGroup
+	done    chan struct{}
+}
+
+// diskJob is one queued async disk write. The value is the cache's own
+// immutable copy; encoding happens on the writer goroutine so Put never
+// pays serialization latency in async mode.
+type diskJob[V any] struct {
+	key Key
+	val V
 }
 
 type entry[V any] struct {
@@ -147,17 +168,38 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 
 // Put stores a clone of v under k in memory and (best-effort) on disk.
 // Disk write failures are deliberately swallowed: the cache is an
-// accelerator, never a correctness dependency.
+// accelerator, never a correctness dependency. With StartAsyncDisk
+// active, the disk write is queued and performed by the background
+// writer instead of blocking the caller.
 func (c *Cache[V]) Put(k Key, v V) {
 	v = c.codec.Clone(v)
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	c.stats.Stores++
+	enqueued := false
+	if c.dir != "" && c.async != nil {
+		enqueued = true
+		c.pending.Add(1)
+		select {
+		case c.async <- diskJob[V]{key: k, val: v}:
+		default:
+			// Queue full: the write is dropped, not blocked on. The
+			// in-memory entry stays; only restart persistence is lost.
+			c.pending.Done()
+			c.stats.DroppedWrites++
+		}
+	}
 	c.mu.Unlock()
 
-	if c.dir == "" {
+	if c.dir == "" || enqueued {
 		return
 	}
+	c.writeDisk(k, v)
+}
+
+// writeDisk serializes v and writes it under k's disk path with a
+// temp-file + rename so concurrent readers never see a partial entry.
+func (c *Cache[V]) writeDisk(k Key, v V) {
 	data, err := c.codec.Encode(v)
 	if err != nil {
 		return
@@ -165,8 +207,6 @@ func (c *Cache[V]) Put(k Key, v V) {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
-	// Temp-file + rename keeps concurrent readers from ever seeing a
-	// partial entry.
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return
@@ -184,6 +224,64 @@ func (c *Cache[V]) Put(k Key, v V) {
 	if err := os.Rename(name, c.path(k)); err != nil {
 		os.Remove(name)
 	}
+}
+
+// StartAsyncDisk switches the disk tier to asynchronous writes: Put
+// enqueues entries on a bounded queue (depth entries, <= 0 means 256)
+// drained by one background writer goroutine, so the analysis path
+// never waits on serialization or I/O. When the queue is full the write
+// is dropped (Stats.DroppedWrites) rather than applying backpressure.
+//
+// Call before the cache is shared between goroutines (typically right
+// after New). No-op when the cache has no disk tier or async mode is
+// already on. Pair with Flush at checkpoints and Close at shutdown.
+func (c *Cache[V]) StartAsyncDisk(depth int) {
+	if c.dir == "" {
+		return
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	c.mu.Lock()
+	if c.async != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.async = make(chan diskJob[V], depth)
+	c.done = make(chan struct{})
+	jobs, done := c.async, c.done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		for j := range jobs {
+			c.writeDisk(j.key, j.val)
+			c.pending.Done()
+		}
+	}()
+}
+
+// Flush blocks until every queued async disk write has reached the
+// filesystem. A no-op for synchronous caches. Safe to call repeatedly
+// and concurrently with Put (writes enqueued after Flush begins may or
+// may not be covered).
+func (c *Cache[V]) Flush() {
+	c.pending.Wait()
+}
+
+// Close drains the async queue and stops the background writer. The
+// cache stays fully usable afterwards — subsequent Puts simply fall
+// back to synchronous disk writes. Safe to call more than once.
+func (c *Cache[V]) Close() {
+	c.mu.Lock()
+	jobs, done := c.async, c.done
+	c.async = nil // producers cut off atomically; later Puts write sync
+	c.mu.Unlock()
+	if jobs == nil {
+		return
+	}
+	c.pending.Wait() // buffered jobs all written and Done'd
+	close(jobs)
+	<-done
 }
 
 // insertLocked adds or refreshes the in-memory entry and evicts from

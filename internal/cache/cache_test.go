@@ -166,3 +166,103 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestAsyncDiskWritesReachDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 8, dir)
+	c.StartAsyncDisk(16)
+
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = KeyOf(fmt.Sprintf("k%d", i))
+		c.Put(keys[i], &payload{Name: fmt.Sprintf("v%d", i)})
+	}
+	c.Flush()
+
+	// A fresh synchronous cache over the same directory must see every
+	// flushed entry.
+	c2 := New(payloadCodec(), 8, dir)
+	for i, k := range keys {
+		got, ok := c2.Get(k)
+		if !ok || got.Name != fmt.Sprintf("v%d", i) {
+			t.Fatalf("entry %d not persisted by the async tier: %+v ok=%v", i, got, ok)
+		}
+	}
+	if st := c.Stats(); st.DroppedWrites != 0 {
+		t.Errorf("unexpected dropped writes: %+v", st)
+	}
+}
+
+func TestAsyncDiskQueueOverflowDrops(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 1024, dir)
+	// Depth 1 with a burst of producers guarantees overflow; dropped
+	// writes must be counted, never blocked on, and the in-memory entry
+	// must survive regardless.
+	c.StartAsyncDisk(1)
+	const n = 64
+	for i := 0; i < n; i++ {
+		c.Put(KeyOf(fmt.Sprintf("burst%d", i)), &payload{Name: "x"})
+	}
+	c.Close()
+	st := c.Stats()
+	if st.Stores != n {
+		t.Fatalf("stores = %d, want %d", st.Stores, n)
+	}
+	if st.DroppedWrites == 0 {
+		t.Error("depth-1 queue under a burst should have dropped writes")
+	}
+	if c.Len() != n {
+		t.Errorf("in-memory entries = %d, want %d (drops must not evict)", c.Len(), n)
+	}
+}
+
+func TestCloseIsIdempotentAndFallsBackToSync(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 8, dir)
+	c.StartAsyncDisk(4)
+	c.Put(KeyOf("pre"), &payload{Name: "pre"})
+	c.Close()
+	c.Close() // second close must be a no-op
+
+	// Post-close Puts write synchronously: visible on disk immediately.
+	c.Put(KeyOf("post"), &payload{Name: "post"})
+	c2 := New(payloadCodec(), 8, dir)
+	for _, name := range []string{"pre", "post"} {
+		if got, ok := c2.Get(KeyOf(name)); !ok || got.Name != name {
+			t.Fatalf("%s entry missing after close: %+v ok=%v", name, got, ok)
+		}
+	}
+}
+
+func TestAsyncConcurrentPutFlush(t *testing.T) {
+	c := New(payloadCodec(), 256, t.TempDir())
+	c.StartAsyncDisk(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				c.Put(KeyOf(fmt.Sprintf("g%d-%d", g, i)), &payload{Name: "v"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Flush()
+	c.Close()
+	if st := c.Stats(); st.Stores != 8*32 {
+		t.Errorf("stores = %d, want %d", st.Stores, 8*32)
+	}
+}
+
+func TestStartAsyncDiskWithoutDirIsNoop(t *testing.T) {
+	c := New(payloadCodec(), 8, "")
+	c.StartAsyncDisk(4)
+	c.Put(KeyOf("a"), &payload{Name: "a"})
+	c.Flush()
+	c.Close()
+	if got, ok := c.Get(KeyOf("a")); !ok || got.Name != "a" {
+		t.Fatalf("memory-only cache broken by async no-ops: %+v ok=%v", got, ok)
+	}
+}

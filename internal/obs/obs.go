@@ -99,11 +99,24 @@ const (
 	CtrCacheMisses   = "cache.misses"
 	CtrCacheStores   = "cache.stores"
 	CtrCacheDiskHits = "cache.disk_hits"
+
+	// Analysis-as-a-service daemon (internal/server): request traffic,
+	// admission-control rejections, and singleflight deduplication.
+	CtrServerRequests   = "server.requests"
+	CtrServerAnalyses   = "server.analyses"
+	CtrServerRejects    = "server.rejects"
+	CtrServerDedupHits  = "server.dedup_hits"
+	CtrServerBatchFiles = "server.batch_files"
 )
 
 // Gauge names.
 const (
 	GaugePeakFrontier = "pps.peak_frontier"
+	// Live load gauges of the uafserve daemon: requests currently being
+	// analyzed and requests waiting in the admission queue, sampled at
+	// /metrics scrape time.
+	GaugeServerInflight   = "server.inflight"
+	GaugeServerQueueDepth = "server.queue_depth"
 )
 
 // Span is one timed phase execution. Start is the offset from the

@@ -211,19 +211,19 @@ type Unsafe struct {
 // transition chain from the initial PPS to that state.
 type Provenance struct {
 	// NodeID is the CCFG node performing the access.
-	NodeID int
+	NodeID int `json:"node_id"`
 	// Node is the node's compact rendering (accesses + bounding sync op).
-	Node string
+	Node string `json:"node"`
 	// SinkPPS is the ID of the PPS at which the access was reported, or
 	// -1 for accesses reported by the final never-visited sweep.
-	SinkPPS int
+	SinkPPS int `json:"sink_pps"`
 	// Stuck marks reports from a deadlocked (stuck) state rather than a
 	// sink.
-	Stuck bool
+	Stuck bool `json:"stuck,omitempty"`
 	// Chain lists the transition remarks from the initial PPS to the
 	// reporting state, oldest first ("initial", "r#3 N#2", ...). Long
 	// chains are truncated at the front with a "…" marker.
-	Chain []string
+	Chain []string `json:"chain,omitempty"`
 }
 
 // maxProvChain bounds the recorded transition chain per warning.

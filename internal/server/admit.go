@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission errors.
+var (
+	// errOverload: the concurrency limit and the wait queue are both
+	// full. Mapped to 429 + Retry-After.
+	errOverload = errors.New("server overloaded: admission queue full")
+	// errDraining: the server is shutting down and admits no new work.
+	// Mapped to 503.
+	errDraining = errors.New("server draining: not admitting new requests")
+	// errCancelled: the client went away while queued.
+	errCancelled = errors.New("request cancelled while queued")
+)
+
+// gate is the bounded admission controller: at most maxInflight
+// requests hold a slot concurrently and at most maxQueue more wait for
+// one. Anything beyond that is rejected immediately — a full queue
+// answers 429 in microseconds instead of accumulating latency, which
+// is what keeps an overloaded analyzer responsive.
+type gate struct {
+	sem      chan struct{}
+	draining chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	inflight int
+	maxQueue int
+}
+
+func newGate(maxInflight, maxQueue int) *gate {
+	return &gate{
+		sem:      make(chan struct{}, maxInflight),
+		draining: make(chan struct{}),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire claims a slot, waiting in the bounded queue if necessary.
+// It returns errOverload when the queue is full, errDraining once
+// drain() has been called, and errCancelled when ctx dies first.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case <-g.draining:
+		return errDraining
+	default:
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.sem <- struct{}{}:
+		g.mu.Lock()
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return errOverload
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		g.mu.Lock()
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	case <-g.draining:
+		return errDraining
+	case <-ctx.Done():
+		return errCancelled
+	}
+}
+
+// release returns a slot.
+func (g *gate) release() {
+	g.mu.Lock()
+	g.inflight--
+	g.mu.Unlock()
+	<-g.sem
+}
+
+// drain stops admissions: queued waiters are kicked out with
+// errDraining and future acquires fail fast. Idempotent.
+func (g *gate) drain() {
+	g.mu.Lock()
+	select {
+	case <-g.draining:
+	default:
+		close(g.draining)
+	}
+	g.mu.Unlock()
+}
+
+// load reports the current (inflight, queued) occupancy.
+func (g *gate) load() (inflight, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight, g.queued
+}
+
+// ---------------------------------------------------------- singleflight
+
+// flightResult is the shared outcome of one deduplicated analysis: the
+// HTTP status code plus the fully encoded canonical response body, so
+// followers reuse the leader's bytes verbatim (byte-identity between
+// leader and follower responses is free, not re-derived).
+type flightResult struct {
+	code     int
+	body     []byte
+	cacheHit bool
+}
+
+// flight is one in-progress deduplicated computation.
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup deduplicates identical in-flight requests by content
+// address. Unlike a cache it holds entries only while the computation
+// runs: completed results are served by the report cache instead.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// claim registers interest in key. The first caller becomes the leader
+// (leader == true) and must eventually call finish; everyone else gets
+// the same *flight to wait on.
+func (fg *flightGroup) claim(key string) (f *flight, leader bool) {
+	fg.mu.Lock()
+	defer fg.mu.Unlock()
+	if f, ok := fg.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	fg.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's result and releases every follower.
+func (fg *flightGroup) finish(key string, f *flight, res flightResult) {
+	fg.mu.Lock()
+	delete(fg.m, key)
+	fg.mu.Unlock()
+	f.res = res
+	close(f.done)
+}

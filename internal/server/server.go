@@ -1,0 +1,556 @@
+// Package server is the analysis-as-a-service daemon behind
+// cmd/uafserve: an HTTP/JSON front end that maps network requests onto
+// the existing library stack — the resource governor (per-request
+// deadlines degrade, never truncate), the fault-isolated batch driver,
+// the content-addressed report cache, and the obs telemetry layer.
+//
+// Operational model:
+//
+//   - Admission control: at most MaxInflight requests analyze
+//     concurrently and at most QueueDepth more wait; beyond that the
+//     server answers 429 with a Retry-After estimate immediately, so
+//     overload degrades to fast rejections instead of queue collapse.
+//   - Deduplication: identical in-flight request bodies share one
+//     analysis (singleflight keyed by content address); followers reuse
+//     the leader's encoded bytes verbatim. Completed results are served
+//     by the shared report cache.
+//   - Degradation: a request's deadline/budget rides the library's
+//     degradation ladder — responses carry report.degraded and
+//     stats.stop_reason exactly like the library API, with HTTP 200.
+//   - Graceful shutdown: Shutdown stops admitting (queued waiters get
+//     503, /healthz flips), waits for in-flight analyses to finish, and
+//     flushes the disk cache tier.
+//
+// Endpoints: POST /v1/analyze, POST /v1/analyze-batch (NDJSON stream),
+// GET /healthz, GET /livez, GET /metrics (Prometheus text format).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/cache"
+	"uafcheck/internal/obs"
+	"uafcheck/internal/wire"
+)
+
+// Config sizes and wires a Server.
+type Config struct {
+	// MaxInflight bounds concurrently running analyses (0 = GOMAXPROCS).
+	MaxInflight int
+	// QueueDepth bounds requests waiting for an analysis slot
+	// (0 = 64; negative = no queue, reject when slots are full).
+	QueueDepth int
+	// DefaultDeadline applies to requests that set no deadline_ms
+	// (0 = 30s). On expiry the analysis degrades conservatively.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps any per-request deadline (0 = 2m).
+	MaxDeadline time.Duration
+	// Parallelism is the per-analysis PPS worker count (0 = 1: request
+	// slots are the scaling unit, like file workers in a batch).
+	Parallelism int
+	// BatchWorkers is the per-request worker-pool size of
+	// /v1/analyze-batch (0 = GOMAXPROCS).
+	BatchWorkers int
+	// MaxBodyBytes bounds a request body (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Cache, when non-nil, memoizes complete reports across requests —
+	// the process-wide tier under the singleflight layer. The server
+	// owns its lifecycle: Shutdown flushes and closes it.
+	Cache *uafcheck.Cache
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// RequestOptions are the per-request analysis knobs, a strict subset of
+// the library Options. Absent fields keep library defaults. All fields
+// participate in the dedup/cache content address.
+type RequestOptions struct {
+	// Prune toggles CCFG pruning rules A-D (default true).
+	Prune *bool `json:"prune,omitempty"`
+	// MaxStates bounds the PPS exploration (0 = library default); the
+	// budget rung of the degradation ladder.
+	MaxStates int `json:"max_states,omitempty"`
+	// DeadlineMS bounds the analysis wall clock; the deadline rung.
+	// 0 means the server's DefaultDeadline; values above MaxDeadline
+	// are clamped.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace records PPS tables on report.pps_traces.
+	Trace bool `json:"trace,omitempty"`
+	// ModelAtomics / CountAtomics enable the atomics extensions.
+	ModelAtomics bool `json:"model_atomics,omitempty"`
+	CountAtomics bool `json:"count_atomics,omitempty"`
+	// Retries grants timed-out files extra shrinking-budget attempts
+	// (batch requests only).
+	Retries int `json:"retries,omitempty"`
+	// Metrics includes the telemetry snapshot in-band. Responses with
+	// metrics are not byte-stable across cache hits (the snapshot
+	// legitimately differs), so it is off by default.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Name labels the source in warnings ("input.chpl" when empty).
+	Name string `json:"name"`
+	// Src is the MiniChapel source text.
+	Src     string         `json:"src"`
+	Options RequestOptions `json:"options"`
+}
+
+// BatchFile is one input of a batch request.
+type BatchFile struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+}
+
+// BatchRequest is the body of POST /v1/analyze-batch.
+type BatchRequest struct {
+	Files   []BatchFile    `json:"files"`
+	Options RequestOptions `json:"options"`
+}
+
+// errorBody is the JSON error envelope of non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the daemon's request-independent state. Create with New,
+// expose via Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	gate    *gate
+	flights *flightGroup
+	rec     *obs.Recorder
+	start   time.Time
+
+	// active counts requests anywhere inside a handler (admitted or
+	// not); Shutdown polls it to zero after closing the gate.
+	active atomic.Int64
+	// ewmaMS tracks a moving average of analysis latency, feeding the
+	// Retry-After estimate on 429s.
+	ewmaMS atomic.Int64
+
+	mu  sync.Mutex
+	agg obs.Metrics // aggregate of per-request report telemetry
+}
+
+// New builds a Server from cfg (zero values take documented defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		gate:    newGate(cfg.MaxInflight, cfg.QueueDepth),
+		flights: newFlightGroup(),
+		rec:     obs.New(),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze-batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown gracefully stops the server: the admission gate closes
+// (queued waiters are released with 503, /healthz flips to draining),
+// in-flight analyses run to completion, and the report cache's disk
+// tier is flushed and closed. Returns ctx.Err if the drain did not
+// finish in time; the cache is flushed regardless.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gate.drain()
+	var err error
+poll:
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break poll
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Flush()
+		s.cfg.Cache.Close()
+	}
+	return err
+}
+
+// MetricsSnapshot returns the server counters merged with the
+// aggregated per-request analysis telemetry — what /metrics renders.
+func (s *Server) MetricsSnapshot() obs.Metrics {
+	var m obs.Metrics
+	s.mu.Lock()
+	m.Merge(s.agg)
+	s.mu.Unlock()
+	m.Merge(s.rec.Snapshot())
+	inflight, queued := s.gate.load()
+	if m.Gauges == nil {
+		m.Gauges = make(map[string]int64)
+	}
+	m.Gauges[obs.GaugeServerInflight] = int64(inflight)
+	m.Gauges[obs.GaugeServerQueueDepth] = int64(queued)
+	return m
+}
+
+// ------------------------------------------------------------ analyze
+
+// requestKey derives the singleflight content address: everything that
+// determines the response bytes participates — tool version, name,
+// source, and the effective (post-default) option set.
+func (s *Server) requestKey(kind, name, src string, o RequestOptions) string {
+	return cache.KeyOf("uafserve/"+kind, uafcheck.Version, name, src,
+		fmt.Sprintf("prune=%t max_states=%d deadline=%s trace=%t ma=%t ca=%t retries=%d metrics=%t",
+			o.Prune == nil || *o.Prune, o.MaxStates, s.effectiveDeadline(o),
+			o.Trace, o.ModelAtomics, o.CountAtomics, o.Retries, o.Metrics),
+	).String()
+}
+
+// effectiveDeadline resolves a request's deadline against the server's
+// default and cap.
+func (s *Server) effectiveDeadline(o RequestOptions) time.Duration {
+	d := time.Duration(o.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// libraryOptions maps request options onto the functional option set of
+// the context-first API.
+func (s *Server) libraryOptions(o RequestOptions) []uafcheck.Option {
+	opts := []uafcheck.Option{
+		uafcheck.WithPrune(o.Prune == nil || *o.Prune),
+		uafcheck.WithMaxStates(o.MaxStates),
+		uafcheck.WithTrace(o.Trace),
+		uafcheck.WithAtomicsModel(o.ModelAtomics),
+		uafcheck.WithAtomicsCounting(o.CountAtomics),
+		uafcheck.WithParallelism(s.cfg.Parallelism),
+	}
+	if s.cfg.Cache != nil {
+		opts = append(opts, uafcheck.WithCache(s.cfg.Cache))
+	}
+	return opts
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.rec.Add(obs.CtrServerRequests, 1)
+
+	var req AnalyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Src == "" {
+		s.writeError(w, http.StatusBadRequest, "missing src")
+		return
+	}
+	if req.Name == "" {
+		req.Name = "input.chpl"
+	}
+
+	// Singleflight claim happens before admission: followers piggyback
+	// on the leader's slot instead of consuming queue capacity, so a
+	// burst of identical requests costs one analysis and one slot.
+	key := s.requestKey("analyze", req.Name, req.Src, req.Options)
+	f, leader := s.flights.claim(key)
+	if !leader {
+		s.rec.Add(obs.CtrServerDedupHits, 1)
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			return // client went away while waiting; nothing to write
+		}
+		s.writeResult(w, f.res, "follower")
+		return
+	}
+
+	res := s.analyzeLeader(r, req)
+	s.flights.finish(key, f, res)
+	s.writeResult(w, res, "leader")
+}
+
+// analyzeLeader runs the deduplicated computation: admission, analysis,
+// canonical encoding. Its flightResult is shared with every follower.
+func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult {
+	if err := s.gate.acquire(r.Context()); err != nil {
+		return s.rejection(err)
+	}
+	defer s.gate.release()
+
+	t0 := time.Now()
+	// The analysis deliberately runs on a background context: its
+	// wall-clock bound is the request deadline (degrading, not
+	// aborting), and a leader's early disconnect must not starve the
+	// followers sharing this flight.
+	rep, err := uafcheck.AnalyzeContext(context.Background(), req.Name, req.Src,
+		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
+	s.observeAnalysis(t0, rep)
+
+	code := http.StatusOK
+	if err != nil {
+		// Frontend rejection: the input never analyzed. Anything else
+		// (deadline, budget, panic) came back as a degraded report.
+		code = http.StatusUnprocessableEntity
+	}
+	body, encErr := wire.NewResult(req.Name, rep, err, req.Options.Metrics).Encode()
+	if encErr != nil {
+		return flightResult{code: http.StatusInternalServerError,
+			body: mustJSON(errorBody{Error: encErr.Error()})}
+	}
+	cacheHit := rep != nil && rep.Metrics.Counter(obs.CtrCacheHits) > 0
+	return flightResult{code: code, body: body, cacheHit: cacheHit}
+}
+
+// observeAnalysis folds one finished analysis into the latency EWMA and
+// the aggregate telemetry.
+func (s *Server) observeAnalysis(t0 time.Time, rep *uafcheck.Report) {
+	s.rec.Add(obs.CtrServerAnalyses, 1)
+	ms := time.Since(t0).Milliseconds()
+	old := s.ewmaMS.Load()
+	s.ewmaMS.Store((old*3 + ms) / 4)
+	if rep != nil {
+		s.mu.Lock()
+		s.agg.Merge(rep.Metrics)
+		s.mu.Unlock()
+	}
+}
+
+// -------------------------------------------------------------- batch
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.rec.Add(obs.CtrServerRequests, 1)
+
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Files) == 0 {
+		s.writeError(w, http.StatusBadRequest, "missing files")
+		return
+	}
+	if err := s.gate.acquire(r.Context()); err != nil {
+		res := s.rejection(err)
+		s.writeResult(w, res, "")
+		return
+	}
+	defer s.gate.release()
+	s.rec.Add(obs.CtrServerBatchFiles, int64(len(req.Files)))
+
+	files := make([]uafcheck.FileInput, len(req.Files))
+	for i, f := range req.Files {
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("input-%d.chpl", i)
+		}
+		files[i] = uafcheck.FileInput{Name: name, Src: f.Src}
+	}
+
+	// NDJSON stream: one canonical result line per file, written from
+	// the worker that finished it. The mutex serializes lines; the
+	// flusher pushes each one out so clients see progress, not a burst.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	emit := func(i int, fr uafcheck.FileReport) {
+		line, err := wire.NewResult(fr.Name, fr.Report, fr.Err, req.Options.Metrics).Encode()
+		if err != nil {
+			line = mustJSON(errorBody{Error: err.Error()})
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		w.Write(append(line, '\n')) //nolint:errcheck — a dead client just discards the stream
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	t0 := time.Now()
+	opts := append(s.libraryOptions(req.Options),
+		uafcheck.WithWorkers(s.cfg.BatchWorkers),
+		uafcheck.WithFileTimeout(s.effectiveDeadline(req.Options)),
+		uafcheck.WithRetries(req.Options.Retries),
+		uafcheck.WithOnFile(emit),
+	)
+	// The request context drives the batch: a disconnected client
+	// cancels remaining files (they degrade and stream to nowhere).
+	batchRep := uafcheck.AnalyzeFilesContext(r.Context(), files, opts...)
+	s.rec.Add(obs.CtrServerAnalyses, int64(len(req.Files)))
+	ms := time.Since(t0).Milliseconds() / int64(len(req.Files))
+	old := s.ewmaMS.Load()
+	s.ewmaMS.Store((old*3 + ms) / 4)
+	s.mu.Lock()
+	s.agg.Merge(batchRep.Metrics)
+	s.mu.Unlock()
+}
+
+// -------------------------------------------------------------- admin
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inflight, queued := s.gate.load()
+	body := map[string]any{
+		"status":   "ok",
+		"inflight": inflight,
+		"queued":   queued,
+		"version":  uafcheck.Version,
+	}
+	code := http.StatusOK
+	select {
+	case <-s.gate.draining:
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	default:
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(mustJSON(body), '\n')) //nolint:errcheck
+}
+
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"alive\"}\n")) //nolint:errcheck
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.PromSink{W: w}.Emit(s.MetricsSnapshot()) //nolint:errcheck
+}
+
+// ------------------------------------------------------------ plumbing
+
+// decodeBody parses the JSON request body into dst, answering 400/413
+// itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// rejection maps an admission error onto the shared flight result, so
+// followers of a rejected leader reuse the same 429/503.
+func (s *Server) rejection(err error) flightResult {
+	switch {
+	case errors.Is(err, errOverload):
+		s.rec.Add(obs.CtrServerRejects, 1)
+		return flightResult{code: http.StatusTooManyRequests,
+			body: mustJSON(errorBody{Error: err.Error()})}
+	default: // draining, or the client died while queued
+		return flightResult{code: http.StatusServiceUnavailable,
+			body: mustJSON(errorBody{Error: err.Error()})}
+	}
+}
+
+// writeResult renders a flight result. role tags the dedup position
+// ("leader"/"follower") for observability; empty omits the header.
+func (s *Server) writeResult(w http.ResponseWriter, res flightResult, role string) {
+	w.Header().Set("Content-Type", "application/json")
+	if role != "" {
+		w.Header().Set("X-Uafserve-Dedup", role)
+	}
+	if res.cacheHit {
+		w.Header().Set("X-Uafserve-Cache", "hit")
+	}
+	if res.code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	w.WriteHeader(res.code)
+	// res.body is shared verbatim between the leader and its followers;
+	// the newline is written separately so no writer ever appends to
+	// (and thereby mutates) the shared backing array.
+	w.Write(res.body) //nolint:errcheck
+	if n := len(res.body); n == 0 || res.body[n-1] != '\n' {
+		w.Write([]byte{'\n'}) //nolint:errcheck
+	}
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// the queue's expected drain time under the recent average analysis
+// latency, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	_, queued := s.gate.load()
+	ms := s.ewmaMS.Load()
+	if ms <= 0 {
+		ms = 100
+	}
+	secs := int((ms*int64(queued+1)/int64(s.cfg.MaxInflight) + 999) / 1000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(mustJSON(errorBody{Error: msg}), '\n')) //nolint:errcheck
+}
+
+// mustJSON marshals values that cannot fail (plain structs and maps of
+// marshalable types).
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+// SARIF 2.1.0 projection of analysis warnings, for code-scanning UIs
+// (GitHub code scanning, VS Code SARIF viewers). One rule per warning
+// kind; one result per warning, located at the file:line:col of the
+// outer-variable access.
+package wire
+
+import (
+	"encoding/json"
+	"sort"
+
+	"uafcheck"
+)
+
+// SARIFSchema and SARIFVersion pin the emitted format.
+const (
+	SARIFSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	SARIFVersion = "2.1.0"
+)
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool identifies the analyzer.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver carries the tool name, version and rule catalogue.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule describes one warning kind.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFResult is one reported warning.
+type SARIFResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    SARIFMessage    `json:"message"`
+	Locations  []SARIFLocation `json:"locations"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+// SARIFMessage wraps a plain-text message.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFLocation is a physical file location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation pairs an artifact with a region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation names the analyzed file.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is the 1-based source region of the access.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ruleDescriptions maps the warning kinds (Warning.Reason) to their
+// rule prose. Unknown kinds still get a rule entry with the kind as
+// its description, so the document always validates.
+var ruleDescriptions = map[string]string{
+	"after-frontier": "Outer-variable access can execute after the " +
+		"variable's parallel frontier: the enclosing scope may have " +
+		"already freed it (use-after-free).",
+	"never-synchronized": "No explored execution orders the access " +
+		"before the parent scope's exit: the task is never synchronized " +
+		"with the variable's lifetime.",
+}
+
+// SARIF projects per-file results into one SARIF 2.1.0 log with a
+// single run. Results are ordered (file, line, column, variable) and
+// the rule catalogue lists each referenced kind exactly once, so the
+// document is byte-deterministic for a given input set. Conservative
+// (degradation-ladder) warnings downgrade to level "note" and carry a
+// "conservative": true property — they flag unproven safety, not a
+// proven bug.
+func SARIF(results []Result) *SARIFLog {
+	kinds := map[string]bool{}
+	var out []SARIFResult
+	for _, fr := range results {
+		if fr.Report == nil {
+			continue
+		}
+		for _, w := range fr.Report.Warnings {
+			kinds[w.Reason] = true
+			level := "warning"
+			var props map[string]any
+			if w.Conservative {
+				level = "note"
+				props = map[string]any{"conservative": true}
+			}
+			out = append(out, SARIFResult{
+				RuleID:  w.Reason,
+				Level:   level,
+				Message: SARIFMessage{Text: w.String()},
+				Locations: []SARIFLocation{{
+					PhysicalLocation: SARIFPhysicalLocation{
+						ArtifactLocation: SARIFArtifactLocation{URI: fr.Name},
+						Region: SARIFRegion{
+							StartLine:   w.AccessLine,
+							StartColumn: w.AccessCol,
+						},
+					},
+				}},
+				Properties: props,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		al, bl := a.Locations[0].PhysicalLocation, b.Locations[0].PhysicalLocation
+		if al.ArtifactLocation.URI != bl.ArtifactLocation.URI {
+			return al.ArtifactLocation.URI < bl.ArtifactLocation.URI
+		}
+		if al.Region.StartLine != bl.Region.StartLine {
+			return al.Region.StartLine < bl.Region.StartLine
+		}
+		return al.Region.StartColumn < bl.Region.StartColumn
+	})
+
+	var rules []SARIFRule
+	for kind := range kinds {
+		desc := ruleDescriptions[kind]
+		if desc == "" {
+			desc = kind
+		}
+		rules = append(rules, SARIFRule{ID: kind, ShortDescription: SARIFMessage{Text: desc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if rules == nil {
+		rules = []SARIFRule{}
+	}
+	if out == nil {
+		out = []SARIFResult{}
+	}
+
+	return &SARIFLog{
+		Schema:  SARIFSchema,
+		Version: SARIFVersion,
+		Runs: []SARIFRun{{
+			Tool: SARIFTool{Driver: SARIFDriver{
+				Name:    "uafcheck",
+				Version: uafcheck.Version,
+				Rules:   rules,
+			}},
+			Results: out,
+		}},
+	}
+}
+
+// EncodeIndent renders the log as indented JSON (what -format=sarif
+// prints), with a trailing newline.
+func (l *SARIFLog) EncodeIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

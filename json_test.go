@@ -1,0 +1,135 @@
+package uafcheck_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"uafcheck"
+)
+
+// TestWarningJSONGolden pins the wire format of the Warning DTO. This
+// is a compatibility contract: uafserve clients and cached disk entries
+// both parse these bytes, so a field rename or reorder here is a
+// breaking API change and must fail loudly.
+func TestWarningJSONGolden(t *testing.T) {
+	w := uafcheck.Warning{
+		Var: "x", Task: "TASK A", Proc: "main", Write: true,
+		Reason: "never-synchronized", Pos: "a.chpl:3:5",
+		AccessLine: 3, AccessCol: 5, DeclLine: 2,
+	}
+	const want = `{"var":"x","task":"TASK A","proc":"main","write":true,` +
+		`"reason":"never-synchronized","pos":"a.chpl:3:5",` +
+		`"access_line":3,"access_col":5,"decl_line":2}`
+	got, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("warning wire format drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// The optional fields appear only when set.
+	w.Conservative = true
+	w.Prov = &uafcheck.WarningProvenance{NodeID: 1, Node: "n1[x]", SinkPPS: -1}
+	got, err = json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantFull = `{"var":"x","task":"TASK A","proc":"main","write":true,` +
+		`"reason":"never-synchronized","pos":"a.chpl:3:5",` +
+		`"access_line":3,"access_col":5,"decl_line":2,"conservative":true,` +
+		`"prov":{"node_id":1,"node":"n1[x]","sink_pps":-1}}`
+	if string(got) != wantFull {
+		t.Errorf("warning wire format (full) drifted:\n got %s\nwant %s", got, wantFull)
+	}
+}
+
+// TestReportJSONGoldenMinimal pins the empty-report encoding: every
+// optional field omitted, the metrics object always present.
+func TestReportJSONGoldenMinimal(t *testing.T) {
+	got, err := json.Marshal(&uafcheck.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"metrics":{}}`; string(got) != want {
+		t.Errorf("minimal report = %s, want %s", got, want)
+	}
+}
+
+// TestReportJSONRoundTrip checks Marshal -> Unmarshal -> Marshal is
+// byte-identical for real reports, including a degraded one carrying
+// conservative warnings, stop reasons and incomplete proc stats.
+func TestReportJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts []uafcheck.Option
+	}{
+		{"warning", "proc main() {\n  var x: int = 0;\n  begin with (ref x) { x = 1; }\n}\n", nil},
+		{"clean", "proc main() {\n  var d$: sync bool;\n  var x: int = 0;\n  begin with (ref x) { x = 1; d$ = true; }\n  d$;\n}\n", nil},
+		{"degraded", syntheticFanout(8, 2),
+			[]uafcheck.Option{uafcheck.WithMaxStates(10)}},
+		{"traced", "proc main() {\n  var x: int = 0;\n  begin with (ref x) { x = 1; }\n}\n",
+			[]uafcheck.Option{uafcheck.WithTrace(true)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := uafcheck.AnalyzeContext(context.Background(), tc.name+".chpl", tc.src, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.name == "degraded" {
+				if rep.Degraded == nil {
+					t.Fatal("expected a degraded report")
+				}
+				conservative := false
+				for _, w := range rep.Warnings {
+					conservative = conservative || w.Conservative
+				}
+				if !conservative {
+					t.Error("degraded report has no conservative warnings")
+				}
+			}
+
+			a, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded uafcheck.Report
+			if err := json.Unmarshal(a, &decoded); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			b, err := json.Marshal(&decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("round trip not byte-identical:\n first %s\nsecond %s", a, b)
+			}
+		})
+	}
+}
+
+// TestSortWarningsOrder pins the canonical presentation order shared by
+// the CLI and the wire encoding.
+func TestSortWarningsOrder(t *testing.T) {
+	ws := []uafcheck.Warning{
+		{Var: "b", Pos: "b.chpl:1:1", AccessLine: 1, AccessCol: 1},
+		{Var: "a", Pos: "a.chpl:2:9", AccessLine: 2, AccessCol: 9},
+		{Var: "z", Pos: "a.chpl:2:3", AccessLine: 2, AccessCol: 3},
+		{Var: "a", Pos: "a.chpl:2:3", AccessLine: 2, AccessCol: 3},
+	}
+	uafcheck.SortWarnings(ws)
+	got := make([]string, len(ws))
+	for i, w := range ws {
+		got[i] = w.Pos + "/" + w.Var
+	}
+	want := []string{"a.chpl:2:3/a", "a.chpl:2:3/z", "a.chpl:2:9/a", "b.chpl:1:1/b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}

@@ -96,6 +96,14 @@ func WithRetries(n int) Option {
 	return func(c *apiConfig) { c.bopts.Retries = n }
 }
 
+// WithOnFile streams per-file results: fn receives each FileReport as
+// soon as it completes (cache hits first, then worker-pool completions
+// in finish order). fn runs on worker goroutines and may be called
+// concurrently; it must synchronize internally. Batch runs only.
+func WithOnFile(fn func(i int, fr FileReport)) Option {
+	return func(c *apiConfig) { c.bopts.OnFile = fn }
+}
+
 // AnalyzeContext runs the static analysis under ctx — the context-first
 // form of Analyze/AnalyzeWithOptions:
 //

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
@@ -51,7 +52,7 @@ import (
 // Version identifies the analyzer release. It participates in cache
 // content addresses, so reports cached by one version are never served
 // by another.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // ------------------------------------------------------------- telemetry
 
@@ -147,36 +148,41 @@ func (o Options) internal() analysis.Options {
 }
 
 // Warning is one potentially dangerous outer-variable access.
+//
+// The struct marshals to a stable, round-trippable JSON object (the
+// wire DTO shared by cmd/uafcheck -format=json and the uafserve
+// daemon): field order is fixed, zero Prov is omitted, and re-encoding
+// a decoded warning reproduces the input bytes.
 type Warning struct {
 	// Var is the outer variable's name.
-	Var string
+	Var string `json:"var"`
 	// Task labels the begin task performing the access ("TASK A", ...).
-	Task string
+	Task string `json:"task"`
 	// Proc is the analyzed root procedure.
-	Proc string
+	Proc string `json:"proc"`
 	// Write distinguishes writes from reads.
-	Write bool
+	Write bool `json:"write"`
 	// Reason is "after-frontier" (the access can happen after the
 	// variable's parallel frontier) or "never-synchronized" (no explored
 	// execution orders the access before the parent's exit).
-	Reason string
+	Reason string `json:"reason"`
 	// Pos is the access position as file:line:col.
-	Pos string
+	Pos string `json:"pos"`
 	// AccessLine and DeclLine are 1-based source lines; AccessCol is the
 	// 1-based source column of the access.
-	AccessLine int
-	AccessCol  int
-	DeclLine   int
+	AccessLine int `json:"access_line"`
+	AccessCol  int `json:"access_col"`
+	DeclLine   int `json:"decl_line"`
 	// Conservative marks a degradation-ladder warning: the exploration
 	// stopped early (see Report.Degraded) and the access is flagged
 	// because it was not proven safe, not because a dangerous
 	// serialization was found. Conservative warnings are always a
 	// superset of the warnings a completed run would report.
-	Conservative bool
+	Conservative bool `json:"conservative,omitempty"`
 	// Prov is the explain-mode provenance: the CCFG node performing the
 	// access, the sink PPS whose OV set still held it, and the
 	// transition chain that reached that state.
-	Prov *WarningProvenance
+	Prov *WarningProvenance `json:"prov,omitempty"`
 }
 
 // WarningProvenance explains why a warning was emitted (see
@@ -198,23 +204,55 @@ func (w Warning) String() string {
 		w.Pos, verb, w.Var, w.DeclLine, w.Task, w.Proc, w.Reason, suffix)
 }
 
+// SortWarnings orders warnings by (file, line, column, variable) — the
+// canonical presentation order used by cmd/uafcheck output and by the
+// uafserve wire encoding, so every surface renders the same warning
+// list in the same sequence.
+func SortWarnings(ws []Warning) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {
+			return af < bf
+		}
+		if a.AccessLine != b.AccessLine {
+			return a.AccessLine < b.AccessLine
+		}
+		if a.AccessCol != b.AccessCol {
+			return a.AccessCol < b.AccessCol
+		}
+		return a.Var < b.Var
+	})
+}
+
+// posFile extracts the file component of a "file:line:col" position.
+// File names may themselves contain colons, so it cuts from the right.
+func posFile(pos string) string {
+	s := pos
+	for i := 0; i < 2; i++ {
+		if j := strings.LastIndexByte(s, ':'); j >= 0 {
+			s = s[:j]
+		}
+	}
+	return s
+}
+
 // ProcStats summarizes the analysis of one root procedure.
 type ProcStats struct {
-	Proc              string
-	Nodes             int
-	Tasks             int
-	PrunedTasks       int
-	TrackedAccesses   int
-	ProtectedAccesses int
-	StatesCreated     int
-	StatesProcessed   int
-	StatesMerged      int
-	Sinks             int
-	Deadlocks         int
-	Incomplete        bool
+	Proc              string `json:"proc"`
+	Nodes             int    `json:"nodes"`
+	Tasks             int    `json:"tasks"`
+	PrunedTasks       int    `json:"pruned_tasks"`
+	TrackedAccesses   int    `json:"tracked_accesses"`
+	ProtectedAccesses int    `json:"protected_accesses"`
+	StatesCreated     int    `json:"states_created"`
+	StatesProcessed   int    `json:"states_processed"`
+	StatesMerged      int    `json:"states_merged"`
+	Sinks             int    `json:"sinks"`
+	Deadlocks         int    `json:"deadlocks"`
+	Incomplete        bool   `json:"incomplete,omitempty"`
 	// StopReason says why the exploration stopped early ("budget",
 	// "deadline", "cancelled"); empty when Incomplete is false.
-	StopReason string
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // DegradeReason identifies the rung of the degradation ladder that
@@ -239,14 +277,14 @@ const (
 // diagnostic that replaces a process crash.
 type Crash struct {
 	// Proc is the procedure being analyzed ("" when the frontend died).
-	Proc string
+	Proc string `json:"proc,omitempty"`
 	// Phase is the pipeline phase that panicked (parse, resolve, lower,
 	// ccfg-build, pps-explore, report).
-	Phase string
+	Phase string `json:"phase"`
 	// Err renders the panic value.
-	Err string
+	Err string `json:"err"`
 	// Stack is the recovered goroutine stack.
-	Stack string
+	Stack string `json:"stack,omitempty"`
 }
 
 // Degradation explains an incomplete-but-sound result. Its presence
@@ -256,35 +294,41 @@ type Crash struct {
 type Degradation struct {
 	// Reason is the most severe rung that fired:
 	// panic > cancelled > deadline > budget.
-	Reason DegradeReason
+	Reason DegradeReason `json:"reason"`
 	// Procs lists the procedures whose exploration degraded.
-	Procs []string
+	Procs []string `json:"procs,omitempty"`
 	// Crashes carries the recovered panics when Reason is DegradePanic.
-	Crashes []Crash
+	Crashes []Crash `json:"crashes,omitempty"`
 }
 
 // Report is the outcome of analyzing one file.
+//
+// Report marshals to stable JSON: map-backed fields (PPSTraces, the
+// Metrics maps) encode with sorted keys, empty optional fields are
+// omitted, and Marshal(Unmarshal(Marshal(r))) is byte-identical to
+// Marshal(r). The disk cache tier and the uafserve wire format both
+// rely on this.
 type Report struct {
 	// Warnings are the potentially dangerous accesses, in source order
 	// per analyzed procedure.
-	Warnings []Warning
+	Warnings []Warning `json:"warnings,omitempty"`
 	// Notes carry analysis-limit information (subsumed loops, recursion
 	// cutoffs, potential deadlocks, style notes).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 	// Stats has one entry per analyzed root procedure.
-	Stats []ProcStats
+	Stats []ProcStats `json:"stats,omitempty"`
 	// PPSTraces maps procedure names to their formatted PPS tables when
 	// Options.Trace is set.
-	PPSTraces map[string]string
+	PPSTraces map[string]string `json:"pps_traces,omitempty"`
 	// Metrics is the run's telemetry snapshot: phase timings, pipeline
 	// counters and gauges (see the obs sink flags of cmd/uafcheck).
-	Metrics Metrics
+	Metrics Metrics `json:"metrics"`
 	// Degraded is non-nil when the analysis stopped before exhausting
 	// the state space (budget, deadline, cancellation or a recovered
 	// panic). The result is still sound — conservative warnings
 	// over-approximate a full run — but callers that need completeness
 	// must check this field (cmd/uafcheck maps it to exit code 2).
-	Degraded *Degradation
+	Degraded *Degradation `json:"degraded,omitempty"`
 }
 
 // ErrFrontend is returned when the source fails to lex, parse or resolve;
@@ -479,6 +523,13 @@ type BatchOptions struct {
 	// Context cancels the whole batch; files not yet analyzed degrade
 	// immediately to conservative results instead of being dropped.
 	Context context.Context
+	// OnFile, when set, receives each file's finished report as soon as
+	// the worker pool completes it (cache hits fire first, before any
+	// worker runs). i is the file's index in the input slice. Callbacks
+	// run on worker goroutines and may overlap — the callee must be safe
+	// for concurrent use. The uafserve daemon streams NDJSON batch
+	// responses through this hook.
+	OnFile func(i int, fr FileReport)
 }
 
 // BatchSummary is the aggregate accounting of one batch run: files OK /
@@ -572,28 +623,31 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 		bfiles = append(bfiles, batch.File{Name: f.Name, Src: f.Src})
 	}
 
+	frs := make([]FileReport, len(files))
+	// Cached files first: complete-by-construction reports, zero
+	// attempts, streamed before any worker starts.
+	for i, rep := range hits {
+		if rep == nil {
+			continue
+		}
+		frs[i] = FileReport{
+			Name:   files[i].Name,
+			Status: batch.OK.String(),
+			Report: rep,
+			Cached: true,
+		}
+		if bopts.OnFile != nil {
+			bopts.OnFile(i, frs[i])
+		}
+	}
+
 	rec := obs.New() // batch-level counters and span
 	recs := make([]*obs.Recorder, len(files))
-	results, sum := batch.Run(bfiles, batch.Options{
-		Workers:     bopts.Workers,
-		FileTimeout: bopts.FileTimeout,
-		Retries:     bopts.Retries,
-		Analysis:    in,
-		Ctx:         bopts.Context,
-		Obs:         rec,
-		PerFileObs: func(j int, f batch.File) *obs.Recorder {
-			r := obs.New(shared...)
-			if opts.Cache != nil {
-				r.Add(obs.CtrCacheMisses, 1)
-			}
-			recs[missOf[j]] = r
-			return r
-		},
-	})
-
-	frs := make([]FileReport, len(files))
-	for j := range results {
-		r := &results[j]
+	// convert maps one classified batch result onto its public
+	// FileReport. It runs on the worker goroutine that finished the file
+	// (via OnResult), so results stream out as they complete; distinct
+	// files write distinct frs slots and the cache is concurrency-safe.
+	convert := func(j int, r *batch.Result) {
 		i := missOf[j]
 		fr := FileReport{
 			Name:     r.File.Name,
@@ -628,17 +682,31 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 			opts.Cache.put(keys[i], fr.Report)
 		}
 		frs[i] = fr
+		if bopts.OnFile != nil {
+			bopts.OnFile(i, fr)
+		}
 	}
-	// Cached files: complete-by-construction reports, zero attempts.
-	for i, rep := range hits {
+	_, sum := batch.Run(bfiles, batch.Options{
+		Workers:     bopts.Workers,
+		FileTimeout: bopts.FileTimeout,
+		Retries:     bopts.Retries,
+		Analysis:    in,
+		Ctx:         bopts.Context,
+		Obs:         rec,
+		PerFileObs: func(j int, f batch.File) *obs.Recorder {
+			r := obs.New(shared...)
+			if opts.Cache != nil {
+				r.Add(obs.CtrCacheMisses, 1)
+			}
+			recs[missOf[j]] = r
+			return r
+		},
+		OnResult: func(r batch.Result) { convert(r.Index, &r) },
+	})
+	// Fold the cache hits into the driver's summary accounting.
+	for _, rep := range hits {
 		if rep == nil {
 			continue
-		}
-		frs[i] = FileReport{
-			Name:   files[i].Name,
-			Status: batch.OK.String(),
-			Report: rep,
-			Cached: true,
 		}
 		sum.Files++
 		sum.OK++
