@@ -1,0 +1,157 @@
+package uafcheck
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/cache"
+	"uafcheck/internal/obs"
+)
+
+// Analyzer is a long-lived analysis handle: it owns a per-procedure
+// memo store (and, when configured, a report cache) that persist across
+// calls, so re-analyzing a file after an edit only pays for the
+// procedures the edit touched. It is the v2 home for editor/daemon
+// workloads — uafcheck -watch and the uafserve /v1/delta endpoint are
+// both built on it.
+//
+// The handle is safe for concurrent use. Options are fixed at
+// construction; per-call variation belongs in the context (deadline,
+// cancellation). Reports are byte-identical — through the
+// internal/wire canonical encoding — to what a from-scratch
+// AnalyzeContext run with the same options produces; see
+// docs/INCREMENTAL.md for the fingerprinting and invalidation rules.
+type Analyzer struct {
+	opts  Options
+	units *analysis.Units
+
+	files      atomic.Int64
+	unitHits   atomic.Int64
+	unitMisses atomic.Int64
+}
+
+// AnalyzerStats is a snapshot of an Analyzer's incremental traffic.
+type AnalyzerStats struct {
+	// Files counts AnalyzeDelta calls (batch files included).
+	Files int64
+	// UnitHits / UnitMisses count analysis units (top-level procedures
+	// containing begin tasks) served from the memo store vs recomputed.
+	UnitHits   int64
+	UnitMisses int64
+	// Units is the number of memoized units currently held.
+	Units int
+}
+
+// NewAnalyzer creates an analysis handle. It accepts the same
+// functional options as AnalyzeContext (WithPrune, WithMaxStates,
+// WithAtomicsModel, WithCache, ...) plus WithUnitCacheEntries to bound
+// the per-procedure memo store. Batch-only options are honored when the
+// handle drives a batch via WithAnalyzer.
+func NewAnalyzer(options ...Option) *Analyzer {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return &Analyzer{
+		opts:  cfg.opts,
+		units: analysis.NewUnits(Version, cfg.unitCacheEntries),
+	}
+}
+
+// Stats returns the handle's incremental traffic counters.
+func (a *Analyzer) Stats() AnalyzerStats {
+	return AnalyzerStats{
+		Files:      a.files.Load(),
+		UnitHits:   a.unitHits.Load(),
+		UnitMisses: a.unitMisses.Load(),
+		Units:      a.units.Len(),
+	}
+}
+
+// AnalyzeDelta analyzes one file reusing every memoized unit whose
+// fingerprint still matches, and memoizing the units it had to compute.
+// The first call over a file is a warm-up (every unit misses); after a
+// single-procedure edit, subsequent calls recompute only that
+// procedure. The returned report is byte-identical (canonical wire
+// encoding) to AnalyzeContext with this handle's options.
+//
+// Frontend failures return an error matching ErrParse; resource
+// degradation surfaces through Report.Err as usual. Trace mode bypasses
+// the memo store (retained graphs are not serializable) and runs the
+// full pipeline.
+func (a *Analyzer) AnalyzeDelta(ctx context.Context, filename, src string) (rep *Report, err error) {
+	opts := a.opts
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	defer func() {
+		// Same last-resort fault isolation as AnalyzeWithOptions: a crash
+		// outside the per-proc pipeline degrades the report, never the
+		// caller.
+		if r := recover(); r != nil {
+			rep = &Report{Degraded: &Degradation{
+				Reason: DegradePanic,
+				Crashes: []Crash{{
+					Phase: "frontend",
+					Err:   fmt.Sprint(r),
+					Stack: string(debug.Stack()),
+				}},
+			}}
+			err = nil
+		}
+	}()
+	a.files.Add(1)
+	rec := obs.New(opts.MetricsSinks...)
+	in := opts.internal()
+	in.KeepGraphs = opts.Trace
+	in.Obs = rec
+	in.Ctx = ctx
+
+	var key cache.Key
+	if opts.Cache != nil {
+		key = reportKey(filename, src, in)
+		if hit, ok := opts.Cache.get(key); ok {
+			return cacheHit(hit, opts.MetricsSinks), nil
+		}
+		rec.Add(obs.CtrCacheMisses, 1)
+	}
+
+	res, istats := analysis.AnalyzeSourceIncremental(filename, src, in, a.units)
+	a.unitHits.Add(int64(istats.UnitHits))
+	a.unitMisses.Add(int64(istats.UnitMisses))
+	if res.Diags.HasErrors() {
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(res.Diags))
+	}
+	rep = buildReport(res, opts)
+	if opts.Cache != nil && rep.Degraded == nil {
+		rec.Add(obs.CtrCacheStores, 1)
+	}
+	rep.Metrics = rec.Snapshot()
+	if err := rec.Flush(); err != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
+	}
+	if opts.Cache != nil && rep.Degraded == nil {
+		opts.Cache.put(key, rep)
+	}
+	return rep, nil
+}
+
+// analyzeForBatch is the per-attempt analysis hook WithAnalyzer plugs
+// into the batch driver: the incremental engine with this handle's memo
+// store, under the batch's per-attempt options (so retry budget shrinks
+// fingerprint separately and never serve a stale full-budget result).
+func (a *Analyzer) analyzeForBatch(name, src string, in analysis.Options) *analysis.Result {
+	a.files.Add(1)
+	res, istats := analysis.AnalyzeSourceIncremental(name, src, in, a.units)
+	a.unitHits.Add(int64(istats.UnitHits))
+	a.unitMisses.Add(int64(istats.UnitMisses))
+	return res
+}

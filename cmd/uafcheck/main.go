@@ -33,6 +33,11 @@
 //	                unchanged files on unchanged options are served
 //	                from the cache without re-analysis
 //	-cache-size N   in-memory cache entries (0 = default 1024)
+//	-watch          stay resident: poll the files, re-analyze changed
+//	                ones incrementally (only edited procedures are
+//	                recomputed), and print warning diffs (+/-) instead
+//	                of full reports
+//	-interval D     -watch poll interval (default 500ms)
 //
 // Exit codes:
 //
@@ -83,6 +88,8 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = no cache)")
 		cacheSize = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
 		format    = flag.String("format", "text", "output format: text, json (canonical result lines) or sarif")
+		watch     = flag.Bool("watch", false, "poll the files and print incremental warning diffs on change")
+		interval  = flag.Duration("interval", 500*time.Millisecond, "-watch poll interval")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -96,12 +103,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uafcheck: unknown -format %q (want text, json or sarif)\n", *format)
 		os.Exit(3)
 	}
-
-	opts := uafcheck.DefaultOptions()
-	opts.Prune = !*noPrune
-	opts.Trace = *trace
-	opts.ModelAtomics = *atomics
-	opts.CountAtomics = *count
 
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -151,6 +152,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+
+	if *watch {
+		// Resident mode: one Analyzer keeps the per-procedure memo store
+		// across iterations, so each save re-analyzes only the edited
+		// procedures. Runs until killed (or the -deadline expires).
+		an := uafcheck.NewAnalyzer(
+			uafcheck.WithPrune(!*noPrune),
+			uafcheck.WithAtomicsModel(*atomics),
+			uafcheck.WithAtomicsCounting(*count),
+			uafcheck.WithParallelism(*par),
+			uafcheck.WithDeadline(*timeout),
+		)
+		runWatch(ctx, os.Stdout, an, paths, *interval)
+		os.Exit(0)
+	}
+
 	// All file sets — including a single file — go through the batch
 	// driver: per-file deadlines, retry-with-smaller-budget and panic
 	// isolation apply uniformly, and results come back index-aligned so
@@ -275,7 +292,11 @@ func main() {
 			}
 		}
 		if *fix && len(rep.Warnings) > 0 {
-			fr, err := uafcheck.RepairSource(path, src, opts)
+			fr, err := uafcheck.RepairSourceContext(ctx, path, src,
+				uafcheck.WithPrune(!*noPrune),
+				uafcheck.WithTrace(*trace),
+				uafcheck.WithAtomicsModel(*atomics),
+				uafcheck.WithAtomicsCounting(*count))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repair: %v\n", err)
 			} else {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"uafcheck"
+)
+
+// watchState tracks one watched file between polls.
+type watchState struct {
+	src      string   // last content analyzed
+	warnings []string // last successfully reported warning set
+	known    bool     // at least one successful analysis happened
+}
+
+// runWatch is the -watch loop: poll the files every interval, re-run
+// the incremental analyzer on any whose content changed, and print only
+// the warning diff ("+" appeared, "-" disappeared). The Analyzer's
+// per-procedure memo store makes each iteration cost proportional to
+// the edit, not the file. Returns when ctx is cancelled.
+func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths []string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	states := make(map[string]*watchState, len(paths))
+	for _, p := range paths {
+		states[p] = &watchState{}
+	}
+
+	pass := func(first bool) {
+		for _, p := range paths {
+			st := states[p]
+			data, err := os.ReadFile(p)
+			if err != nil {
+				if first {
+					fmt.Fprintf(out, "watch: %s: %v\n", p, err)
+				}
+				continue
+			}
+			src := string(data)
+			if !first && src == st.src {
+				continue
+			}
+			st.src = src
+			rep, err := an.AnalyzeDelta(ctx, p, src)
+			if err != nil {
+				// Frontend failure mid-edit is normal; keep the last good
+				// warning set so the eventual diff is against it.
+				fmt.Fprintf(out, "watch: %s: %v\n", p, err)
+				continue
+			}
+			uafcheck.SortWarnings(rep.Warnings)
+			next := make([]string, len(rep.Warnings))
+			for i, w := range rep.Warnings {
+				next[i] = w.String()
+			}
+			if first || !st.known {
+				fmt.Fprintf(out, "watch: %s: %d warning(s)\n", p, len(next))
+				for _, w := range next {
+					fmt.Fprintf(out, "+ %s\n", w)
+				}
+			} else {
+				added, removed := diffWarnings(st.warnings, next)
+				if len(added)+len(removed) > 0 {
+					fmt.Fprintf(out, "watch: %s: %+d/-%d warning(s)\n", p, len(added), len(removed))
+					for _, w := range removed {
+						fmt.Fprintf(out, "- %s\n", w)
+					}
+					for _, w := range added {
+						fmt.Fprintf(out, "+ %s\n", w)
+					}
+				}
+			}
+			st.warnings = next
+			st.known = true
+		}
+	}
+
+	pass(true)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			pass(false)
+		}
+	}
+}
+
+// diffWarnings computes the multiset difference between two rendered
+// warning lists: which lines appeared and which disappeared. Both
+// outputs come back sorted for stable display.
+func diffWarnings(old, new []string) (added, removed []string) {
+	counts := make(map[string]int, len(old))
+	for _, w := range old {
+		counts[w]++
+	}
+	for _, w := range new {
+		if counts[w] > 0 {
+			counts[w]--
+		} else {
+			added = append(added, w)
+		}
+	}
+	for w, n := range counts {
+		for i := 0; i < n; i++ {
+			removed = append(removed, w)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uafcheck"
+)
+
+// syncBuf is a mutex-guarded output buffer: runWatch writes from its
+// own goroutine while the test polls String.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestDiffWarnings(t *testing.T) {
+	cases := []struct {
+		name         string
+		old, new     []string
+		add, removed []string
+	}{
+		{"empty", nil, nil, nil, nil},
+		{"all-new", nil, []string{"w1", "w2"}, []string{"w1", "w2"}, nil},
+		{"all-gone", []string{"w1", "w2"}, nil, nil, []string{"w1", "w2"}},
+		{"swap", []string{"w1", "w2"}, []string{"w2", "w3"}, []string{"w3"}, []string{"w1"}},
+		{"unchanged", []string{"w1"}, []string{"w1"}, nil, nil},
+		{"duplicate-counts", []string{"w", "w"}, []string{"w"}, nil, []string{"w"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			add, rem := diffWarnings(c.old, c.new)
+			if !reflect.DeepEqual(add, c.add) || !reflect.DeepEqual(rem, c.removed) {
+				t.Errorf("diffWarnings(%v, %v) = +%v -%v, want +%v -%v",
+					c.old, c.new, add, rem, c.add, c.removed)
+			}
+		})
+	}
+}
+
+// TestRunWatchDiffsOnEdit drives one full watch cycle against a real
+// file: initial report, an edit that removes the warning, and the
+// resulting "-" diff line.
+func TestRunWatchDiffsOnEdit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.chpl")
+	buggy := "proc p() {\n  var x: int = 0;\n  begin with (ref x) {\n    x = 1;\n  }\n}\n"
+	fixed := "proc p() {\n  var x: int = 0;\n  sync {\n    begin with (ref x) {\n      x = 1;\n    }\n  }\n}\n"
+	if err := os.WriteFile(path, []byte(buggy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	an := uafcheck.NewAnalyzer()
+	var out syncBuf
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runWatch(ctx, &out, an, []string{path}, time.Millisecond)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	waitFor := func(substr string) {
+		t.Helper()
+		for time.Now().Before(deadline) {
+			if strings.Contains(out.String(), substr) {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("watch output never contained %q:\n%s", substr, out.String())
+	}
+
+	// The initial pass reports the dangerous write.
+	waitFor("+ " + path)
+	if !strings.Contains(out.String(), "1 warning(s)") {
+		t.Fatalf("initial pass should report one warning:\n%s", out.String())
+	}
+	// Fixing the file must produce a removal diff, not a full report.
+	if err := os.WriteFile(path, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("- " + path)
+	cancel()
+	<-done
+
+	if st := an.Stats(); st.Files < 2 {
+		t.Errorf("analyzer should have seen both versions: %+v", st)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+// The incremental-analysis benchmark behind `make bench-incremental`:
+// generate multi-procedure files, then compare the latency of a
+// from-scratch AnalyzeContext run against an Analyzer.AnalyzeDelta run
+// after each single-procedure edit. Every warm report is checked
+// byte-identical (canonical wire encoding) to its cold counterpart; a
+// mismatch fails the benchmark, which is how CI smokes the incremental
+// engine.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/wire"
+)
+
+// incrBenchArtifact is the schema of BENCH_incremental.json.
+type incrBenchArtifact struct {
+	Schema        string  `json:"schema"`
+	Seed          int64   `json:"seed"`
+	Files         int     `json:"files"`
+	ProcsPerFile  int     `json:"procs_per_file"`
+	Edits         int     `json:"edits"`
+	ColdMSPerEdit float64 `json:"cold_ms_per_edit"`
+	WarmMSPerEdit float64 `json:"warm_ms_per_edit"`
+	Speedup       float64 `json:"speedup"`
+	IdentityOK    bool    `json:"identity_ok"`
+	UnitHits      int64   `json:"unit_hits"`
+	UnitMisses    int64   `json:"unit_misses"`
+}
+
+const incrBenchSchema = "uafcheck/bench-incremental/v1"
+
+// benchProc generates one top-level procedure named pN: a sync-variable
+// fanout whose interleaving space makes the PPS exploration the
+// dominant per-procedure cost — the regime the memo store exists for.
+// The seed varies task count and values so an edit genuinely changes
+// the unit.
+func benchProc(i int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := 5 + rng.Intn(2)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "proc p%d() {\n  var x: int = %d;\n", i, rng.Intn(100))
+	for t := 0; t < tasks; t++ {
+		fmt.Fprintf(&sb, "  var d%d$: sync bool;\n", t)
+	}
+	for t := 0; t < tasks; t++ {
+		fmt.Fprintf(&sb, "  begin with (ref x) {\n    x += %d;\n    d%d$ = true;\n  }\n", rng.Intn(50)+1, t)
+	}
+	for t := 0; t < tasks; t++ {
+		fmt.Fprintf(&sb, "  d%d$;\n", t)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// runIncrBench writes the cold-vs-warm artifact to out and returns an
+// error (nonzero exit) if any warm report is not byte-identical to the
+// cold one.
+func runIncrBench(out string, seed int64, files, procs, edits int) error {
+	ctx := context.Background()
+	art := incrBenchArtifact{
+		Schema: incrBenchSchema, Seed: seed,
+		Files: files, ProcsPerFile: procs, Edits: edits,
+		IdentityOK: true,
+	}
+
+	var coldTotal, warmTotal time.Duration
+	totalEdits := 0
+	for f := 0; f < files; f++ {
+		name := fmt.Sprintf("bench%d.chpl", f)
+		cur := make([]string, procs)
+		for i := range cur {
+			cur[i] = benchProc(i, seed+int64(f*procs+i))
+		}
+		join := func() string { return strings.Join(cur, "\n") }
+
+		an := uafcheck.NewAnalyzer()
+		// Warm-up: populate the memo store with the base version (and the
+		// cold path's caches of nothing — AnalyzeContext is stateless).
+		if _, err := an.AnalyzeDelta(ctx, name, join()); err != nil {
+			return fmt.Errorf("incr-bench: warm-up %s: %w", name, err)
+		}
+
+		for e := 0; e < edits; e++ {
+			i := (e*7919 + 3) % procs
+			cur[i] = benchProc(i, seed+int64(100000+f*1000+e))
+			src := join()
+
+			t0 := time.Now()
+			coldRep, coldErr := uafcheck.AnalyzeContext(ctx, name, src)
+			coldTotal += time.Since(t0)
+
+			t0 = time.Now()
+			warmRep, warmErr := an.AnalyzeDelta(ctx, name, src)
+			warmTotal += time.Since(t0)
+			totalEdits++
+
+			coldBytes, err := wire.NewResult(name, coldRep, coldErr, false).Encode()
+			if err != nil {
+				return fmt.Errorf("incr-bench: encode cold: %w", err)
+			}
+			warmBytes, err := wire.NewResult(name, warmRep, warmErr, false).Encode()
+			if err != nil {
+				return fmt.Errorf("incr-bench: encode warm: %w", err)
+			}
+			if string(coldBytes) != string(warmBytes) {
+				art.IdentityOK = false
+				fmt.Fprintf(os.Stderr, "incr-bench: IDENTITY FAILURE %s edit %d\n cold: %s\n warm: %s\n",
+					name, e, coldBytes, warmBytes)
+			}
+		}
+		st := an.Stats()
+		art.UnitHits += st.UnitHits
+		art.UnitMisses += st.UnitMisses
+	}
+
+	art.ColdMSPerEdit = float64(coldTotal.Microseconds()) / 1000 / float64(totalEdits)
+	art.WarmMSPerEdit = float64(warmTotal.Microseconds()) / 1000 / float64(totalEdits)
+	if art.WarmMSPerEdit > 0 {
+		art.Speedup = art.ColdMSPerEdit / art.WarmMSPerEdit
+	}
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("incremental benchmark: %d files x %d procs, %d edits: cold %.2f ms/edit, warm %.2f ms/edit (%.1fx), identity_ok=%t\n",
+		files, procs, edits, art.ColdMSPerEdit, art.WarmMSPerEdit, art.Speedup, art.IdentityOK)
+	fmt.Printf("wrote incremental benchmark artifact to %s\n", out)
+	if !art.IdentityOK {
+		return fmt.Errorf("incr-bench: warm reports are not byte-identical to cold reports")
+	}
+	return nil
+}

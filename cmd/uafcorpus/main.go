@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,8 +57,22 @@ func main() {
 		jobs         = flag.Int("jobs", 0, "parallel analysis workers (0 = GOMAXPROCS)")
 		caseTimeout  = flag.Duration("case-timeout", 0, "per-case analysis deadline (0 = none); expired cases degrade to conservative warnings")
 		retries      = flag.Int("retries", 0, "extra attempts for a timed-out case, each with a 4x smaller state budget")
+		incrBenchOut = flag.String("incr-bench-out", "", "run the incremental-analysis benchmark instead of the corpus evaluation and write the artifact to this file")
+		incrFiles    = flag.Int("incr-files", 4, "incremental benchmark: number of generated multi-procedure files")
+		incrProcs    = flag.Int("incr-procs", 24, "incremental benchmark: procedures per file")
+		incrEdits    = flag.Int("incr-edits", 8, "incremental benchmark: single-procedure edits per file")
 	)
 	flag.Parse()
+
+	if *incrBenchOut != "" {
+		// The incremental benchmark is its own mode: cold vs warm
+		// re-analysis latency plus the byte-identity check, no corpus run.
+		if err := runIncrBench(*incrBenchOut, *seed, *incrFiles, *incrProcs, *incrEdits); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	params := uafcheck.DefaultCorpusParams(*seed)
 	if *tests != params.Tests {
@@ -139,10 +154,9 @@ func main() {
 	}
 
 	if *modelAtomics {
-		opts := uafcheck.DefaultOptions()
-		opts.ModelAtomics = true
 		start = time.Now()
-		extTable, extBreakdown := uafcheck.RunTableI(cases, opts)
+		extTable, extBreakdown := uafcheck.RunTableIContext(context.Background(), cases,
+			uafcheck.WithAtomicsModel(true))
 		fmt.Printf("\nTable I with the atomics extension enabled (%v):\n",
 			time.Since(start).Round(time.Millisecond))
 		fmt.Print(extTable.Format())
@@ -154,10 +168,9 @@ func main() {
 	}
 
 	if *countAtomics {
-		opts := uafcheck.DefaultOptions()
-		opts.CountAtomics = true
 		start = time.Now()
-		cntTable, cntBreakdown := uafcheck.RunTableI(cases, opts)
+		cntTable, cntBreakdown := uafcheck.RunTableIContext(context.Background(), cases,
+			uafcheck.WithAtomicsCounting(true))
 		fmt.Printf("\nTable I with the counting refinement enabled (%v):\n",
 			time.Since(start).Round(time.Millisecond))
 		fmt.Print(cntTable.Format())

@@ -28,9 +28,18 @@
 //	POST /v1/analyze-batch  {"files":[{"name","src"},...],"options":{...}}
 //	                        -> NDJSON, one result line per file as each
 //	                        finishes
+//	POST /v1/delta          NDJSON stream of {"name","src","options":{...}}
+//	                        lines -> NDJSON result lines; files re-sent
+//	                        after an edit are re-analyzed incrementally
+//	                        (only edited procedures recompute)
 //	GET  /healthz           readiness (503 while draining)
 //	GET  /livez             liveness
 //	GET  /metrics           Prometheus text format
+//
+// The pre-versioning routes /analyze and /analyze-batch still answer —
+// with a Deprecation header and a server.deprecated_requests count —
+// but new clients should use /v1/. See docs/SERVER.md for the
+// compatibility policy.
 //
 // SIGINT/SIGTERM shut down gracefully: the admission gate closes,
 // in-flight analyses finish and are delivered, and the disk cache tier
@@ -130,7 +139,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
 	}
 	m := srv.MetricsSnapshot()
-	fmt.Fprintf(os.Stderr, "uafserve: served %d requests (%d analyses, %d dedup hits, %d rejects)\n",
+	fmt.Fprintf(os.Stderr, "uafserve: served %d requests (%d analyses, %d delta files, %d dedup hits, %d rejects, %d deprecated-route hits)\n",
 		m.Counter("server.requests"), m.Counter("server.analyses"),
-		m.Counter("server.dedup_hits"), m.Counter("server.rejects"))
+		m.Counter("server.delta_files"), m.Counter("server.dedup_hits"),
+		m.Counter("server.rejects"), m.Counter("server.deprecated_requests"))
 }

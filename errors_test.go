@@ -1,0 +1,137 @@
+package uafcheck_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"uafcheck"
+)
+
+// TestErrParseIdentity: frontend rejections match ErrParse (and its
+// deprecated alias ErrFrontend) via errors.Is, from both the
+// single-shot and the incremental entry points.
+func TestErrParseIdentity(t *testing.T) {
+	ctx := context.Background()
+	_, err := uafcheck.AnalyzeContext(ctx, "bad.chpl", "proc ( {")
+	if err == nil {
+		t.Fatal("expected a frontend error")
+	}
+	if !errors.Is(err, uafcheck.ErrParse) {
+		t.Errorf("errors.Is(err, ErrParse) = false for %v", err)
+	}
+	if !errors.Is(err, uafcheck.ErrFrontend) {
+		t.Errorf("errors.Is(err, ErrFrontend) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "frontend errors") {
+		t.Errorf("v1 message lost: %v", err)
+	}
+
+	_, derr := uafcheck.NewAnalyzer().AnalyzeDelta(ctx, "bad.chpl", "proc ( {")
+	if !errors.Is(derr, uafcheck.ErrParse) {
+		t.Errorf("AnalyzeDelta frontend error %v does not match ErrParse", derr)
+	}
+}
+
+// degradingSrc explores far more states than the budgets used below.
+func degradingSrc() string {
+	return `proc big() {
+  var x: int = 0;
+  var a$: sync bool;
+  var b$: sync bool;
+  var c$: sync bool;
+  begin with (ref x) { x = 2; a$ = true; }
+  begin with (ref x) { x = 3; b$ = true; }
+  begin with (ref x) { x = 4; c$ = true; }
+  a$;
+  b$;
+  c$;
+}
+`
+}
+
+// TestReportErrBudget: a budget-degraded report maps onto
+// ErrBudgetExhausted through Report.Err, with the affected procedures
+// in the message.
+func TestReportErrBudget(t *testing.T) {
+	rep, err := uafcheck.AnalyzeContext(context.Background(), "b.chpl", degradingSrc(),
+		uafcheck.WithMaxStates(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := rep.Err()
+	if !errors.Is(rerr, uafcheck.ErrBudgetExhausted) {
+		t.Fatalf("Report.Err() = %v, want ErrBudgetExhausted", rerr)
+	}
+	if !strings.Contains(rerr.Error(), "big") {
+		t.Errorf("degradation error should name the proc: %v", rerr)
+	}
+	if errors.Is(rerr, uafcheck.ErrDeadline) || errors.Is(rerr, uafcheck.ErrCancelled) {
+		t.Errorf("budget error must not match the other sentinels: %v", rerr)
+	}
+}
+
+// TestReportErrDeadlineAndCancelled cover the other two resource rungs.
+func TestReportErrDeadlineAndCancelled(t *testing.T) {
+	rep, err := uafcheck.AnalyzeContext(context.Background(), "d.chpl", degradingSrc(),
+		uafcheck.WithDeadline(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := rep.Err(); !errors.Is(rerr, uafcheck.ErrDeadline) {
+		t.Errorf("deadline run: Report.Err() = %v, want ErrDeadline", rerr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err = uafcheck.AnalyzeContext(ctx, "c.chpl", degradingSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := rep.Err(); !errors.Is(rerr, uafcheck.ErrCancelled) {
+		t.Errorf("cancelled run: Report.Err() = %v, want ErrCancelled", rerr)
+	}
+}
+
+// TestReportErrNilOnComplete: complete runs report no failure.
+func TestReportErrNilOnComplete(t *testing.T) {
+	rep, err := uafcheck.AnalyzeContext(context.Background(), "ok.chpl",
+		"proc p() {\n  var x: int = 0;\n  begin with (ref x) {\n    x = 1;\n  }\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := rep.Err(); rerr != nil {
+		t.Errorf("complete run: Report.Err() = %v, want nil", rerr)
+	}
+	var nilRep *uafcheck.Report
+	if nilRep.Err() != nil {
+		t.Error("nil report should have nil Err")
+	}
+}
+
+// TestFileReportFailure: the batch driver speaks the same error
+// vocabulary — frontend rejections match ErrParse, degradations match
+// their sentinel, complete runs are nil.
+func TestFileReportFailure(t *testing.T) {
+	files := []uafcheck.FileInput{
+		{Name: "bad.chpl", Src: "proc ( {"},
+		{Name: "slow.chpl", Src: degradingSrc()},
+		{Name: "ok.chpl", Src: "proc p() {\n  writeln(1);\n}\n"},
+	}
+	batch := uafcheck.AnalyzeFilesContext(context.Background(), files,
+		uafcheck.WithMaxStates(2))
+	if n := len(batch.Files); n != 3 {
+		t.Fatalf("got %d file reports, want 3", n)
+	}
+	if err := batch.Files[0].Failure(); !errors.Is(err, uafcheck.ErrParse) {
+		t.Errorf("bad.chpl Failure() = %v, want ErrParse", err)
+	}
+	if err := batch.Files[1].Failure(); !errors.Is(err, uafcheck.ErrBudgetExhausted) {
+		t.Errorf("slow.chpl Failure() = %v, want ErrBudgetExhausted", err)
+	}
+	if err := batch.Files[2].Failure(); err != nil {
+		t.Errorf("ok.chpl Failure() = %v, want nil", err)
+	}
+}

@@ -84,7 +84,13 @@ type Warning struct {
 	// AccessCol is the 1-based source column of the access.
 	AccessCol int
 	DeclLine  int
-	Pos       string // file:line:col of the access
+	// DeclPos is the byte offset of the variable's declaration (NoPos
+	// when the symbol has no recorded declaration). The incremental
+	// engine uses it to tell declarations inside the analyzed procedure
+	// (stored line-relative, rebased on reuse) from module-level ones
+	// (stored absolute).
+	DeclPos source.Pos
+	Pos     string // file:line:col of the access
 	// Prov carries the explain-mode provenance: the CCFG node of the
 	// access, the sink PPS that still held it, and the transition chain
 	// that reached it.
@@ -301,6 +307,7 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 			AccessLine:   file.Line(a.Sp.Start),
 			AccessCol:    file.Column(a.Sp.Start),
 			DeclLine:     declLine(file, a.Sym),
+			DeclPos:      declPos(a.Sym),
 			Pos:          file.Position(a.Sp.Start),
 			Prov:         u.Prov,
 		})
@@ -346,15 +353,40 @@ func declLine(file *source.File, s *sym.Symbol) int {
 	return file.Line(s.Decl.Span().Start)
 }
 
+func declPos(s *sym.Symbol) source.Pos {
+	if s.Decl == nil {
+		return source.NoPos
+	}
+	return s.Decl.Span().Start
+}
+
+// siteInfo accounts a procedure's call sites for the synced-scope rule:
+// how many there are and how many sit lexically inside a sync block.
+type siteInfo struct {
+	calls  int
+	synced int
+}
+
+// allSynced reports whether the procedure has call sites and every one
+// is enclosed in a sync block — the condition under which its by-ref
+// formals are structurally safe.
+func (si *siteInfo) allSynced() bool {
+	return si != nil && si.calls > 0 && si.calls == si.synced
+}
+
 // syncedRefParams implements the synced-scope list rule of §III-A: a
 // by-ref formal of a procedure is structurally safe when the procedure
 // has at least one call site and every call site is lexically enclosed in
 // a sync block.
 func syncedRefParams(mod *ast.Module, info *sym.Info) map[*sym.Symbol]bool {
-	type siteInfo struct {
-		calls  int
-		synced int
-	}
+	return syncedRefParamsFrom(procCallSites(mod, info), info)
+}
+
+// procCallSites walks the whole module collecting per-procedure call
+// site accounting — the cross-procedure fact feeding the synced-scope
+// rule, and (split out from syncedRefParams) the bit the incremental
+// engine folds into each unit's fingerprint.
+func procCallSites(mod *ast.Module, info *sym.Info) map[*ast.ProcDecl]*siteInfo {
 	sites := make(map[*ast.ProcDecl]*siteInfo)
 
 	var walkStmts func(list []ast.Stmt, syncDepth int)
@@ -440,10 +472,15 @@ func syncedRefParams(mod *ast.Module, info *sym.Info) map[*sym.Symbol]bool {
 	for _, p := range mod.Procs {
 		walkStmts(p.Body.Stmts, 0)
 	}
+	return sites
+}
 
+// syncedRefParamsFrom projects the call-site accounting onto the by-ref
+// formal symbols the CCFG builder consults.
+func syncedRefParamsFrom(sites map[*ast.ProcDecl]*siteInfo, info *sym.Info) map[*sym.Symbol]bool {
 	out := make(map[*sym.Symbol]bool)
 	for proc, si := range sites {
-		if si.calls > 0 && si.calls == si.synced {
+		if si.allSynced() {
 			scope := info.ScopeFor(proc)
 			if scope == nil {
 				continue

@@ -1,0 +1,450 @@
+// Incremental mode: per-procedure memoization of the analysis pipeline.
+//
+// The unit of incrementality is one top-level procedure containing
+// begin tasks — exactly the unit the paper's partial inter-procedural
+// analysis (§III) already analyzes independently: nested procedures are
+// inlined into their root, calls to other top-level procedures are
+// opaque, and the only cross-procedure facts a unit consumes are
+//
+//   - the synced-scope bit of the unit itself (whether every call site
+//     of the unit, anywhere in the module, sits inside a sync block —
+//     §III-A), and
+//   - the module-level bindings its free identifiers resolve to
+//     (config consts and top-level procedure names).
+//
+// A unit's fingerprint hashes the unit's source text together with
+// those facts and the effective options; lowering, CCFG construction,
+// pruning and PPS exploration are memoized per fingerprint in a
+// content-addressed internal/cache store. Memoized results are stored
+// position-relative (warning and note lines relative to the unit's
+// first line, task labels as within-unit ordinals) so that edits that
+// merely shift a unit — or add/remove begin tasks in other units — do
+// not invalidate it. Recombining cached and fresh units reproduces the
+// from-scratch Result exactly; the public layer's report construction
+// is deterministic, so the wire encoding is byte-identical (enforced by
+// the property test in incremental_test.go at the repo root).
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/cache"
+	"uafcheck/internal/ccfg"
+	"uafcheck/internal/obs"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// Units is the memo store of the incremental engine: a content-addressed
+// in-memory LRU of per-procedure analysis results, shared across files
+// and safe for concurrent use. The salt (the public layer passes the
+// tool Version) partitions entries across releases the same way the
+// report cache does.
+type Units struct {
+	salt string
+	c    *cache.Cache[*UnitResult]
+}
+
+// NewUnits creates a unit store; maxEntries <= 0 selects the library
+// default LRU bound.
+func NewUnits(salt string, maxEntries int) *Units {
+	codec := cache.Codec[*UnitResult]{
+		Encode: func(u *UnitResult) ([]byte, error) { return json.Marshal(u) },
+		Decode: func(b []byte) (*UnitResult, error) {
+			u := &UnitResult{}
+			if err := json.Unmarshal(b, u); err != nil {
+				return nil, err
+			}
+			return u, nil
+		},
+		Clone: func(u *UnitResult) *UnitResult { return u.Clone() },
+	}
+	return &Units{salt: salt, c: cache.New(codec, maxEntries, "")}
+}
+
+// Stats returns the store's traffic counters.
+func (u *Units) Stats() cache.Stats { return u.c.Stats() }
+
+// Len returns the number of memoized units.
+func (u *Units) Len() int { return u.c.Len() }
+
+// UnitResult is the memoized outcome of one analysis unit — everything
+// analyzeProc produces, stored position-relative so the entry survives
+// the unit moving within (or across) files. Only complete runs are
+// stored: degraded or crashed units depend on this run's budget race
+// and are always recomputed.
+type UnitResult struct {
+	Proc       string        `json:"proc"`
+	Warnings   []UnitWarning `json:"warnings,omitempty"`
+	PreNotes   []UnitNote    `json:"pre_notes,omitempty"`
+	PostNotes  []UnitNote    `json:"post_notes,omitempty"`
+	GraphStats ccfg.Stats    `json:"graph_stats"`
+	PPSStats   pps.Stats     `json:"pps_stats"`
+	Deadlocks  int           `json:"deadlocks"`
+	HasAtomics bool          `json:"has_atomics"`
+}
+
+// Clone returns a structurally complete deep copy sharing no mutable
+// state with the receiver. The memo store clones on both Put and Get —
+// on the store's hot path this runs for every cached unit of every
+// re-analysis, which is why it is hand-written rather than a
+// serialization round-trip.
+func (u *UnitResult) Clone() *UnitResult {
+	if u == nil {
+		return nil
+	}
+	v := *u
+	if u.GraphStats.PrunedByRule != nil {
+		v.GraphStats.PrunedByRule = make(map[ccfg.PruneRule]int, len(u.GraphStats.PrunedByRule))
+		for k, n := range u.GraphStats.PrunedByRule {
+			v.GraphStats.PrunedByRule[k] = n
+		}
+	}
+	if u.Warnings != nil {
+		v.Warnings = make([]UnitWarning, len(u.Warnings))
+		copy(v.Warnings, u.Warnings)
+		for i := range v.Warnings {
+			if p := v.Warnings[i].Prov; p != nil {
+				cp := *p
+				cp.Chain = append([]string(nil), p.Chain...)
+				v.Warnings[i].Prov = &cp
+			}
+		}
+	}
+	v.PreNotes = append([]UnitNote(nil), u.PreNotes...)
+	v.PostNotes = append([]UnitNote(nil), u.PostNotes...)
+	return &v
+}
+
+// UnitWarning is a Warning in position-relative form. Lines are stored
+// relative to the unit's first line; columns are shift-invariant and
+// stored as is. The task label is stored as a within-unit ordinal
+// because the parser assigns labels in file order across all
+// procedures — rebasing the ordinal against the unit's begin prefix
+// reproduces the label without fingerprinting that prefix.
+type UnitWarning struct {
+	Var   string `json:"var"`
+	Write bool   `json:"write"`
+	// TaskOrd is the begin's 0-based ordinal within the unit; TaskLabel
+	// is the stored literal fallback for labels the ordinal scheme cannot
+	// represent (TaskOrd < 0).
+	TaskOrd   int              `json:"task_ord"`
+	TaskLabel string           `json:"task_label,omitempty"`
+	Reason    pps.UnsafeReason `json:"reason"`
+	RelLine   int              `json:"rel_line"`
+	Col       int              `json:"col"`
+	// DeclLine is relative to the unit's first line, unless DeclAbs marks
+	// a module-level declaration (config const) — those are stored
+	// absolute, and any module-level edit changes the fingerprint anyway.
+	DeclLine int             `json:"decl_line"`
+	DeclAbs  bool            `json:"decl_abs,omitempty"`
+	Prov     *pps.Provenance `json:"prov,omitempty"`
+}
+
+// UnitNote is a Note-severity diagnostic in position-relative form.
+// PreNotes precede the unit's warning diagnostics in emission order
+// (lowering notes); PostNotes follow them (the deadlock note).
+type UnitNote struct {
+	RelLine int    `json:"rel_line"`
+	Col     int    `json:"col"`
+	Abs     bool   `json:"abs,omitempty"`    // anchored outside the unit: line is absolute
+	NoPos   bool   `json:"no_pos,omitempty"` // anchored at NoSpan
+	Message string `json:"message"`
+}
+
+// IncrStats reports one incremental run's unit-cache traffic.
+type IncrStats struct {
+	UnitHits   int
+	UnitMisses int
+}
+
+// AnalyzeSourceIncremental is AnalyzeSource with per-unit memoization:
+// parse and resolve always run (they are cheap and position-bearing),
+// then each root procedure is either served from the unit store or
+// analyzed afresh and stored. The assembled Result is indistinguishable
+// from a from-scratch run. Trace/KeepGraphs runs bypass the store (the
+// retained graphs are not serializable) and fall back to AnalyzeSource,
+// as does a nil store.
+func AnalyzeSourceIncremental(name, src string, opts Options, units *Units) (*Result, IncrStats) {
+	var stats IncrStats
+	if units == nil || opts.KeepGraphs || opts.PPS.Trace {
+		return AnalyzeSource(name, src, opts), stats
+	}
+	file := source.NewFile(name, src)
+	diags := &source.Diagnostics{}
+	endParse := opts.Obs.Span(obs.PhaseParse)
+	mod := parser.Parse(file, diags)
+	endParse()
+	res := &Result{Module: mod, Diags: diags}
+	if diags.HasErrors() {
+		return res, stats
+	}
+	endResolve := opts.Obs.Span(obs.PhaseResolve)
+	info := sym.Resolve(mod, diags)
+	endResolve()
+	res.Info = info
+	if diags.HasErrors() {
+		return res, stats
+	}
+	sites := procCallSites(mod, info)
+	synced := syncedRefParamsFrom(sites, info)
+	configsFP := configsFingerprint(file, mod)
+	beginPrefix := 0
+	for _, proc := range mod.Procs {
+		if !ast.HasBegin(proc) {
+			continue
+		}
+		key := unitKey(units.salt, file.Name, opts, file, proc,
+			sites[proc].allSynced(), configsFP, moduleRefs(proc, info))
+		if ur, ok := units.c.Get(key); ok && ur != nil {
+			stats.UnitHits++
+			opts.Obs.Add(obs.CtrUnitHits, 1)
+			pr := ur.materialize(file, proc, beginPrefix, diags)
+			res.Procs = append(res.Procs, pr)
+			opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+			opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
+			beginPrefix += ast.CountBegins(proc)
+			continue
+		}
+		stats.UnitMisses++
+		opts.Obs.Add(obs.CtrUnitMisses, 1)
+		pdiags := &source.Diagnostics{}
+		pr, crash := analyzeProcSafe(info, proc, synced, opts, pdiags)
+		for _, d := range pdiags.All() {
+			diags.Add(d)
+		}
+		if crash != nil {
+			res.Crashes = append(res.Crashes, *crash)
+			diags.Addf(file, proc.Name.Sp, source.Note,
+				"proc %s: internal analysis panic in phase %s (recovered): %s",
+				proc.Name.Name, crash.Phase, crash.Err)
+			beginPrefix += ast.CountBegins(proc)
+			continue
+		}
+		res.Procs = append(res.Procs, pr)
+		opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+		opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
+		// Only complete units are memoized: a degraded unit's warning set
+		// depends on this run's budget/deadline race.
+		if pr.PPSStats.Stop == pps.StopNone {
+			units.c.Put(key, captureUnit(file, proc, beginPrefix, pr, pdiags))
+		}
+		beginPrefix += ast.CountBegins(proc)
+	}
+	return res, stats
+}
+
+// unitKey is the content address of one analysis unit: everything that
+// can change the unit's (position-relative) result participates, and
+// nothing that cannot — in particular neither the unit's absolute
+// position nor the number of begin tasks preceding it.
+func unitKey(salt, name string, opts Options, file *source.File, proc *ast.ProcDecl,
+	syncedUnit bool, configsFP string, refsFP string) cache.Key {
+	text := ""
+	if sp := proc.Sp; sp.IsValid() && int(sp.End) <= len(file.Content) {
+		text = file.Content[sp.Start:sp.End]
+	}
+	return cache.KeyOf(
+		"uafcheck/unit", salt, name,
+		opts.Fingerprint(),
+		text,
+		fmt.Sprintf("synced=%t", syncedUnit),
+		configsFP,
+		refsFP,
+	)
+}
+
+// configsFingerprint canonically encodes every top-level config const:
+// source text plus absolute declaration line, because config decl lines
+// surface verbatim in warnings ("declared at line N") and config
+// bindings affect resolution inside every unit.
+func configsFingerprint(file *source.File, mod *ast.Module) string {
+	var b strings.Builder
+	for _, c := range mod.Configs {
+		sp := c.Span()
+		text := ""
+		if sp.IsValid() && int(sp.End) <= len(file.Content) {
+			text = file.Content[sp.Start:sp.End]
+		}
+		fmt.Fprintf(&b, "%d|%s\n", file.Line(sp.Start), text)
+	}
+	return b.String()
+}
+
+// moduleRefs canonically encodes how the unit's identifiers resolve
+// outside it: every identifier bound to a module-scope symbol (config
+// const or top-level procedure) or left unresolved. Renaming or
+// re-kinding a module-level binding another procedure introduced — or
+// removing one so an identifier falls back to unresolved/builtin —
+// changes this string and invalidates the unit.
+func moduleRefs(proc *ast.ProcDecl, info *sym.Info) string {
+	set := make(map[string]struct{})
+	ast.Walk(proc, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		s, used := info.Uses[id]
+		switch {
+		case !used:
+			// Declaration occurrences are covered by the unit text.
+		case s == nil:
+			set["?"+id.Name] = struct{}{}
+		case s.Scope != nil && s.Scope.Kind == sym.ScopeModule:
+			set[fmt.Sprintf("%s:%d:%d:%t", s.Name, int(s.Kind), int(s.Type.Qual), s.ByRef)] = struct{}{}
+		}
+		return true
+	})
+	refs := make([]string, 0, len(set))
+	for r := range set {
+		refs = append(refs, r)
+	}
+	sort.Strings(refs)
+	return strings.Join(refs, "\n")
+}
+
+// captureUnit converts a freshly analyzed unit into its
+// position-relative memo form. pdiags holds exactly the diagnostics the
+// unit's pipeline emitted (the caller gave analyzeProcSafe a private
+// collector).
+func captureUnit(file *source.File, proc *ast.ProcDecl, beginPrefix int,
+	pr *ProcResult, pdiags *source.Diagnostics) *UnitResult {
+	base := file.Line(proc.Sp.Start)
+	ur := &UnitResult{
+		Proc:       pr.Proc.Name.Name,
+		GraphStats: pr.GraphStats,
+		PPSStats:   pr.PPSStats,
+		Deadlocks:  pr.Deadlocks,
+		HasAtomics: pr.HasAtomics,
+	}
+	for _, w := range pr.Warnings {
+		uw := UnitWarning{
+			Var:     w.Var,
+			Write:   w.Write,
+			TaskOrd: parser.TaskIndex(w.Task) - beginPrefix,
+			Reason:  w.Reason,
+			RelLine: w.AccessLine - base,
+			Col:     w.AccessCol,
+			Prov:    w.Prov,
+		}
+		if uw.TaskOrd < 0 || parser.TaskIndex(w.Task) < 0 {
+			uw.TaskOrd = -1
+			uw.TaskLabel = w.Task
+		}
+		if w.DeclPos.IsValid() && w.DeclPos >= proc.Sp.Start && w.DeclPos < proc.Sp.End {
+			uw.DeclLine = w.DeclLine - base
+		} else {
+			uw.DeclLine = w.DeclLine
+			uw.DeclAbs = true
+		}
+		ur.Warnings = append(ur.Warnings, uw)
+	}
+	// Replayable diagnostics: Note-severity entries, split around the
+	// warning-severity block analyzeProc emits between lowering notes and
+	// the deadlock note.
+	seenWarning := false
+	for _, d := range pdiags.All() {
+		switch d.Severity {
+		case source.Warning:
+			seenWarning = true
+		case source.Note:
+			n := captureNote(file, proc, base, d)
+			if seenWarning {
+				ur.PostNotes = append(ur.PostNotes, n)
+			} else {
+				ur.PreNotes = append(ur.PreNotes, n)
+			}
+		}
+	}
+	return ur
+}
+
+func captureNote(file *source.File, proc *ast.ProcDecl, base int, d source.Diagnostic) UnitNote {
+	n := UnitNote{Message: d.Message}
+	start := d.Span.Start
+	if !start.IsValid() {
+		n.NoPos = true
+		return n
+	}
+	n.Col = file.Column(start)
+	line := file.Line(start)
+	if start >= proc.Sp.Start && start < proc.Sp.End {
+		n.RelLine = line - base
+	} else {
+		n.RelLine = line
+		n.Abs = true
+	}
+	return n
+}
+
+// materialize rebases a memoized unit against the unit's current
+// position and begin prefix, reproducing the ProcResult — and the
+// diagnostics — a fresh analyzeProc run would emit.
+func (ur *UnitResult) materialize(file *source.File, proc *ast.ProcDecl,
+	beginPrefix int, diags *source.Diagnostics) *ProcResult {
+	base := file.Line(proc.Sp.Start)
+	pr := &ProcResult{
+		Proc:       proc,
+		GraphStats: ur.GraphStats,
+		PPSStats:   ur.PPSStats,
+		Deadlocks:  ur.Deadlocks,
+		HasAtomics: ur.HasAtomics,
+	}
+	for _, uw := range ur.Warnings {
+		task := uw.TaskLabel
+		if uw.TaskOrd >= 0 {
+			task = parser.TaskLabel(beginPrefix + uw.TaskOrd)
+		}
+		declLine := uw.DeclLine
+		declPos := source.NoPos
+		if !uw.DeclAbs {
+			declLine += base
+			declPos = file.PosAt(declLine, 1)
+		}
+		accessLine := base + uw.RelLine
+		pr.Warnings = append(pr.Warnings, Warning{
+			Var:        uw.Var,
+			Task:       task,
+			Proc:       ur.Proc,
+			Write:      uw.Write,
+			Reason:     uw.Reason,
+			AccessLine: accessLine,
+			AccessCol:  uw.Col,
+			DeclLine:   declLine,
+			DeclPos:    declPos,
+			Pos:        fmt.Sprintf("%s:%d:%d", file.Name, accessLine, uw.Col),
+			Prov:       uw.Prov,
+		})
+	}
+	for _, n := range ur.PreNotes {
+		diags.Add(n.diag(file, base))
+	}
+	for _, w := range pr.Warnings {
+		diags.Addf(file, source.NoSpan, source.Warning, "%s", w.String())
+	}
+	for _, n := range ur.PostNotes {
+		diags.Add(n.diag(file, base))
+	}
+	return pr
+}
+
+// diag re-anchors a memoized note at the unit's current position.
+func (n UnitNote) diag(file *source.File, base int) source.Diagnostic {
+	d := source.Diagnostic{File: file, Span: source.NoSpan, Severity: source.Note, Message: n.Message}
+	if n.NoPos {
+		return d
+	}
+	line := n.RelLine
+	if !n.Abs {
+		line += base
+	}
+	p := file.PosAt(line, n.Col)
+	d.Span = source.Span{Start: p, End: p}
+	return d
+}

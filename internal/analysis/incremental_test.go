@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// render flattens an analysis result into a comparable transcript:
+// every diagnostic in emission order plus every warning rendered the
+// way the compiler prints it.
+func render(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(res.Diags.String())
+	for _, pr := range res.Procs {
+		for _, w := range pr.Warnings {
+			b.WriteString(w.String())
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s nodes=%d tasks=%d pruned=%d states=%d sinks=%d deadlocks=%d atomics=%t\n",
+			pr.Proc.Name.Name, pr.GraphStats.Nodes, pr.GraphStats.Tasks,
+			pr.GraphStats.PrunedTasks, pr.PPSStats.StatesCreated,
+			pr.PPSStats.Sinks, pr.Deadlocks, pr.HasAtomics)
+	}
+	return b.String()
+}
+
+// checkIncr runs the incremental engine against the from-scratch
+// pipeline and requires identical transcripts; it returns the traffic.
+func checkIncr(t *testing.T, units *Units, src string) IncrStats {
+	t.Helper()
+	opts := DefaultOptions()
+	inc, stats := AnalyzeSourceIncremental("t.chpl", src, opts, units)
+	fresh := AnalyzeSource("t.chpl", src, opts)
+	if got, want := render(t, inc), render(t, fresh); got != want {
+		t.Fatalf("incremental and fresh transcripts differ\nincremental:\n%s\nfresh:\n%s\nsource:\n%s", got, want, src)
+	}
+	return stats
+}
+
+// TestIncrementalSyncedBitInvalidation pins the cross-procedure rule of
+// §III-A: wrapping a unit's call sites in sync blocks elsewhere in the
+// module changes the unit's synced-scope bit, so the memo entry must be
+// invalidated even though the unit's own text is unchanged.
+func TestIncrementalSyncedBitInvalidation(t *testing.T) {
+	unit := `proc u(ref x: int) {
+  begin with (ref x) {
+    x = 1;
+  }
+}
+`
+	unsynced := unit + `proc caller() {
+  var v: int = 0;
+  u(v);
+}
+`
+	synced := unit + `proc caller() {
+  var v: int = 0;
+  sync {
+    u(v);
+  }
+}
+`
+	units := NewUnits("test", 0)
+	st := checkIncr(t, units, unsynced)
+	if st.UnitMisses != 1 || st.UnitHits != 0 {
+		t.Fatalf("cold run: %+v", st)
+	}
+	// The unit's text did not change, but its call sites did: a hit here
+	// would serve warnings computed under the wrong synced-scope bit.
+	st = checkIncr(t, units, synced)
+	if st.UnitMisses != 1 || st.UnitHits != 0 {
+		t.Fatalf("synced-bit flip must invalidate the unit: %+v", st)
+	}
+	// Same content again: both variants are now memoized independently.
+	if st = checkIncr(t, units, unsynced); st.UnitHits != 1 {
+		t.Fatalf("unsynced variant should be memoized: %+v", st)
+	}
+	if st = checkIncr(t, units, synced); st.UnitHits != 1 {
+		t.Fatalf("synced variant should be memoized: %+v", st)
+	}
+}
+
+// TestIncrementalConfigInvalidation pins the module-level rule: editing
+// a config const invalidates every unit (config decl lines surface in
+// warnings, and config bindings affect resolution), while re-analyzing
+// unchanged content hits.
+func TestIncrementalConfigInvalidation(t *testing.T) {
+	prog := func(init string) string {
+		return "config const n = " + init + ";\n" +
+			`proc p() {
+  var v: int = 0;
+  begin with (ref v) {
+    v = n;
+  }
+}
+`
+	}
+	units := NewUnits("test", 0)
+	if st := checkIncr(t, units, prog("3")); st.UnitMisses != 1 {
+		t.Fatalf("cold run: %+v", st)
+	}
+	if st := checkIncr(t, units, prog("4")); st.UnitMisses != 1 || st.UnitHits != 0 {
+		t.Fatalf("config edit must invalidate the unit: %+v", st)
+	}
+	if st := checkIncr(t, units, prog("4")); st.UnitHits != 1 {
+		t.Fatalf("unchanged content should hit: %+v", st)
+	}
+}
+
+// TestIncrementalCalleeBodyReuse pins the reuse direction: a unit that
+// calls a top-level procedure treats the call as opaque (§III partial
+// inter-procedural analysis), so editing the callee's BODY must not
+// invalidate the caller — only the call-site accounting and binding
+// kind matter.
+func TestIncrementalCalleeBodyReuse(t *testing.T) {
+	prog := func(calleeBody string) string {
+		return `proc caller() {
+  var v: int = 0;
+  begin with (ref v) {
+    v = 1;
+  }
+  helper(v);
+}
+proc helper(y: int) {
+` + calleeBody + `}
+`
+	}
+	units := NewUnits("test", 0)
+	if st := checkIncr(t, units, prog("  writeln(y);\n")); st.UnitMisses != 1 {
+		t.Fatalf("cold run: %+v", st)
+	}
+	// helper has no begin, so caller is the only unit; its fingerprint
+	// must survive the callee body edit.
+	if st := checkIncr(t, units, prog("  writeln(y + 1);\n")); st.UnitHits != 1 || st.UnitMisses != 0 {
+		t.Fatalf("callee body edit must not invalidate the caller: %+v", st)
+	}
+}
+
+// TestIncrementalDegradedNeverStored: a budget-degraded unit must be
+// recomputed every time — serving it later could mask the complete
+// result a fresh run would produce.
+func TestIncrementalDegradedNeverStored(t *testing.T) {
+	src := `proc big() {
+  var x: int = 0;
+  var a$: sync bool;
+  var b$: sync bool;
+  var c$: sync bool;
+  begin with (ref x) { x = 2; a$ = true; }
+  begin with (ref x) { x = 3; b$ = true; }
+  begin with (ref x) { x = 4; c$ = true; }
+  a$;
+  b$;
+  c$;
+}
+`
+	opts := DefaultOptions()
+	opts.PPS.MaxStates = 2
+	units := NewUnits("test", 0)
+	for i := 0; i < 2; i++ {
+		res, stats := AnalyzeSourceIncremental("t.chpl", src, opts, units)
+		if res.Degraded() == "" {
+			t.Fatalf("run %d: expected a budget-degraded result", i)
+		}
+		if stats.UnitHits != 0 {
+			t.Fatalf("run %d: degraded units must never be served from cache: %+v", i, stats)
+		}
+	}
+}

@@ -87,6 +87,14 @@ type Options struct {
 	BudgetShrink int
 	// Analysis configures the per-file pipeline.
 	Analysis analysis.Options
+	// Analyze, when non-nil, replaces analysis.AnalyzeSource as the
+	// per-attempt pipeline — the seam the incremental engine plugs into
+	// (an Analyzer handle's memoized AnalyzeSourceIncremental). It must
+	// honor opts.Ctx and be safe for concurrent use; every attempt
+	// (retries included) goes through it with that attempt's effective
+	// options, so shrunken retry budgets are never served a full-budget
+	// memo.
+	Analyze func(name, src string, opts analysis.Options) *analysis.Result
 	// Ctx cancels the whole batch. Files not yet started still produce
 	// Results: their analyses observe the cancelled context immediately
 	// and degrade to the conservative fallback.
@@ -273,6 +281,10 @@ func runAttempt(f File, aopts analysis.Options, opts Options) (ar *analysis.Resu
 	defer cancel()
 	aopts.Ctx = ctx
 
+	analyze := opts.Analyze
+	if analyze == nil {
+		analyze = analysis.AnalyzeSource
+	}
 	done := make(chan *analysis.Result, 1)
 	go func() {
 		// analysis recovers per-proc panics itself; this recover is the
@@ -282,7 +294,7 @@ func runAttempt(f File, aopts analysis.Options, opts Options) (ar *analysis.Resu
 				done <- nil
 			}
 		}()
-		done <- analysis.AnalyzeSource(f.Name, f.Src, aopts)
+		done <- analyze(f.Name, f.Src, aopts)
 	}()
 
 	select {

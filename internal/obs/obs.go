@@ -107,6 +107,18 @@ const (
 	CtrServerRejects    = "server.rejects"
 	CtrServerDedupHits  = "server.dedup_hits"
 	CtrServerBatchFiles = "server.batch_files"
+	// CtrServerDeprecated counts requests arriving on unversioned route
+	// aliases (pre-/v1/ paths kept for compatibility); a deprecation
+	// signal for operators before the aliases are removed.
+	CtrServerDeprecated = "server.deprecated_requests"
+	// CtrServerDeltaFiles counts files analyzed through /v1/delta.
+	CtrServerDeltaFiles = "server.delta_files"
+
+	// Incremental per-procedure engine (internal/analysis incremental
+	// mode): memoized analysis units served from the unit cache vs
+	// recomputed from scratch.
+	CtrUnitHits   = "incr.unit_hits"
+	CtrUnitMisses = "incr.unit_misses"
 )
 
 // Gauge names.

@@ -389,6 +389,31 @@ func (p *parser) beginStmt() *ast.BeginStmt {
 	}
 }
 
+// TaskLabel renders the display label of the i-th begin task of a file
+// (0-based): "TASK A", "TASK B", ..., "TASK Z", "TASK AA", ... Labels
+// are assigned in file source order across all procedures, so a
+// procedure's labels depend on how many begins precede it — the
+// incremental engine re-derives them via TaskLabel/TaskIndex instead of
+// fingerprinting that prefix.
+func TaskLabel(i int) string { return "TASK " + taskLetters(i) }
+
+// TaskIndex inverts TaskLabel, returning the 0-based file-wide begin
+// index of a label, or -1 when the string is not a task label.
+func TaskIndex(label string) int {
+	const prefix = "TASK "
+	if len(label) <= len(prefix) || label[:len(prefix)] != prefix {
+		return -1
+	}
+	i := 0
+	for _, r := range label[len(prefix):] {
+		if r < 'A' || r > 'Z' {
+			return -1
+		}
+		i = i*26 + int(r-'A') + 1
+	}
+	return i - 1
+}
+
 // taskLetters yields A, B, ..., Z, AA, AB, ... for task labels.
 func taskLetters(i int) string {
 	s := ""

@@ -22,10 +22,17 @@
 //     flushes the disk cache tier.
 //
 // Endpoints: POST /v1/analyze, POST /v1/analyze-batch (NDJSON stream),
-// GET /healthz, GET /livez, GET /metrics (Prometheus text format).
+// POST /v1/delta (NDJSON in and out, served by a pool of long-lived
+// incremental Analyzers), GET /healthz, GET /livez, GET /metrics
+// (Prometheus text format). The pre-versioning aliases /analyze and
+// /analyze-batch still work but mark their responses deprecated and
+// count server.deprecated_requests; see docs/SERVER.md for the
+// versioning policy.
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -145,6 +152,18 @@ type BatchRequest struct {
 	Options RequestOptions `json:"options"`
 }
 
+// DeltaRequest is one line of a POST /v1/delta NDJSON request stream:
+// a (possibly re-sent) file to analyze incrementally. Lines sharing an
+// option set share a long-lived Analyzer, so re-sending a file after an
+// edit only recomputes the procedures the edit touched. Retries and
+// Metrics are the only option fields without effect here (delta lines
+// are single-shot; metrics snapshots differ per call by design).
+type DeltaRequest struct {
+	Name    string         `json:"name"`
+	Src     string         `json:"src"`
+	Options RequestOptions `json:"options"`
+}
+
 // errorBody is the JSON error envelope of non-200 responses.
 type errorBody struct {
 	Error string `json:"error"`
@@ -168,29 +187,59 @@ type Server struct {
 
 	mu  sync.Mutex
 	agg obs.Metrics // aggregate of per-request report telemetry
+
+	// amu guards the /v1/delta analyzer pool: one incremental Analyzer
+	// per distinct option fingerprint, bounded by maxAnalyzers.
+	amu       sync.Mutex
+	analyzers map[string]*uafcheck.Analyzer
+	aorder    []string
 }
+
+// maxAnalyzers bounds the delta pool: each Analyzer holds a memo store,
+// and option sets beyond this many evict the least recently created.
+const maxAnalyzers = 8
 
 // New builds a Server from cfg (zero values take documented defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:     cfg,
-		gate:    newGate(cfg.MaxInflight, cfg.QueueDepth),
-		flights: newFlightGroup(),
-		rec:     obs.New(),
-		start:   time.Now(),
+		cfg:       cfg,
+		gate:      newGate(cfg.MaxInflight, cfg.QueueDepth),
+		flights:   newFlightGroup(),
+		rec:       obs.New(),
+		start:     time.Now(),
+		analyzers: make(map[string]*uafcheck.Analyzer),
 	}
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table. Analysis endpoints live
+// under the /v1/ prefix; the pre-versioning spellings of /analyze and
+// /analyze-batch remain as deprecated aliases (newer endpoints like
+// /v1/delta have no unversioned form).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze-batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/delta", s.handleDelta)
+	mux.HandleFunc("POST /analyze", s.deprecatedAlias("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /analyze-batch", s.deprecatedAlias("/v1/analyze-batch", s.handleBatch))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// deprecatedAlias serves an unversioned pre-v1 route: same behavior as
+// the versioned handler, plus a Deprecation header pointing at the
+// successor and a server.deprecated_requests count so operators can see
+// when the aliases are finally unused.
+func (s *Server) deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.rec.Add(obs.CtrServerDeprecated, 1)
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // Shutdown gracefully stops the server: the admission gate closes
@@ -332,12 +381,7 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
 	s.observeAnalysis(t0, rep)
 
-	code := http.StatusOK
-	if err != nil {
-		// Frontend rejection: the input never analyzed. Anything else
-		// (deadline, budget, panic) came back as a degraded report.
-		code = http.StatusUnprocessableEntity
-	}
+	code := statusCodeFor(err)
 	body, encErr := wire.NewResult(req.Name, rep, err, req.Options.Metrics).Encode()
 	if encErr != nil {
 		return flightResult{code: http.StatusInternalServerError,
@@ -345,6 +389,23 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 	}
 	cacheHit := rep != nil && rep.Metrics.Counter(obs.CtrCacheHits) > 0
 	return flightResult{code: code, body: body, cacheHit: cacheHit}
+}
+
+// statusCodeFor maps an analysis error onto an HTTP status via the
+// library's typed sentinels: a frontend rejection (ErrParse) is the
+// client's fault, 422; anything else surfacing as an error — instead of
+// a degraded report — is unexpected, 500. Resource exhaustion
+// (ErrBudgetExhausted, ErrDeadline, ErrCancelled) never reaches this
+// path: those ride the degradation ladder inside a 200 report.
+func statusCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, uafcheck.ErrParse):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // observeAnalysis folds one finished analysis into the latency EWMA and
@@ -430,6 +491,101 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.agg.Merge(batchRep.Metrics)
 	s.mu.Unlock()
+}
+
+// -------------------------------------------------------------- delta
+
+// analyzerFor returns the pooled incremental Analyzer for an option
+// set, creating it on first use. The fingerprint covers exactly the
+// options that participate in unit memoization; deadlines are per-line
+// (context) and metrics only affect encoding, so neither splits the
+// pool.
+func (s *Server) analyzerFor(o RequestOptions) *uafcheck.Analyzer {
+	fp := fmt.Sprintf("prune=%t max_states=%d trace=%t ma=%t ca=%t",
+		o.Prune == nil || *o.Prune, o.MaxStates, o.Trace, o.ModelAtomics, o.CountAtomics)
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	if a, ok := s.analyzers[fp]; ok {
+		return a
+	}
+	if len(s.aorder) >= maxAnalyzers {
+		delete(s.analyzers, s.aorder[0])
+		s.aorder = s.aorder[1:]
+	}
+	a := uafcheck.NewAnalyzer(s.libraryOptions(o)...)
+	s.analyzers[fp] = a
+	s.aorder = append(s.aorder, fp)
+	return a
+}
+
+// handleDelta serves POST /v1/delta: an NDJSON request stream of
+// DeltaRequest lines answered by an NDJSON stream of canonical results,
+// one per line, in order. Lines run through the pooled Analyzers, so a
+// client that re-sends a file after each edit gets incremental
+// re-analysis — only the edited procedures are recomputed — with
+// responses byte-identical to /v1/analyze for the same input. The
+// stream holds one admission slot for its whole lifetime.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.rec.Add(obs.CtrServerRequests, 1)
+
+	if err := s.gate.acquire(r.Context()); err != nil {
+		s.writeResult(w, s.rejection(err), "")
+		return
+	}
+	defer s.gate.release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var emitErr error
+	emit := func(line []byte) {
+		_, emitErr = w.Write(append(line, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	sc.Buffer(make([]byte, 64<<10), int(s.cfg.MaxBodyBytes))
+	for sc.Scan() && emitErr == nil && r.Context().Err() == nil {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var req DeltaRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			emit(mustJSON(errorBody{Error: "malformed delta line: " + err.Error()}))
+			continue
+		}
+		if req.Src == "" {
+			emit(mustJSON(errorBody{Error: "missing src"}))
+			continue
+		}
+		if req.Name == "" {
+			req.Name = "input.chpl"
+		}
+		s.rec.Add(obs.CtrServerDeltaFiles, 1)
+
+		// Per-line deadline: the analysis context expires and the run
+		// degrades, exactly like the versioned single-shot endpoint. The
+		// request context is deliberately not the parent — a disconnect is
+		// detected between lines, never mid-analysis.
+		ctx, cancel := context.WithTimeout(context.Background(), s.effectiveDeadline(req.Options))
+		t0 := time.Now()
+		rep, err := s.analyzerFor(req.Options).AnalyzeDelta(ctx, req.Name, req.Src)
+		cancel()
+		s.observeAnalysis(t0, rep)
+		line, encErr := wire.NewResult(req.Name, rep, err, req.Options.Metrics).Encode()
+		if encErr != nil {
+			line = mustJSON(errorBody{Error: encErr.Error()})
+		}
+		emit(line)
+	}
+	if err := sc.Err(); err != nil && emitErr == nil && r.Context().Err() == nil {
+		emit(mustJSON(errorBody{Error: "reading delta stream: " + err.Error()}))
+	}
 }
 
 // -------------------------------------------------------------- admin

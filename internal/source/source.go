@@ -102,6 +102,33 @@ func (f *File) Position(pos Pos) string {
 	return fmt.Sprintf("%s:%d:%d", f.Name, f.Line(pos), f.Column(pos))
 }
 
+// PosAt returns the byte offset of a 1-based line and column, the
+// inverse of Line/Column. Out-of-range lines or columns clamp to the
+// nearest valid offset; line <= 0 yields NoPos. The incremental engine
+// uses it to re-anchor memoized per-procedure diagnostics after the
+// procedure's absolute position shifted.
+func (f *File) PosAt(line, col int) Pos {
+	if line <= 0 {
+		return NoPos
+	}
+	if line > len(f.lines) {
+		line = len(f.lines)
+	}
+	start := f.lines[line-1]
+	end := len(f.Content)
+	if line < len(f.lines) {
+		end = f.lines[line] - 1
+	}
+	p := start + col - 1
+	if p < start {
+		p = start
+	}
+	if p > end {
+		p = end
+	}
+	return Pos(p)
+}
+
 // LineText returns the text of the 1-based line number, without the
 // trailing newline. Out-of-range lines yield "".
 func (f *File) LineText(line int) string {

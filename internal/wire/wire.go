@@ -21,12 +21,22 @@ import (
 	"uafcheck"
 )
 
+// APIVersion is the wire-format version stamped into every Result
+// envelope. It matches the uafserve route prefix ("/v1/..."): the
+// envelope shape and the canonical byte encoding only change together
+// with this string, so consumers can pin on it. See docs/SERVER.md for
+// the compatibility policy.
+const APIVersion = "v1"
+
 // Result is the canonical per-file outcome DTO: the body of one
-// uafserve /v1/analyze response, one line of a /v1/analyze-batch NDJSON
-// stream, and one line of `uafcheck -format=json` output.
+// uafserve /v1/analyze response, one line of a /v1/analyze-batch or
+// /v1/delta NDJSON stream, and one line of `uafcheck -format=json`
+// output.
 type Result struct {
 	// Name echoes the input file name.
 	Name string `json:"name"`
+	// APIVersion identifies the envelope format (always APIVersion).
+	APIVersion string `json:"api_version"`
 	// Status classifies the outcome with the batch-driver vocabulary:
 	// "ok", "degraded", "timed-out", "crashed" or "error". Derived from
 	// the report itself (see StatusOf) so every entry point agrees.
@@ -67,7 +77,7 @@ func StatusOf(rep *uafcheck.Report, err error) string {
 // the snapshot travels in the separate Metrics field and byte-stability
 // across cache hits no longer holds.
 func NewResult(name string, rep *uafcheck.Report, err error, includeMetrics bool) Result {
-	res := Result{Name: name, Status: StatusOf(rep, err)}
+	res := Result{Name: name, APIVersion: APIVersion, Status: StatusOf(rep, err)}
 	if err != nil {
 		res.Error = err.Error()
 	}

@@ -17,6 +17,9 @@ type Option func(*apiConfig)
 type apiConfig struct {
 	opts  Options
 	bopts BatchOptions
+	// unitCacheEntries bounds NewAnalyzer's per-procedure memo store;
+	// ignored by the one-shot entry points.
+	unitCacheEntries int
 }
 
 // WithPrune toggles the paper's CCFG pruning rules A-D (default on).
@@ -96,6 +99,30 @@ func WithRetries(n int) Option {
 	return func(c *apiConfig) { c.bopts.Retries = n }
 }
 
+// WithUnitCacheEntries bounds the per-procedure memo store of a
+// NewAnalyzer handle (<= 0 means the library default of 1024 units).
+// One-shot entry points ignore it — incrementality needs a handle that
+// outlives the call.
+func WithUnitCacheEntries(n int) Option {
+	return func(c *apiConfig) { c.unitCacheEntries = n }
+}
+
+// WithAnalyzer routes a batch's per-file analysis through the handle's
+// incremental engine: units memoized by earlier AnalyzeDelta calls (or
+// earlier batches) are reused, and fresh units are memoized for later
+// calls. The analysis options still come from the batch call, not from
+// the handle — the handle contributes only its memo store, which is
+// safe to share across differing options because every option that can
+// change a result participates in the unit fingerprint. Batch runs
+// only.
+func WithAnalyzer(a *Analyzer) Option {
+	return func(c *apiConfig) {
+		if a != nil {
+			c.bopts.analyze = a.analyzeForBatch
+		}
+	}
+}
+
 // WithOnFile streams per-file results: fn receives each FileReport as
 // soon as it completes (cache hits first, then worker-pool completions
 // in finish order). fn runs on worker goroutines and may be called
@@ -104,8 +131,9 @@ func WithOnFile(fn func(i int, fr FileReport)) Option {
 	return func(c *apiConfig) { c.bopts.OnFile = fn }
 }
 
-// AnalyzeContext runs the static analysis under ctx — the context-first
-// form of Analyze/AnalyzeWithOptions:
+// AnalyzeContext runs the static analysis under ctx. It is the primary
+// single-shot entry point of the v2 API (the struct-options
+// AnalyzeWithOptions form is a deprecated compatibility shim):
 //
 //	cache := uafcheck.NewCache(uafcheck.CacheConfig{})
 //	report, err := uafcheck.AnalyzeContext(ctx, "prog.chpl", src,

@@ -27,7 +27,6 @@ package uafcheck
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -50,9 +49,10 @@ import (
 )
 
 // Version identifies the analyzer release. It participates in cache
-// content addresses, so reports cached by one version are never served
-// by another.
-const Version = "0.4.0"
+// content addresses (the report cache and the Analyzer's per-procedure
+// memo store), so results cached by one version are never served by
+// another.
+const Version = "0.5.0"
 
 // ------------------------------------------------------------- telemetry
 
@@ -331,10 +331,6 @@ type Report struct {
 	Degraded *Degradation `json:"degraded,omitempty"`
 }
 
-// ErrFrontend is returned when the source fails to lex, parse or resolve;
-// the error text lists the diagnostics.
-var ErrFrontend = errors.New("uafcheck: frontend errors")
-
 // Analyze runs the static analysis with default options.
 func Analyze(filename, src string) (*Report, error) {
 	return AnalyzeWithOptions(filename, src, DefaultOptions())
@@ -345,6 +341,9 @@ func Analyze(filename, src string) (*Report, error) {
 // The call never panics: a crash anywhere in the pipeline is recovered
 // and reported through Report.Degraded (reason DegradePanic), so batch
 // drivers can keep going past a pathological input.
+//
+// Deprecated: use AnalyzeContext with functional options. This shim
+// remains for v1 callers and behaves identically.
 func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err error) {
 	ctx := opts.Context
 	if ctx == nil {
@@ -388,7 +387,7 @@ func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err er
 
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(res.Diags))
 	}
 	rep = buildReport(res, opts)
 	if opts.Cache != nil && rep.Degraded == nil {
@@ -530,6 +529,9 @@ type BatchOptions struct {
 	// for concurrent use. The uafserve daemon streams NDJSON batch
 	// responses through this hook.
 	OnFile func(i int, fr FileReport)
+	// analyze, when set (via WithAnalyzer), replaces the per-attempt
+	// pipeline with an Analyzer handle's incremental engine.
+	analyze func(name, src string, in analysis.Options) *analysis.Result
 }
 
 // BatchSummary is the aggregate accounting of one batch run: files OK /
@@ -596,6 +598,9 @@ func (b *BatchReport) ExitCode() int {
 // Options.MetricsSinks are shared across workers (wrapped to serialize
 // concurrent emits) and receive one snapshot per file; BatchReport.
 // Metrics carries the merged aggregate.
+//
+// Deprecated: use AnalyzeFilesContext with functional options. This
+// shim remains for v1 callers and behaves identically.
 func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchReport {
 	shared := make([]MetricsSink, len(opts.MetricsSinks))
 	for i, s := range opts.MetricsSinks {
@@ -657,7 +662,7 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 		}
 		switch {
 		case r.Status == batch.FrontendError:
-			fr.Err = fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(r.Res.Diags))
+			fr.Err = fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(r.Res.Diags))
 		case r.Res != nil:
 			fr.Report = buildReport(r.Res, opts)
 			if rec := recs[i]; rec != nil {
@@ -691,6 +696,7 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 		FileTimeout: bopts.FileTimeout,
 		Retries:     bopts.Retries,
 		Analysis:    in,
+		Analyze:     bopts.analyze,
 		Ctx:         bopts.Context,
 		Obs:         rec,
 		PerFileObs: func(j int, f batch.File) *obs.Recorder {
@@ -744,7 +750,7 @@ func renderCCFG(filename, src, proc string, dot bool) (string, error) {
 	in.KeepGraphs = true
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
-		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+		return "", fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(res.Diags))
 	}
 	for _, pr := range res.Procs {
 		if proc == "" || pr.Proc.Name.Name == proc {
@@ -766,7 +772,7 @@ func PPSStateDOT(filename, src, proc string) (string, error) {
 	in.PPS.Trace = true
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
-		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+		return "", fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(res.Diags))
 	}
 	for _, pr := range res.Procs {
 		if proc == "" || pr.Proc.Name.Name == proc {
@@ -784,7 +790,7 @@ func PPSTrace(filename, src, proc string) (string, error) {
 	in.PPS.Trace = true
 	res := analysis.AnalyzeSource(filename, src, in)
 	if res.Diags.HasErrors() {
-		return "", fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(res.Diags))
+		return "", fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(res.Diags))
 	}
 	for _, pr := range res.Procs {
 		if proc == "" || pr.Proc.Name.Name == proc {
@@ -833,11 +839,11 @@ func ExploreSchedules(filename, src, entry string, runs int, seed int64, exhaust
 	diags := &source.Diagnostics{}
 	mod := parser.ParseSource(filename, src, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	info := sym.Resolve(mod, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	rec := obs.New()
 	endOracle := rec.Span(obs.PhaseOracle)
@@ -877,11 +883,11 @@ func ExploreSchedulesBounded(filename, src, entry string, maxRuns, bound int) (*
 	diags := &source.Diagnostics{}
 	mod := parser.ParseSource(filename, src, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	info := sym.Resolve(mod, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	rec := obs.New()
 	endOracle := rec.Span(obs.PhaseOracle)
@@ -904,11 +910,11 @@ func RunProgram(filename, src, entry string, seed int64) ([]string, error) {
 	diags := &source.Diagnostics{}
 	mod := parser.ParseSource(filename, src, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	info := sym.Resolve(mod, diags)
 	if diags.HasErrors() {
-		return nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	r := runtime.Run(mod, info, runtime.Config{
 		Entry:         entry,
@@ -926,11 +932,11 @@ func ExecuteTraced(filename, src, entry string, seed int64) (output, trace []str
 	diags := &source.Diagnostics{}
 	mod := parser.ParseSource(filename, src, diags)
 	if diags.HasErrors() {
-		return nil, nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	info := sym.Resolve(mod, diags)
 	if diags.HasErrors() {
-		return nil, nil, fmt.Errorf("%w:\n%s", ErrFrontend, frontendErrors(diags))
+		return nil, nil, fmt.Errorf("%w:\n%s", ErrParse, frontendErrors(diags))
 	}
 	r := runtime.Run(mod, info, runtime.Config{
 		Entry:         entry,
@@ -961,8 +967,25 @@ type TableI = eval.TableI
 
 // RunTableI analyzes the corpus and assembles Table I. The returned
 // string is the per-pattern breakdown.
+//
+// Deprecated: use RunTableIContext.
 func RunTableI(cases []CorpusCase, opts Options) (TableI, string) {
 	table, det := eval.RunTableI(cases, opts.internal())
+	return table, det.FormatPatternBreakdown()
+}
+
+// RunTableIContext analyzes the corpus under ctx and assembles Table I —
+// the context-first form of RunTableI, taking the same functional
+// options as AnalyzeContext. The returned string is the per-pattern
+// breakdown.
+func RunTableIContext(ctx context.Context, cases []CorpusCase, options ...Option) (TableI, string) {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	in := cfg.opts.internal()
+	in.Ctx = ctx
+	table, det := eval.RunTableI(cases, in)
 	return table, det.FormatPatternBreakdown()
 }
 
@@ -1020,8 +1043,27 @@ func (r *RepairResult) Clean() bool { return r.RemainingWarnings == 0 }
 // exploration before being accepted; see internal/repair for the
 // strategy catalogue (token chains with branch-total protocols,
 // sync-block fences).
+//
+// Deprecated: use RepairSourceContext.
 func RepairSource(filename, src string, opts Options) (*RepairResult, error) {
-	res, err := repair.Repair(filename, src, opts.internal())
+	return repairWith(filename, src, opts.internal())
+}
+
+// RepairSourceContext synthesizes synchronization fixes under ctx — the
+// context-first form of RepairSource, taking the same functional
+// options as AnalyzeContext.
+func RepairSourceContext(ctx context.Context, filename, src string, options ...Option) (*RepairResult, error) {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	in := cfg.opts.internal()
+	in.Ctx = ctx
+	return repairWith(filename, src, in)
+}
+
+func repairWith(filename, src string, in analysis.Options) (*RepairResult, error) {
+	res, err := repair.Repair(filename, src, in)
 	if err != nil {
 		return nil, err
 	}
