@@ -118,8 +118,9 @@ func (a *Analyzer) AnalyzeDelta(ctx context.Context, filename, src string) (rep 
 	var key cache.Key
 	if opts.Cache != nil {
 		key = reportKey(filename, src, in)
-		if hit, ok := opts.Cache.get(key); ok {
-			return cacheHit(hit, opts.MetricsSinks), nil
+		hit, ok, lookupNS := cacheLookup(ctx, opts.Cache, key, rec)
+		if ok {
+			return cacheHit(hit, opts.MetricsSinks, lookupNS), nil
 		}
 		rec.Add(obs.CtrCacheMisses, 1)
 	}
@@ -139,7 +140,7 @@ func (a *Analyzer) AnalyzeDelta(ctx context.Context, filename, src string) (rep 
 		rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
 	}
 	if opts.Cache != nil && rep.Degraded == nil {
-		opts.Cache.put(key, rep)
+		cachePut(opts.Cache, key, rep)
 	}
 	return rep, nil
 }

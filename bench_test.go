@@ -9,6 +9,7 @@
 package uafcheck_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -487,6 +488,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTracingOverhead pins the cost of span recording on the whole
+// pipeline: the same analysis with tracing off, with a report-owned
+// trace, and attached to an ambient caller trace (the server shape).
+// The warning output is identical in all three; only the span tree and
+// wall-clock histograms are added.
+func BenchmarkTracingOverhead(b *testing.B) {
+	src := mustRead(b, "testdata/figure1.chpl")
+	run := func(b *testing.B, opts ...uafcheck.Option) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := uafcheck.AnalyzeContext(context.Background(), "figure1.chpl", src, opts...)
+			if err != nil || len(rep.Warnings) != 1 {
+				b.Fatalf("warnings=%d err=%v", len(rep.Warnings), err)
+			}
+		}
+	}
+	b.Run("tracing=off", func(b *testing.B) { run(b) })
+	b.Run("tracing=on", func(b *testing.B) { run(b, uafcheck.WithTracing(true)) })
+	b.Run("tracing=ambient", func(b *testing.B) {
+		tr := obs.NewTrace(obs.DeriveTraceID("bench"))
+		ctx := obs.ContextWithTrace(context.Background(), tr)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := uafcheck.AnalyzeContext(ctx, "figure1.chpl", src, uafcheck.WithTracing(true))
+			if err != nil || len(rep.Warnings) != 1 {
+				b.Fatalf("warnings=%d err=%v", len(rep.Warnings), err)
+			}
+		}
+	})
 }
 
 // BenchmarkExploreObs isolates the recorder's cost on the raw PPS loop:

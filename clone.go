@@ -44,6 +44,24 @@ func (r *Report) Clone() *Report {
 			cp.Metrics.Gauges[k] = v
 		}
 	}
+	if r.Metrics.Hists != nil {
+		cp.Metrics.Hists = make(map[string]obs.Histogram, len(r.Metrics.Hists))
+		for k, v := range r.Metrics.Hists {
+			cp.Metrics.Hists[k] = v
+		}
+	}
+	if r.Metrics.Trace != nil {
+		cp.Metrics.Trace = append([]obs.TraceSpan(nil), r.Metrics.Trace...)
+		for i := range cp.Metrics.Trace {
+			if a := cp.Metrics.Trace[i].Attrs; a != nil {
+				ac := make(map[string]string, len(a))
+				for k, v := range a {
+					ac[k] = v
+				}
+				cp.Metrics.Trace[i].Attrs = ac
+			}
+		}
+	}
 	if r.Degraded != nil {
 		d := *r.Degraded
 		d.Procs = append([]string(nil), r.Degraded.Procs...)

@@ -14,7 +14,9 @@
 //	-stats          print per-file analysis statistics (from Metrics)
 //	-metrics        print phase timings, counters and gauges
 //	-explain        print each warning's provenance chain
-//	-trace-out=F    append the telemetry trace to F as JSON lines
+//	-trace-out=F    append the telemetry trace to F as JSON lines,
+//	                including each file's hierarchical span tree
+//	                (trace_span lines: file -> phases -> PPS waves)
 //	-prom-out=F     write aggregated metrics to F in Prometheus format
 //	-format=F       output format: text (default), json (one canonical
 //	                result line per file — byte-identical to a uafserve
@@ -164,7 +166,7 @@ func main() {
 			uafcheck.WithParallelism(*par),
 			uafcheck.WithDeadline(*timeout),
 		)
-		runWatch(ctx, os.Stdout, an, paths, *interval)
+		runWatch(ctx, os.Stdout, an, paths, *interval, *metrics)
 		os.Exit(0)
 	}
 
@@ -181,6 +183,9 @@ func main() {
 		uafcheck.WithWorkers(*jobs),
 		uafcheck.WithFileTimeout(*timeout),
 		uafcheck.WithRetries(*retries),
+		// -trace-out implies span recording: each file's JSONL gets its
+		// full span tree (file -> phases -> per-proc -> PPS waves).
+		uafcheck.WithTracing(*traceOut != ""),
 	}
 	if *cacheDir != "" {
 		apiOpts = append(apiOpts, uafcheck.WithCache(uafcheck.NewCache(uafcheck.CacheConfig{
@@ -228,7 +233,12 @@ func main() {
 			// Header line so the JSONL trace attributes spans to inputs.
 			// Emitted here, after the parallel run, so multi-file traces
 			// stay ordered and never interleave.
-			fmt.Fprintf(traceFile, "{\"type\":\"run\",\"file\":%q}\n", path)
+			if tr := rep.Metrics.Trace; len(tr) > 0 {
+				fmt.Fprintf(traceFile, "{\"type\":\"run\",\"file\":%q,\"trace_id\":%q}\n",
+					path, tr[0].TraceID)
+			} else {
+				fmt.Fprintf(traceFile, "{\"type\":\"run\",\"file\":%q}\n", path)
+			}
 			if err := uafcheck.JSONLinesMetricsSink(traceFile).Emit(rep.Metrics); err != nil {
 				fmt.Fprintf(os.Stderr, "uafcheck: trace-out: %v\n", err)
 			}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"uafcheck"
+	"uafcheck/internal/obs"
 )
 
 // watchState tracks one watched file between polls.
@@ -22,8 +23,10 @@ type watchState struct {
 // the incremental analyzer on any whose content changed, and print only
 // the warning diff ("+" appeared, "-" disappeared). The Analyzer's
 // per-procedure memo store makes each iteration cost proportional to
-// the edit, not the file. Returns when ctx is cancelled.
-func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths []string, interval time.Duration) {
+// the edit, not the file. Returns when ctx is cancelled; with
+// showMetrics the session's aggregate telemetry — including the
+// watch.polls and watch.changed_files counters — prints on exit.
+func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths []string, interval time.Duration, showMetrics bool) {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
@@ -31,8 +34,11 @@ func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths [
 	for _, p := range paths {
 		states[p] = &watchState{}
 	}
+	rec := obs.New()
+	var agg uafcheck.Metrics
 
 	pass := func(first bool) {
+		rec.Add(obs.CtrWatchPolls, 1)
 		for _, p := range paths {
 			st := states[p]
 			data, err := os.ReadFile(p)
@@ -47,6 +53,7 @@ func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths [
 				continue
 			}
 			st.src = src
+			rec.Add(obs.CtrWatchChanged, 1)
 			rep, err := an.AnalyzeDelta(ctx, p, src)
 			if err != nil {
 				// Frontend failure mid-edit is normal; keep the last good
@@ -54,6 +61,7 @@ func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths [
 				fmt.Fprintf(out, "watch: %s: %v\n", p, err)
 				continue
 			}
+			agg.Merge(rep.Metrics)
 			uafcheck.SortWarnings(rep.Warnings)
 			next := make([]string, len(rep.Warnings))
 			for i, w := range rep.Warnings {
@@ -87,6 +95,10 @@ func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths [
 	for {
 		select {
 		case <-ctx.Done():
+			if showMetrics {
+				agg.Merge(rec.Snapshot())
+				fmt.Fprintf(out, "watch metrics:\n%s", indent(agg.FormatText()))
+			}
 			return
 		case <-ticker.C:
 			pass(false)

@@ -74,7 +74,7 @@ func TestRunWatchDiffsOnEdit(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		runWatch(ctx, &out, an, []string{path}, time.Millisecond)
+		runWatch(ctx, &out, an, []string{path}, time.Millisecond, true)
 	}()
 
 	deadline := time.Now().Add(5 * time.Second)
@@ -104,5 +104,17 @@ func TestRunWatchDiffsOnEdit(t *testing.T) {
 
 	if st := an.Stats(); st.Files < 2 {
 		t.Errorf("analyzer should have seen both versions: %+v", st)
+	}
+
+	// showMetrics prints the session aggregate on exit, including the
+	// watch loop's own counters.
+	got := out.String()
+	if !strings.Contains(got, "watch metrics:") {
+		t.Fatalf("watch exit should print metrics:\n%s", got)
+	}
+	for _, ctr := range []string{"watch.polls", "watch.changed_files"} {
+		if !strings.Contains(got, ctr) {
+			t.Errorf("watch metrics missing %s counter:\n%s", ctr, got)
+		}
 	}
 }

@@ -20,6 +20,8 @@
 //	-cache-dir D     persist the content-addressed report cache under D
 //	-cache-size N    in-memory report cache entries (0 = default)
 //	-max-body N      max request body bytes (default 8 MiB)
+//	-flight-size N   request digests kept for /debug/requests (default 256)
+//	-pprof           mount net/http/pprof under /debug/pprof/
 //
 // Endpoints:
 //
@@ -34,7 +36,16 @@
 //	                        (only edited procedures recompute)
 //	GET  /healthz           readiness (503 while draining)
 //	GET  /livez             liveness
-//	GET  /metrics           Prometheus text format
+//	GET  /metrics           Prometheus text format (per-route latency
+//	                        histograms included)
+//	GET  /statusz           operational summary with p50/p90/p99 per route
+//	GET  /debug/requests    flight recorder: recent request digests;
+//	                        ?trace=<id> returns one with its span tree
+//	GET  /debug/pprof/      net/http/pprof (only with -pprof)
+//
+// Analysis endpoints accept and echo a W3C `traceparent` header; each
+// request's span tree (server -> analysis phases -> PPS waves) is
+// retrievable from /debug/requests by trace ID.
 //
 // The pre-versioning routes /analyze and /analyze-batch still answer —
 // with a Deprecation header and a server.deprecated_requests count —
@@ -75,6 +86,8 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
 		maxBody     = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
 		drainFor    = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight analyses on shutdown")
+		flightSize  = flag.Int("flight-size", 0, "request digests kept for GET /debug/requests (0 = 256)")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -94,8 +107,10 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		Parallelism:     *par,
 		BatchWorkers:    *jobs,
-		MaxBodyBytes:    *maxBody,
-		Cache:           uafcheck.NewCache(cacheCfg),
+		MaxBodyBytes:       *maxBody,
+		Cache:              uafcheck.NewCache(cacheCfg),
+		FlightRecorderSize: *flightSize,
+		EnablePprof:        *enablePprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

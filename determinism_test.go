@@ -13,10 +13,13 @@ import (
 	"testing"
 
 	"uafcheck"
+	"uafcheck/internal/obs"
 )
 
 // canonicalReport serializes a report with the only legitimately
-// nondeterministic data — span wall-clock timings — zeroed out.
+// nondeterministic data zeroed out: span wall-clock timings,
+// wall-clock histogram families (`*_ns`, see obs.HistNondeterministic),
+// and the trace span tree.
 func canonicalReport(t *testing.T, rep *uafcheck.Report) []byte {
 	t.Helper()
 	cp := rep.Clone()
@@ -24,6 +27,15 @@ func canonicalReport(t *testing.T, rep *uafcheck.Report) []byte {
 		cp.Metrics.Spans[i].Start = 0
 		cp.Metrics.Spans[i].Dur = 0
 	}
+	for name := range cp.Metrics.Hists {
+		if obs.HistNondeterministic(name) {
+			delete(cp.Metrics.Hists, name)
+		}
+	}
+	if len(cp.Metrics.Hists) == 0 {
+		cp.Metrics.Hists = nil
+	}
+	cp.Metrics.Trace = nil
 	buf, err := json.Marshal(cp)
 	if err != nil {
 		t.Fatal(err)

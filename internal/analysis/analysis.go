@@ -45,8 +45,16 @@ type Options struct {
 	// Ctx carries the file's deadline/cancellation budget. It is polled
 	// at phase boundaries and inside the PPS hot loop; when it fires,
 	// each remaining procedure degrades to conservative warnings instead
-	// of being skipped. nil means no budget.
+	// of being skipped. nil means no budget. When Ctx carries an
+	// obs.Trace, the pipeline's phases attach hierarchical spans to it.
 	Ctx context.Context
+	// RecordTrace creates a per-file trace (deterministic ID derived
+	// from the file name and content) when Ctx does not already carry
+	// one, and attaches the completed span tree to Result.Trace. When
+	// Ctx carries an ambient trace (a server request), spans go there
+	// instead and Result.Trace stays nil — the request owns the tree.
+	// Excluded from Fingerprint: tracing never changes results.
+	RecordTrace bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -159,6 +167,9 @@ type Result struct {
 	// Crashes lists procedures whose pipeline panicked; the panic was
 	// recovered, the remaining procedures still analyzed.
 	Crashes []Crash
+	// Trace is the file's completed span tree when Options.RecordTrace
+	// created a per-file trace (nil when the caller owns the trace).
+	Trace []obs.TraceSpan
 }
 
 // Degraded returns the file's aggregate degradation cause, or StopNone
@@ -197,10 +208,31 @@ func AnalyzeSource(name, src string, opts Options) *Result {
 	return AnalyzeFile(file, opts)
 }
 
-// AnalyzeFile analyzes a source file.
+// AnalyzeFile analyzes a source file. When tracing is active (an
+// ambient trace on Options.Ctx, or Options.RecordTrace) the file gets a
+// "file" span parenting the per-procedure phase spans.
 func AnalyzeFile(file *source.File, opts Options) *Result {
+	var owned *obs.Trace
+	if opts.RecordTrace && obs.TraceFrom(opts.Ctx) == nil {
+		owned = obs.NewTrace(obs.DeriveTraceID("uafcheck/file", file.Name, file.Content))
+		opts.Ctx = obs.ContextWithTrace(opts.Ctx, owned)
+	}
+	ctx, fileSp := obs.StartSpan(opts.Ctx, "file")
+	fileSp.SetAttr("name", file.Name)
+	opts.Ctx = ctx
+	res := analyzeFile(file, opts)
+	fileSp.End()
+	if owned != nil {
+		res.Trace = owned.Spans()
+		opts.Obs.SetTrace(res.Trace)
+	}
+	return res
+}
+
+// analyzeFile is AnalyzeFile's body, free of trace bookkeeping.
+func analyzeFile(file *source.File, opts Options) *Result {
 	diags := &source.Diagnostics{}
-	endParse := opts.Obs.Span(obs.PhaseParse)
+	_, endParse := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseParse)
 	mod := parser.Parse(file, diags)
 	endParse()
 	res := &Result{Module: mod, Diags: diags}
@@ -209,7 +241,7 @@ func AnalyzeFile(file *source.File, opts Options) *Result {
 		// that stops before its analysis phases.
 		return res
 	}
-	endResolve := opts.Obs.Span(obs.PhaseResolve)
+	_, endResolve := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseResolve)
 	info := sym.Resolve(mod, diags)
 	endResolve()
 	res.Info = info
@@ -263,7 +295,11 @@ func analyzeProcSafe(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]
 
 func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
 	opts Options, diags *source.Diagnostics, phase *string) *ProcResult {
-	endLower := opts.Obs.Span(obs.PhaseLower)
+	pctx, procSp := obs.StartSpan(opts.Ctx, "proc")
+	procSp.SetAttr("name", proc.Name.Name)
+	opts.Ctx = pctx
+	defer procSp.End()
+	_, endLower := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseLower)
 	prog := ir.Lower(info, proc, diags)
 	endLower()
 	*phase = obs.PhaseCCFG

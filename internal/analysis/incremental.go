@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"uafcheck/internal/ast"
 	"uafcheck/internal/cache"
@@ -172,20 +173,41 @@ type IncrStats struct {
 // retained graphs are not serializable) and fall back to AnalyzeSource,
 // as does a nil store.
 func AnalyzeSourceIncremental(name, src string, opts Options, units *Units) (*Result, IncrStats) {
-	var stats IncrStats
 	if units == nil || opts.KeepGraphs || opts.PPS.Trace {
-		return AnalyzeSource(name, src, opts), stats
+		return AnalyzeSource(name, src, opts), IncrStats{}
 	}
 	file := source.NewFile(name, src)
+	var owned *obs.Trace
+	if opts.RecordTrace && obs.TraceFrom(opts.Ctx) == nil {
+		owned = obs.NewTrace(obs.DeriveTraceID("uafcheck/file", file.Name, file.Content))
+		opts.Ctx = obs.ContextWithTrace(opts.Ctx, owned)
+	}
+	ctx, fileSp := obs.StartSpan(opts.Ctx, "file")
+	fileSp.SetAttr("name", file.Name)
+	fileSp.SetAttr("mode", "incremental")
+	opts.Ctx = ctx
+	res, stats := analyzeIncremental(file, opts, units)
+	fileSp.End()
+	if owned != nil {
+		res.Trace = owned.Spans()
+		opts.Obs.SetTrace(res.Trace)
+	}
+	return res, stats
+}
+
+// analyzeIncremental is AnalyzeSourceIncremental's body, free of trace
+// bookkeeping.
+func analyzeIncremental(file *source.File, opts Options, units *Units) (*Result, IncrStats) {
+	var stats IncrStats
 	diags := &source.Diagnostics{}
-	endParse := opts.Obs.Span(obs.PhaseParse)
+	_, endParse := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseParse)
 	mod := parser.Parse(file, diags)
 	endParse()
 	res := &Result{Module: mod, Diags: diags}
 	if diags.HasErrors() {
 		return res, stats
 	}
-	endResolve := opts.Obs.Span(obs.PhaseResolve)
+	_, endResolve := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseResolve)
 	info := sym.Resolve(mod, diags)
 	endResolve()
 	res.Info = info
@@ -202,10 +224,16 @@ func AnalyzeSourceIncremental(name, src string, opts Options, units *Units) (*Re
 		}
 		key := unitKey(units.salt, file.Name, opts, file, proc,
 			sites[proc].allSynced(), configsFP, moduleRefs(proc, info))
-		if ur, ok := units.c.Get(key); ok && ur != nil {
+		lookupStart := time.Now()
+		ur, ok := units.c.Get(key)
+		opts.Obs.Observe(obs.HistUnitLookupNS, time.Since(lookupStart).Nanoseconds())
+		if ok && ur != nil {
 			stats.UnitHits++
 			opts.Obs.Add(obs.CtrUnitHits, 1)
+			_, usp := obs.StartSpan(opts.Ctx, "unit-hit")
+			usp.SetAttr("proc", proc.Name.Name)
 			pr := ur.materialize(file, proc, beginPrefix, diags)
+			usp.End()
 			res.Procs = append(res.Procs, pr)
 			opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
 			opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))

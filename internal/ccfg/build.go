@@ -46,7 +46,8 @@ func DefaultBuildOptions() BuildOptions { return BuildOptions{Prune: true} }
 
 // Build constructs the CCFG for a lowered program.
 func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Graph {
-	endBuild := opts.Obs.Span(obs.PhaseCCFG)
+	ctx, endBuild := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseCCFG)
+	opts.Ctx = ctx
 	defer endBuild()
 	if opts.CountAtomics {
 		opts.ModelAtomics = true
@@ -74,7 +75,7 @@ func Build(prog *ir.Program, diags *source.Diagnostics, opts BuildOptions) *Grap
 	root.Exit = b.cur
 
 	if opts.Prune && (opts.Ctx == nil || opts.Ctx.Err() == nil) {
-		endPrune := opts.Obs.Span(obs.PhasePrune)
+		_, endPrune := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhasePrune)
 		prune(g)
 		endPrune()
 	}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if upper := HistBucketUpper(c.bucket); c.v > upper {
+			t.Errorf("value %d above its bucket %d upper bound %d", c.v, c.bucket, upper)
+		}
+	}
+	// Negative observations clamp to the zero bucket rather than
+	// corrupting the layout.
+	var h Histogram
+	h.Observe(-5)
+	if h.Buckets[0] != 1 || h.Sum != 0 {
+		t.Errorf("negative observe should clamp to 0: %+v", h)
+	}
+}
+
+func TestHistMergeAssociativeCommutative(t *testing.T) {
+	mk := func(vals ...int64) Histogram {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := mk(1, 5, 900, 0)
+	b := mk(2, 2, 1<<40)
+	c := mk(7)
+
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+
+	ba := b
+	ba.Merge(a)
+	abc3 := c
+	abc3.Merge(ba)
+
+	if !reflect.DeepEqual(abc1, abc2) || !reflect.DeepEqual(abc1, abc3) {
+		t.Errorf("merge not associative/commutative:\n%+v\n%+v\n%+v", abc1, abc2, abc3)
+	}
+	if abc1.Count != 8 {
+		t.Errorf("merged count = %d, want 8", abc1.Count)
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 3, 900, 1 << 50} {
+		h.Observe(v)
+	}
+	b1, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, back) {
+		t.Fatalf("round trip changed histogram: %+v -> %+v", h, back)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-marshal not byte-identical: %s vs %s", b1, b2)
+	}
+
+	var empty Histogram
+	be, err := json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emptyBack Histogram
+	if err := json.Unmarshal(be, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if !emptyBack.Empty() {
+		t.Errorf("empty histogram round trip: %+v", emptyBack)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Quantile(0.5)
+	// Log-bucket interpolation is coarse; the median of 1..1000 must
+	// land within its bucket's decade.
+	if p50 < 256 || p50 > 1023 {
+		t.Errorf("p50 = %v, want within [256,1023]", p50)
+	}
+	if p0, p100 := h.Quantile(0), h.Quantile(1); p0 > p100 {
+		t.Errorf("quantiles not monotone: p0=%v p100=%v", p0, p100)
+	}
+}
+
+func TestHistKeySplit(t *testing.T) {
+	key := HistKey(HistRequestNS, "route", "/v1/analyze")
+	fam, labels := SplitHistKey(key)
+	if fam != HistRequestNS {
+		t.Errorf("family = %q", fam)
+	}
+	if len(labels) != 1 || labels[0] != [2]string{"route", "/v1/analyze"} {
+		t.Errorf("labels = %v", labels)
+	}
+	if fam, labels := SplitHistKey("bare"); fam != "bare" || labels != nil {
+		t.Errorf("bare key split = %q %v", fam, labels)
+	}
+}
+
+func TestHistNondeterministic(t *testing.T) {
+	for key, want := range map[string]bool{
+		HistPhaseNS:  true,
+		HistKey(HistRequestNS, "route", "/v1/analyze"): true,
+		HistCacheLookupNS: true,
+		HistWaveSize:      false,
+		"custom.count":    false,
+	} {
+		if got := HistNondeterministic(key); got != want {
+			t.Errorf("HistNondeterministic(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestRecorderObserveAndMergeSnapshot(t *testing.T) {
+	r := New()
+	r.Observe(HistWaveSize, 3)
+	r.Observe(HistWaveSize, 9)
+	var h Histogram
+	h.Observe(5)
+	r.ObserveHist(HistWaveSize, h)
+	r.ObserveHist(HistWaveSize, Histogram{}) // no-op
+
+	m := r.Snapshot()
+	got := m.Hist(HistWaveSize)
+	if got.Count != 3 || got.Sum != 17 {
+		t.Errorf("snapshot hist = %+v", got)
+	}
+
+	var other Metrics
+	other.Merge(m)
+	other.Merge(m)
+	if merged := other.Hist(HistWaveSize); merged.Count != 6 || merged.Sum != 34 {
+		t.Errorf("merged hist = %+v", merged)
+	}
+	if names := m.HistNames(); len(names) != 1 || names[0] != HistWaveSize {
+		t.Errorf("HistNames = %v", names)
+	}
+}

@@ -119,6 +119,11 @@ const (
 	// recomputed from scratch.
 	CtrUnitHits   = "incr.unit_hits"
 	CtrUnitMisses = "incr.unit_misses"
+
+	// uafcheck -watch poll loop: polls performed and source files whose
+	// content hash changed between polls.
+	CtrWatchPolls   = "watch.polls"
+	CtrWatchChanged = "watch.changed_files"
 )
 
 // Gauge names.
@@ -145,6 +150,14 @@ type Metrics struct {
 	Spans    []Span           `json:"spans,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Hists holds fixed-bucket log2 histograms keyed by
+	// "family|label=value,..." (see HistKey). Families ending in "_ns"
+	// are wall-clock and nondeterministic; all others are
+	// schedule-independent.
+	Hists map[string]Histogram `json:"hists,omitempty"`
+	// Trace is the span tree of the run when request tracing was on —
+	// hierarchical TraceSpans, unlike the flat aggregate Spans above.
+	Trace []TraceSpan `json:"trace,omitempty"`
 }
 
 // Counter returns the named counter, or 0.
@@ -210,11 +223,14 @@ func (m Metrics) aggregateSpans() []phaseAgg {
 	return out
 }
 
-// Merge folds other into m: spans are concatenated, counters summed,
-// gauges kept at their maximum. Used by aggregate runs (corpus
-// evaluation) to combine per-case metrics.
+// Merge folds other into m: spans and trace spans are concatenated,
+// counters summed, gauges kept at their maximum, histograms summed
+// bucket-wise. Counter, gauge and histogram merging is commutative and
+// associative, so aggregate runs (corpus evaluation, the uafserve
+// metrics aggregator) produce the same totals in any merge order.
 func (m *Metrics) Merge(other Metrics) {
 	m.Spans = append(m.Spans, other.Spans...)
+	m.Trace = append(m.Trace, other.Trace...)
 	for k, v := range other.Counters {
 		if m.Counters == nil {
 			m.Counters = make(map[string]int64)
@@ -228,6 +244,14 @@ func (m *Metrics) Merge(other Metrics) {
 		if v > m.Gauges[k] {
 			m.Gauges[k] = v
 		}
+	}
+	for k, v := range other.Hists {
+		if m.Hists == nil {
+			m.Hists = make(map[string]Histogram)
+		}
+		h := m.Hists[k]
+		h.Merge(v)
+		m.Hists[k] = h
 	}
 }
 
@@ -243,6 +267,8 @@ type Recorder struct {
 	spans    []Span
 	counters map[string]int64
 	gauges   map[string]int64
+	hists    map[string]*Histogram
+	trace    []TraceSpan
 }
 
 // New creates a Recorder emitting to the given sinks on Flush.
@@ -252,6 +278,7 @@ func New(sinks ...Sink) *Recorder {
 		sinks:    sinks,
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -272,8 +299,46 @@ func (r *Recorder) Span(name string) (end func()) {
 		dur := time.Since(r.t0) - start
 		r.mu.Lock()
 		r.spans = append(r.spans, Span{Name: name, Start: start, Dur: dur})
+		r.observeLocked(HistKey(HistPhaseNS, "phase", name), dur.Nanoseconds())
 		r.mu.Unlock()
 	}
+}
+
+// observeLocked records one histogram value; r.mu must be held.
+func (r *Recorder) observeLocked(name string, v int64) {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Observe records one value into the named histogram.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observeLocked(name, v)
+	r.mu.Unlock()
+}
+
+// ObserveHist merges a locally accumulated histogram into the named
+// histogram — the bulk form hot loops use: accumulate into a stack
+// Histogram, merge once per phase, exactly like the flushed counters.
+func (r *Recorder) ObserveHist(name string, h Histogram) {
+	if r == nil || h.Empty() {
+		return
+	}
+	r.mu.Lock()
+	dst := r.hists[name]
+	if dst == nil {
+		dst = &Histogram{}
+		r.hists[name] = dst
+	}
+	dst.Merge(h)
+	r.mu.Unlock()
 }
 
 // Add bumps a counter by delta.
@@ -298,6 +363,19 @@ func (r *Recorder) Max(name string, v int64) {
 	r.mu.Unlock()
 }
 
+// SetTrace attaches a completed span tree to the recorder; Snapshot
+// carries it as Metrics.Trace, so sinks (the JSONL trace file) and
+// Report.Metrics pick it up without extra plumbing. The per-file
+// analysis entry points call this when they own the run's trace.
+func (r *Recorder) SetTrace(spans []TraceSpan) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace = spans
+	r.mu.Unlock()
+}
+
 // Snapshot returns a deep copy of the current state.
 func (r *Recorder) Snapshot() Metrics {
 	if r == nil {
@@ -316,6 +394,13 @@ func (r *Recorder) Snapshot() Metrics {
 	for k, v := range r.gauges {
 		m.Gauges[k] = v
 	}
+	if len(r.hists) > 0 {
+		m.Hists = make(map[string]Histogram, len(r.hists))
+		for k, h := range r.hists {
+			m.Hists[k] = *h
+		}
+	}
+	m.Trace = append([]TraceSpan(nil), r.trace...)
 	return m
 }
 

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidatePromText is a dependency-free Prometheus text exposition
+// format linter: it parses every line of data and checks the structural
+// rules a real scraper relies on. Used by the /metrics lint tests (and
+// available to operators via tests only — it is not on any serving
+// path).
+//
+// Checked rules:
+//   - every sample line is `name{labels} value` or `name value` with a
+//     legal metric name, legal label names, correctly quoted/escaped
+//     label values, and a parseable float value;
+//   - `# TYPE` lines are well-formed, name each metric at most once,
+//     and precede that metric's samples;
+//   - samples of one metric name are contiguous (no interleaving);
+//   - histogram families expose `_bucket`, `_sum` and `_count` series,
+//     bucket counts are cumulative (non-decreasing in `le` order), an
+//     `le="+Inf"` bucket exists, and it equals the `_count` value.
+func ValidatePromText(data []byte) error {
+	type histSeries struct {
+		buckets map[string][]histBucketSample // label-set key -> buckets
+		count   map[string]float64
+		hasSum  map[string]bool
+	}
+	typed := make(map[string]string) // metric name -> TYPE
+	seen := make(map[string]bool)    // metric names with samples
+	hists := make(map[string]*histSeries)
+	lastName := ""
+	closed := make(map[string]bool) // sample blocks already finished
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !validPromName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if seen[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				typed[name] = kind
+				if kind == "histogram" {
+					hists[name] = &histSeries{
+						buckets: make(map[string][]histBucketSample),
+						count:   make(map[string]float64),
+						hasSum:  make(map[string]bool),
+					}
+				}
+			}
+			continue // HELP and other comments are free-form
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		family, suffix := "", ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if _, ok := hists[trimmed]; ok {
+					family, suffix = trimmed, sfx
+					base = trimmed
+					break
+				}
+			}
+		}
+		if base != lastName {
+			if closed[base] {
+				return fmt.Errorf("line %d: samples of %q are not contiguous", lineNo, base)
+			}
+			if lastName != "" {
+				closed[lastName] = true
+			}
+			lastName = base
+		}
+		seen[base] = true
+
+		if family != "" {
+			hs := hists[family]
+			key := labelSetKey(labels, "le")
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket of %q without le label", lineNo, family)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				hs.buckets[key] = append(hs.buckets[key], histBucketSample{bound, value})
+			case "_sum":
+				hs.hasSum[key] = true
+			case "_count":
+				hs.count[key] = value
+			}
+			continue
+		}
+		if _, ok := labels["le"]; ok && typed[base] != "histogram" {
+			return fmt.Errorf("line %d: le label on non-histogram metric %q", lineNo, base)
+		}
+		_ = value
+	}
+
+	for family, hs := range hists {
+		if !seen[family] {
+			return fmt.Errorf("histogram %q declared but has no samples", family)
+		}
+		var keys []string
+		for k := range hs.buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			buckets := hs.buckets[key]
+			prev := math.Inf(-1)
+			prevCum := -1.0
+			sawInf := false
+			for _, bs := range buckets {
+				if bs.bound <= prev {
+					return fmt.Errorf("histogram %q{%s}: le bounds not increasing", family, key)
+				}
+				if bs.cum < prevCum {
+					return fmt.Errorf("histogram %q{%s}: bucket counts not cumulative", family, key)
+				}
+				prev, prevCum = bs.bound, bs.cum
+				if math.IsInf(bs.bound, 1) {
+					sawInf = true
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %q{%s}: missing le=\"+Inf\" bucket", family, key)
+			}
+			count, ok := hs.count[key]
+			if !ok {
+				return fmt.Errorf("histogram %q{%s}: missing _count series", family, key)
+			}
+			if !hs.hasSum[key] {
+				return fmt.Errorf("histogram %q{%s}: missing _sum series", family, key)
+			}
+			if last := buckets[len(buckets)-1].cum; last != count {
+				return fmt.Errorf("histogram %q{%s}: +Inf bucket %g != count %g", family, key, last, count)
+			}
+		}
+	}
+	return nil
+}
+
+type histBucketSample struct {
+	bound float64
+	cum   float64
+}
+
+// parseLe parses an le bound, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// labelSetKey canonicalizes a label map (minus the excluded label) for
+// grouping histogram series.
+func labelSetKey(labels map[string]string, exclude string) string {
+	var keys []string
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// validPromName reports whether s is a legal metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether s is a legal label name.
+func validPromLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses one sample line into name, labels and value.
+func parsePromSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:i]
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := make(map[string]string)
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validPromLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q in %q", lname, line)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[1], line)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", lname, line)
+			}
+			labels[lname] = val.String()
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q in %q", fields[0], line)
+	}
+	return name, labels, v, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -85,6 +86,14 @@ func (m Metrics) FormatText() string {
 			fmt.Fprintf(&b, "  %-28s %10d\n", n, m.Gauges[n])
 		}
 	}
+	if len(m.Hists) > 0 {
+		b.WriteString("histograms:\n")
+		for _, n := range m.HistNames() {
+			h := m.Hists[n]
+			fmt.Fprintf(&b, "  %-28s count=%d sum=%d p50=%.0f p90=%.0f p99=%.0f\n",
+				n, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		}
+	}
 	return b.String()
 }
 
@@ -110,18 +119,43 @@ type JSONLSink struct {
 	W io.Writer
 }
 
-// jsonlRecord is the line schema of JSONLSink.
+// jsonlRecord is the line schema of JSONLSink. Flat recorder spans are
+// "span" lines; hierarchical request-tree spans are "trace_span" lines
+// carrying their trace/span/parent IDs; histograms are "hist" lines
+// with sparse [bucket, count] pairs.
 type jsonlRecord struct {
-	Type    string `json:"type"`
-	Name    string `json:"name"`
-	StartUS int64  `json:"start_us,omitempty"`
-	DurUS   int64  `json:"dur_us,omitempty"`
-	Value   int64  `json:"value,omitempty"`
+	Type    string            `json:"type"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us,omitempty"`
+	DurUS   int64             `json:"dur_us,omitempty"`
+	Value   int64             `json:"value,omitempty"`
+	TraceID string            `json:"trace_id,omitempty"`
+	SpanID  string            `json:"span_id,omitempty"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     int64             `json:"sum,omitempty"`
+	Buckets [][2]int64        `json:"buckets,omitempty"`
 }
 
 // Emit implements Sink.
 func (s JSONLSink) Emit(m Metrics) error {
 	enc := json.NewEncoder(s.W)
+	for _, sp := range m.Trace {
+		rec := jsonlRecord{
+			Type:    "trace_span",
+			Name:    sp.Name,
+			StartUS: sp.Start.Microseconds(),
+			DurUS:   sp.Dur.Microseconds(),
+			TraceID: sp.TraceID,
+			SpanID:  sp.SpanID,
+			Parent:  sp.Parent,
+			Attrs:   sp.Attrs,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
 	for _, sp := range m.Spans {
 		rec := jsonlRecord{
 			Type:    "span",
@@ -140,6 +174,18 @@ func (s JSONLSink) Emit(m Metrics) error {
 	}
 	for _, n := range m.GaugeNames() {
 		if err := enc.Encode(jsonlRecord{Type: "gauge", Name: n, Value: m.Gauges[n]}); err != nil {
+			return err
+		}
+	}
+	for _, n := range m.HistNames() {
+		h := m.Hists[n]
+		rec := jsonlRecord{Type: "hist", Name: n, Count: h.Count, Sum: h.Sum}
+		for i, c := range h.Buckets {
+			if c != 0 {
+				rec.Buckets = append(rec.Buckets, [2]int64{int64(i), c})
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}
@@ -179,8 +225,107 @@ func (s PromSink) Emit(m Metrics) error {
 		pn := promName(prefix, n)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Gauges[n])
 	}
+	writePromHists(&b, prefix, m)
 	_, err := io.WriteString(s.W, b.String())
 	return err
+}
+
+// writePromHists renders Metrics.Hists as Prometheus histogram
+// families: keys sharing a family (the part before '|') become one
+// metric name, their label suffixes become label sets, and the fixed
+// log2 buckets become cumulative `le` series with exact power-of-two
+// bounds (le="2^i - 1"). Output order is deterministic: families
+// sorted, label sets sorted within a family.
+func writePromHists(b *strings.Builder, prefix string, m Metrics) {
+	if len(m.Hists) == 0 {
+		return
+	}
+	byFamily := make(map[string][]string)
+	var families []string
+	for _, key := range m.HistNames() { // sorted, so per-family key order is sorted too
+		family, _ := SplitHistKey(key)
+		if _, ok := byFamily[family]; !ok {
+			families = append(families, family)
+		}
+		byFamily[family] = append(byFamily[family], key)
+	}
+	sort.Strings(families)
+	for _, family := range families {
+		pn := promName(prefix, family)
+		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
+		for _, key := range byFamily[family] {
+			h := m.Hists[key]
+			_, labels := SplitHistKey(key)
+			base := promLabelPrefix(labels)
+			// Emit buckets up to the highest populated index; +Inf
+			// carries the rest. Indexes >= 63 share the MaxInt64 bound,
+			// so they fold into +Inf instead of duplicating an le.
+			top := 0
+			for i, c := range h.Buckets {
+				if c != 0 {
+					top = i
+				}
+			}
+			if top > 62 {
+				top = 62
+			}
+			var cum int64
+			for i := 0; i <= top; i++ {
+				cum += h.Buckets[i]
+				fmt.Fprintf(b, "%s_bucket{%sle=\"%d\"} %d\n", pn, base, HistBucketUpper(i), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", pn, base, h.Count)
+			if len(labels) == 0 {
+				fmt.Fprintf(b, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+			} else {
+				lbl := strings.TrimSuffix(base, ",")
+				fmt.Fprintf(b, "%s_sum{%s} %d\n%s_count{%s} %d\n", pn, lbl, h.Sum, pn, lbl, h.Count)
+			}
+		}
+	}
+}
+
+// promLabelPrefix renders labels as `k1="v1",k2="v2",` (trailing comma
+// so an `le` label can append), with values escaped per the text
+// exposition format.
+func promLabelPrefix(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, kv := range labels {
+		b.WriteString(promLabelName(kv[0]))
+		b.WriteString("=\"")
+		b.WriteString(promEscape(kv[1]))
+		b.WriteString("\",")
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label name to [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
 }
 
 func promName(prefix, name string) string {

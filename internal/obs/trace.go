@@ -1,0 +1,407 @@
+// Request-scoped distributed tracing: hierarchical spans with
+// deterministic IDs, carried through context.Context, interoperable
+// with W3C traceparent at HTTP boundaries.
+//
+// Traces complement the Recorder's flat phase spans: a Recorder span is
+// an aggregate timing bucket, a TraceSpan belongs to one request (or
+// one CLI run) and knows its parent, so a single /v1/analyze request
+// can be reconstructed as a tree — server handler → file analysis →
+// per-procedure phases → PPS waves → cache lookups.
+//
+// Determinism: trace IDs are either ingested from the caller's
+// traceparent header or derived by hashing stable content
+// (DeriveTraceID), and span IDs are a per-trace sequence counter — no
+// RNG anywhere, so replaying the same input through the same build
+// yields the same tree shape and the same IDs (only wall-clock offsets
+// differ).
+//
+// Everything is nil-safe the same way the Recorder is: StartSpan on a
+// context without a trace returns a nil *ActiveSpan whose methods are
+// no-ops, so library code traces unconditionally and pays one
+// context.Value lookup when tracing is off.
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID decodes a 32-hex-digit trace ID; ok is false for
+// malformed or all-zero input.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// ParseSpanID decodes a 16-hex-digit span ID; ok is false for malformed
+// or all-zero input.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// DeriveTraceID builds a deterministic trace ID by hashing the given
+// parts (length-prefixed, so ("ab","c") and ("a","bc") differ). The
+// same inputs always produce the same ID — the property that lets a
+// CLI rerun or a test look up "the" trace of a file without plumbing
+// IDs around.
+func DeriveTraceID(parts ...string) TraceID {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	var id TraceID
+	copy(id[:], h.Sum(nil))
+	if id.IsZero() {
+		id[15] = 1 // all-zero is invalid per W3C; astronomically unlikely
+	}
+	return id
+}
+
+// ---------------------------------------------------------------- traceparent
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<trace-id>-<parent-id>-<flags>"). ok is false for malformed
+// headers, unknown versions, or all-zero IDs.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return TraceID{}, SpanID{}, false // only version 00 is understood
+	}
+	if len(h) != 55 {
+		return TraceID{}, SpanID{}, false // version 00 has no trailing fields
+	}
+	tid, ok := ParseTraceID(h[3:35])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	sid, ok := ParseSpanID(h[36:52])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.DecodeString(h[53:55]); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set.
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	return "00-" + tid.String() + "-" + sid.String() + "-01"
+}
+
+// ---------------------------------------------------------------- trace
+
+// TraceSpan is one completed span of a trace — the serializable form
+// flight-recorder digests, Metrics.Trace, and the JSONL trace file
+// carry.
+type TraceSpan struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// Parent is the parent span's ID; empty for a root span (or a span
+	// whose parent lives in the remote caller).
+	Parent string        `json:"parent_id,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	// Attrs carries small structured annotations (wave sizes, file
+	// names, hit/miss outcomes). Values are strings so the JSON form is
+	// stable.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultTraceSpans caps the spans one trace retains; later spans are
+// counted as dropped rather than growing without bound (a pathological
+// input can run thousands of PPS waves).
+const DefaultTraceSpans = 4096
+
+// Trace collects the spans of one request or run. Safe for concurrent
+// use; span IDs are a sequence counter so they are deterministic given
+// a deterministic span creation order.
+type Trace struct {
+	id   TraceID
+	t0   time.Time
+	next atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []TraceSpan
+	max     int
+	dropped int64
+}
+
+// NewTrace creates an empty trace with the given ID, retaining at most
+// DefaultTraceSpans spans.
+func NewTrace(id TraceID) *Trace {
+	return &Trace{id: id, t0: time.Now(), max: DefaultTraceSpans}
+}
+
+// ID returns the trace's identifier.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Dropped returns how many completed spans were discarded because the
+// trace hit its span cap.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the completed spans ordered by start offset
+// (ties broken by span ID, which encodes creation order).
+func (t *Trace) Spans() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]TraceSpan(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// newSpanID hands out the next sequential span ID (1, 2, 3, ...).
+func (t *Trace) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.next.Add(1))
+	return id
+}
+
+// record appends a completed span, honoring the span cap.
+func (t *Trace) record(sp TraceSpan) {
+	t.mu.Lock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, sp)
+	}
+	t.mu.Unlock()
+}
+
+// ---------------------------------------------------------------- context
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// ContextWithTrace returns a context carrying the trace; child spans
+// started from it attach to the trace. A nil ctx is treated as
+// context.Background().
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// ContextWithParentSpan marks sid as the parent for the next StartSpan.
+// Used at the HTTP boundary to parent the server's root span under the
+// remote caller's span from traceparent.
+func ContextWithParentSpan(ctx context.Context, sid SpanID) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sid)
+}
+
+// CurrentSpanID returns the span ID the context is inside of, if any.
+func CurrentSpanID(ctx context.Context) (SpanID, bool) {
+	if ctx == nil {
+		return SpanID{}, false
+	}
+	sid, ok := ctx.Value(spanCtxKey{}).(SpanID)
+	return sid, ok
+}
+
+// Detach returns a fresh context (no deadline, no cancellation) that
+// still carries ctx's trace and current span. Handlers that must
+// outlive the request context (uafserve's singleflight leaders) use
+// this so their analysis spans stay in the request's trace.
+func Detach(ctx context.Context) context.Context {
+	out := context.Background()
+	if tr := TraceFrom(ctx); tr != nil {
+		out = ContextWithTrace(out, tr)
+	}
+	if sid, ok := CurrentSpanID(ctx); ok {
+		out = ContextWithParentSpan(out, sid)
+	}
+	return out
+}
+
+// ActiveSpan is an in-flight span. All methods are nil-safe so callers
+// can trace unconditionally:
+//
+//	ctx, sp := obs.StartSpan(ctx, "parse")
+//	defer sp.End()
+type ActiveSpan struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	attrs map[string]string
+	done  bool
+}
+
+// StartSpan opens a span named name if ctx carries a trace. The
+// returned context parents subsequent StartSpan calls under the new
+// span. Without a trace it returns (ctx, nil) — and a nil *ActiveSpan's
+// methods are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &ActiveSpan{
+		tr:    tr,
+		id:    tr.newSpanID(),
+		name:  name,
+		start: time.Since(tr.t0),
+	}
+	if parent, ok := CurrentSpanID(ctx); ok {
+		sp.parent = parent
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp.id), sp
+}
+
+// SpanID returns the span's ID (zero for a nil span).
+func (sp *ActiveSpan) SpanID() SpanID {
+	if sp == nil {
+		return SpanID{}
+	}
+	return sp.id
+}
+
+// SetAttr attaches a string annotation to the span.
+func (sp *ActiveSpan) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string, 4)
+	}
+	sp.attrs[key] = value
+	sp.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer annotation to the span.
+func (sp *ActiveSpan) SetAttrInt(key string, value int64) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End completes the span and records it on its trace. Calling End more
+// than once (or on a nil span) is a no-op.
+func (sp *ActiveSpan) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.done {
+		sp.mu.Unlock()
+		return
+	}
+	sp.done = true
+	attrs := sp.attrs
+	sp.mu.Unlock()
+
+	out := TraceSpan{
+		TraceID: sp.tr.id.String(),
+		SpanID:  sp.id.String(),
+		Name:    sp.name,
+		Start:   sp.start,
+		Dur:     time.Since(sp.tr.t0) - sp.start,
+		Attrs:   attrs,
+	}
+	if !sp.parent.IsZero() {
+		out.Parent = sp.parent.String()
+	}
+	sp.tr.record(out)
+}
+
+// StartPhase opens a Recorder span and a trace span with the same name
+// and returns a single closer for both — the one-liner the pipeline's
+// phase boundaries use so flat aggregates and the request tree stay in
+// sync. Either side may be absent (nil Recorder, traceless ctx).
+func StartPhase(ctx context.Context, r *Recorder, name string) (context.Context, func()) {
+	endSpan := r.Span(name)
+	ctx, sp := StartSpan(ctx, name)
+	if sp == nil {
+		return ctx, endSpan
+	}
+	return ctx, func() {
+		sp.End()
+		endSpan()
+	}
+}

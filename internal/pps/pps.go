@@ -224,6 +224,13 @@ type Provenance struct {
 	// reporting state, oldest first ("initial", "r#3 N#2", ...). Long
 	// chains are truncated at the front with a "…" marker.
 	Chain []string `json:"chain,omitempty"`
+	// TraceID links the warning to the request/run trace whose
+	// exploration produced it. In-memory only (excluded from JSON): the
+	// wire encoding must stay byte-identical between traced and
+	// untraced runs of the same input. Trace-aware consumers — the
+	// uafserve flight recorder, the -trace-out JSONL file — carry the
+	// trace ID at their own layer.
+	TraceID string `json:"-"`
 }
 
 // maxProvChain bounds the recorded transition chain per warning.
@@ -231,7 +238,7 @@ const maxProvChain = 64
 
 // provenance builds the chain for a report at state p.
 func (e *explorer) provenance(a *ccfg.Access, p *PPS, stuck bool) *Provenance {
-	pr := &Provenance{NodeID: a.Node.ID, Node: a.Node.String(), SinkPPS: -1, Stuck: stuck}
+	pr := &Provenance{NodeID: a.Node.ID, Node: a.Node.String(), SinkPPS: -1, Stuck: stuck, TraceID: e.traceID}
 	if p == nil {
 		return pr
 	}
@@ -306,6 +313,7 @@ type Result struct {
 func Explore(g *ccfg.Graph, opts Options) *Result {
 	endExplore := opts.Obs.Span(obs.PhaseExplore)
 	defer endExplore()
+	tctx, tsp := obs.StartSpan(opts.Ctx, obs.PhaseExplore)
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = defaultMaxStates
 	}
@@ -321,9 +329,16 @@ func Explore(g *ccfg.Graph, opts Options) *Result {
 		reported:    bits.New(len(g.Accesses)),
 		res:         &Result{},
 		varAccess:   buildVarAccess(g),
+		traceCtx:    tctx,
+	}
+	if tr := obs.TraceFrom(tctx); tr != nil {
+		e.traceID = tr.ID().String()
 	}
 	e.run()
 	e.flushObs()
+	tsp.SetAttrInt("waves", int64(e.res.Stats.Waves))
+	tsp.SetAttrInt("states", int64(e.res.Stats.StatesProcessed))
+	tsp.End()
 	return e.res
 }
 
@@ -357,6 +372,7 @@ func (e *explorer) flushObs() {
 	r.Add(obs.CtrTransWrite, e.trans[3])
 	r.Add(obs.CtrTransAtomicFill, e.trans[4])
 	r.Add(obs.CtrTransAtomicWait, e.trans[5])
+	r.ObserveHist(obs.HistWaveSize, e.waveHist)
 }
 
 // buildVarAccess indexes tracked accesses by variable.
@@ -397,6 +413,15 @@ type explorer struct {
 	// mhp, when non-nil, accumulates may-happen-in-parallel pairs from
 	// every processed state (see BuildMHP).
 	mhp *MHPOracle
+	// waveHist accumulates frontier sizes locally (the hot loop never
+	// touches the Recorder); flushObs merges it once. Frontier sizes are
+	// schedule-independent, so this histogram is deterministic.
+	waveHist obs.Histogram
+	// traceCtx carries the request trace (if any) under the pps-explore
+	// span; wave spans parent under it. traceID caches the trace's ID
+	// for warning provenance linkage.
+	traceCtx context.Context
+	traceID  string
 }
 
 // outcome is one way execution can proceed from a point: a set of ASN
@@ -471,17 +496,24 @@ func (e *explorer) run() {
 			p.queued = false
 		}
 		e.res.Stats.Waves++
+		e.waveHist.Observe(int64(len(frontier)))
+		_, wsp := obs.StartSpan(e.traceCtx, "pps-wave")
+		wsp.SetAttrInt("wave", int64(e.res.Stats.Waves))
+		wsp.SetAttrInt("size", int64(len(frontier)))
 		wave, interrupted := e.computeWave(frontier)
 		if interrupted {
 			// A worker saw the context fire mid-wave; the whole wave is
 			// discarded uncommitted, so StatesProcessed never counts a
 			// partially applied round.
+			wsp.SetAttr("interrupted", "true")
+			wsp.End()
 			e.ctxStop = stopFromCtx(e.opts.Ctx.Err())
 			break
 		}
 		for i, p := range frontier {
 			e.commitState(p, wave[i])
 		}
+		wsp.End()
 	}
 	switch {
 	case e.ctxStop != StopNone:

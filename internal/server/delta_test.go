@@ -6,6 +6,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -153,7 +155,9 @@ func TestDeltaFrontendError(t *testing.T) {
 // plus server.deprecated_requests — and the versioned routes stay
 // unflagged.
 func TestDeprecatedAliases(t *testing.T) {
-	srv, ts := newTestServer(t, Config{})
+	// Discard the one-time deprecation warning; TestDeprecatedAliasLogsOnce
+	// covers it.
+	srv, ts := newTestServer(t, Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	req := AnalyzeRequest{Name: "a.chpl", Src: "proc p() {\n  var x: int = 0;\n  begin with (ref x) {\n    x = 1;\n  }\n}\n"}
 
 	respV, bodyV := post(t, ts, "/v1/analyze", req)

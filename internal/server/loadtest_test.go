@@ -18,6 +18,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +30,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"uafcheck/internal/obs"
 )
 
 // buildBinary compiles a command into dir and returns the binary path.
@@ -138,7 +141,9 @@ func TestLoadEndToEnd(t *testing.T) {
 
 	// 3. Overload: distinct slow requests past slots+queue must draw
 	// 429s with Retry-After, and every client still gets an HTTP
-	// response (http.Post errors on dropped connections).
+	// response (http.Post errors on dropped connections). While the
+	// burst is in flight, the observability surface must stay
+	// responsive: /debug/requests and /statusz answer 200 under load.
 	var rejected, succeeded int
 	var mu sync.Mutex
 	for i := 0; i < 8; i++ {
@@ -162,18 +167,58 @@ func TestLoadEndToEnd(t *testing.T) {
 			}
 		}(i)
 	}
+	for _, probe := range []string{"/debug/requests", "/statusz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatalf("GET %s during load: %v", probe, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s during load: status %d", probe, resp.StatusCode)
+		}
+		if !json.Valid(body) {
+			t.Errorf("GET %s during load: invalid JSON: %s", probe, body)
+		}
+	}
 	wg.Wait()
 	if succeeded == 0 || rejected == 0 {
 		t.Fatalf("overload: ok=%d rejected=%d, want both > 0", succeeded, rejected)
 	}
 
-	// 4. Counters: the daemon's own view must agree.
+	// 3b. Flight recorder: a fresh request's trace ID (echoed in the
+	// traceparent header) resolves to a span-tree digest.
+	respT, _ := postSrc(t, base, "traced.chpl", fanoutSrc("traced", 6), 0)
+	parts := strings.Split(respT.Header.Get("traceparent"), "-")
+	if len(parts) != 4 {
+		t.Fatalf("bad traceparent %q", respT.Header.Get("traceparent"))
+	}
+	respD, err := http.Get(base + "/debug/requests?trace=" + parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, _ := io.ReadAll(respD.Body)
+	respD.Body.Close()
+	if respD.StatusCode != http.StatusOK {
+		t.Errorf("trace lookup: status %d: %s", respD.StatusCode, digest)
+	}
+	for _, want := range []string{`"spans"`, `"pps-wave"`, `"route":"/v1/analyze"`} {
+		if !strings.Contains(string(digest), want) {
+			t.Errorf("digest missing %s:\n%s", want, digest)
+		}
+	}
+
+	// 4. Counters: the daemon's own view must agree, and the whole
+	// exposition must parse as valid Prometheus text format.
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err := obs.ValidatePromText(metrics); err != nil {
+		t.Errorf("/metrics fails prometheus lint: %v", err)
+	}
 	for _, probe := range []string{"uafcheck_server_dedup_hits", "uafcheck_server_rejects"} {
 		val := int64(-1)
 		for _, line := range strings.Split(string(metrics), "\n") {

@@ -37,7 +37,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -74,6 +76,15 @@ type Config struct {
 	// the process-wide tier under the singleflight layer. The server
 	// owns its lifecycle: Shutdown flushes and closes it.
 	Cache *uafcheck.Cache
+	// FlightRecorderSize bounds the /debug/requests digest ring
+	// (0 = DefaultFlightRecorderSize).
+	FlightRecorderSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are a debugging surface, not a
+	// production one.
+	EnablePprof bool
+	// Logger receives operational log records (nil = slog.Default()).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -172,11 +183,21 @@ type errorBody struct {
 // Server is the daemon's request-independent state. Create with New,
 // expose via Handler, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	gate    *gate
-	flights *flightGroup
-	rec     *obs.Recorder
-	start   time.Time
+	cfg       Config
+	gate      *gate
+	flights   *flightGroup
+	rec       *obs.Recorder
+	start     time.Time
+	flightrec *flightRecorder
+	logger    *slog.Logger
+
+	// traceSeq numbers requests that arrive without a traceparent; the
+	// derived trace IDs are unique per request and reproducible within
+	// one server run.
+	traceSeq atomic.Uint64
+	// deprOnce gates the one-time deprecation warning: the log line
+	// fires on the first unversioned-alias hit only, the counter on all.
+	deprOnce sync.Once
 
 	// active counts requests anywhere inside a handler (admitted or
 	// not); Shutdown polls it to zero after closing the gate.
@@ -202,12 +223,18 @@ const maxAnalyzers = 8
 // New builds a Server from cfg (zero values take documented defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return &Server{
 		cfg:       cfg,
 		gate:      newGate(cfg.MaxInflight, cfg.QueueDepth),
 		flights:   newFlightGroup(),
 		rec:       obs.New(),
 		start:     time.Now(),
+		flightrec: newFlightRecorder(cfg.FlightRecorderSize),
+		logger:    logger,
 		analyzers: make(map[string]*uafcheck.Analyzer),
 	}
 }
@@ -218,15 +245,134 @@ func New(cfg Config) *Server {
 // /v1/delta have no unversioned form).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/analyze-batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/delta", s.handleDelta)
-	mux.HandleFunc("POST /analyze", s.deprecatedAlias("/v1/analyze", s.handleAnalyze))
-	mux.HandleFunc("POST /analyze-batch", s.deprecatedAlias("/v1/analyze-batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/analyze", s.traced("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/analyze-batch", s.traced("/v1/analyze-batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/delta", s.traced("/v1/delta", s.handleDelta))
+	mux.HandleFunc("POST /analyze",
+		s.deprecatedAlias("/v1/analyze", s.traced("/analyze", s.handleAnalyze)))
+	mux.HandleFunc("POST /analyze-batch",
+		s.deprecatedAlias("/v1/analyze-batch", s.traced("/analyze-batch", s.handleBatch)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// traced wraps an analysis route with the request-scoped observability
+// layer: it adopts the caller's W3C traceparent (or derives a fresh
+// trace ID), roots the request's span tree, carries both on the request
+// context so the library stack attaches its phase and wave spans,
+// echoes the traceparent on the response, records the request latency
+// on the per-route histogram, and files a digest with the flight
+// recorder when the request completes.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tid, remoteParent, hasRemote := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !hasRemote {
+			tid = obs.DeriveTraceID("uafserve/request",
+				strconv.FormatInt(s.start.UnixNano(), 36),
+				strconv.FormatUint(s.traceSeq.Add(1), 36))
+		}
+		tr := obs.NewTrace(tid)
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		if hasRemote {
+			ctx = obs.ContextWithParentSpan(ctx, remoteParent)
+		}
+		ctx, root := obs.StartSpan(ctx, "request")
+		root.SetAttr("route", route)
+		st := &reqState{}
+		ctx = context.WithValue(ctx, reqStateKey{}, st)
+
+		w.Header().Set("traceparent", obs.FormatTraceparent(tid, root.SpanID()))
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r.WithContext(ctx))
+		dur := time.Since(t0)
+		root.SetAttrInt("status", int64(sw.status()))
+		root.End()
+
+		s.rec.Observe(obs.HistKey(obs.HistRequestNS, "route", route), dur.Nanoseconds())
+		spans := tr.Spans()
+		st.mu.Lock()
+		d := RequestDigest{
+			TraceID:   tid.String(),
+			Route:     route,
+			Status:    sw.status(),
+			Start:     t0,
+			DurMS:     dur.Milliseconds(),
+			Outcome:   st.outcome,
+			Degraded:  st.degraded,
+			Dedup:     st.dedup,
+			CacheHit:  st.cacheHit,
+			Phases:    digestPhases(spans),
+			SpanCount: len(spans),
+			Spans:     spans,
+		}
+		st.mu.Unlock()
+		if d.Outcome == "" {
+			d.Outcome = outcomeForStatus(d.Status)
+		}
+		s.flightrec.add(d)
+	}
+}
+
+// outcomeForStatus is the fallback classification when the handler
+// recorded nothing richer.
+func outcomeForStatus(code int) string {
+	switch {
+	case code == http.StatusUnprocessableEntity:
+		return "parse-error"
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		return "rejected"
+	case code >= 500:
+		return "error"
+	default:
+		return "ok"
+	}
+}
+
+// statusWriter records the status code written through it. It passes
+// http.Flusher through so the NDJSON streaming endpoints keep flushing
+// per line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
 }
 
 // deprecatedAlias serves an unversioned pre-v1 route: same behavior as
@@ -236,6 +382,10 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.rec.Add(obs.CtrServerDeprecated, 1)
+		s.deprOnce.Do(func() {
+			s.logger.Warn("deprecated unversioned route hit; clients should migrate",
+				"route", r.URL.Path, "successor", successor)
+		})
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
 		h(w, r)
@@ -350,15 +500,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	f, leader := s.flights.claim(key)
 	if !leader {
 		s.rec.Add(obs.CtrServerDedupHits, 1)
+		stateFrom(r.Context()).setDedup("follower")
 		select {
 		case <-f.done:
 		case <-r.Context().Done():
 			return // client went away while waiting; nothing to write
 		}
+		if f.res.cacheHit {
+			stateFrom(r.Context()).setCacheHit()
+		}
 		s.writeResult(w, f.res, "follower")
 		return
 	}
 
+	stateFrom(r.Context()).setDedup("leader")
 	res := s.analyzeLeader(r, req)
 	s.flights.finish(key, f, res)
 	s.writeResult(w, res, "leader")
@@ -373,14 +528,16 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 	defer s.gate.release()
 
 	t0 := time.Now()
-	// The analysis deliberately runs on a background context: its
-	// wall-clock bound is the request deadline (degrading, not
+	// The analysis deliberately runs detached from the request context:
+	// its wall-clock bound is the request deadline (degrading, not
 	// aborting), and a leader's early disconnect must not starve the
-	// followers sharing this flight.
-	rep, err := uafcheck.AnalyzeContext(context.Background(), req.Name, req.Src,
+	// followers sharing this flight. obs.Detach keeps the request's
+	// trace and parent span so the analysis spans stay in the tree.
+	rep, err := uafcheck.AnalyzeContext(obs.Detach(r.Context()), req.Name, req.Src,
 		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
 	s.observeAnalysis(t0, rep)
 
+	st := stateFrom(r.Context())
 	code := statusCodeFor(err)
 	body, encErr := wire.NewResult(req.Name, rep, err, req.Options.Metrics).Encode()
 	if encErr != nil {
@@ -388,6 +545,12 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 			body: mustJSON(errorBody{Error: encErr.Error()})}
 	}
 	cacheHit := rep != nil && rep.Metrics.Counter(obs.CtrCacheHits) > 0
+	if cacheHit {
+		st.setCacheHit()
+	}
+	if rep != nil && rep.Degraded != nil {
+		st.set("degraded", string(rep.Degraded.Reason))
+	}
 	return flightResult{code: code, body: body, cacheHit: cacheHit}
 }
 
@@ -570,9 +733,10 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 		// Per-line deadline: the analysis context expires and the run
 		// degrades, exactly like the versioned single-shot endpoint. The
-		// request context is deliberately not the parent — a disconnect is
-		// detected between lines, never mid-analysis.
-		ctx, cancel := context.WithTimeout(context.Background(), s.effectiveDeadline(req.Options))
+		// request context is deliberately not the cancellation parent — a
+		// disconnect is detected between lines, never mid-analysis — but
+		// its trace rides along so each line's spans join the tree.
+		ctx, cancel := context.WithTimeout(obs.Detach(r.Context()), s.effectiveDeadline(req.Options))
 		t0 := time.Now()
 		rep, err := s.analyzerFor(req.Options).AnalyzeDelta(ctx, req.Name, req.Src)
 		cancel()
@@ -618,6 +782,85 @@ func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.PromSink{W: w}.Emit(s.MetricsSnapshot()) //nolint:errcheck
+}
+
+// handleDebugRequests serves the flight recorder. Without parameters it
+// lists recent request digests newest-first (span trees elided to a
+// count); ?trace=<hex id> returns the matching digest with its full
+// span tree inlined; ?limit=N truncates the listing.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if id := r.URL.Query().Get("trace"); id != "" {
+		d, ok := s.flightrec.byTrace(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "no recorded request with trace "+id)
+			return
+		}
+		w.Write(append(mustJSON(d), '\n')) //nolint:errcheck
+		return
+	}
+	digests := s.flightrec.snapshot()
+	if lim, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && lim >= 0 && lim < len(digests) {
+		digests = digests[:lim]
+	}
+	for i := range digests {
+		digests[i].Spans = nil // listing stays light; fetch one by ?trace=
+	}
+	w.Write(append(mustJSON(map[string]any{
+		"requests": digests,
+		"capacity": len(s.flightrec.ring),
+	}), '\n')) //nolint:errcheck
+}
+
+// routeStatus is one per-route row of /statusz.
+type routeStatus struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// handleStatusz serves a one-page operational summary: version, uptime,
+// load, and per-route latency quantiles derived from the
+// server.request_ns histograms.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	m := s.MetricsSnapshot()
+	routes := make(map[string]routeStatus)
+	for _, name := range m.HistNames() {
+		family, labels := obs.SplitHistKey(name)
+		if family != obs.HistRequestNS {
+			continue
+		}
+		route := ""
+		for _, kv := range labels {
+			if kv[0] == "route" {
+				route = kv[1]
+			}
+		}
+		h := m.Hist(name)
+		const ms = 1e6
+		routes[route] = routeStatus{
+			Count: h.Count,
+			P50MS: h.Quantile(0.50) / ms,
+			P90MS: h.Quantile(0.90) / ms,
+			P99MS: h.Quantile(0.99) / ms,
+		}
+	}
+	inflight, queued := s.gate.load()
+	recorded := len(s.flightrec.snapshot())
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(mustJSON(map[string]any{ //nolint:errcheck
+		"version":  uafcheck.Version,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"inflight": inflight,
+		"queued":   queued,
+		"routes":   routes,
+		"flight_recorder": map[string]int{
+			"recorded": recorded,
+			"capacity": len(s.flightrec.ring),
+		},
+		"pprof": s.cfg.EnablePprof,
+	}), '\n'))
 }
 
 // ------------------------------------------------------------ plumbing

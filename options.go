@@ -81,6 +81,16 @@ func WithCache(cc *Cache) Option {
 	return func(c *apiConfig) { c.opts.Cache = cc }
 }
 
+// WithTracing records a hierarchical span tree for each analysis run
+// (frontend, per-procedure lowering, PPS waves, cache consults) on
+// Report.Metrics.Trace. When the caller's context already carries an
+// obs trace — e.g. inside a traced server request — spans attach to
+// that ambient trace instead and the report carries none. Tracing
+// never changes analysis results or cache keys.
+func WithTracing(on bool) Option {
+	return func(c *apiConfig) { c.opts.Tracing = on }
+}
+
 // WithWorkers sets the batch worker-pool size (0 = GOMAXPROCS). Batch
 // runs only.
 func WithWorkers(n int) Option {

@@ -107,6 +107,16 @@ type Options struct {
 	// deterministic bulk-synchronous waves, so the warning set, stats and
 	// traces never depend on the worker count.
 	Parallelism int
+	// Tracing records a hierarchical span tree for the run: the pipeline
+	// gets a per-file trace with a deterministic ID (derived from file
+	// name + content) and every phase — parse through PPS waves —
+	// attaches a span. The completed tree lands on Report.Metrics.Trace
+	// and flows to JSONL metrics sinks (cmd/uafcheck -trace-out). When
+	// Options.Context already carries an obs.Trace (a uafserve request),
+	// spans attach to that ambient trace instead and Metrics.Trace stays
+	// empty — the request owns its tree. Tracing never changes analysis
+	// results and does not participate in cache keys.
+	Tracing bool
 	// Cache, when non-nil, memoizes complete analysis reports by content
 	// address (source text + effective options + tool Version). Hits
 	// return a defensive clone and skip the pipeline entirely; degraded
@@ -138,6 +148,7 @@ func (o Options) internal() analysis.Options {
 		Prune:        o.Prune,
 		ModelAtomics: o.ModelAtomics || o.CountAtomics,
 		CountAtomics: o.CountAtomics,
+		RecordTrace:  o.Tracing,
 		PPS: pps.Options{
 			MaxStates:    o.MaxStates,
 			Trace:        o.Trace,
@@ -379,8 +390,9 @@ func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err er
 	var key cache.Key
 	if opts.Cache != nil {
 		key = reportKey(filename, src, in)
-		if hit, ok := opts.Cache.get(key); ok {
-			return cacheHit(hit, opts.MetricsSinks), nil
+		hit, ok, lookupNS := cacheLookup(ctx, opts.Cache, key, rec)
+		if ok {
+			return cacheHit(hit, opts.MetricsSinks, lookupNS), nil
 		}
 		rec.Add(obs.CtrCacheMisses, 1)
 	}
@@ -401,19 +413,61 @@ func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err er
 	// budget/deadline race of this particular run, so serving it later
 	// could mask a complete result the caller's options would produce.
 	if opts.Cache != nil && rep.Degraded == nil {
-		opts.Cache.put(key, rep)
+		cachePut(opts.Cache, key, rep)
 	}
 	return rep, nil
 }
 
+// cacheLookup times one report-cache consult, records the latency on
+// the recorder (cache.lookup_ns) and, when ctx carries a trace, as a
+// "cache-lookup" span with the outcome attribute.
+func cacheLookup(ctx context.Context, c *Cache, key cache.Key, rec *obs.Recorder) (*Report, bool, int64) {
+	_, sp := obs.StartSpan(ctx, "cache-lookup")
+	start := time.Now()
+	hit, ok := c.get(key)
+	lookupNS := time.Since(start).Nanoseconds()
+	rec.Observe(obs.HistCacheLookupNS, lookupNS)
+	if ok {
+		sp.SetAttr("outcome", "hit")
+	} else {
+		sp.SetAttr("outcome", "miss")
+	}
+	sp.End()
+	return hit, ok, lookupNS
+}
+
+// cachePut stores a completed report, stripping the run's span tree
+// first (Put clones, so the caller's report keeps its trace): a trace
+// describes one run, and serving it with a later hit would misattribute
+// that run's spans to the hit.
+func cachePut(c *Cache, key cache.Key, rep *Report) {
+	if rep.Metrics.Trace == nil {
+		c.put(key, rep)
+		return
+	}
+	tr := rep.Metrics.Trace
+	rep.Metrics.Trace = nil
+	c.put(key, rep)
+	rep.Metrics.Trace = tr
+}
+
 // cacheHit finalizes a report served from the cache: the clone keeps the
 // original run's telemetry (spans, pipeline counters, its own cache.misses
-// rung), gains a cache.hits mark, and is emitted to this call's sinks.
-func cacheHit(rep *Report, sinks []MetricsSink) *Report {
+// rung), gains a cache.hits mark plus this consult's lookup latency, and
+// is emitted to this call's sinks. The lookup histogram is replaced, not
+// merged — the stored report's own (miss) lookup belongs to the run that
+// produced it, not to this hit.
+func cacheHit(rep *Report, sinks []MetricsSink, lookupNS int64) *Report {
 	if rep.Metrics.Counters == nil {
 		rep.Metrics.Counters = make(map[string]int64)
 	}
 	rep.Metrics.Counters[obs.CtrCacheHits]++
+	if rep.Metrics.Hists == nil {
+		rep.Metrics.Hists = make(map[string]obs.Histogram)
+	}
+	var h obs.Histogram
+	h.Observe(lookupNS)
+	rep.Metrics.Hists[obs.HistCacheLookupNS] = h
 	for _, s := range sinks {
 		if err := s.Emit(rep.Metrics); err != nil {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("metrics sink error: %v", err))
@@ -609,6 +663,8 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 	in := opts.internal()
 	in.KeepGraphs = opts.Trace
 
+	rec := obs.New() // batch-level counters and span
+
 	// Cache pre-pass: serve hits directly and hand the batch driver only
 	// the misses. hits is index-aligned with files; missOf maps the
 	// compacted batch index back to the original one.
@@ -619,8 +675,8 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 	for i, f := range files {
 		if opts.Cache != nil {
 			keys[i] = reportKey(f.Name, f.Src, in)
-			if rep, ok := opts.Cache.get(keys[i]); ok {
-				hits[i] = cacheHit(rep, opts.MetricsSinks)
+			if rep, ok, lookupNS := cacheLookup(bopts.Context, opts.Cache, keys[i], rec); ok {
+				hits[i] = cacheHit(rep, opts.MetricsSinks, lookupNS)
 				continue
 			}
 		}
@@ -646,7 +702,6 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 		}
 	}
 
-	rec := obs.New() // batch-level counters and span
 	recs := make([]*obs.Recorder, len(files))
 	// convert maps one classified batch result onto its public
 	// FileReport. It runs on the worker goroutine that finished the file
@@ -684,7 +739,7 @@ func AnalyzeFiles(files []FileInput, opts Options, bopts BatchOptions) *BatchRep
 			}}
 		}
 		if opts.Cache != nil && fr.Report != nil && fr.Report.Degraded == nil {
-			opts.Cache.put(keys[i], fr.Report)
+			cachePut(opts.Cache, keys[i], fr.Report)
 		}
 		frs[i] = fr
 		if bopts.OnFile != nil {
