@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest check
+.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ fuzz-short:
 # SIGTERM drain). Tagged so `make test` stays fast.
 loadtest:
 	$(GO) test -race -tags loadtest -run TestLoadEndToEnd -v ./internal/server/
+
+# Chaos drill: the fixed-seed fault-injection matrix (disk corruption,
+# torn writes, worker panics, admission storms, kill-and-restart cache
+# recovery, watch-mode wedge/recovery) under the race detector. See
+# docs/RECOVERY.md for the failure catalog these tests enforce.
+chaos:
+	$(GO) test -race ./internal/fault/ ./internal/client/
+	$(GO) test -race -run 'Chaos|Recover|Quarantine|Torn|Wedge|Degraded|HealthzComponents|WriteFailure' \
+		./internal/cache/ ./internal/watch/ ./internal/server/ ./internal/repair/
 
 vet:
 	$(GO) vet ./...

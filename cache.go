@@ -41,8 +41,13 @@ type CacheConfig struct {
 }
 
 // CacheStats counts cache traffic (hits, disk hits, misses, stores,
-// evictions).
+// evictions, disk errors, quarantined entries).
 type CacheStats = cache.Stats
+
+// CacheRecoverStats summarizes one Cache.Recover pass over the disk
+// tier: entries scanned, entries that validated, corrupt entries
+// quarantined, and leftover temp files swept.
+type CacheRecoverStats = cache.RecoverStats
 
 // NewCache creates an analysis report cache.
 func NewCache(cfg CacheConfig) *Cache {
@@ -66,6 +71,19 @@ func NewCache(cfg CacheConfig) *Cache {
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() CacheStats { return c.c.Stats() }
+
+// Recover validates every entry in the disk tier — the startup
+// crash-recovery scan. Corrupt entries (torn writes, bit rot,
+// truncation, pre-checksum legacy files) are moved into a quarantine/
+// subdirectory instead of being served later, and temp files orphaned
+// by a crashed writer are removed. Long-running processes (uafserve)
+// call this once before taking traffic. A no-op without a disk tier.
+func (c *Cache) Recover() CacheRecoverStats { return c.c.RecoverDisk() }
+
+// DiskState classifies the disk tier for health surfaces: "off" (no
+// directory configured), "ok", or "disabled" (the tier turned itself
+// off after too many consecutive write failures).
+func (c *Cache) DiskState() string { return c.c.DiskState() }
 
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int { return c.c.Len() }

@@ -35,11 +35,15 @@
 //	                unchanged files on unchanged options are served
 //	                from the cache without re-analysis
 //	-cache-size N   in-memory cache entries (0 = default 1024)
-//	-watch          stay resident: poll the files, re-analyze changed
+//	-watch          stay resident: poll the files (or whole directory
+//	                trees, rescanned every poll), re-analyze changed
 //	                ones incrementally (only edited procedures are
 //	                recomputed), and print warning diffs (+/-) instead
-//	                of full reports
+//	                of full reports. A watchdog abandons hung analyses
+//	                and restarts the analyzer with backoff, serving
+//	                last-known-good warnings meanwhile.
 //	-interval D     -watch poll interval (default 500ms)
+//	-hang-timeout D -watch per-analysis watchdog timeout (default 30s)
 //
 // Exit codes:
 //
@@ -67,31 +71,32 @@ import (
 
 func main() {
 	var (
-		showCCFG  = flag.Bool("ccfg", false, "print the CCFG as text")
-		showDot   = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
-		trace     = flag.Bool("trace", false, "print the PPS exploration table")
-		stats     = flag.Bool("stats", false, "print per-file statistics (sourced from the metrics snapshot)")
-		metrics   = flag.Bool("metrics", false, "print phase timings, counters and gauges")
-		explain   = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
-		traceOut  = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
-		promOut   = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
-		noPrune   = flag.Bool("no-prune", false, "disable pruning rules A-D")
-		atomics   = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
-		count     = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
-		fix       = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
-		execProc  = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
-		oracle    = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
-		seed      = flag.Int64("seed", 1, "oracle schedule seed")
-		timeout   = flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); on expiry the file degrades to conservative warnings")
-		deadline  = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = none)")
-		jobs      = flag.Int("jobs", 0, "parallel file workers (0 = GOMAXPROCS)")
-		par       = flag.Int("par", 0, "parallel PPS exploration workers per analysis (0 = 1 in batch runs; total ≈ jobs × par)")
-		retries   = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
-		cacheDir  = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = no cache)")
-		cacheSize = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
-		format    = flag.String("format", "text", "output format: text, json (canonical result lines) or sarif")
-		watch     = flag.Bool("watch", false, "poll the files and print incremental warning diffs on change")
-		interval  = flag.Duration("interval", 500*time.Millisecond, "-watch poll interval")
+		showCCFG    = flag.Bool("ccfg", false, "print the CCFG as text")
+		showDot     = flag.Bool("dot", false, "print the CCFG as Graphviz dot")
+		trace       = flag.Bool("trace", false, "print the PPS exploration table")
+		stats       = flag.Bool("stats", false, "print per-file statistics (sourced from the metrics snapshot)")
+		metrics     = flag.Bool("metrics", false, "print phase timings, counters and gauges")
+		explain     = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
+		traceOut    = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
+		promOut     = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
+		noPrune     = flag.Bool("no-prune", false, "disable pruning rules A-D")
+		atomics     = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
+		count       = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
+		fix         = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
+		execProc    = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
+		oracle      = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
+		seed        = flag.Int64("seed", 1, "oracle schedule seed")
+		timeout     = flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); on expiry the file degrades to conservative warnings")
+		deadline    = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = none)")
+		jobs        = flag.Int("jobs", 0, "parallel file workers (0 = GOMAXPROCS)")
+		par         = flag.Int("par", 0, "parallel PPS exploration workers per analysis (0 = 1 in batch runs; total ≈ jobs × par)")
+		retries     = flag.Int("retries", 0, "extra attempts for a timed-out file, each with a 4x smaller state budget")
+		cacheDir    = flag.String("cache-dir", "", "directory for the persistent content-addressed report cache (empty = no cache)")
+		cacheSize   = flag.Int("cache-size", 0, "in-memory report cache entries (0 = default)")
+		format      = flag.String("format", "text", "output format: text, json (canonical result lines) or sarif")
+		watch       = flag.Bool("watch", false, "poll the files or trees and print incremental warning diffs on change")
+		interval    = flag.Duration("interval", 500*time.Millisecond, "-watch poll interval")
+		hangTimeout = flag.Duration("hang-timeout", 30*time.Second, "-watch per-analysis hang watchdog timeout")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -156,17 +161,22 @@ func main() {
 	}
 
 	if *watch {
-		// Resident mode: one Analyzer keeps the per-procedure memo store
-		// across iterations, so each save re-analyzes only the edited
-		// procedures. Runs until killed (or the -deadline expires).
-		an := uafcheck.NewAnalyzer(
-			uafcheck.WithPrune(!*noPrune),
-			uafcheck.WithAtomicsModel(*atomics),
-			uafcheck.WithAtomicsCounting(*count),
-			uafcheck.WithParallelism(*par),
-			uafcheck.WithDeadline(*timeout),
-		)
-		runWatch(ctx, os.Stdout, an, paths, *interval, *metrics)
+		// Resident mode: a supervised watch service over the raw args —
+		// directory roots stay directories so the tree is rescanned
+		// every poll (created files join, deleted files drop). Each
+		// analyzer generation keeps the per-procedure memo store across
+		// iterations; the watchdog rebuilds it if an analysis wedges.
+		// Runs until killed (or the -deadline expires).
+		newAnalyzer := func() *uafcheck.Analyzer {
+			return uafcheck.NewAnalyzer(
+				uafcheck.WithPrune(!*noPrune),
+				uafcheck.WithAtomicsModel(*atomics),
+				uafcheck.WithAtomicsCounting(*count),
+				uafcheck.WithParallelism(*par),
+				uafcheck.WithDeadline(*timeout),
+			)
+		}
+		runWatch(ctx, os.Stdout, newAnalyzer, flag.Args(), *interval, *hangTimeout, *metrics)
 		os.Exit(0)
 	}
 

@@ -4,129 +4,30 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
-	"sort"
 	"time"
 
 	"uafcheck"
-	"uafcheck/internal/obs"
+	"uafcheck/internal/watch"
 )
 
-// watchState tracks one watched file between polls.
-type watchState struct {
-	src      string   // last content analyzed
-	warnings []string // last successfully reported warning set
-	known    bool     // at least one successful analysis happened
-}
-
-// runWatch is the -watch loop: poll the files every interval, re-run
-// the incremental analyzer on any whose content changed, and print only
-// the warning diff ("+" appeared, "-" disappeared). The Analyzer's
-// per-procedure memo store makes each iteration cost proportional to
-// the edit, not the file. Returns when ctx is cancelled; with
-// showMetrics the session's aggregate telemetry — including the
-// watch.polls and watch.changed_files counters — prints on exit.
-func runWatch(ctx context.Context, out io.Writer, an *uafcheck.Analyzer, paths []string, interval time.Duration, showMetrics bool) {
-	if interval <= 0 {
-		interval = 500 * time.Millisecond
+// runWatch is the -watch entry point: a thin shim over the supervised
+// internal/watch service. Roots may be files or directory trees (the
+// service rescans trees every poll); newAnalyzer is called at startup
+// and again whenever the watchdog abandons a wedged analyzer. Returns
+// when ctx is cancelled; with showMetrics the session's aggregate
+// telemetry — including the watch.* counters and the watchdog state
+// gauge — prints on exit.
+func runWatch(ctx context.Context, out io.Writer, newAnalyzer func() *uafcheck.Analyzer,
+	roots []string, interval, hangTimeout time.Duration, showMetrics bool) {
+	svc := watch.New(watch.Config{
+		Roots:       roots,
+		Interval:    interval,
+		HangTimeout: hangTimeout,
+		Out:         out,
+		NewAnalyzer: func() watch.Analyzer { return newAnalyzer() },
+	})
+	svc.Run(ctx)
+	if showMetrics {
+		fmt.Fprintf(out, "watch metrics:\n%s", indent(svc.Metrics().FormatText()))
 	}
-	states := make(map[string]*watchState, len(paths))
-	for _, p := range paths {
-		states[p] = &watchState{}
-	}
-	rec := obs.New()
-	var agg uafcheck.Metrics
-
-	pass := func(first bool) {
-		rec.Add(obs.CtrWatchPolls, 1)
-		for _, p := range paths {
-			st := states[p]
-			data, err := os.ReadFile(p)
-			if err != nil {
-				if first {
-					fmt.Fprintf(out, "watch: %s: %v\n", p, err)
-				}
-				continue
-			}
-			src := string(data)
-			if !first && src == st.src {
-				continue
-			}
-			st.src = src
-			rec.Add(obs.CtrWatchChanged, 1)
-			rep, err := an.AnalyzeDelta(ctx, p, src)
-			if err != nil {
-				// Frontend failure mid-edit is normal; keep the last good
-				// warning set so the eventual diff is against it.
-				fmt.Fprintf(out, "watch: %s: %v\n", p, err)
-				continue
-			}
-			agg.Merge(rep.Metrics)
-			uafcheck.SortWarnings(rep.Warnings)
-			next := make([]string, len(rep.Warnings))
-			for i, w := range rep.Warnings {
-				next[i] = w.String()
-			}
-			if first || !st.known {
-				fmt.Fprintf(out, "watch: %s: %d warning(s)\n", p, len(next))
-				for _, w := range next {
-					fmt.Fprintf(out, "+ %s\n", w)
-				}
-			} else {
-				added, removed := diffWarnings(st.warnings, next)
-				if len(added)+len(removed) > 0 {
-					fmt.Fprintf(out, "watch: %s: %+d/-%d warning(s)\n", p, len(added), len(removed))
-					for _, w := range removed {
-						fmt.Fprintf(out, "- %s\n", w)
-					}
-					for _, w := range added {
-						fmt.Fprintf(out, "+ %s\n", w)
-					}
-				}
-			}
-			st.warnings = next
-			st.known = true
-		}
-	}
-
-	pass(true)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			if showMetrics {
-				agg.Merge(rec.Snapshot())
-				fmt.Fprintf(out, "watch metrics:\n%s", indent(agg.FormatText()))
-			}
-			return
-		case <-ticker.C:
-			pass(false)
-		}
-	}
-}
-
-// diffWarnings computes the multiset difference between two rendered
-// warning lists: which lines appeared and which disappeared. Both
-// outputs come back sorted for stable display.
-func diffWarnings(old, new []string) (added, removed []string) {
-	counts := make(map[string]int, len(old))
-	for _, w := range old {
-		counts[w]++
-	}
-	for _, w := range new {
-		if counts[w] > 0 {
-			counts[w]--
-		} else {
-			added = append(added, w)
-		}
-	}
-	for w, n := range counts {
-		for i := 0; i < n; i++ {
-			removed = append(removed, w)
-		}
-	}
-	sort.Strings(added)
-	sort.Strings(removed)
-	return added, removed
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"os"
 	"path/filepath"
-	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -32,30 +31,6 @@ func (s *syncBuf) String() string {
 	return s.b.String()
 }
 
-func TestDiffWarnings(t *testing.T) {
-	cases := []struct {
-		name         string
-		old, new     []string
-		add, removed []string
-	}{
-		{"empty", nil, nil, nil, nil},
-		{"all-new", nil, []string{"w1", "w2"}, []string{"w1", "w2"}, nil},
-		{"all-gone", []string{"w1", "w2"}, nil, nil, []string{"w1", "w2"}},
-		{"swap", []string{"w1", "w2"}, []string{"w2", "w3"}, []string{"w3"}, []string{"w1"}},
-		{"unchanged", []string{"w1"}, []string{"w1"}, nil, nil},
-		{"duplicate-counts", []string{"w", "w"}, []string{"w"}, nil, []string{"w"}},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			add, rem := diffWarnings(c.old, c.new)
-			if !reflect.DeepEqual(add, c.add) || !reflect.DeepEqual(rem, c.removed) {
-				t.Errorf("diffWarnings(%v, %v) = +%v -%v, want +%v -%v",
-					c.old, c.new, add, rem, c.add, c.removed)
-			}
-		})
-	}
-}
-
 // TestRunWatchDiffsOnEdit drives one full watch cycle against a real
 // file: initial report, an edit that removes the warning, and the
 // resulting "-" diff line.
@@ -74,7 +49,8 @@ func TestRunWatchDiffsOnEdit(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		runWatch(ctx, &out, an, []string{path}, time.Millisecond, true)
+		runWatch(ctx, &out, func() *uafcheck.Analyzer { return an },
+			[]string{path}, time.Millisecond, time.Minute, true)
 	}()
 
 	deadline := time.Now().Add(5 * time.Second)

@@ -22,6 +22,14 @@
 //	-max-body N      max request body bytes (default 8 MiB)
 //	-flight-size N   request digests kept for /debug/requests (default 256)
 //	-pprof           mount net/http/pprof under /debug/pprof/
+//	-faults SPEC     arm deterministic fault injection for chaos drills
+//	                 (point=mode:prob rules; see internal/fault)
+//	-fault-seed N    seed for the -faults probability streams (default 1)
+//
+// With -cache-dir, startup runs a crash-recovery scan over the disk
+// tier: entries whose checksum no longer matches are quarantined and
+// stale temp files from interrupted writes are swept, so a kill -9
+// mid-write can never surface a corrupt report later.
 //
 // Endpoints:
 //
@@ -70,6 +78,7 @@ import (
 	"time"
 
 	"uafcheck"
+	"uafcheck/internal/fault"
 	"uafcheck/internal/server"
 )
 
@@ -88,8 +97,20 @@ func main() {
 		drainFor    = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight analyses on shutdown")
 		flightSize  = flag.Int("flight-size", 0, "request digests kept for GET /debug/requests (0 = 256)")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		faults      = flag.String("faults", "", "fault-injection spec for chaos drills, e.g. 'cache.fs.write=err:0.1;analysis.panic=panic:0.01' (see internal/fault)")
+		faultSeed   = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability streams")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		in, err := fault.Parse(*faultSeed, *faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uafserve: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fault.Set(in)
+		fmt.Fprintf(os.Stderr, "uafserve: fault injection armed (seed %d): %s\n", *faultSeed, *faults)
+	}
 
 	// The daemon always runs a report cache: repeated sources across
 	// requests are the common case for a shared service. Disk writes go
@@ -99,16 +120,25 @@ func main() {
 	if *cacheDir != "" {
 		cacheCfg.AsyncDiskWrites = 256
 	}
+	reportCache := uafcheck.NewCache(cacheCfg)
+	if *cacheDir != "" {
+		// A previous process may have died mid-write: sweep stale temp
+		// files and quarantine entries whose checksum no longer matches
+		// before serving anything from disk.
+		rs := reportCache.Recover()
+		fmt.Fprintf(os.Stderr, "uafserve: cache recovery: %d scanned, %d ok, %d quarantined, %d temp file(s) swept\n",
+			rs.Scanned, rs.OK, rs.Quarantined, rs.TempFiles)
+	}
 
 	srv := server.New(server.Config{
-		MaxInflight:     *inflight,
-		QueueDepth:      *queue,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		Parallelism:     *par,
-		BatchWorkers:    *jobs,
+		MaxInflight:        *inflight,
+		QueueDepth:         *queue,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
+		Parallelism:        *par,
+		BatchWorkers:       *jobs,
 		MaxBodyBytes:       *maxBody,
-		Cache:              uafcheck.NewCache(cacheCfg),
+		Cache:              reportCache,
 		FlightRecorderSize: *flightSize,
 		EnablePprof:        *enablePprof,
 	})

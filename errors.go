@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"uafcheck/internal/repair"
 )
 
 // Typed failure sentinels. Every entry point reports failures through
@@ -35,6 +37,14 @@ var (
 //
 // Deprecated: use ErrParse.
 var ErrFrontend = ErrParse
+
+// ErrRepairDegraded: RepairSource / RepairSourceContext refused to run
+// because the baseline analysis or a candidate's verification
+// re-analysis degraded (budget, deadline, cancellation or a recovered
+// panic). A degraded report's warnings are a conservative superset of
+// the true set, so "the warning count decreased" cannot honestly accept
+// a fix against it. Re-run with a larger budget or without the deadline.
+var ErrRepairDegraded = repair.ErrDegraded
 
 // Err maps the report's degradation (if any) onto the typed sentinels:
 // nil for a complete run, ErrBudgetExhausted / ErrDeadline /

@@ -13,6 +13,7 @@ import (
 
 	"uafcheck/internal/ast"
 	"uafcheck/internal/ccfg"
+	"uafcheck/internal/fault"
 	"uafcheck/internal/ir"
 	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
@@ -295,6 +296,12 @@ func analyzeProcSafe(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]
 
 func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
 	opts Options, diags *source.Diagnostics, phase *string) *ProcResult {
+	// Chaos hooks: a stalled worker (the deadline checks below then run
+	// against the delayed clock) and an injected crash, which the
+	// analyzeProcSafe recover turns into a Crash + degraded report —
+	// exactly the path a real panic takes.
+	fault.Sleep(fault.AnalysisDelay)
+	fault.MaybePanic(fault.AnalysisPanic)
 	pctx, procSp := obs.StartSpan(opts.Ctx, "proc")
 	procSp.SetAttr("name", proc.Name.Name)
 	opts.Ctx = pctx

@@ -9,21 +9,38 @@
 // without this package importing them. Two storage tiers:
 //
 //   - an in-memory LRU holding decoded values, bounded by entry count;
-//   - an optional on-disk layer (one JSON file per key, written with a
-//     temp-file rename) that survives process restarts and is shared by
-//     concurrent processes.
+//   - an optional on-disk layer (one checksummed file per key, written
+//     with a temp-file rename) that survives process restarts and is
+//     shared by concurrent processes.
+//
+// The disk tier is crash-safe: every entry carries a header with a
+// SHA-256 checksum of its payload, verified on every read. A corrupt
+// entry — torn write, bit rot, truncation, a concurrent writer dying
+// mid-rename — is never decoded and never crashes the reader; it is
+// quarantined (moved aside under quarantine/) and the lookup degrades
+// to a miss, so the worst a bad disk can do is force a recompute.
+// RecoverDisk runs the same validation over the whole directory at
+// startup. Write failures are counted, and after
+// MaxConsecutiveDiskFailures in a row the disk tier disables itself
+// with a one-time log instead of hammering a dead disk forever.
 //
 // Every returned value is cloned through the Codec, so callers may
 // freely mutate what they get back without corrupting the cache.
 package cache
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"uafcheck/internal/fault"
 )
 
 // Key is a content address: the SHA-256 of the inputs that determine
@@ -74,6 +91,13 @@ type Stats struct {
 	// queue was full (StartAsyncDisk). The in-memory entry is unaffected;
 	// only persistence across restarts is lost for those entries.
 	DroppedWrites int64
+	// DiskErrors counts disk-tier I/O failures: failed entry writes and
+	// failed (non-ENOENT) entry reads. Corruption detected by the
+	// checksum counts under Quarantined, not here.
+	DiskErrors int64
+	// Quarantined counts corrupt disk entries moved aside (by a read, or
+	// by RecoverDisk) instead of being served or crashed on.
+	Quarantined int64
 }
 
 // Cache is a bounded LRU keyed by content address, with an optional
@@ -87,6 +111,11 @@ type Cache[V any] struct {
 	ll    *list.List // front = most recently used
 	items map[Key]*list.Element
 	stats Stats
+	// consecFails counts consecutive disk write failures; at
+	// MaxConsecutiveDiskFailures the disk tier turns itself off
+	// (diskDisabled) with a one-time warning log.
+	consecFails  int
+	diskDisabled bool
 
 	// Async disk tier (StartAsyncDisk): jobs feed a single background
 	// writer; pending tracks enqueued-but-unwritten entries for Flush.
@@ -145,17 +174,15 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" {
-		if data, err := os.ReadFile(c.path(k)); err == nil {
-			if v, err := c.codec.Decode(data); err == nil {
-				c.mu.Lock()
-				c.insertLocked(k, v)
-				c.stats.Hits++
-				c.stats.DiskHits++
-				out := c.codec.Clone(v)
-				c.mu.Unlock()
-				return out, true
-			}
+	if c.diskActive() {
+		if v, ok := c.readDisk(k); ok {
+			c.mu.Lock()
+			c.insertLocked(k, v)
+			c.stats.Hits++
+			c.stats.DiskHits++
+			out := c.codec.Clone(v)
+			c.mu.Unlock()
+			return out, true
 		}
 	}
 
@@ -167,17 +194,21 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 }
 
 // Put stores a clone of v under k in memory and (best-effort) on disk.
-// Disk write failures are deliberately swallowed: the cache is an
-// accelerator, never a correctness dependency. With StartAsyncDisk
-// active, the disk write is queued and performed by the background
-// writer instead of blocking the caller.
+// Disk write failures never fail the call — the cache is an
+// accelerator, never a correctness dependency — but they are no longer
+// silent: each one counts in Stats.DiskErrors, and after
+// MaxConsecutiveDiskFailures in a row the disk tier disables itself
+// with a one-time warning log (subsequent Puts skip the disk entirely).
+// With StartAsyncDisk active, the disk write is queued and performed by
+// the background writer instead of blocking the caller.
 func (c *Cache[V]) Put(k Key, v V) {
 	v = c.codec.Clone(v)
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	c.stats.Stores++
+	disk := c.dir != "" && !c.diskDisabled
 	enqueued := false
-	if c.dir != "" && c.async != nil {
+	if disk && c.async != nil {
 		enqueued = true
 		c.pending.Add(1)
 		select {
@@ -191,39 +222,261 @@ func (c *Cache[V]) Put(k Key, v V) {
 	}
 	c.mu.Unlock()
 
-	if c.dir == "" || enqueued {
+	if !disk || enqueued {
 		return
 	}
-	c.writeDisk(k, v)
+	c.noteWrite(c.writeDisk(k, v))
 }
 
-// writeDisk serializes v and writes it under k's disk path with a
-// temp-file + rename so concurrent readers never see a partial entry.
-func (c *Cache[V]) writeDisk(k Key, v V) {
-	data, err := c.codec.Encode(v)
-	if err != nil {
+// MaxConsecutiveDiskFailures is how many disk writes must fail in a row
+// before the disk tier turns itself off. One success resets the streak.
+const MaxConsecutiveDiskFailures = 8
+
+// noteWrite folds one disk write outcome into the failure accounting:
+// success resets the consecutive-failure streak, failure counts it and
+// — at MaxConsecutiveDiskFailures — disables the disk tier with a
+// one-time warning. The in-memory tier is unaffected either way.
+func (c *Cache[V]) noteWrite(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		c.consecFails = 0
 		return
 	}
+	c.stats.DiskErrors++
+	c.consecFails++
+	if c.consecFails >= MaxConsecutiveDiskFailures && !c.diskDisabled {
+		c.diskDisabled = true
+		slog.Warn("cache: disk tier disabled after consecutive write failures",
+			"failures", c.consecFails, "dir", c.dir, "err", err)
+	}
+}
+
+// diskActive reports whether the disk tier exists and has not disabled
+// itself.
+func (c *Cache[V]) diskActive() bool {
+	if c.dir == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.diskDisabled
+}
+
+// DiskState classifies the disk tier for health surfaces: "off" (no
+// directory configured), "ok", or "disabled" (too many consecutive
+// write failures; see MaxConsecutiveDiskFailures).
+func (c *Cache[V]) DiskState() string {
+	if c.dir == "" {
+		return "off"
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.diskDisabled {
+		return "disabled"
+	}
+	return "ok"
+}
+
+// writeDisk serializes v and writes it — checksummed — under k's disk
+// path with a temp-file + rename so concurrent readers never see a
+// partial entry. A crash mid-write leaves only a put-* temp file (swept
+// by RecoverDisk); a torn rename leaves an entry the checksum rejects.
+func (c *Cache[V]) writeDisk(k Key, v V) error {
+	data, err := c.codec.Encode(v)
+	if err != nil {
+		return err
+	}
+	env := encodeEntry(data)
+	env = fault.Mangle(fault.CacheTorn, env)
+	if err := fault.Err(fault.CacheWrite); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return
+		return err
 	}
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
-		return
+		return err
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(env); err != nil {
 		tmp.Close()
 		os.Remove(name)
-		return
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
-		return
+		return err
+	}
+	if err := fault.Err(fault.CacheRename); err != nil {
+		os.Remove(name)
+		return err
 	}
 	if err := os.Rename(name, c.path(k)); err != nil {
 		os.Remove(name)
+		return err
 	}
+	return nil
+}
+
+// ------------------------------------------------- disk entry envelope
+
+// diskMagic versions the on-disk entry envelope. Entries not carrying
+// it (including pre-checksum legacy files) are treated as corrupt and
+// quarantined; they recompute once and re-persist in the new format.
+const diskMagic = "uafcache1"
+
+// encodeEntry wraps a payload in the checksummed envelope:
+//
+//	uafcache1 <64-hex sha256(payload)>\n<payload>
+func encodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(diskMagic) + 1 + hex.EncodedLen(len(sum)) + 1 + len(payload))
+	b.WriteString(diskMagic)
+	b.WriteByte(' ')
+	b.WriteString(hex.EncodeToString(sum[:]))
+	b.WriteByte('\n')
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeEntry validates the envelope and returns the payload. Any
+// deviation — missing or malformed header, checksum mismatch,
+// truncation — is an error; callers quarantine on it.
+func decodeEntry(raw []byte) ([]byte, error) {
+	header, payload, ok := bytes.Cut(raw, []byte{'\n'})
+	if !ok {
+		return nil, fmt.Errorf("cache: entry has no header line")
+	}
+	magic, sumHex, ok := bytes.Cut(header, []byte{' '})
+	if !ok || string(magic) != diskMagic {
+		return nil, fmt.Errorf("cache: entry header %q is not %q", header, diskMagic)
+	}
+	want, err := hex.DecodeString(string(sumHex))
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("cache: malformed entry checksum %q", sumHex)
+	}
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], want) {
+		return nil, fmt.Errorf("cache: entry checksum mismatch (torn write or corruption)")
+	}
+	return payload, nil
+}
+
+// readDisk loads and validates one disk entry. I/O errors count as
+// DiskErrors; validation or decode failures quarantine the entry. Both
+// degrade to a miss.
+func (c *Cache[V]) readDisk(k Key) (V, bool) {
+	var zero V
+	raw, err := os.ReadFile(c.path(k))
+	if err == nil {
+		err = fault.Err(fault.CacheRead)
+	}
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.mu.Lock()
+			c.stats.DiskErrors++
+			c.mu.Unlock()
+		}
+		return zero, false
+	}
+	payload, err := decodeEntry(raw)
+	if err == nil {
+		v, derr := c.codec.Decode(payload)
+		if derr == nil {
+			return v, true
+		}
+		err = derr
+	}
+	c.quarantine(c.path(k), err)
+	return zero, false
+}
+
+// QuarantineDir is the subdirectory corrupt entries are moved into,
+// preserved for post-mortem inspection instead of deleted.
+const QuarantineDir = "quarantine"
+
+// quarantine moves a corrupt entry aside so it is never consulted
+// again, falling back to deletion when the move itself fails. Never
+// errors: the worst case (move and delete both fail) re-quarantines on
+// the next read.
+func (c *Cache[V]) quarantine(path string, cause error) {
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err == nil {
+			moved = true
+		}
+	}
+	if !moved {
+		os.Remove(path)
+	}
+	c.mu.Lock()
+	c.stats.Quarantined++
+	c.mu.Unlock()
+	slog.Warn("cache: quarantined corrupt disk entry",
+		"entry", filepath.Base(path), "moved", moved, "cause", cause)
+}
+
+// RecoverStats summarizes one RecoverDisk pass.
+type RecoverStats struct {
+	// Scanned counts entry files examined.
+	Scanned int
+	// OK counts entries that validated (checksum and decode).
+	OK int
+	// Quarantined counts corrupt entries moved aside.
+	Quarantined int
+	// TempFiles counts leftover put-* temp files (a writer crashed
+	// mid-write before its rename) that were swept.
+	TempFiles int
+}
+
+// RecoverDisk validates every entry in the disk tier — the startup
+// crash-recovery scan. Corrupt entries are quarantined, orphaned
+// temp files from interrupted writes are removed, and valid entries
+// are left in place (not promoted to memory; they load on first Get).
+// A no-op without a disk tier.
+func (c *Cache[V]) RecoverDisk() RecoverStats {
+	var rs RecoverStats
+	if c.dir == "" {
+		return rs
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return rs
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(c.dir, name)
+		if strings.HasPrefix(name, "put-") {
+			os.Remove(path)
+			rs.TempFiles++
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		rs.Scanned++
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		payload, err := decodeEntry(raw)
+		if err == nil {
+			if _, derr := c.codec.Decode(payload); derr == nil {
+				rs.OK++
+				continue
+			}
+			err = fmt.Errorf("cache: entry payload does not decode")
+		}
+		c.quarantine(path, err)
+		rs.Quarantined++
+	}
+	return rs
 }
 
 // StartAsyncDisk switches the disk tier to asynchronous writes: Put
@@ -254,7 +507,7 @@ func (c *Cache[V]) StartAsyncDisk(depth int) {
 	go func() {
 		defer close(done)
 		for j := range jobs {
-			c.writeDisk(j.key, j.val)
+			c.noteWrite(c.writeDisk(j.key, j.val))
 			c.pending.Done()
 		}
 	}()

@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uafcheck/internal/fault"
+)
+
+// diskFiles returns the entry file names (not quarantine/, not temps)
+// currently in dir.
+func diskFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func TestDiskEntryChecksummed(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 8, dir)
+	k := KeyOf("a")
+	c.Put(k, &payload{Name: "a"})
+	raw, err := os.ReadFile(filepath.Join(dir, k.String()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(diskMagic+" ")) {
+		t.Fatalf("disk entry does not start with the %q envelope: %q", diskMagic, raw[:32])
+	}
+	if _, err := decodeEntry(raw); err != nil {
+		t.Fatalf("freshly written entry fails validation: %v", err)
+	}
+}
+
+// TestCorruptEntryQuarantined: a corrupted entry must never be served
+// or crash the reader — the read degrades to a miss and the file moves
+// into quarantine/.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"no-header": func(b []byte) []byte { return []byte(`{"name":"legacy"}`) },
+		"empty":     func([]byte) []byte { return nil },
+		"bad-magic": func(b []byte) []byte { return append([]byte("zzz"), b[3:]...) },
+		"garbage":   func([]byte) []byte { return []byte("\x00\xff\x17 not a cache entry") },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := New(payloadCodec(), 8, dir)
+			k := KeyOf(name)
+			c.Put(k, &payload{Name: name})
+			path := filepath.Join(dir, k.String()+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh cache (cold memory tier) must treat it as a miss.
+			c2 := New(payloadCodec(), 8, dir)
+			if _, ok := c2.Get(k); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if st := c2.Stats(); st.Quarantined != 1 {
+				t.Errorf("Quarantined = %d, want 1", st.Quarantined)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry still present at its original path")
+			}
+			qpath := filepath.Join(dir, QuarantineDir, filepath.Base(path))
+			if _, err := os.Stat(qpath); err != nil {
+				t.Errorf("corrupt entry not preserved in quarantine: %v", err)
+			}
+
+			// The slot is reusable: a recompute re-persists cleanly.
+			c2.Put(k, &payload{Name: name})
+			c3 := New(payloadCodec(), 8, dir)
+			if got, ok := c3.Get(k); !ok || got.Name != name {
+				t.Error("recomputed entry did not round-trip after quarantine")
+			}
+		})
+	}
+}
+
+// TestRecoverDisk is the kill-and-restart scenario: corrupt a few
+// entries and leave a stale temp file behind, then run the startup
+// scan and check it quarantines exactly the bad ones.
+func TestRecoverDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 32, dir)
+	keys := make([]Key, 6)
+	for i := range keys {
+		keys[i] = KeyOf("entry", string(rune('a'+i)))
+		c.Put(keys[i], &payload{Name: string(rune('a' + i))})
+	}
+	// Corrupt entries 0 and 1 (torn tail, bit flip), leave a writer's
+	// orphaned temp file as if the process died mid-write.
+	for i, mangle := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)-7] },
+		func(b []byte) []byte { b[len(b)/2] ^= 1; return b },
+	} {
+		path := filepath.Join(dir, keys[i].String()+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mangle(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-12345"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache over the same directory runs recovery.
+	c2 := New(payloadCodec(), 32, dir)
+	rs := c2.RecoverDisk()
+	if rs.Scanned != 6 || rs.OK != 4 || rs.Quarantined != 2 || rs.TempFiles != 1 {
+		t.Fatalf("RecoverDisk = %+v, want Scanned 6 / OK 4 / Quarantined 2 / TempFiles 1", rs)
+	}
+	if st := c2.Stats(); st.Quarantined != 2 {
+		t.Errorf("stats.Quarantined = %d, want 2", st.Quarantined)
+	}
+	for _, name := range diskFiles(t, dir) {
+		if strings.HasPrefix(name, "put-") {
+			t.Error("stale temp file survived recovery")
+		}
+	}
+	// Healthy entries still serve; corrupted ones miss (cold recompute).
+	for i, k := range keys {
+		_, ok := c2.Get(k)
+		if want := i >= 2; ok != want {
+			t.Errorf("entry %d: hit=%v, want %v", i, ok, want)
+		}
+	}
+	// A second pass is idempotent: nothing left to quarantine.
+	if rs2 := c2.RecoverDisk(); rs2.Quarantined != 0 || rs2.TempFiles != 0 {
+		t.Errorf("second RecoverDisk not idempotent: %+v", rs2)
+	}
+}
+
+// TestTornWriteCaughtByChecksum drives the writer through the
+// fault-injected torn-write path and checks the checksum rejects every
+// mangled entry on read.
+func TestTornWriteCaughtByChecksum(t *testing.T) {
+	restore := fault.Set(fault.New(42, fault.Rule{Point: fault.CacheTorn, Mode: fault.ModeTorn, Prob: 1}))
+	defer restore()
+	dir := t.TempDir()
+	c := New(payloadCodec(), 8, dir)
+	k := KeyOf("torn")
+	c.Put(k, &payload{Name: "torn", Items: []string{"x", "y", "z"}})
+	restore()
+
+	c2 := New(payloadCodec(), 8, dir)
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("torn write served as a valid entry")
+	}
+	st := c2.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestWriteFailureDisablesDiskTier: consecutive injected write failures
+// count DiskErrors and, at the threshold, turn the disk tier off —
+// while the in-memory tier keeps serving.
+func TestWriteFailureDisablesDiskTier(t *testing.T) {
+	restore := fault.Set(fault.New(1, fault.Rule{Point: fault.CacheWrite, Mode: fault.ModeError, Prob: 1}))
+	defer restore()
+	dir := t.TempDir()
+	c := New(payloadCodec(), 64, dir)
+	if got := c.DiskState(); got != "ok" {
+		t.Fatalf("DiskState = %q before any failure", got)
+	}
+	for i := 0; i < MaxConsecutiveDiskFailures+3; i++ {
+		c.Put(KeyOf("w", string(rune('a'+i))), &payload{Name: "w"})
+	}
+	st := c.Stats()
+	if st.DiskErrors != MaxConsecutiveDiskFailures {
+		t.Errorf("DiskErrors = %d, want exactly %d (writes after disable must be skipped)",
+			st.DiskErrors, MaxConsecutiveDiskFailures)
+	}
+	if got := c.DiskState(); got != "disabled" {
+		t.Errorf("DiskState = %q, want disabled", got)
+	}
+	// The memory tier is unaffected.
+	if _, ok := c.Get(KeyOf("w", "a")); !ok {
+		t.Error("memory tier lost an entry on disk failure")
+	}
+	// And reads stop consulting the dead disk too.
+	if _, ok := c.Get(KeyOf("never-stored")); ok {
+		t.Error("disabled disk tier still serving reads")
+	}
+}
+
+// TestWriteFailureStreakResets: a success between failures resets the
+// consecutive counter, so intermittent errors never disable the tier.
+func TestWriteFailureStreakResets(t *testing.T) {
+	// Fire on exactly one write, then stay quiet.
+	restore := fault.Set(fault.New(1, fault.Rule{Point: fault.CacheWrite, Mode: fault.ModeError, Prob: 1, Count: 1}))
+	defer restore()
+	dir := t.TempDir()
+	c := New(payloadCodec(), 64, dir)
+	for i := 0; i < MaxConsecutiveDiskFailures*2; i++ {
+		c.Put(KeyOf("s", string(rune('a'+i))), &payload{Name: "s"})
+	}
+	if got := c.DiskState(); got != "ok" {
+		t.Errorf("DiskState = %q after intermittent failure, want ok", got)
+	}
+	if st := c.Stats(); st.DiskErrors != 1 {
+		t.Errorf("DiskErrors = %d, want 1", st.DiskErrors)
+	}
+}
+
+// TestReadErrorCountsDiskError: injected read failures count as
+// DiskErrors (not quarantine — the entry on disk may be fine) and
+// degrade to a miss.
+func TestReadErrorCountsDiskError(t *testing.T) {
+	dir := t.TempDir()
+	c := New(payloadCodec(), 8, dir)
+	k := KeyOf("r")
+	c.Put(k, &payload{Name: "r"})
+
+	restore := fault.Set(fault.New(1, fault.Rule{Point: fault.CacheRead, Mode: fault.ModeError, Prob: 1, Count: 1}))
+	defer restore()
+	c2 := New(payloadCodec(), 8, dir)
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("read with injected I/O error served a hit")
+	}
+	st := c2.Stats()
+	if st.DiskErrors != 1 || st.Quarantined != 0 {
+		t.Errorf("stats = %+v, want DiskErrors 1 and no quarantine", st)
+	}
+	// The entry itself is intact: the next read serves it.
+	if got, ok := c2.Get(k); !ok || got.Name != "r" {
+		t.Error("transient read error permanently lost the entry")
+	}
+}
+
+// TestAsyncWriteFailureAccounting: the async writer routes its write
+// results through the same failure accounting as the sync path.
+func TestAsyncWriteFailureAccounting(t *testing.T) {
+	restore := fault.Set(fault.New(1, fault.Rule{Point: fault.CacheWrite, Mode: fault.ModeError, Prob: 1}))
+	defer restore()
+	dir := t.TempDir()
+	c := New(payloadCodec(), 64, dir)
+	c.StartAsyncDisk(16)
+	for i := 0; i < MaxConsecutiveDiskFailures; i++ {
+		c.Put(KeyOf("as", string(rune('a'+i))), &payload{Name: "as"})
+		c.Flush()
+	}
+	c.Close()
+	if got := c.DiskState(); got != "disabled" {
+		t.Errorf("DiskState = %q after async failures, want disabled", got)
+	}
+}

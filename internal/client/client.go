@@ -1,0 +1,333 @@
+// Package client is the resilient HTTP client for uafserve consumers
+// (the loadtest, the chaos suite, future fleet controllers). It wraps a
+// standard *http.Client with the retry discipline the server's
+// admission control expects:
+//
+//   - 5xx, 429 and transport errors retry with exponential backoff and
+//     deterministic jitter, honoring the server's Retry-After header
+//     when present (uafserve sends one on every 429 and overload 503);
+//   - a circuit breaker opens after Config.BreakAfter consecutive such
+//     failures, failing calls fast (ErrCircuitOpen) for a cooldown
+//     instead of piling more load on a struggling server, then lets a
+//     single half-open probe through to close it again;
+//   - every call runs under a total deadline budget (Config.Budget)
+//     spanning all attempts, so retries never stretch a request past
+//     what the caller provisioned.
+//
+// Requests must be replayable for retries: use Do with a byte-slice
+// body (it is re-materialized per attempt), never a one-shot Reader.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) while the breaker is open and
+// the cooldown has not elapsed — the request was not sent.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// ErrBudgetExceeded is returned (wrapped) when the per-call deadline
+// budget ran out before an attempt could succeed. The last attempt's
+// failure is attached.
+var ErrBudgetExceeded = errors.New("client: retry budget exhausted")
+
+// Config tunes a Client. The zero value gets sensible defaults.
+type Config struct {
+	// HTTP is the transport-level client (default: a fresh
+	// http.Client). Its Timeout is left alone; per-attempt pacing comes
+	// from Budget and the retry schedule.
+	HTTP *http.Client
+	// MaxAttempts bounds attempts per call, first try included
+	// (default 4).
+	MaxAttempts int
+	// Budget is the total wall-clock allowance for one call across all
+	// attempts and backoff sleeps (default 30s). The context passed to
+	// Do may shorten it further, never extend it.
+	Budget time.Duration
+	// BaseBackoff seeds the exponential backoff schedule: attempt n
+	// sleeps BaseBackoff << (n-1), plus jitter (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (default 5s).
+	MaxBackoff time.Duration
+	// BreakAfter consecutive retryable failures open the circuit
+	// breaker (default 5).
+	BreakAfter int
+	// Cooldown is how long an open breaker fails fast before allowing a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+	// Seed makes the backoff jitter deterministic (0 means 1) — the
+	// chaos suite replays identical schedules.
+	Seed int64
+}
+
+// Stats is a snapshot of a Client's traffic counters.
+type Stats struct {
+	// Attempts counts individual HTTP attempts (retries included).
+	Attempts int64
+	// Retries counts attempts beyond each call's first.
+	Retries int64
+	// BreakerOpens counts closed->open transitions.
+	BreakerOpens int64
+	// FastFails counts calls rejected while the breaker was open.
+	FastFails int64
+}
+
+// breakerState is the circuit breaker's phase.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Client is a retrying, circuit-breaking HTTP client. Safe for
+// concurrent use.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive retryable failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	rng      uint64
+	stats    Stats
+}
+
+// New creates a Client, applying defaults for zero Config fields.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 30 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BreakAfter <= 0 {
+		cfg.BreakAfter = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Client{cfg: cfg, rng: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Do issues method url with body (nil for none), retrying per the
+// config, and returns the first definitive response: any 2xx-4xx
+// except 429, or the last failure once attempts or budget run out.
+// The caller owns the response body.
+func (c *Client) Do(ctx context.Context, method, url string, contentType string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Budget)
+	defer cancel()
+
+	probe, err := c.admit()
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.count(func(s *Stats) { s.Retries++ })
+		}
+		c.count(func(s *Stats) { s.Attempts++ })
+
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err // malformed request: retrying cannot help
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+
+		resp, err := c.cfg.HTTP.Do(req)
+		retryAfter := time.Duration(0)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			lastErr = fmt.Errorf("client: %s %s: %s", method, url, resp.Status)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			c.success(probe)
+			return resp, nil
+		}
+
+		c.failure(probe)
+		if probe {
+			// A failed half-open probe re-opens the breaker; don't burn
+			// the remaining attempts against a server that just proved
+			// it is still down.
+			return nil, fmt.Errorf("%w: %v", ErrBudgetExceeded, lastErr)
+		}
+		if attempt == c.cfg.MaxAttempts {
+			break
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return nil, fmt.Errorf("%w: %v (last attempt: %v)", ErrBudgetExceeded, err, lastErr)
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrBudgetExceeded, c.cfg.MaxAttempts, lastErr)
+}
+
+// Get is Do without a body.
+func (c *Client) Get(ctx context.Context, url string) (*http.Response, error) {
+	return c.Do(ctx, http.MethodGet, url, "", nil)
+}
+
+// Post is Do with a replayable byte body.
+func (c *Client) Post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	return c.Do(ctx, http.MethodPost, url, contentType, body)
+}
+
+// admit consults the breaker: closed admits normally, open fails fast
+// until the cooldown elapses, then exactly one caller is admitted as
+// the half-open probe (probe=true).
+func (c *Client) admit() (probe bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerClosed:
+		return false, nil
+	case breakerOpen:
+		if time.Since(c.openedAt) < c.cfg.Cooldown {
+			c.stats.FastFails++
+			return false, fmt.Errorf("%w (cooldown %v remaining)",
+				ErrCircuitOpen, (c.cfg.Cooldown - time.Since(c.openedAt)).Round(time.Millisecond))
+		}
+		c.state = breakerHalfOpen
+		c.probing = true
+		return true, nil
+	default: // half-open
+		if c.probing {
+			c.stats.FastFails++
+			return false, fmt.Errorf("%w (probe in flight)", ErrCircuitOpen)
+		}
+		c.probing = true
+		return true, nil
+	}
+}
+
+// success records a definitive response: it resets the failure streak
+// and, for a half-open probe, closes the breaker.
+func (c *Client) success(probe bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails = 0
+	if probe {
+		c.state = breakerClosed
+		c.probing = false
+	}
+}
+
+// failure records a retryable failure: a failed probe re-opens the
+// breaker, and BreakAfter consecutive failures open it from closed.
+func (c *Client) failure(probe bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.state = breakerOpen
+		c.openedAt = time.Now()
+		c.probing = false
+		c.stats.BreakerOpens++
+		return
+	}
+	if c.state != breakerClosed {
+		return
+	}
+	c.fails++
+	if c.fails >= c.cfg.BreakAfter {
+		c.state = breakerOpen
+		c.openedAt = time.Now()
+		c.stats.BreakerOpens++
+	}
+}
+
+// backoff computes the sleep before the next attempt: the server's
+// Retry-After when given (capped at MaxBackoff), else exponential
+// backoff with deterministic jitter in [0, backoff/4).
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.cfg.MaxBackoff {
+			retryAfter = c.cfg.MaxBackoff
+		}
+		return retryAfter
+	}
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	c.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/4+1))
+}
+
+// sleep waits d or until ctx ends, whichever first.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// count mutates the stats under the lock.
+func (c *Client) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// ("" or unparseable yields 0; HTTP-date form is not used by uafserve).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

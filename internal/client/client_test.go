@@ -1,0 +1,239 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps retry schedules test-sized.
+func fastCfg() Config {
+	return Config{
+		MaxAttempts: 4,
+		Budget:      5 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		BreakAfter:  3,
+		Cooldown:    20 * time.Millisecond,
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c := New(fastCfg())
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Errorf("body = %q", b)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Errorf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+}
+
+// TestNoRetryOnClientError: 4xx (except 429) is definitive — the
+// request is wrong, not the server's health.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(fastCfg())
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || calls.Load() != 1 {
+		t.Errorf("status %d after %d calls, want one 400", resp.StatusCode, calls.Load())
+	}
+}
+
+// TestHonorsRetryAfter: a 429's Retry-After sets the backoff floor.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.MaxBackoff = 10 * time.Second // don't cap the server's guidance
+	c := New(cfg)
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := time.Duration(gap.Load()); got < time.Second {
+		t.Errorf("retry arrived after %v, want >= the 1s Retry-After", got)
+	}
+}
+
+// TestBudgetBoundsRetries: the per-call budget cuts the retry loop off
+// even when attempts remain.
+func TestBudgetBoundsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.Budget = 50 * time.Millisecond
+	cfg.MaxBackoff = time.Minute
+	c := New(cfg)
+	t0 := time.Now()
+	_, err := c.Get(context.Background(), srv.URL)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Errorf("budgeted call took %v", el)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures open the breaker (calls
+// fail fast without touching the server), the cooldown admits one
+// half-open probe, and a successful probe closes it.
+func TestCircuitBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			io.WriteString(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.MaxAttempts = 1 // isolate breaker accounting from retry loops
+	c := New(cfg)
+	ctx := context.Background()
+
+	// BreakAfter=3 failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ctx, srv.URL); err == nil {
+			t.Fatal("sick server returned success")
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+
+	// While open: fail fast, server untouched.
+	before := calls.Load()
+	if _, err := c.Get(ctx, srv.URL); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != before {
+		t.Error("open breaker still sent a request")
+	}
+
+	// After the cooldown, the probe goes through; it fails (server
+	// still sick) and re-opens the breaker.
+	time.Sleep(cfg.Cooldown + 5*time.Millisecond)
+	if _, err := c.Get(ctx, srv.URL); err == nil {
+		t.Fatal("probe against sick server succeeded")
+	}
+	if _, err := c.Get(ctx, srv.URL); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe must re-open the breaker, got %v", err)
+	}
+
+	// Server recovers; the next probe closes the breaker for good.
+	healthy.Store(true)
+	time.Sleep(cfg.Cooldown + 5*time.Millisecond)
+	if _, err := c.Get(ctx, srv.URL); err != nil {
+		t.Fatalf("recovered probe failed: %v", err)
+	}
+	if _, err := c.Get(ctx, srv.URL); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+	if st := c.Stats(); st.FastFails < 2 {
+		t.Errorf("FastFails = %d, want >= 2", st.FastFails)
+	}
+}
+
+// TestPostBodyReplayedOnRetry: each attempt re-sends the full byte
+// body (a one-shot reader would arrive empty on retries).
+func TestPostBodyReplayedOnRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if string(b) != "payload" {
+			t.Errorf("attempt %d body = %q", calls.Load()+1, b)
+		}
+		if calls.Add(1) < 2 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := New(fastCfg())
+	resp, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestDeterministicBackoffSchedule: same seed, same jitter.
+func TestDeterministicBackoffSchedule(t *testing.T) {
+	sched := func(seed int64) []time.Duration {
+		c := New(Config{Seed: seed, BaseBackoff: time.Millisecond, MaxBackoff: time.Second})
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.backoff(i+1, 0)
+		}
+		return out
+	}
+	a, b := sched(9), sched(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule: the same seed fires the same hit ordinals,
+// and a different seed fires a different (but still deterministic)
+// schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Rule{Point: "p", Mode: ModeError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Err("p") != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules (suspicious)")
+	}
+}
+
+// TestPointIndependence: interleaving hits on another point must not
+// shift a point's schedule — each point owns its stream.
+func TestPointIndependence(t *testing.T) {
+	solo := New(1, Rule{Point: "a", Mode: ModeError, Prob: 0.5})
+	mixed := New(1,
+		Rule{Point: "a", Mode: ModeError, Prob: 0.5},
+		Rule{Point: "b", Mode: ModeError, Prob: 0.5})
+	for i := 0; i < 32; i++ {
+		mixed.Err("b") // interleave traffic on b
+		if (solo.Err("a") != nil) != (mixed.Err("a") != nil) {
+			t.Fatalf("point a's schedule shifted under point b traffic at hit %d", i)
+		}
+	}
+}
+
+func TestCountCap(t *testing.T) {
+	in := New(1, Rule{Point: "p", Mode: ModeError, Prob: 1, Count: 3})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.Err("p") != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("Count=3 fired %d times", fails)
+	}
+	if in.Fired("p") != 3 || in.Hits("p") != 10 {
+		t.Errorf("counters: fired=%d hits=%d, want 3/10", in.Fired("p"), in.Hits("p"))
+	}
+}
+
+func TestModes(t *testing.T) {
+	in := New(1,
+		Rule{Point: "e", Mode: ModeError, Prob: 1},
+		Rule{Point: "p", Mode: ModePanic, Prob: 1},
+		Rule{Point: "d", Mode: ModeDelay, Prob: 1, Delay: time.Millisecond},
+		Rule{Point: "t", Mode: ModeTorn, Prob: 1},
+	)
+	var ie *InjectedError
+	if err := in.Err("e"); !errors.As(err, &ie) || ie.Point != "e" {
+		t.Errorf("Err: %v", err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if s, ok := r.(string); !ok || !strings.HasPrefix(s, PanicPrefix) {
+				t.Errorf("panic value: %v", r)
+			}
+		}()
+		in.MaybePanic("p")
+		t.Error("MaybePanic did not panic")
+	}()
+	t0 := time.Now()
+	in.Sleep("d")
+	if time.Since(t0) < time.Millisecond {
+		t.Error("Sleep returned too early")
+	}
+	orig := bytes.Repeat([]byte("x"), 256)
+	mangled := in.Mangle("t", orig)
+	if bytes.Equal(orig, mangled) {
+		t.Error("Mangle left the bytes intact")
+	}
+	if len(orig) != 256 {
+		t.Error("Mangle modified its input slice")
+	}
+	// Wrong-mode calls never fire: an error point consulted for panic.
+	in.MaybePanic("e")
+	if got := in.Mangle("e", orig); !bytes.Equal(got, orig) {
+		t.Error("Mangle fired on an error-mode point")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	if err := in.Err("p"); err != nil {
+		t.Error("nil injector returned an error")
+	}
+	in.MaybePanic("p")
+	in.Sleep("p")
+	if got := in.Mangle("p", []byte("ok")); string(got) != "ok" {
+		t.Error("nil injector mangled bytes")
+	}
+	// The global hooks with nothing installed behave the same.
+	restore := Set(nil)
+	defer restore()
+	if err := Err("p"); err != nil {
+		t.Error("global Err with no injector returned an error")
+	}
+}
+
+func TestSetRestores(t *testing.T) {
+	in := New(1, Rule{Point: "p", Mode: ModeError, Prob: 1})
+	restore := Set(in)
+	if Err("p") == nil {
+		t.Error("installed injector did not fire")
+	}
+	restore()
+	if Active() != nil && Err("p") != nil {
+		t.Error("restore did not reinstate the previous (nil) injector")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse(3, "cache.fs.write=err:1:2; analysis.panic=panic:0.5; a=delay:1:0:5ms; b=torn:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Err(CacheWrite) == nil || in.Err(CacheWrite) == nil {
+		t.Error("parsed err rule did not fire twice")
+	}
+	if in.Err(CacheWrite) != nil {
+		t.Error("count cap ignored")
+	}
+	t0 := time.Now()
+	in.Sleep("a")
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Error("parsed delay rule did not sleep")
+	}
+
+	for _, bad := range []string{
+		"nope",            // no '='
+		"p=weird:1",       // unknown mode
+		"p=err:2",         // prob out of range
+		"p=err:1:-1",      // bad count
+		"p=delay:1",       // delay mode without delay
+		"p=err:1;p=err:1", // duplicate point
+		"p=err:1:1:5ms:x", // too many fields
+	} {
+		if _, err := Parse(1, bad); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", bad)
+		}
+	}
+
+	// Empty spec parses to an inert injector.
+	in2, err := Parse(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.Err("anything") != nil {
+		t.Error("empty spec fired")
+	}
+}

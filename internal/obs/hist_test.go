@@ -141,7 +141,7 @@ func TestHistKeySplit(t *testing.T) {
 
 func TestHistNondeterministic(t *testing.T) {
 	for key, want := range map[string]bool{
-		HistPhaseNS:  true,
+		HistPhaseNS: true,
 		HistKey(HistRequestNS, "route", "/v1/analyze"): true,
 		HistCacheLookupNS: true,
 		HistWaveSize:      false,

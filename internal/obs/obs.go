@@ -120,10 +120,15 @@ const (
 	CtrUnitHits   = "incr.unit_hits"
 	CtrUnitMisses = "incr.unit_misses"
 
-	// uafcheck -watch poll loop: polls performed and source files whose
-	// content hash changed between polls.
-	CtrWatchPolls   = "watch.polls"
-	CtrWatchChanged = "watch.changed_files"
+	// Watch service (internal/watch) poll loop: polls performed, source
+	// files whose content hash changed between polls, files that
+	// disappeared between polls (warnings dropped), analyses the
+	// watchdog abandoned as hung, and analyzer restarts it performed.
+	CtrWatchPolls     = "watch.polls"
+	CtrWatchChanged   = "watch.changed_files"
+	CtrWatchDeleted   = "watch.deleted_files"
+	CtrWatchAbandoned = "watch.abandoned"
+	CtrWatchRestarts  = "watch.restarts"
 )
 
 // Gauge names.
@@ -134,6 +139,19 @@ const (
 	// /metrics scrape time.
 	GaugeServerInflight   = "server.inflight"
 	GaugeServerQueueDepth = "server.queue_depth"
+	// GaugeServerAnalyzerPool is the number of per-option-fingerprint
+	// incremental Analyzers currently alive in the /v1/delta pool.
+	GaugeServerAnalyzerPool = "server.analyzer_pool"
+	// Disk-cache health gauges, sampled from cache stats at /metrics
+	// scrape time: I/O failures, corrupt entries quarantined, and async
+	// writes dropped on a full queue.
+	GaugeCacheDiskErrors    = "cache.disk_errors"
+	GaugeCacheQuarantined   = "cache.quarantined"
+	GaugeCacheDroppedWrites = "cache.dropped_writes"
+	// Watch-service watchdog gauges: supervision state (0 healthy,
+	// 1 degraded, 2 wedged) and files currently tracked.
+	GaugeWatchState = "watch.state"
+	GaugeWatchFiles = "watch.files"
 )
 
 // Span is one timed phase execution. Start is the offset from the

@@ -1,0 +1,72 @@
+package repair
+
+// Guards on the repair engine's evidence: a degraded analysis reports a
+// conservative SUPERSET of the true warnings (or, after a panic, an
+// incomplete subset), so the "warning count strictly decreased" test
+// would compare apples to oranges. Repair must refuse with ErrDegraded
+// instead of accepting — or silently dropping — a fix it cannot verify.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"uafcheck/internal/analysis"
+)
+
+// degradingSrc is a proc with real warnings whose PPS state space blows
+// a tiny MaxStates budget: several sync-gated tasks times config-flag
+// branching.
+func degradingSrc() string {
+	var sb strings.Builder
+	sb.WriteString("config const flag = true;\nproc f() {\n  var x: int = 1;\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "  var d%d$: sync bool;\n", i)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "  begin with (ref x) {\n    x += %d;\n    d%d$ = true;\n  }\n", i+1, i)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "  d%d$;\n", i)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func TestRepairRefusesBudgetDegradedBaseline(t *testing.T) {
+	opts := analysis.DefaultOptions()
+	opts.PPS.MaxStates = 2
+	res, err := Repair("t.chpl", degradingSrc(), opts)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Repair under a 2-state budget returned (%+v, %v), want ErrDegraded", res, err)
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("error should name the degraded phase: %v", err)
+	}
+}
+
+func TestRepairRefusesCancelledAnalysis(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := analysis.DefaultOptions()
+	opts.Ctx = ctx
+	res, err := Repair("t.chpl", degradingSrc(), opts)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Repair under a cancelled context returned (%+v, %v), want ErrDegraded", res, err)
+	}
+}
+
+// TestRepairCompleteRunUnaffected: the guard must not fire on a healthy
+// run — the plain Figure-1 repair still succeeds.
+func TestRepairCompleteRunUnaffected(t *testing.T) {
+	src := "proc f() {\n  var x: int = 1;\n  begin with (ref x) {\n    x = 2;\n  }\n  writeln(\"parent\");\n}\n"
+	res, err := Repair("t.chpl", src, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatalf("healthy repair failed: %v", err)
+	}
+	if !res.Clean() {
+		t.Fatalf("healthy repair left %d warning(s)", res.RemainingWarnings)
+	}
+}

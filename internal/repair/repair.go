@@ -26,16 +26,28 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"uafcheck/internal/analysis"
 	"uafcheck/internal/ast"
 	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
 	"uafcheck/internal/runtime"
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
 )
+
+// ErrDegraded is returned (wrapped) when the baseline analysis or a
+// candidate's verification re-analysis did not run to completion —
+// state budget, deadline, cancellation, or a recovered panic. A
+// degraded report's warnings are a conservative superset of the true
+// set (or, after a panic, an incomplete subset), so "the warning count
+// decreased" proves nothing against it: accepting a patch on that
+// evidence could bless a fix that repairs nothing. Callers should
+// re-run with a larger budget or no deadline rather than retry as-is.
+var ErrDegraded = errors.New("repair: analysis degraded, fix verification is unreliable")
 
 // Strategy names an applied patch kind.
 type Strategy string
@@ -93,14 +105,20 @@ func Repair(filename, src string, opts analysis.Options) (*Result, error) {
 	if first.Diags.HasErrors() {
 		return nil, fmt.Errorf("repair: frontend errors:\n%s", first.Diags)
 	}
+	if stop := first.Degraded(); stop != pps.StopNone {
+		return nil, fmt.Errorf("%w (baseline analysis stopped: %s)", ErrDegraded, stop)
+	}
 	warnings := first.Warnings()
 	res.InitialWarnings = len(warnings)
 	res.RemainingWarnings = len(warnings)
 
 	for round := 0; round < maxRounds && len(warnings) > 0; round++ {
 		w := warnings[0]
-		patched, step, rejected := fixGroup(filename, cur, w, len(warnings), opts)
+		patched, step, rejected, err := fixGroup(filename, cur, w, len(warnings), opts)
 		res.Rejected = append(res.Rejected, rejected...)
+		if err != nil {
+			return nil, err
+		}
 		if patched == "" {
 			// No candidate verified for this group; stop rather than
 			// loop on the same warning.
@@ -109,6 +127,9 @@ func Repair(filename, src string, opts analysis.Options) (*Result, error) {
 		cur = patched
 		res.Steps = append(res.Steps, step)
 		after := analysis.AnalyzeSource(filename, cur, opts)
+		if stop := after.Degraded(); stop != pps.StopNone {
+			return nil, fmt.Errorf("%w (post-patch analysis stopped: %s)", ErrDegraded, stop)
+		}
 		warnings = after.Warnings()
 		res.RemainingWarnings = len(warnings)
 	}
@@ -175,7 +196,7 @@ func dynCheck(src, proc string, base dynState, w analysis.Warning) (string, bool
 // fixGroup tries the candidate strategies for the (proc, task) of warning
 // w and returns the first verified patch.
 func fixGroup(filename, cur string, w analysis.Warning, before int,
-	opts analysis.Options) (string, Step, []string) {
+	opts analysis.Options) (string, Step, []string, error) {
 	base := exploreDyn(cur, w.Proc)
 	var rejected []string
 	type candidate struct {
@@ -200,44 +221,56 @@ func fixGroup(filename, cur string, w analysis.Warning, before int,
 		diags := &source.Diagnostics{}
 		mod := parser.ParseSource(filename, cur, diags)
 		if diags.HasErrors() {
-			return "", Step{}, rejected
+			return "", Step{}, rejected, nil
 		}
 		tok, ok := c.apply(mod)
 		if !ok {
 			continue
 		}
 		patched := ast.Print(mod)
-		reason, verified := verify(filename, patched, before, opts)
+		reason, verified, err := verify(filename, patched, before, opts)
+		if err != nil {
+			// The verification analysis itself degraded: its warning set
+			// is a conservative superset (or, post-panic, incomplete), so
+			// NO candidate can be honestly accepted or rejected — abort
+			// the repair instead of guessing.
+			return "", Step{}, rejected, err
+		}
 		if verified {
 			reason, verified = dynCheck(patched, w.Proc, base, w)
 		}
 		if verified {
-			return patched, Step{Strategy: c.strategy, Proc: w.Proc, Task: w.Task, Token: tok}, rejected
+			return patched, Step{Strategy: c.strategy, Proc: w.Proc, Task: w.Task, Token: tok}, rejected, nil
 		}
 		rejected = append(rejected,
 			fmt.Sprintf("%s for %s/%s: %s", c.strategy, w.Proc, w.Task, reason))
 	}
-	return "", Step{}, rejected
+	return "", Step{}, rejected, nil
 }
 
-// verify re-analyzes the patched source: accepted iff it still parses,
-// the warning count strictly decreased, and no potential-deadlock note
-// appeared.
-func verify(filename, patched string, before int, opts analysis.Options) (string, bool) {
+// verify re-analyzes the patched source: accepted iff the analysis ran
+// to completion, the source still parses, the warning count strictly
+// decreased, and no potential-deadlock note appeared. A degraded
+// re-analysis is an error, not a rejection — its conservative-superset
+// warning set can neither confirm nor refute the candidate.
+func verify(filename, patched string, before int, opts analysis.Options) (string, bool, error) {
 	res := analysis.AnalyzeSource(filename, patched, opts)
 	if res.Diags.HasErrors() {
-		return "patched source no longer parses", false
+		return "patched source no longer parses", false, nil
+	}
+	if stop := res.Degraded(); stop != pps.StopNone {
+		return "", false, fmt.Errorf("%w (candidate re-analysis stopped: %s)", ErrDegraded, stop)
 	}
 	after := len(res.Warnings())
 	if after >= before {
-		return fmt.Sprintf("warnings did not decrease (%d -> %d)", before, after), false
+		return fmt.Sprintf("warnings did not decrease (%d -> %d)", before, after), false, nil
 	}
 	for _, d := range res.Diags.All() {
 		if d.Severity == source.Note && strings.Contains(d.Message, "potential deadlock") {
-			return "patch introduces a potential deadlock", false
+			return "patch introduces a potential deadlock", false, nil
 		}
 	}
-	return "", true
+	return "", true, nil
 }
 
 // ---------------------------------------------------------------- edits

@@ -1,0 +1,497 @@
+package server
+
+// The chaos suite drives uafserve through the resilient internal/client
+// under deterministic fault injection (internal/fault) and checks the
+// robustness contract from docs/RECOVERY.md:
+//
+//  1. the server never returns a 5xx (or 429) without Retry-After
+//     guidance — verified at the transport layer, so retried attempts
+//     count too;
+//  2. a corrupt cache entry is never served: every 200 body is either
+//     byte-identical to the fault-free canonical encoding or a flagged
+//     degraded result (Report.Degraded set);
+//  3. flagged results obey the degradation ladder — budget/deadline
+//     degradations carry a conservative superset of the fault-free
+//     warnings, panic crashes are flagged "crashed" (a crashed proc's
+//     warnings are lost, so supersets cannot be promised there).
+//
+// Every scenario runs on a fixed seed matrix: same seeds, same fault
+// schedule, same outcome. The global injector means these tests must
+// not use t.Parallel.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/client"
+	"uafcheck/internal/fault"
+	"uafcheck/internal/wire"
+)
+
+// recordingTransport observes every individual HTTP attempt — including
+// the ones the retrying client absorbs — so invariants about response
+// headers can be asserted over the full wire history.
+type recordingTransport struct {
+	next http.RoundTripper
+
+	mu       sync.Mutex
+	attempts []attemptRecord
+}
+
+type attemptRecord struct {
+	path       string
+	status     int
+	retryAfter string
+}
+
+func (rt *recordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := rt.next.RoundTrip(req)
+	if err == nil {
+		rt.mu.Lock()
+		rt.attempts = append(rt.attempts, attemptRecord{
+			path:       req.URL.Path,
+			status:     resp.StatusCode,
+			retryAfter: resp.Header.Get("Retry-After"),
+		})
+		rt.mu.Unlock()
+	}
+	return resp, err
+}
+
+// checkRetryAfterInvariant fails the test for every observed 5xx or 429
+// that arrived without Retry-After guidance.
+func (rt *recordingTransport) checkRetryAfterInvariant(t *testing.T) {
+	t.Helper()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, a := range rt.attempts {
+		if (a.status >= 500 || a.status == http.StatusTooManyRequests) && a.retryAfter == "" {
+			t.Errorf("%s answered %d without Retry-After", a.path, a.status)
+		}
+	}
+}
+
+func (rt *recordingTransport) count(status int) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, a := range rt.attempts {
+		if a.status == status {
+			n++
+		}
+	}
+	return n
+}
+
+// chaosClient builds an internal/client with a test-sized retry
+// schedule over the recording transport. Retry-After floors are capped
+// by MaxBackoff so honoring the server's 1s guidance does not slow the
+// suite down.
+func chaosClient(rt *recordingTransport, seed int64) *client.Client {
+	return client.New(client.Config{
+		HTTP:        &http.Client{Transport: rt},
+		Seed:        seed,
+		MaxAttempts: 8,
+		Budget:      time.Minute,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  25 * time.Millisecond,
+		BreakAfter:  1 << 20, // the matrix asserts on responses, not breaker behavior
+	})
+}
+
+// chaosCorpus is a deterministic slice of the acceptance corpus — big
+// enough to give the probability streams room, small enough to keep the
+// seed matrix fast under -race.
+func chaosCorpus(t *testing.T) []uafcheck.FileInput {
+	files := loadCorpus(t)
+	if len(files) > 6 {
+		files = files[:6]
+	}
+	return files
+}
+
+// chaosBaseline computes the fault-free canonical encoding per file —
+// the byte-identity reference. Must be called before any injector is
+// armed.
+func chaosBaseline(t *testing.T, files []uafcheck.FileInput) map[string][]byte {
+	t.Helper()
+	if fault.Active() != nil {
+		t.Fatal("baseline must be computed fault-free")
+	}
+	base := make(map[string][]byte, len(files))
+	for _, f := range files {
+		rep, err := uafcheck.AnalyzeContext(context.Background(), f.Name, f.Src,
+			uafcheck.WithPrune(true),
+			uafcheck.WithParallelism(1),
+			uafcheck.WithDeadline(30*time.Second))
+		want, encErr := wire.NewResult(f.Name, rep, err, false).Encode()
+		if encErr != nil {
+			t.Fatalf("%s: encode baseline: %v", f.Name, encErr)
+		}
+		base[f.Name] = want
+	}
+	return base
+}
+
+// warningSet renders a report's warnings as a sorted multiset key list.
+func warningSet(rep *uafcheck.Report) []string {
+	if rep == nil {
+		return nil
+	}
+	out := make([]string, len(rep.Warnings))
+	for i, w := range rep.Warnings {
+		w.Conservative = false // superset compare ignores the flag
+		w.Prov = nil
+		out[i] = w.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isSuperset reports whether sup contains every element of sub
+// (multiset semantics).
+func isSuperset(sup, sub []string) bool {
+	have := make(map[string]int, len(sup))
+	for _, s := range sup {
+		have[s]++
+	}
+	for _, s := range sub {
+		have[s]--
+		if have[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyChaosBody enforces invariant 2 and 3 on one 200 response body.
+func verifyChaosBody(t *testing.T, name string, body, want []byte) {
+	t.Helper()
+	got := bytes.TrimSuffix(body, []byte("\n"))
+	if bytes.Equal(got, want) {
+		return // byte-identical to the fault-free run
+	}
+	var res, base wire.Result
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Errorf("%s: served undecodable body (corrupt entry?): %v\n%s", name, err, got)
+		return
+	}
+	if err := json.Unmarshal(want, &base); err != nil {
+		t.Fatalf("%s: baseline undecodable: %v", name, err)
+	}
+	if res.Name != name {
+		t.Errorf("%s: served result for %q (corrupt or cross-wired entry)", name, res.Name)
+		return
+	}
+	switch res.Status {
+	case "crashed":
+		// A panic-crashed proc's warnings are lost, not inflated — the
+		// contract is an honest flag, not a superset.
+		if res.Report == nil || res.Report.Degraded == nil {
+			t.Errorf("%s: status crashed without Report.Degraded", name)
+		}
+	case "degraded", "timed-out":
+		if res.Report == nil || res.Report.Degraded == nil {
+			t.Errorf("%s: status %s without Report.Degraded", name, res.Status)
+			return
+		}
+		if !isSuperset(warningSet(res.Report), warningSet(base.Report)) {
+			t.Errorf("%s: degraded result is not a conservative superset of the fault-free warnings", name)
+		}
+	default:
+		t.Errorf("%s: unflagged divergence from the fault-free bytes (status %q)\n served: %s\nfault-free: %s",
+			name, res.Status, got, want)
+	}
+}
+
+// TestChaosMatrix runs the fixed (scenario x seed) grid: each cell arms
+// one injector, drives two servers sharing a disk cache directory
+// through the retrying client (the second server starts cold in memory,
+// so pass 2 reads — and checksum-verifies — what pass 1 persisted), and
+// checks the full contract.
+func TestChaosMatrix(t *testing.T) {
+	files := chaosCorpus(t)
+	base := chaosBaseline(t, files)
+
+	scenarios := []struct {
+		name  string
+		rules []fault.Rule
+	}{
+		{"disk-write-err", []fault.Rule{
+			{Point: fault.CacheWrite, Mode: fault.ModeError, Prob: 0.5},
+		}},
+		{"torn-writes", []fault.Rule{
+			{Point: fault.CacheTorn, Mode: fault.ModeTorn, Prob: 0.7},
+		}},
+		{"disk-read-err", []fault.Rule{
+			{Point: fault.CacheRead, Mode: fault.ModeError, Prob: 0.5},
+		}},
+		{"analysis-panics", []fault.Rule{
+			{Point: fault.AnalysisPanic, Mode: fault.ModePanic, Prob: 0.4},
+		}},
+		{"mixed", []fault.Rule{
+			{Point: fault.CacheWrite, Mode: fault.ModeError, Prob: 0.3},
+			{Point: fault.CacheTorn, Mode: fault.ModeTorn, Prob: 0.3},
+			{Point: fault.CacheRead, Mode: fault.ModeError, Prob: 0.3},
+			{Point: fault.AnalysisPanic, Mode: fault.ModePanic, Prob: 0.15},
+		}},
+	}
+	seeds := []int64{1, 7}
+
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.name, seed), func(t *testing.T) {
+				dir := t.TempDir()
+				in := fault.New(seed, sc.rules...)
+				restore := fault.Set(in)
+				defer restore()
+
+				rt := &recordingTransport{next: http.DefaultTransport}
+				cl := chaosClient(rt, seed)
+				ctx := context.Background()
+
+				// Two passes, two server generations over one cache dir.
+				for pass := 0; pass < 2; pass++ {
+					cache := uafcheck.NewCache(uafcheck.CacheConfig{Dir: dir})
+					_, ts := newTestServer(t, Config{Cache: cache})
+					for _, f := range files {
+						body, err := json.Marshal(AnalyzeRequest{Name: f.Name, Src: f.Src})
+						if err != nil {
+							t.Fatal(err)
+						}
+						resp, err := cl.Post(ctx, ts.URL+"/v1/analyze", "application/json", body)
+						if err != nil {
+							t.Fatalf("pass %d: %s: %v", pass, f.Name, err)
+						}
+						out := readAll(t, resp)
+						if resp.StatusCode != http.StatusOK {
+							t.Fatalf("pass %d: %s: status %d, body %s", pass, f.Name, resp.StatusCode, out)
+						}
+						verifyChaosBody(t, f.Name, out, base[f.Name])
+					}
+				}
+
+				rt.checkRetryAfterInvariant(t)
+
+				// A scenario whose faults never fired proves nothing —
+				// deterministic streams make this a stable assertion.
+				fired := int64(0)
+				for _, r := range sc.rules {
+					fired += in.Fired(r.Point)
+				}
+				if fired == 0 {
+					t.Errorf("scenario vacuous: no fault fired (hits per point: %v)",
+						func() map[string]int64 {
+							m := make(map[string]int64)
+							for _, r := range sc.rules {
+								m[r.Point] = in.Hits(r.Point)
+							}
+							return m
+						}())
+				}
+			})
+		}
+	}
+}
+
+// TestChaosAdmissionStorm floods a 1-slot, 0-queue server with slow
+// analyses from concurrent retrying clients: every rejection must carry
+// Retry-After, and every request must eventually land through retries.
+func TestChaosAdmissionStorm(t *testing.T) {
+	restore := fault.Set(fault.New(1, fault.Rule{
+		Point: fault.AnalysisDelay, Mode: fault.ModeDelay, Prob: 1, Delay: 25 * time.Millisecond,
+	}))
+	defer restore()
+
+	_, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: -1})
+	rt := &recordingTransport{next: http.DefaultTransport}
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := chaosClient(rt, int64(i+1))
+			// Distinct proc names defeat the dedup layer and the report
+			// cache, so every caller really competes for the one slot.
+			src := fanoutSrc(fmt.Sprintf("storm%d", i), 2)
+			body, err := json.Marshal(AnalyzeRequest{Name: fmt.Sprintf("storm%d.chpl", i), Src: src})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := cl.Post(context.Background(), ts.URL+"/v1/analyze", "application/json", body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+	rt.checkRetryAfterInvariant(t)
+	if rt.count(http.StatusTooManyRequests) == 0 {
+		t.Error("storm never produced a 429 — admission control untested")
+	}
+}
+
+// TestChaosKillAndRestart simulates a crash between server generations:
+// generation 1 populates the disk tier, the "crash" corrupts two
+// entries and leaves a stale temp file behind, and generation 2 must
+// quarantine the damage on startup and answer every request
+// byte-identically via cold recompute.
+func TestChaosKillAndRestart(t *testing.T) {
+	files := chaosCorpus(t)
+	base := chaosBaseline(t, files)
+	dir := t.TempDir()
+
+	// Generation 1: populate the disk tier (synchronous writes land
+	// before the handler returns).
+	cache1 := uafcheck.NewCache(uafcheck.CacheConfig{Dir: dir})
+	_, ts1 := newTestServer(t, Config{Cache: cache1})
+	for _, f := range files {
+		resp, body := post(t, ts1, "/v1/analyze", AnalyzeRequest{Name: f.Name, Src: f.Src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", f.Name, resp.StatusCode, body)
+		}
+	}
+
+	// The crash: flip a byte in two persisted entries, strand a temp
+	// file from an interrupted write.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("disk tier not populated: %d entries (%v)", len(entries), err)
+	}
+	sort.Strings(entries)
+	for _, p := range entries[:2] {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x20
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-1234567"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: the startup recovery scan (what uafserve runs for
+	// -cache-dir) quarantines the corruption and sweeps the temp file.
+	cache2 := uafcheck.NewCache(uafcheck.CacheConfig{Dir: dir})
+	rs := cache2.Recover()
+	if rs.Quarantined != 2 || rs.TempFiles != 1 {
+		t.Fatalf("recovery = %+v, want 2 quarantined / 1 temp file", rs)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantine dir holds %d files, want 2", len(quarantined))
+	}
+
+	_, ts2 := newTestServer(t, Config{Cache: cache2})
+	for _, f := range files {
+		resp, body := post(t, ts2, "/v1/analyze", AnalyzeRequest{Name: f.Name, Src: f.Src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("restart: %s: status %d", f.Name, resp.StatusCode)
+		}
+		if got := bytes.TrimSuffix(body, []byte("\n")); !bytes.Equal(got, base[f.Name]) {
+			t.Errorf("restart: %s: bytes differ from fault-free baseline (corrupt entry served?)", f.Name)
+		}
+	}
+	if st := cache2.Stats(); st.Quarantined < 2 {
+		t.Errorf("cache stats quarantined = %d, want >= 2", st.Quarantined)
+	}
+}
+
+// TestHealthzComponents checks the component-health fold: a wedged
+// registered probe makes /healthz unready (503 with Retry-After), a
+// merely degraded disk tier keeps serving at 200 "degraded".
+func TestHealthzComponents(t *testing.T) {
+	var mu sync.Mutex
+	state := "ok"
+	probe := func() ComponentStatus {
+		mu.Lock()
+		defer mu.Unlock()
+		return ComponentStatus{State: state, Detail: map[string]int64{"restarts": 1}}
+	}
+	_, ts := newTestServer(t, Config{Components: map[string]func() ComponentStatus{"watchdog": probe}})
+
+	decode := func(body []byte) map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return m
+	}
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || decode(body)["status"] != "ok" {
+		t.Fatalf("healthy server: status %d, body %s", resp.StatusCode, body)
+	}
+	comps, _ := decode(body)["components"].(map[string]any)
+	for _, want := range []string{"admission", "disk_cache", "analyzer_pool", "watchdog"} {
+		if _, ok := comps[want]; !ok {
+			t.Errorf("healthz components missing %q: %s", want, body)
+		}
+	}
+
+	mu.Lock()
+	state = "degraded"
+	mu.Unlock()
+	resp, body = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || decode(body)["status"] != "degraded" {
+		t.Errorf("degraded probe: status %d, body %s — want 200 'degraded' (still serving)", resp.StatusCode, body)
+	}
+
+	mu.Lock()
+	state = "wedged"
+	mu.Unlock()
+	resp, body = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || decode(body)["status"] != "wedged" {
+		t.Errorf("wedged probe: status %d, body %s — want 503 'wedged'", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("unready healthz answered without Retry-After")
+	}
+
+	// /statusz carries the same component rows for operators.
+	resp, body = get(t, ts, "/statusz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"watchdog\"") {
+		t.Errorf("statusz missing component rows: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -85,6 +85,22 @@ type Config struct {
 	EnablePprof bool
 	// Logger receives operational log records (nil = slog.Default()).
 	Logger *slog.Logger
+	// Components registers extra health probes under /healthz and
+	// /statusz, keyed by component name — how an embedding process (a
+	// watch supervisor, a replication layer) plugs its own state into
+	// readiness without this package importing it. Probes must be safe
+	// for concurrent use. A probe reporting state "wedged" fails
+	// readiness; any non-"ok"/"off" state marks it degraded.
+	Components map[string]func() ComponentStatus
+}
+
+// ComponentStatus is one component's health row in /healthz and
+// /statusz. State is one of "ok", "off" (not configured), "degraded",
+// "disabled", "draining" or "wedged"; Detail carries component-specific
+// numbers (queue depths, error counts).
+type ComponentStatus struct {
+	State  string           `json:"state"`
+	Detail map[string]int64 `json:"detail,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -430,6 +446,15 @@ func (s *Server) MetricsSnapshot() obs.Metrics {
 	}
 	m.Gauges[obs.GaugeServerInflight] = int64(inflight)
 	m.Gauges[obs.GaugeServerQueueDepth] = int64(queued)
+	s.amu.Lock()
+	m.Gauges[obs.GaugeServerAnalyzerPool] = int64(len(s.analyzers))
+	s.amu.Unlock()
+	if s.cfg.Cache != nil {
+		st := s.cfg.Cache.Stats()
+		m.Gauges[obs.GaugeCacheDiskErrors] = st.DiskErrors
+		m.Gauges[obs.GaugeCacheQuarantined] = st.Quarantined
+		m.Gauges[obs.GaugeCacheDroppedWrites] = st.DroppedWrites
+	}
 	return m
 }
 
@@ -754,20 +779,85 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 // -------------------------------------------------------------- admin
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// componentHealth assembles the per-component health rows: the
+// admission gate, the report cache's disk tier, the /v1/delta analyzer
+// pool, and every probe registered via Config.Components.
+func (s *Server) componentHealth() map[string]ComponentStatus {
+	comps := make(map[string]ComponentStatus, 3+len(s.cfg.Components))
+
 	inflight, queued := s.gate.load()
-	body := map[string]any{
-		"status":   "ok",
-		"inflight": inflight,
-		"queued":   queued,
-		"version":  uafcheck.Version,
-	}
-	code := http.StatusOK
+	admission := ComponentStatus{State: "ok", Detail: map[string]int64{
+		"inflight":     int64(inflight),
+		"queued":       int64(queued),
+		"max_inflight": int64(s.cfg.MaxInflight),
+		"queue_depth":  int64(s.cfg.QueueDepth),
+	}}
 	select {
 	case <-s.gate.draining:
-		body["status"] = "draining"
-		code = http.StatusServiceUnavailable
+		admission.State = "draining"
 	default:
+	}
+	comps["admission"] = admission
+
+	disk := ComponentStatus{State: "off"}
+	if s.cfg.Cache != nil {
+		st := s.cfg.Cache.Stats()
+		disk.State = s.cfg.Cache.DiskState()
+		disk.Detail = map[string]int64{
+			"disk_errors":    st.DiskErrors,
+			"quarantined":    st.Quarantined,
+			"dropped_writes": st.DroppedWrites,
+		}
+	}
+	comps["disk_cache"] = disk
+
+	s.amu.Lock()
+	pool := int64(len(s.analyzers))
+	s.amu.Unlock()
+	comps["analyzer_pool"] = ComponentStatus{State: "ok", Detail: map[string]int64{
+		"analyzers": pool,
+		"capacity":  maxAnalyzers,
+	}}
+
+	for name, probe := range s.cfg.Components {
+		comps[name] = probe()
+	}
+	return comps
+}
+
+// healthState folds component rows into the overall readiness verdict:
+// "ok" (200), "degraded" (200 — still serving, capacity impaired), or
+// unready (503) when draining or any component is wedged.
+func healthState(comps map[string]ComponentStatus) (status string, code int) {
+	status, code = "ok", http.StatusOK
+	for _, c := range comps {
+		switch c.State {
+		case "wedged", "draining":
+			return c.State, http.StatusServiceUnavailable
+		case "ok", "off":
+		default:
+			status = "degraded"
+		}
+	}
+	return status, code
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inflight, queued := s.gate.load()
+	comps := s.componentHealth()
+	status, code := healthState(comps)
+	body := map[string]any{
+		"status":     status,
+		"inflight":   inflight,
+		"queued":     queued,
+		"version":    uafcheck.Version,
+		"components": comps,
+	}
+	if code != http.StatusOK {
+		// Overload guidance on every unready answer (draining or a
+		// wedged component): a probe or naive client should come back,
+		// not give up — and no 5xx leaves without Retry-After.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -848,13 +938,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	inflight, queued := s.gate.load()
 	recorded := len(s.flightrec.snapshot())
+	comps := s.componentHealth()
+	status, _ := healthState(comps)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(mustJSON(map[string]any{ //nolint:errcheck
-		"version":  uafcheck.Version,
-		"uptime_s": int64(time.Since(s.start).Seconds()),
-		"inflight": inflight,
-		"queued":   queued,
-		"routes":   routes,
+		"version":    uafcheck.Version,
+		"uptime_s":   int64(time.Since(s.start).Seconds()),
+		"status":     status,
+		"inflight":   inflight,
+		"queued":     queued,
+		"routes":     routes,
+		"components": comps,
 		"flight_recorder": map[string]int{
 			"recorded": recorded,
 			"capacity": len(s.flightrec.ring),
@@ -906,7 +1000,10 @@ func (s *Server) writeResult(w http.ResponseWriter, res flightResult, role strin
 	if res.cacheHit {
 		w.Header().Set("X-Uafserve-Cache", "hit")
 	}
-	if res.code == http.StatusTooManyRequests {
+	// Every rejection or server-side failure carries retry guidance: a
+	// 429 or 503 is overload/drain (come back after the queue clears),
+	// and even a 500 is worth one more try rather than an outage page.
+	if res.code == http.StatusTooManyRequests || res.code >= 500 {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(res.code)
@@ -940,6 +1037,9 @@ func (s *Server) retryAfterSeconds() int {
 
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code >= 500 {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
 	w.WriteHeader(code)
 	w.Write(append(mustJSON(errorBody{Error: msg}), '\n')) //nolint:errcheck
 }

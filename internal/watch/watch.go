@@ -1,0 +1,593 @@
+// Package watch is the supervised repo-watch service behind
+// `uafcheck -watch`: it polls a set of files or whole project trees,
+// re-analyzes changed files through a long-lived incremental Analyzer,
+// and prints warning diffs — while a watchdog keeps the loop alive
+// when the analyzer itself misbehaves.
+//
+// Supervision model. The service is always in one of three states:
+//
+//   - healthy: every file analyzed cleanly on the latest poll;
+//   - degraded: something went wrong this poll (an analysis errored,
+//     returned a degraded conservative-superset report, or the
+//     analyzer was just restarted) but the loop is running — the
+//     last-known-good warning set for each file keeps being served;
+//   - wedged: an analysis overran its hang timeout plus grace and was
+//     abandoned. The analyzer (which may be stuck holding its memo
+//     store's locks) is discarded; the service serves last-known-good
+//     warnings while it waits out an exponential backoff (with
+//     deterministic jitter) before building a fresh analyzer via the
+//     configured factory.
+//
+// A clean pass returns the service to healthy from either degraded
+// state. Transitions, per-file diffs and watchdog actions all print to
+// Config.Out with the stable "watch: " prefix, and the obs counters
+// watch.polls/changed_files/deleted_files/abandoned/restarts plus the
+// watch.state/watch.files gauges make the machine observable from
+// metrics alone.
+package watch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/fault"
+	"uafcheck/internal/obs"
+)
+
+// State is the watchdog's supervision state.
+type State int32
+
+const (
+	// StateHealthy: the latest poll analyzed every changed file cleanly.
+	StateHealthy State = iota
+	// StateDegraded: the loop is serving, but the latest poll hit an
+	// analysis error, a degraded (conservative-superset) report, or the
+	// analyzer was just restarted and has not proven itself yet.
+	StateDegraded
+	// StateWedged: a hung analysis was abandoned; the analyzer is gone
+	// and the service is backing off before building a fresh one.
+	// Last-known-good warnings keep being served meanwhile.
+	StateWedged
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateWedged:
+		return "wedged"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Analyzer is the incremental analysis dependency, satisfied by
+// *uafcheck.Analyzer. The factory in Config builds one at startup and
+// again after every watchdog-forced restart.
+type Analyzer interface {
+	AnalyzeDelta(ctx context.Context, filename, src string) (*uafcheck.Report, error)
+}
+
+// ErrAbandoned is returned (wrapped) when the watchdog gives up on a
+// hung analysis.
+var ErrAbandoned = errors.New("watch: analysis abandoned by watchdog")
+
+// errBackingOff marks polls skipped because the service is wedged and
+// waiting out its restart backoff.
+var errBackingOff = errors.New("watch: analyzer restart pending")
+
+// Config configures a Service. Roots and NewAnalyzer are required.
+type Config struct {
+	// Roots are the files and/or directory trees to watch. Directories
+	// are rescanned every poll (recursive), picking up created files and
+	// dropping deleted ones; explicit file roots are watched even when
+	// their extension does not match Exts.
+	Roots []string
+	// Exts are the file extensions tracked inside directory roots
+	// (default ".chpl").
+	Exts []string
+	// Interval is the poll period (default 500ms).
+	Interval time.Duration
+	// HangTimeout bounds one file's analysis. The analysis context is
+	// cancelled at HangTimeout; a worker that ignores even the
+	// cancellation is abandoned at HangTimeout + grace (half of
+	// HangTimeout) and the analyzer is restarted. Default 30s.
+	HangTimeout time.Duration
+	// MaxBackoff caps the exponential restart backoff (default 16x
+	// Interval, at least 1s).
+	MaxBackoff time.Duration
+	// Seed seeds the deterministic backoff jitter (0 means 1).
+	Seed int64
+	// Out receives diffs and supervision events; nil discards them.
+	Out io.Writer
+	// NewAnalyzer builds the incremental analyzer, at startup and after
+	// each watchdog restart. Must be non-nil.
+	NewAnalyzer func() Analyzer
+}
+
+// Status is a point-in-time snapshot of the supervision state, the
+// shape /statusz-style surfaces report.
+type Status struct {
+	// State is the current watchdog state.
+	State State
+	// Files is the number of files currently tracked.
+	Files int
+	// Restarts counts analyzer rebuilds forced by the watchdog.
+	Restarts int64
+	// Abandoned counts analyses the watchdog gave up on.
+	Abandoned int64
+	// LastError is the most recent analysis failure ("" when none).
+	LastError string
+}
+
+// fileState tracks one watched file between polls.
+type fileState struct {
+	src      string   // last content analyzed
+	warnings []string // last-known-good rendered warning set
+	known    bool     // at least one successful analysis happened
+}
+
+// Service is the supervised watch loop. Create with New, drive with
+// Run; Status, Warnings and Metrics are safe to call concurrently from
+// other goroutines (the wedge tests and a future /statusz handler do).
+type Service struct {
+	cfg Config
+	rec *obs.Recorder
+
+	mu        sync.Mutex
+	state     State
+	files     map[string]*fileState
+	an        Analyzer
+	restartAt time.Time // when wedged: earliest next analyzer rebuild
+	wedges    int       // consecutive wedges, drives the backoff exponent
+	restarts  int64
+	abandoned int64
+	lastErr   string
+	rng       uint64
+	agg       uafcheck.Metrics
+}
+
+// New creates a Service; Run starts it.
+func New(cfg Config) *Service {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.HangTimeout <= 0 {
+		cfg.HangTimeout = 30 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 16 * cfg.Interval
+		if cfg.MaxBackoff < time.Second {
+			cfg.MaxBackoff = time.Second
+		}
+	}
+	if len(cfg.Exts) == 0 {
+		cfg.Exts = []string{".chpl"}
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Service{
+		cfg:   cfg,
+		rec:   obs.New(),
+		files: make(map[string]*fileState),
+		an:    cfg.NewAnalyzer(),
+		rng:   uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+// Run polls until ctx is cancelled. The first pass reports every
+// file's full warning set; later passes print diffs only.
+func (s *Service) Run(ctx context.Context) {
+	s.pass(ctx, true)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.pass(ctx, false)
+		}
+	}
+}
+
+// Status returns the current supervision snapshot.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		State:     s.state,
+		Files:     len(s.files),
+		Restarts:  s.restarts,
+		Abandoned: s.abandoned,
+		LastError: s.lastErr,
+	}
+}
+
+// Warnings returns the last-known-good rendered warning set for path —
+// what the service keeps serving while degraded or wedged.
+func (s *Service) Warnings(path string) ([]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.files[path]
+	if !ok || !st.known {
+		return nil, false
+	}
+	return append([]string(nil), st.warnings...), true
+}
+
+// Metrics returns the session aggregate: every analyzed report's
+// telemetry merged with the watch loop's own counters and gauges.
+func (s *Service) Metrics() uafcheck.Metrics {
+	s.mu.Lock()
+	agg := s.agg
+	s.mu.Unlock()
+	agg.Merge(s.rec.Snapshot())
+	return agg
+}
+
+// pass is one poll: rescan the tree, drop deleted files, re-analyze
+// changed ones under the watchdog, and settle the supervision state.
+func (s *Service) pass(ctx context.Context, first bool) {
+	s.rec.Add(obs.CtrWatchPolls, 1)
+	present := s.scan(first)
+	s.dropDeleted(present)
+
+	clean := true
+	for _, p := range present {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if !s.checkFile(ctx, p, first) {
+			clean = false
+		}
+	}
+
+	s.mu.Lock()
+	// A clean pass with a live analyzer earns healthy back; a wedged
+	// service stays wedged until a restart succeeds.
+	if clean && s.an != nil {
+		s.setStateLocked(StateHealthy)
+		s.wedges = 0
+	}
+	// Gauges are high-water marks: the aggregate answers "how bad did
+	// supervision get" and "how many files at peak", while Status gives
+	// the live values.
+	s.rec.Max(obs.GaugeWatchState, int64(s.state))
+	s.rec.Max(obs.GaugeWatchFiles, int64(len(s.files)))
+	s.mu.Unlock()
+}
+
+// scan resolves the roots to the sorted set of files watched this
+// poll. Directory roots are walked recursively for Exts matches; file
+// roots are included as long as they exist. Root-level errors print on
+// the first pass only (a missing root later is just "no files").
+func (s *Service) scan(first bool) []string {
+	seen := make(map[string]bool)
+	for _, root := range s.cfg.Roots {
+		info, err := os.Stat(root)
+		if err != nil {
+			if first {
+				fmt.Fprintf(s.cfg.Out, "watch: %s: %v\n", root, err)
+			}
+			continue
+		}
+		if !info.IsDir() {
+			seen[root] = true
+			continue
+		}
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil // unreadable subtrees degrade to absence
+			}
+			for _, ext := range s.cfg.Exts {
+				if strings.HasSuffix(path, ext) {
+					seen[path] = true
+					break
+				}
+			}
+			return nil
+		})
+	}
+	present := make([]string, 0, len(seen))
+	for p := range seen {
+		present = append(present, p)
+	}
+	sort.Strings(present)
+	return present
+}
+
+// dropDeleted removes state for files that vanished since the last
+// poll, printing a removal diff for their warnings — deletion is an
+// ordinary edit, not an error.
+func (s *Service) dropDeleted(present []string) {
+	here := make(map[string]bool, len(present))
+	for _, p := range present {
+		here[p] = true
+	}
+	s.mu.Lock()
+	var gone []string
+	for p := range s.files {
+		if !here[p] {
+			gone = append(gone, p)
+		}
+	}
+	sort.Strings(gone)
+	for _, p := range gone {
+		st := s.files[p]
+		delete(s.files, p)
+		s.rec.Add(obs.CtrWatchDeleted, 1)
+		fmt.Fprintf(s.cfg.Out, "watch: %s: deleted, dropping %d warning(s)\n", p, len(st.warnings))
+		for _, w := range st.warnings {
+			fmt.Fprintf(s.cfg.Out, "- %s\n", w)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// checkFile re-analyzes p when its content changed. Returns false when
+// this file left the pass less than clean (read error, analysis error,
+// degraded report, abandoned analysis, or skipped during backoff).
+func (s *Service) checkFile(ctx context.Context, p string, first bool) bool {
+	s.mu.Lock()
+	st := s.files[p]
+	if st == nil {
+		st = &fileState{}
+		s.files[p] = st
+	}
+	prev := st.src
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(p)
+	if err == nil {
+		err = fault.Err(fault.WatchRead)
+	}
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Deleted between scan and read; the next poll's scan prints
+			// the removal diff.
+			return true
+		}
+		if first {
+			fmt.Fprintf(s.cfg.Out, "watch: %s: %v\n", p, err)
+		}
+		s.noteError(err)
+		return false
+	}
+	src := string(data)
+	if !first && src == prev {
+		return true
+	}
+	s.rec.Add(obs.CtrWatchChanged, 1)
+
+	rep, err := s.analyzeGuarded(ctx, p, src)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return true // shutdown, not a failure
+		}
+		if errors.Is(err, errBackingOff) || errors.Is(err, ErrAbandoned) {
+			// Transient supervision trouble: leave st.src alone so the
+			// restarted analyzer retries this content on a later poll.
+			return false
+		}
+		// Frontend failure mid-edit is normal; record the content so an
+		// unchanged broken file is not re-parsed (and re-reported) every
+		// poll, and keep the last good warning set so the eventual diff
+		// is against it.
+		s.mu.Lock()
+		st.src = src
+		s.mu.Unlock()
+		fmt.Fprintf(s.cfg.Out, "watch: %s: %v\n", p, err)
+		s.noteError(err)
+		return false
+	}
+
+	s.mu.Lock()
+	st.src = src
+	s.agg.Merge(rep.Metrics)
+	s.mu.Unlock()
+	uafcheck.SortWarnings(rep.Warnings)
+	next := make([]string, len(rep.Warnings))
+	for i, w := range rep.Warnings {
+		next[i] = w.String()
+	}
+
+	clean := rep.Degraded == nil
+	if !clean {
+		// A degraded report is a sound conservative superset — safe to
+		// serve and diff, but the pass is not healthy.
+		fmt.Fprintf(s.cfg.Out, "watch: %s: degraded analysis (%s), warnings are a conservative superset\n",
+			p, rep.Degraded.Reason)
+		s.noteError(fmt.Errorf("degraded analysis of %s: %s", p, rep.Degraded.Reason))
+	}
+
+	s.mu.Lock()
+	known := st.known
+	old := st.warnings
+	st.warnings = next
+	st.known = true
+	s.mu.Unlock()
+
+	if first || !known {
+		fmt.Fprintf(s.cfg.Out, "watch: %s: %d warning(s)\n", p, len(next))
+		for _, w := range next {
+			fmt.Fprintf(s.cfg.Out, "+ %s\n", w)
+		}
+		return clean
+	}
+	added, removed := DiffWarnings(old, next)
+	if len(added)+len(removed) > 0 {
+		fmt.Fprintf(s.cfg.Out, "watch: %s: %+d/-%d warning(s)\n", p, len(added), len(removed))
+		for _, w := range removed {
+			fmt.Fprintf(s.cfg.Out, "- %s\n", w)
+		}
+		for _, w := range added {
+			fmt.Fprintf(s.cfg.Out, "+ %s\n", w)
+		}
+	}
+	return clean
+}
+
+// analyzeGuarded runs one analysis under the watchdog: the analysis
+// context is cancelled at HangTimeout, and a worker that ignores even
+// that is abandoned at HangTimeout + grace — its goroutine is left to
+// die on its own, the analyzer it may have wedged is discarded, and a
+// replacement is scheduled after an exponential backoff.
+func (s *Service) analyzeGuarded(ctx context.Context, path, src string) (*uafcheck.Report, error) {
+	an, err := s.analyzer()
+	if err != nil {
+		return nil, err
+	}
+
+	actx, cancel := context.WithTimeout(ctx, s.cfg.HangTimeout)
+	defer cancel()
+	type result struct {
+		rep *uafcheck.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := an.AnalyzeDelta(actx, path, src)
+		ch <- result{rep, err}
+	}()
+
+	grace := s.cfg.HangTimeout / 2
+	timer := time.NewTimer(s.cfg.HangTimeout + grace)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.rep, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		s.abandon(an, path)
+		return nil, fmt.Errorf("%w: %s did not return within %v",
+			ErrAbandoned, path, s.cfg.HangTimeout+grace)
+	}
+}
+
+// analyzer returns the live analyzer, rebuilding it when a wedge's
+// backoff has elapsed. During backoff it returns errBackingOff and the
+// caller skips the file (last-known-good keeps being served).
+func (s *Service) analyzer() (Analyzer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.an != nil {
+		return s.an, nil
+	}
+	if time.Now().Before(s.restartAt) {
+		return nil, errBackingOff
+	}
+	s.an = s.cfg.NewAnalyzer()
+	s.restarts++
+	s.rec.Add(obs.CtrWatchRestarts, 1)
+	// The rebuilt analyzer starts degraded; a clean pass earns healthy.
+	s.setStateLocked(StateDegraded)
+	fmt.Fprintf(s.cfg.Out, "watch: analyzer restarted (restart %d)\n", s.restarts)
+	return s.an, nil
+}
+
+// abandon gives up on a hung analysis: the analyzer is discarded (only
+// if it is still the current one — a concurrent abandon may have beaten
+// us) and the next rebuild is scheduled with exponential backoff plus
+// deterministic jitter.
+func (s *Service) abandon(an Analyzer, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.abandoned++
+	s.rec.Add(obs.CtrWatchAbandoned, 1)
+	s.lastErr = fmt.Sprintf("analysis of %s abandoned after %v", path, s.cfg.HangTimeout)
+	if s.an != an {
+		return
+	}
+	s.an = nil
+	s.wedges++
+	// Backoff scales from the hang timeout (a restart cheaper than one
+	// analysis worth of waiting buys nothing) and doubles per
+	// consecutive wedge.
+	backoff := s.cfg.HangTimeout
+	if backoff < s.cfg.Interval {
+		backoff = s.cfg.Interval
+	}
+	for i := 1; i < s.wedges && backoff < s.cfg.MaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > s.cfg.MaxBackoff {
+		backoff = s.cfg.MaxBackoff
+	}
+	// Deterministic jitter in [0, backoff/4): splitmix64 over the seed,
+	// so a chaos run's restart schedule reproduces exactly.
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	backoff += time.Duration(z % uint64(backoff/4+1))
+	s.restartAt = time.Now().Add(backoff)
+	s.setStateLocked(StateWedged)
+	fmt.Fprintf(s.cfg.Out, "watch: analysis of %s abandoned (hang watchdog); analyzer restart in %v\n",
+		path, backoff.Round(time.Millisecond))
+}
+
+// noteError records a failure and degrades the state (never past
+// wedged — an already-wedged service stays wedged).
+func (s *Service) noteError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastErr = err.Error()
+	if s.state == StateHealthy {
+		s.setStateLocked(StateDegraded)
+	}
+}
+
+// setStateLocked transitions the state machine, printing observable
+// transitions. Caller holds s.mu.
+func (s *Service) setStateLocked(next State) {
+	if s.state == next {
+		return
+	}
+	fmt.Fprintf(s.cfg.Out, "watch: state %s -> %s\n", s.state, next)
+	s.state = next
+}
+
+// DiffWarnings computes the multiset difference between two rendered
+// warning lists: which lines appeared and which disappeared. Both
+// outputs come back sorted for stable display.
+func DiffWarnings(old, new []string) (added, removed []string) {
+	counts := make(map[string]int, len(old))
+	for _, w := range old {
+		counts[w]++
+	}
+	for _, w := range new {
+		if counts[w] > 0 {
+			counts[w]--
+		} else {
+			added = append(added, w)
+		}
+	}
+	for w, n := range counts {
+		for i := 0; i < n; i++ {
+			removed = append(removed, w)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
