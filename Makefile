@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos check
+.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos repair-smoke check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ chaos:
 	$(GO) test -race ./internal/fault/ ./internal/client/
 	$(GO) test -race -run 'Chaos|Recover|Quarantine|Torn|Wedge|Degraded|HealthzComponents|WriteFailure' \
 		./internal/cache/ ./internal/watch/ ./internal/server/ ./internal/repair/
+
+# Round-trip smoke of the repair API: boots the real uafserve, repairs
+# a corpus file over POST /v1/repair, applies the served unified diff
+# with patch(1), re-analyzes the result with the CLI, and asserts zero
+# warnings. See docs/REPAIR.md.
+repair-smoke:
+	sh scripts/repair-smoke.sh
 
 vet:
 	$(GO) vet ./...

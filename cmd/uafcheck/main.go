@@ -82,7 +82,7 @@ func main() {
 		noPrune     = flag.Bool("no-prune", false, "disable pruning rules A-D")
 		atomics     = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
 		count       = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
-		fix         = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print the repaired source")
+		fix         = flag.Bool("fix", false, "synthesize and verify synchronization fixes; print verified unified diffs (with -format sarif: embed them as SARIF fixes; with -format json: append repair NDJSON lines)")
 		execProc    = flag.String("exec", "", "execute the named proc once under a random schedule and print its event trace")
 		oracle      = flag.Int("oracle", 0, "validate warnings with N random schedules (0 = off)")
 		seed        = flag.Int64("seed", 1, "oracle schedule seed")
@@ -205,6 +205,34 @@ func main() {
 	}
 	batchRep := uafcheck.AnalyzeFilesContext(ctx, files, apiOpts...)
 
+	// -fix: run the repair engine over every file whose analysis found
+	// warnings on clean (non-degraded) evidence. Degraded reports are
+	// refused by Repair with the typed sentinel — conservative warnings
+	// must never drive a patch — and the refusal is reported, not
+	// silently skipped.
+	var repairs map[string]*uafcheck.RepairReport
+	if *fix {
+		repairs = make(map[string]*uafcheck.RepairReport)
+		repairOpts := []uafcheck.Option{
+			uafcheck.WithPrune(!*noPrune),
+			uafcheck.WithAtomicsModel(*atomics),
+			uafcheck.WithAtomicsCounting(*count),
+			uafcheck.WithParallelism(*par),
+			uafcheck.WithDeadline(*timeout),
+		}
+		for i, fr := range batchRep.Files {
+			if fr.Err != nil || fr.Report == nil || len(fr.Report.Warnings) == 0 {
+				continue
+			}
+			rr, err := uafcheck.Repair(ctx, files[i].Name, files[i].Src, repairOpts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uafcheck: repair %s: %v\n", files[i].Name, err)
+				continue
+			}
+			repairs[files[i].Name] = rr
+		}
+	}
+
 	if *format != "text" {
 		// Machine-readable formats own stdout entirely: the canonical
 		// wire encoding shared with the uafserve daemon, so piping a
@@ -215,7 +243,7 @@ func main() {
 		for i, fr := range batchRep.Files {
 			results[i] = wire.NewResult(files[i].Name, fr.Report, fr.Err, *metrics)
 		}
-		if err := emitFormatted(os.Stdout, *format, results); err != nil {
+		if err := emitFormatted(os.Stdout, *format, results, repairs); err != nil {
 			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
 			ioErrors = true
 		}
@@ -311,25 +339,20 @@ func main() {
 				}
 			}
 		}
-		if *fix && len(rep.Warnings) > 0 {
-			fr, err := uafcheck.RepairSourceContext(ctx, path, src,
-				uafcheck.WithPrune(!*noPrune),
-				uafcheck.WithTrace(*trace),
-				uafcheck.WithAtomicsModel(*atomics),
-				uafcheck.WithAtomicsCounting(*count))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "repair: %v\n", err)
-			} else {
-				for _, s := range fr.Steps {
-					extra := ""
-					if s.Token != "" {
-						extra = " (token " + s.Token + ")"
-					}
-					fmt.Printf("fix: %s in %s/%s%s\n", s.Strategy, s.Proc, s.Task, extra)
+		if rr := repairs[path]; rr != nil {
+			for _, p := range rr.Patches {
+				extra := ""
+				if p.Token != "" {
+					extra = " (token " + p.Token + ")"
 				}
-				fmt.Printf("fix: %d -> %d warnings\n", fr.InitialWarnings, fr.RemainingWarnings)
-				fmt.Println("---- repaired source ----")
-				fmt.Print(fr.Fixed)
+				fmt.Printf("fix: %s in %s/%s%s [%d -> %d warnings; %s]\n",
+					p.Strategy, p.Proc, p.Task, extra,
+					p.Verdict.WarningsBefore, p.Verdict.WarningsAfter,
+					strings.Join(p.Verdict.Checks, "+"))
+			}
+			fmt.Printf("fix: %d -> %d warnings\n", rr.InitialWarnings, rr.RemainingWarnings)
+			if rr.Diff != "" {
+				fmt.Print(rr.Diff)
 			}
 		}
 	}
@@ -359,10 +382,12 @@ func main() {
 
 // emitFormatted renders the machine-readable formats: "json" writes
 // one canonical result line per file, "sarif" one indented SARIF 2.1.0
-// document covering every file.
-func emitFormatted(w *os.File, format string, results []wire.Result) error {
+// document covering every file. With -fix results, sarif embeds each
+// file's verified patches as SARIF fixes and json appends the repair
+// NDJSON lines (kind patch/summary) after the file's result line.
+func emitFormatted(w *os.File, format string, results []wire.Result, repairs map[string]*uafcheck.RepairReport) error {
 	if format == "sarif" {
-		b, err := wire.SARIF(results).EncodeIndent()
+		b, err := wire.SARIFWithFixes(results, repairs).EncodeIndent()
 		if err != nil {
 			return err
 		}
@@ -376,6 +401,15 @@ func emitFormatted(w *os.File, format string, results []wire.Result) error {
 		}
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			return err
+		}
+		if rr := repairs[res.Name]; rr != nil {
+			b, err := wire.EncodeRepair(res.Name, rr)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -42,6 +42,12 @@
 //	                        lines -> NDJSON result lines; files re-sent
 //	                        after an edit are re-analyzed incrementally
 //	                        (only edited procedures recompute)
+//	POST /v1/repair         {"name","src","options":{...}} -> NDJSON:
+//	                        one verified unified-diff patch per line
+//	                        plus a terminal summary; analyses that
+//	                        degrade answer a typed 503 refusal
+//	                        (code "repair_degraded") with Retry-After
+//	                        instead of an unverifiable patch
 //	GET  /healthz           readiness (503 while draining)
 //	GET  /livez             liveness
 //	GET  /metrics           Prometheus text format (per-route latency
@@ -55,10 +61,15 @@
 // request's span tree (server -> analysis phases -> PPS waves) is
 // retrievable from /debug/requests by trace ID.
 //
+// /v1/analyze and /v1/analyze-batch content-negotiate: requests with
+// `Accept: application/sarif+json` (or `?format=sarif`) receive the
+// SARIF 2.1.0 projection, with verified repair patches embedded as
+// SARIF fixes — ready for code-scanning upload; see docs/REPAIR.md.
+//
 // The pre-versioning routes /analyze and /analyze-batch still answer —
-// with a Deprecation header and a server.deprecated_requests count —
-// but new clients should use /v1/. See docs/SERVER.md for the
-// compatibility policy.
+// with Deprecation/Link/Sunset headers and a server.deprecated_requests
+// count — but new clients should use /v1/. See docs/SERVER.md for the
+// compatibility and removal policy.
 //
 // SIGINT/SIGTERM shut down gracefully: the admission gate closes,
 // in-flight analyses finish and are delivered, and the disk cache tier

@@ -113,6 +113,9 @@ const (
 	CtrServerDeprecated = "server.deprecated_requests"
 	// CtrServerDeltaFiles counts files analyzed through /v1/delta.
 	CtrServerDeltaFiles = "server.delta_files"
+	// CtrServerRepairs counts repair attempts served by /v1/repair
+	// (leaders only; refusals included — the attempt is the unit).
+	CtrServerRepairs = "server.repairs"
 
 	// Incremental per-procedure engine (internal/analysis incremental
 	// mode): memoized analysis units served from the unit cache vs

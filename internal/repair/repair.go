@@ -49,6 +49,11 @@ import (
 // re-run with a larger budget or no deadline rather than retry as-is.
 var ErrDegraded = errors.New("repair: analysis degraded, fix verification is unreliable")
 
+// ErrParse is returned (wrapped) when the input source fails the
+// frontend: there is nothing to repair because there is nothing to
+// analyze. The public layer translates it to uafcheck.ErrParse.
+var ErrParse = errors.New("repair: source has frontend errors")
+
 // Strategy names an applied patch kind.
 type Strategy string
 
@@ -66,6 +71,17 @@ type Step struct {
 	Task     string
 	// Token is the introduced sync variable for token-chain steps.
 	Token string
+	// Patched is the full source after this step was applied — each
+	// step's patch is the line diff from the previous step's Patched
+	// (or the original input for the first step). The public API
+	// derives per-patch unified diffs from these snapshots.
+	Patched string
+	// Before / After are the verified warning counts around this step:
+	// every accepted step has After < Before (the verifier rejects
+	// anything else), so the pair is the step's remaining-warning
+	// delta.
+	Before int
+	After  int
 }
 
 // Result is the outcome of a repair run.
@@ -78,6 +94,9 @@ type Result struct {
 	// InitialWarnings / RemainingWarnings count before and after.
 	InitialWarnings   int
 	RemainingWarnings int
+	// Remaining holds the warnings still present in Fixed (positions
+	// refer to the patched source). Empty when Clean().
+	Remaining []analysis.Warning
 	// Rejected notes candidates the verifier refused and why.
 	Rejected []string
 }
@@ -103,7 +122,7 @@ func Repair(filename, src string, opts analysis.Options) (*Result, error) {
 	cur := src
 	first := analysis.AnalyzeSource(filename, cur, opts)
 	if first.Diags.HasErrors() {
-		return nil, fmt.Errorf("repair: frontend errors:\n%s", first.Diags)
+		return nil, fmt.Errorf("%w:\n%s", ErrParse, first.Diags)
 	}
 	if stop := first.Degraded(); stop != pps.StopNone {
 		return nil, fmt.Errorf("%w (baseline analysis stopped: %s)", ErrDegraded, stop)
@@ -111,6 +130,7 @@ func Repair(filename, src string, opts analysis.Options) (*Result, error) {
 	warnings := first.Warnings()
 	res.InitialWarnings = len(warnings)
 	res.RemainingWarnings = len(warnings)
+	res.Remaining = warnings
 
 	for round := 0; round < maxRounds && len(warnings) > 0; round++ {
 		w := warnings[0]
@@ -125,13 +145,17 @@ func Repair(filename, src string, opts analysis.Options) (*Result, error) {
 			break
 		}
 		cur = patched
-		res.Steps = append(res.Steps, step)
 		after := analysis.AnalyzeSource(filename, cur, opts)
 		if stop := after.Degraded(); stop != pps.StopNone {
 			return nil, fmt.Errorf("%w (post-patch analysis stopped: %s)", ErrDegraded, stop)
 		}
+		step.Patched = cur
+		step.Before = len(warnings)
 		warnings = after.Warnings()
+		step.After = len(warnings)
+		res.Steps = append(res.Steps, step)
 		res.RemainingWarnings = len(warnings)
+		res.Remaining = warnings
 	}
 	res.Fixed = cur
 	return res, nil

@@ -121,6 +121,11 @@ type flightResult struct {
 	code     int
 	body     []byte
 	cacheHit bool
+	// ctype overrides the response Content-Type when non-empty
+	// (application/sarif+json for negotiated SARIF responses,
+	// application/x-ndjson for repair streams); empty means
+	// application/json.
+	ctype string
 }
 
 // flight is one in-progress deduplicated computation.

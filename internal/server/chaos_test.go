@@ -485,6 +485,79 @@ func TestHealthzComponents(t *testing.T) {
 	}
 }
 
+// TestChaosRepairRefusal drives /v1/repair under analysis panics: the
+// repair-verify loop sees crashed (degraded) evidence on every
+// attempt, so the endpoint must answer the typed refusal — 503 with
+// code "repair_degraded" and Retry-After — and must never serve a
+// patch line derived from degraded analysis. Dropping the injector
+// afterwards is the control: the same request then repairs clean, so
+// the refusal above was the faults' doing, not a broken endpoint.
+func TestChaosRepairRefusal(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/figure1.chpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := AnalyzeRequest{Name: "figure1.chpl", Src: string(src)}
+
+	in := fault.New(3, fault.Rule{
+		Point: fault.AnalysisPanic, Mode: fault.ModePanic, Prob: 1,
+	})
+	restore := fault.Set(in)
+	_, ts := newTestServer(t, Config{})
+
+	for i := 0; i < 3; i++ {
+		resp, body := post(t, ts, "/v1/repair", req)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status %d, want 503; body %s", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("attempt %d: refusal without Retry-After", i)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(bytes.TrimSpace(body), &eb); err != nil {
+			t.Fatalf("attempt %d: refusal body not a single JSON error: %v\n%s", i, err, body)
+		}
+		if eb.Code != CodeRepairDegraded {
+			t.Errorf("attempt %d: code = %q, want %q", i, eb.Code, CodeRepairDegraded)
+		}
+		if strings.Contains(string(body), "\"kind\":\"patch\"") || strings.Contains(string(body), "+++ b/") {
+			t.Fatalf("attempt %d: degraded repair served patch material: %s", i, body)
+		}
+	}
+	if in.Fired(fault.AnalysisPanic) == 0 {
+		t.Fatal("scenario vacuous: no analysis panic fired")
+	}
+	restore()
+
+	// Control: fault-free, the same request must repair clean with
+	// verified patches — the server survived the chaos undamaged.
+	resp, body := post(t, ts, "/v1/repair", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control: status %d, body %s", resp.StatusCode, body)
+	}
+	recs := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	var sawPatch bool
+	var sum *wire.RepairSummary
+	for _, rec := range recs {
+		var l wire.RepairLine
+		if err := json.Unmarshal([]byte(rec), &l); err != nil {
+			t.Fatalf("control: bad NDJSON record: %v\n%s", err, rec)
+		}
+		switch l.Kind {
+		case wire.RepairKindPatch:
+			sawPatch = true
+			if !l.Patch.Verdict.Verified {
+				t.Fatalf("control: unverified patch served: %+v", l.Patch)
+			}
+		case wire.RepairKindSummary:
+			sum = l.Summary
+		}
+	}
+	if !sawPatch || sum == nil || sum.Status != wire.RepairStatusClean {
+		t.Fatalf("control: expected a clean repair with patches, got %s", body)
+	}
+}
+
 // readAll drains and closes a response body.
 func readAll(t *testing.T, resp *http.Response) []byte {
 	t.Helper()

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uafcheck"
+	"uafcheck/internal/wire"
+)
+
+// repairCorpus loads the canonical repairable source (figure 1 of the
+// paper: a fire-and-forget begin leaking an outer variable).
+func repairCorpus(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/figure1.chpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// decodeRepairStream parses an NDJSON repair response into its lines.
+func decodeRepairStream(t *testing.T, body []byte) []wire.RepairLine {
+	t.Helper()
+	var lines []wire.RepairLine
+	for _, rec := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+		var l wire.RepairLine
+		if err := json.Unmarshal([]byte(rec), &l); err != nil {
+			t.Fatalf("bad NDJSON record %q: %v", rec, err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// TestRepairEndpoint is the acceptance path of POST /v1/repair: the
+// NDJSON stream carries one verified patch per line plus a terminal
+// summary, the summary diff applies cleanly with patch(1), and
+// re-analyzing the patched source locally reproduces the served
+// verdict.
+func TestRepairEndpoint(t *testing.T) {
+	src := repairCorpus(t)
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts, "/v1/repair", AnalyzeRequest{Name: "figure1.chpl", Src: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	lines := decodeRepairStream(t, body)
+	if len(lines) < 2 {
+		t.Fatalf("want at least one patch line plus a summary, got %d lines", len(lines))
+	}
+	for i, l := range lines[:len(lines)-1] {
+		if l.Kind != wire.RepairKindPatch || l.Patch == nil {
+			t.Fatalf("line %d is not a patch line: %+v", i, l)
+		}
+		if !l.Patch.Verdict.Verified {
+			t.Fatalf("line %d carries an unverified patch", i)
+		}
+		if l.APIVersion != wire.APIVersion {
+			t.Fatalf("line %d lacks api_version", i)
+		}
+	}
+	sum := lines[len(lines)-1]
+	if sum.Kind != wire.RepairKindSummary || sum.Summary == nil {
+		t.Fatalf("stream does not end in a summary: %+v", sum)
+	}
+	if sum.Summary.Status != wire.RepairStatusClean || sum.Summary.RemainingWarnings != 0 {
+		t.Fatalf("figure1 should repair clean: %+v", sum.Summary)
+	}
+
+	// Apply the cumulative diff with the real patch(1) and re-analyze:
+	// the endpoint's verdict must match a local analysis of the result.
+	patchBin, err := exec.LookPath("patch")
+	if err != nil {
+		t.Skip("patch(1) not installed")
+	}
+	dir := t.TempDir()
+	// patch -p1 strips the a/-prefix, so the target lives at the dir root.
+	target := filepath.Join(dir, "figure1.chpl")
+	if err := os.WriteFile(target, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(patchBin, "-p1", "--no-backup-if-mismatch")
+	cmd.Dir = dir
+	cmd.Stdin = strings.NewReader(sum.Summary.Diff)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("patch(1) failed: %v\n%s", err, out)
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := uafcheck.AnalyzeContext(context.Background(), "figure1.chpl", string(fixed),
+		uafcheck.WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != sum.Summary.RemainingWarnings {
+		t.Fatalf("re-analysis of patched source found %d warnings, summary says %d",
+			len(rep.Warnings), sum.Summary.RemainingWarnings)
+	}
+}
+
+// TestRepairDegradedRefusalHTTP: a starved state budget degrades the
+// evidence, and the endpoint answers the typed refusal — 503, a
+// machine-readable code, Retry-After — with no patch line anywhere in
+// the body.
+func TestRepairDegradedRefusalHTTP(t *testing.T) {
+	src := repairCorpus(t)
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts, "/v1/repair", AnalyzeRequest{
+		Name: "figure1.chpl", Src: src,
+		Options: RequestOptions{MaxStates: 2},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("refusal without Retry-After")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(bytes.TrimSpace(body), &eb); err != nil {
+		t.Fatalf("refusal body is not a single JSON error: %v\n%s", err, body)
+	}
+	if eb.Code != CodeRepairDegraded {
+		t.Fatalf("code = %q, want %q", eb.Code, CodeRepairDegraded)
+	}
+	if strings.Contains(string(body), "\"kind\":\"patch\"") {
+		t.Fatalf("refused repair must not serve a patch: %s", body)
+	}
+}
+
+// TestRepairParseErrorHTTP: frontend failures are the client's fault —
+// 422 with the parse_error code.
+func TestRepairParseErrorHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts, "/v1/repair", AnalyzeRequest{Name: "bad.chpl", Src: "proc { nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422; body %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(bytes.TrimSpace(body), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != CodeParseError {
+		t.Fatalf("code = %q, want %q", eb.Code, CodeParseError)
+	}
+}
+
+// postWith sends body as JSON with extra request headers.
+func postWith(t *testing.T, ts *httptest.Server, path string, headers map[string]string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// checkSARIFFixes decodes a SARIF response and asserts the repairable
+// file's warnings carry embedded fixes.
+func checkSARIFFixes(t *testing.T, body []byte) {
+	t.Helper()
+	var log wire.SARIFLog
+	if err := json.Unmarshal(body, &log); err != nil {
+		t.Fatalf("response is not SARIF: %v\n%s", err, body)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed SARIF document: %s", body)
+	}
+	run := log.Runs[0]
+	if len(run.Tool.Driver.Rules) == 0 {
+		t.Fatal("SARIF run has no rule metadata")
+	}
+	sawFix := false
+	for _, res := range run.Results {
+		if len(res.Fixes) > 0 {
+			sawFix = true
+			if len(res.Fixes[0].ArtifactChanges) == 0 ||
+				len(res.Fixes[0].ArtifactChanges[0].Replacements) == 0 {
+				t.Fatalf("fix without replacements: %+v", res.Fixes[0])
+			}
+		}
+	}
+	if !sawFix {
+		t.Fatalf("no result carries a fix: %s", body)
+	}
+}
+
+// TestAnalyzeSARIFNegotiation: both negotiation spellings — the Accept
+// header and ?format=sarif — switch /v1/analyze to the SARIF
+// projection with verified repair patches embedded as fixes.
+func TestAnalyzeSARIFNegotiation(t *testing.T) {
+	src := repairCorpus(t)
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Name: "figure1.chpl", Src: src}
+
+	resp, body := postWith(t, ts, "/v1/analyze",
+		map[string]string{"Accept": "application/sarif+json"}, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sarif+json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	checkSARIFFixes(t, body)
+
+	resp2, body2 := post(t, ts, "/v1/analyze?format=sarif", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/sarif+json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	checkSARIFFixes(t, body2)
+
+	// Without negotiation the canonical JSON result is untouched.
+	resp3, body3 := post(t, ts, "/v1/analyze", req)
+	if ct := resp3.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("unnegotiated Content-Type = %q", ct)
+	}
+	var res wire.Result
+	if err := json.Unmarshal(bytes.TrimSpace(body3), &res); err != nil {
+		t.Fatalf("canonical result: %v", err)
+	}
+}
+
+// TestBatchSARIFNegotiation: a negotiated batch answers one aggregate
+// SARIF document covering every file, fixes embedded for repairable
+// ones.
+func TestBatchSARIFNegotiation(t *testing.T) {
+	src := repairCorpus(t)
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts, "/v1/analyze-batch?format=sarif", BatchRequest{
+		Files: []BatchFile{
+			{Name: "figure1.chpl", Src: src},
+			{Name: "clean.chpl", Src: "proc ok() {\n  var x: int = 1;\n  x = 2;\n}\n"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sarif+json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	checkSARIFFixes(t, body)
+}
+
+// TestUnversionedSunsetHeaders: the deprecated aliases answer with the
+// full RFC deprecation header set — Deprecation, Link to the
+// successor, and the Sunset date — while the versioned routes carry
+// none of them.
+func TestUnversionedSunsetHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Name: "a.chpl", Src: "proc ok() {\n  var x: int = 1;\n}\n"}
+
+	for path, successor := range map[string]string{
+		"/analyze":       "/v1/analyze",
+		"/analyze-batch": "/v1/analyze-batch",
+	} {
+		var resp *http.Response
+		if path == "/analyze-batch" {
+			resp, _ = post(t, ts, path, BatchRequest{Files: []BatchFile{{Name: req.Name, Src: req.Src}}})
+		} else {
+			resp, _ = post(t, ts, path, req)
+		}
+		if got := resp.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("%s: Deprecation = %q, want true", path, got)
+		}
+		if got := resp.Header.Get("Sunset"); got != UnversionedSunset {
+			t.Errorf("%s: Sunset = %q, want %q", path, got, UnversionedSunset)
+		}
+		if got := resp.Header.Get("Link"); !strings.Contains(got, successor) {
+			t.Errorf("%s: Link = %q, want successor %s", path, got, successor)
+		}
+	}
+
+	resp, _ := post(t, ts, "/v1/analyze", req)
+	for _, h := range []string{"Deprecation", "Sunset", "Link"} {
+		if got := resp.Header.Get(h); got != "" {
+			t.Errorf("/v1/analyze: unexpected %s header %q", h, got)
+		}
+	}
+}

@@ -23,11 +23,16 @@
 //
 // Endpoints: POST /v1/analyze, POST /v1/analyze-batch (NDJSON stream),
 // POST /v1/delta (NDJSON in and out, served by a pool of long-lived
-// incremental Analyzers), GET /healthz, GET /livez, GET /metrics
-// (Prometheus text format). The pre-versioning aliases /analyze and
-// /analyze-batch still work but mark their responses deprecated and
-// count server.deprecated_requests; see docs/SERVER.md for the
-// versioning policy.
+// incremental Analyzers), POST /v1/repair (NDJSON stream of verified
+// unified-diff patches; degraded evidence answers a typed 503 refusal,
+// never a patch), GET /healthz, GET /livez, GET /metrics (Prometheus
+// text format). /v1/analyze and /v1/analyze-batch content-negotiate:
+// `Accept: application/sarif+json` or `?format=sarif` serves the SARIF
+// 2.1.0 projection with verified repair patches embedded as `fixes`.
+// The pre-versioning aliases /analyze and /analyze-batch still work
+// but mark their responses deprecated (Deprecation/Link/Sunset
+// headers) and count server.deprecated_requests; see docs/SERVER.md
+// for the versioning and removal policy.
 package server
 
 import (
@@ -42,6 +47,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -191,10 +197,27 @@ type DeltaRequest struct {
 	Options RequestOptions `json:"options"`
 }
 
-// errorBody is the JSON error envelope of non-200 responses.
+// errorBody is the JSON error envelope of non-200 responses. Code,
+// when set, is a stable machine-readable refusal class (e.g.
+// "repair_degraded") so clients branch on identity instead of matching
+// message strings — the HTTP mirror of the library's typed sentinels.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// Error codes carried by errorBody.Code.
+const (
+	// CodeRepairDegraded: the repair was refused because an analysis
+	// in the verification loop degraded (budget, deadline,
+	// cancellation, panic). Degraded evidence can neither accept nor
+	// reject a candidate patch, so no patch is served; the response is
+	// a 503 with Retry-After. Retry with a larger max_states budget or
+	// a longer deadline.
+	CodeRepairDegraded = "repair_degraded"
+	// CodeParseError: the source failed the frontend (422).
+	CodeParseError = "parse_error"
+)
 
 // Server is the daemon's request-independent state. Create with New,
 // expose via Handler, stop with Shutdown.
@@ -264,6 +287,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.traced("/v1/analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/analyze-batch", s.traced("/v1/analyze-batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/delta", s.traced("/v1/delta", s.handleDelta))
+	mux.HandleFunc("POST /v1/repair", s.traced("/v1/repair", s.handleRepair))
 	mux.HandleFunc("POST /analyze",
 		s.deprecatedAlias("/v1/analyze", s.traced("/analyze", s.handleAnalyze)))
 	mux.HandleFunc("POST /analyze-batch",
@@ -391,19 +415,28 @@ func (sw *statusWriter) status() int {
 	return sw.code
 }
 
+// UnversionedSunset is the RFC 8594 Sunset date of the deprecated
+// unversioned /analyze and /analyze-batch aliases: the earliest
+// release after this date removes them. The removal policy — at least
+// two minor releases of Deprecation+Sunset warning before the routes
+// answer 410 — is documented in docs/SERVER.md.
+const UnversionedSunset = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // deprecatedAlias serves an unversioned pre-v1 route: same behavior as
-// the versioned handler, plus a Deprecation header pointing at the
-// successor and a server.deprecated_requests count so operators can see
-// when the aliases are finally unused.
+// the versioned handler, plus the full RFC deprecation header set —
+// Deprecation, a Link to the successor, and the Sunset date after
+// which the alias may be removed — and a server.deprecated_requests
+// count so operators can see when the aliases are finally unused.
 func (s *Server) deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.rec.Add(obs.CtrServerDeprecated, 1)
 		s.deprOnce.Do(func() {
 			s.logger.Warn("deprecated unversioned route hit; clients should migrate",
-				"route", r.URL.Path, "successor", successor)
+				"route", r.URL.Path, "successor", successor, "sunset", UnversionedSunset)
 		})
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		w.Header().Set("Sunset", UnversionedSunset)
 		h(w, r)
 	}
 }
@@ -520,8 +553,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	// Singleflight claim happens before admission: followers piggyback
 	// on the leader's slot instead of consuming queue capacity, so a
-	// burst of identical requests costs one analysis and one slot.
-	key := s.requestKey("analyze", req.Name, req.Src, req.Options)
+	// burst of identical requests costs one analysis and one slot. The
+	// negotiated format is part of the content address — a SARIF
+	// response and a canonical-JSON response are different bytes, so
+	// they must never share a flight.
+	sarif := wantsSARIF(r)
+	kind := "analyze"
+	if sarif {
+		kind = "analyze-sarif"
+	}
+	key := s.requestKey(kind, req.Name, req.Src, req.Options)
 	f, leader := s.flights.claim(key)
 	if !leader {
 		s.rec.Add(obs.CtrServerDedupHits, 1)
@@ -539,14 +580,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	stateFrom(r.Context()).setDedup("leader")
-	res := s.analyzeLeader(r, req)
+	res := s.analyzeLeader(r, req, sarif)
 	s.flights.finish(key, f, res)
 	s.writeResult(w, res, "leader")
 }
 
+// wantsSARIF is the content negotiation for the analyze endpoints:
+// either `?format=sarif` or an Accept header naming
+// application/sarif+json selects the SARIF 2.1.0 projection.
+func wantsSARIF(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "sarif" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/sarif+json")
+}
+
 // analyzeLeader runs the deduplicated computation: admission, analysis,
-// canonical encoding. Its flightResult is shared with every follower.
-func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult {
+// canonical encoding (or the SARIF projection with embedded fixes when
+// the request negotiated it). Its flightResult is shared with every
+// follower.
+func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest, sarif bool) flightResult {
 	if err := s.gate.acquire(r.Context()); err != nil {
 		return s.rejection(err)
 	}
@@ -564,7 +617,17 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 
 	st := stateFrom(r.Context())
 	code := statusCodeFor(err)
-	body, encErr := wire.NewResult(req.Name, rep, err, req.Options.Metrics).Encode()
+	result := wire.NewResult(req.Name, rep, err, req.Options.Metrics)
+	var body []byte
+	var encErr error
+	ctype := ""
+	if sarif && code == http.StatusOK {
+		repairs := s.repairForSARIF(r, req, rep)
+		body, encErr = wire.SARIFWithFixes([]wire.Result{result}, repairs).EncodeIndent()
+		ctype = "application/sarif+json"
+	} else {
+		body, encErr = result.Encode()
+	}
 	if encErr != nil {
 		return flightResult{code: http.StatusInternalServerError,
 			body: mustJSON(errorBody{Error: encErr.Error()})}
@@ -576,7 +639,26 @@ func (s *Server) analyzeLeader(r *http.Request, req AnalyzeRequest) flightResult
 	if rep != nil && rep.Degraded != nil {
 		st.set("degraded", string(rep.Degraded.Reason))
 	}
-	return flightResult{code: code, body: body, cacheHit: cacheHit}
+	return flightResult{code: code, body: body, cacheHit: cacheHit, ctype: ctype}
+}
+
+// repairForSARIF best-effort-repairs one analyzed file so its SARIF
+// projection can embed fixes. It returns nil — plain results, no fixes
+// — whenever the evidence doesn't support a verified patch: no
+// warnings, a degraded report (conservative warnings must never carry
+// a patch), or a repair refusal. Repair failures are deliberately
+// swallowed: fixes are an enrichment of the SARIF document, not a
+// precondition for serving it.
+func (s *Server) repairForSARIF(r *http.Request, req AnalyzeRequest, rep *uafcheck.Report) map[string]*uafcheck.RepairReport {
+	if rep == nil || rep.Degraded != nil || len(rep.Warnings) == 0 {
+		return nil
+	}
+	rr, err := uafcheck.Repair(obs.Detach(r.Context()), req.Name, req.Src,
+		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
+	if err != nil || len(rr.Patches) == 0 {
+		return nil
+	}
+	return map[string]*uafcheck.RepairReport{req.Name: rr}
 }
 
 // statusCodeFor maps an analysis error onto an HTTP status via the
@@ -642,6 +724,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		files[i] = uafcheck.FileInput{Name: name, Src: f.Src}
 	}
 
+	// Negotiated SARIF: one aggregate document instead of an NDJSON
+	// stream (SARIF has no line-oriented form). Results are collected
+	// as workers finish and projected once at the end; per-file repair
+	// runs afterwards so fixes embed next to the warnings they fix.
+	if wantsSARIF(r) {
+		s.batchSARIF(w, r, files, req.Options)
+		return
+	}
+
 	// NDJSON stream: one canonical result line per file, written from
 	// the worker that finished it. The mutex serializes lines; the
 	// flusher pushes each one out so clients see progress, not a burst.
@@ -679,6 +770,172 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.agg.Merge(batchRep.Metrics)
 	s.mu.Unlock()
+}
+
+// ------------------------------------------------------------- repair
+
+// handleRepair serves POST /v1/repair: the request body is the
+// AnalyzeRequest shape, the response is an NDJSON stream — one line
+// per verified patch (unified diff + verdict + warning delta) and a
+// terminal summary line carrying the cumulative diff. The endpoint
+// rides the same middleware as analysis: tracing, admission control,
+// and singleflight (identical concurrent repair requests share one
+// repair run and its bytes).
+//
+// The refusal contract: any degraded analysis inside the
+// repair-verify loop answers 503 with code "repair_degraded" and
+// Retry-After — degraded evidence can neither accept nor reject a
+// candidate, so no patch is ever served from it.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.rec.Add(obs.CtrServerRequests, 1)
+
+	var req AnalyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Src == "" {
+		s.writeError(w, http.StatusBadRequest, "missing src")
+		return
+	}
+	if req.Name == "" {
+		req.Name = "input.chpl"
+	}
+
+	key := s.requestKey("repair", req.Name, req.Src, req.Options)
+	f, leader := s.flights.claim(key)
+	if !leader {
+		s.rec.Add(obs.CtrServerDedupHits, 1)
+		stateFrom(r.Context()).setDedup("follower")
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			return // client went away while waiting; nothing to write
+		}
+		s.writeResult(w, f.res, "follower")
+		return
+	}
+
+	stateFrom(r.Context()).setDedup("leader")
+	res := s.repairLeader(r, req)
+	s.flights.finish(key, f, res)
+	s.writeResult(w, res, "leader")
+}
+
+// repairLeader runs the deduplicated repair: admission, the
+// repair-verify loop, NDJSON encoding. Like analyzeLeader it detaches
+// from the request context — the wall-clock bound is the request
+// deadline (whose expiry degrades an inner analysis and thereby turns
+// into a typed refusal), and a leader's disconnect must not starve
+// followers.
+func (s *Server) repairLeader(r *http.Request, req AnalyzeRequest) flightResult {
+	if err := s.gate.acquire(r.Context()); err != nil {
+		return s.rejection(err)
+	}
+	defer s.gate.release()
+	s.rec.Add(obs.CtrServerRepairs, 1)
+
+	t0 := time.Now()
+	rr, err := uafcheck.Repair(obs.Detach(r.Context()), req.Name, req.Src,
+		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
+	s.observeAnalysis(t0, nil)
+
+	st := stateFrom(r.Context())
+	switch {
+	case err == nil:
+	case errors.Is(err, uafcheck.ErrParse):
+		st.set("parse-error", "")
+		return flightResult{code: http.StatusUnprocessableEntity,
+			body: mustJSON(errorBody{Error: err.Error(), Code: CodeParseError})}
+	case errors.Is(err, uafcheck.ErrRepairDegraded):
+		// The typed refusal: 503 + machine-readable code; writeResult
+		// attaches Retry-After to every 5xx. Retrying with a larger
+		// max_states or deadline_ms gives the verifier the evidence it
+		// was missing.
+		st.set("refused", "degraded")
+		return flightResult{code: http.StatusServiceUnavailable,
+			body: mustJSON(errorBody{Error: err.Error(), Code: CodeRepairDegraded})}
+	default:
+		return flightResult{code: http.StatusInternalServerError,
+			body: mustJSON(errorBody{Error: err.Error()})}
+	}
+
+	body, encErr := wire.EncodeRepair(req.Name, rr)
+	if encErr != nil {
+		return flightResult{code: http.StatusInternalServerError,
+			body: mustJSON(errorBody{Error: encErr.Error()})}
+	}
+	if rr.Clean() {
+		st.set("repaired", "")
+	} else {
+		st.set("repair-partial", "")
+	}
+	return flightResult{code: http.StatusOK, body: body, ctype: "application/x-ndjson"}
+}
+
+// batchSARIF answers a batch request that negotiated SARIF: the files
+// are analyzed by the same fault-isolated driver, the results are
+// collected instead of streamed (SARIF has no line-oriented form), and
+// every non-degraded file with warnings gets a best-effort repair so
+// the document embeds verified fixes. The whole response is one SARIF
+// 2.1.0 document.
+func (s *Server) batchSARIF(w http.ResponseWriter, r *http.Request, files []uafcheck.FileInput, o RequestOptions) {
+	var mu sync.Mutex
+	results := make([]wire.Result, 0, len(files))
+	degradedOrFailed := make(map[string]bool, len(files))
+	collect := func(i int, fr uafcheck.FileReport) {
+		mu.Lock()
+		defer mu.Unlock()
+		results = append(results, wire.NewResult(fr.Name, fr.Report, fr.Err, false))
+		if fr.Err != nil || fr.Report == nil || fr.Report.Degraded != nil || len(fr.Report.Warnings) == 0 {
+			degradedOrFailed[fr.Name] = true
+		}
+	}
+
+	t0 := time.Now()
+	opts := append(s.libraryOptions(o),
+		uafcheck.WithWorkers(s.cfg.BatchWorkers),
+		uafcheck.WithFileTimeout(s.effectiveDeadline(o)),
+		uafcheck.WithRetries(o.Retries),
+		uafcheck.WithOnFile(collect),
+	)
+	batchRep := uafcheck.AnalyzeFilesContext(r.Context(), files, opts...)
+	s.rec.Add(obs.CtrServerAnalyses, int64(len(files)))
+	ms := time.Since(t0).Milliseconds() / int64(len(files))
+	old := s.ewmaMS.Load()
+	s.ewmaMS.Store((old*3 + ms) / 4)
+	s.mu.Lock()
+	s.agg.Merge(batchRep.Metrics)
+	s.mu.Unlock()
+
+	// Best-effort per-file repair, same eligibility as the single-shot
+	// endpoint: only clean (non-degraded) evidence may carry a fix. A
+	// disconnected client stops the extra work.
+	repairs := make(map[string]*uafcheck.RepairReport)
+	for _, f := range files {
+		if r.Context().Err() != nil {
+			break
+		}
+		if degradedOrFailed[f.Name] {
+			continue
+		}
+		rr, err := uafcheck.Repair(obs.Detach(r.Context()), f.Name, f.Src,
+			append(s.libraryOptions(o), uafcheck.WithDeadline(s.effectiveDeadline(o)))...)
+		if err != nil || len(rr.Patches) == 0 {
+			continue
+		}
+		repairs[f.Name] = rr
+	}
+
+	body, err := wire.SARIFWithFixes(results, repairs).EncodeIndent()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/sarif+json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(body, '\n')) //nolint:errcheck
 }
 
 // -------------------------------------------------------------- delta
@@ -993,7 +1250,11 @@ func (s *Server) rejection(err error) flightResult {
 // writeResult renders a flight result. role tags the dedup position
 // ("leader"/"follower") for observability; empty omits the header.
 func (s *Server) writeResult(w http.ResponseWriter, res flightResult, role string) {
-	w.Header().Set("Content-Type", "application/json")
+	ctype := res.ctype
+	if ctype == "" {
+		ctype = "application/json"
+	}
+	w.Header().Set("Content-Type", ctype)
 	if role != "" {
 		w.Header().Set("X-Uafserve-Dedup", role)
 	}

@@ -1,0 +1,129 @@
+// Repair wire encoding: the NDJSON line vocabulary of the uafserve
+// POST /v1/repair endpoint and of `uafcheck -fix -format=json`. Like
+// the analyze Result envelope, the encoding is deliberately
+// byte-stable — fixed field order, sorted warning lists, no volatile
+// telemetry — so a repair streamed by the server is byte-identical to
+// the same repair produced by the CLI.
+package wire
+
+import (
+	"encoding/json"
+
+	"uafcheck"
+)
+
+// Repair line kinds. A successful repair response is zero or more
+// "patch" lines (one per accepted patch, in application order)
+// terminated by exactly one "summary" line. A refused repair (parse
+// failure, degraded evidence) produces no lines at all — the refusal
+// travels as a typed HTTP error instead, because a patch from a
+// degraded analysis must never reach a consumer.
+const (
+	RepairKindPatch   = "patch"
+	RepairKindSummary = "summary"
+)
+
+// Repair summary statuses.
+const (
+	// RepairStatusClean: every warning was repaired away.
+	RepairStatusClean = "clean"
+	// RepairStatusPartial: warnings remain (unverifiable candidates
+	// were refused; see Rejected).
+	RepairStatusPartial = "partial"
+)
+
+// RepairLine is one NDJSON line of a repair response.
+type RepairLine struct {
+	// Name echoes the input file name.
+	Name string `json:"name"`
+	// APIVersion identifies the envelope format (always APIVersion).
+	APIVersion string `json:"api_version"`
+	// Kind is RepairKindPatch or RepairKindSummary.
+	Kind string `json:"kind"`
+	// Seq is the 1-based patch ordinal (patch lines only).
+	Seq int `json:"seq,omitempty"`
+	// Patch carries one verified patch (patch lines only).
+	Patch *uafcheck.Patch `json:"patch,omitempty"`
+	// Summary closes the stream (summary lines only).
+	Summary *RepairSummary `json:"summary,omitempty"`
+}
+
+// RepairSummary is the terminal line of a repair response.
+type RepairSummary struct {
+	// Status is RepairStatusClean or RepairStatusPartial.
+	Status string `json:"status"`
+	// Patches counts the accepted patches (== the patch lines above).
+	Patches int `json:"patches"`
+	// InitialWarnings / RemainingWarnings are the verified warning
+	// counts before the first patch and after the last.
+	InitialWarnings   int `json:"initial_warnings"`
+	RemainingWarnings int `json:"remaining_warnings"`
+	// Diff is the cumulative unified diff original -> repaired (""
+	// when no patch was accepted). Applying it with `patch -p1`
+	// reproduces the repaired source in one step.
+	Diff string `json:"diff,omitempty"`
+	// Remaining lists the warnings still present in the repaired
+	// source, in canonical order (empty when Status is clean).
+	Remaining []uafcheck.Warning `json:"remaining,omitempty"`
+	// Rejected explains candidates the verifier refused.
+	Rejected []string `json:"rejected,omitempty"`
+}
+
+// RepairLines projects a repair report into its canonical NDJSON line
+// sequence: one patch line per accepted patch, then the summary.
+func RepairLines(name string, rr *uafcheck.RepairReport) []RepairLine {
+	lines := make([]RepairLine, 0, len(rr.Patches)+1)
+	for i := range rr.Patches {
+		p := rr.Patches[i]
+		lines = append(lines, RepairLine{
+			Name:       name,
+			APIVersion: APIVersion,
+			Kind:       RepairKindPatch,
+			Seq:        i + 1,
+			Patch:      &p,
+		})
+	}
+	status := RepairStatusPartial
+	if rr.Clean() {
+		status = RepairStatusClean
+	}
+	lines = append(lines, RepairLine{
+		Name:       name,
+		APIVersion: APIVersion,
+		Kind:       RepairKindSummary,
+		Summary: &RepairSummary{
+			Status:            status,
+			Patches:           len(rr.Patches),
+			InitialWarnings:   rr.InitialWarnings,
+			RemainingWarnings: rr.RemainingWarnings,
+			Diff:              rr.Diff,
+			Remaining:         rr.Remaining,
+			Rejected:          rr.Rejected,
+		},
+	})
+	return lines
+}
+
+// Encode renders the line as canonical one-line JSON with a trailing
+// newline — one NDJSON record.
+func (l RepairLine) Encode() ([]byte, error) {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// EncodeRepair renders the full canonical response body for one
+// repair: every line of RepairLines, concatenated.
+func EncodeRepair(name string, rr *uafcheck.RepairReport) ([]byte, error) {
+	var out []byte
+	for _, l := range RepairLines(name, rr) {
+		b, err := l.Encode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

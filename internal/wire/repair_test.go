@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"uafcheck"
+)
+
+// TestRepairLinesCanonical: the NDJSON projection is one patch line
+// per accepted patch plus a terminal summary, byte-identical across
+// repeated encodings of the same repair.
+func TestRepairLinesCanonical(t *testing.T) {
+	rr, err := uafcheck.Repair(context.Background(), "leak.chpl", uafSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Patches) == 0 || !rr.Clean() {
+		t.Fatalf("leak source should repair clean with patches, got %+v", rr)
+	}
+
+	lines := RepairLines("leak.chpl", rr)
+	if len(lines) != len(rr.Patches)+1 {
+		t.Fatalf("lines = %d, want %d", len(lines), len(rr.Patches)+1)
+	}
+	for i, l := range lines[:len(lines)-1] {
+		if l.Kind != RepairKindPatch || l.Seq != i+1 || l.Patch == nil || l.Summary != nil {
+			t.Fatalf("patch line %d malformed: %+v", i, l)
+		}
+		if l.Name != "leak.chpl" || l.APIVersion != APIVersion {
+			t.Fatalf("patch line %d envelope: %+v", i, l)
+		}
+		if !l.Patch.Verdict.Verified || l.Patch.Diff == "" {
+			t.Fatalf("patch line %d carries an unverified or empty patch", i)
+		}
+	}
+	last := lines[len(lines)-1]
+	if last.Kind != RepairKindSummary || last.Summary == nil || last.Patch != nil || last.Seq != 0 {
+		t.Fatalf("summary line malformed: %+v", last)
+	}
+	if last.Summary.Status != RepairStatusClean || last.Summary.RemainingWarnings != 0 {
+		t.Fatalf("summary: %+v", last.Summary)
+	}
+	if last.Summary.Patches != len(rr.Patches) || last.Summary.Diff != rr.Diff {
+		t.Fatalf("summary does not mirror the report: %+v", last.Summary)
+	}
+
+	a, err := EncodeRepair("leak.chpl", rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeRepair("leak.chpl", rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-encoding differs")
+	}
+	// Each record is one line of valid JSON.
+	recs := strings.Split(strings.TrimSuffix(string(a), "\n"), "\n")
+	if len(recs) != len(lines) {
+		t.Fatalf("NDJSON records = %d, want %d", len(recs), len(lines))
+	}
+	for _, r := range recs {
+		if !json.Valid([]byte(r)) {
+			t.Fatalf("invalid NDJSON record: %s", r)
+		}
+		var decoded RepairLine
+		if err := json.Unmarshal([]byte(r), &decoded); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if decoded.APIVersion != APIVersion {
+			t.Fatalf("record lacks api_version: %s", r)
+		}
+	}
+}
+
+// TestRepairLinesPartial: an unrepairable file still terminates with a
+// partial summary carrying the remaining warnings.
+func TestRepairLinesPartial(t *testing.T) {
+	// A conditional spawn defeats the token chain, and the fence
+	// candidates can also fail verification; whatever happens, the
+	// summary must be consistent with the patch lines.
+	rr, err := uafcheck.Repair(context.Background(), "leak.chpl", uafSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.RemainingWarnings = 1 // simulate a partial outcome
+	lines := RepairLines("leak.chpl", rr)
+	sum := lines[len(lines)-1].Summary
+	if sum.Status != RepairStatusPartial {
+		t.Fatalf("status = %q, want partial", sum.Status)
+	}
+}

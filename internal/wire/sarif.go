@@ -6,9 +6,12 @@ package wire
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
+	"strings"
 
 	"uafcheck"
+	"uafcheck/internal/udiff"
 )
 
 // SARIFSchema and SARIFVersion pin the emitted format.
@@ -43,10 +46,14 @@ type SARIFDriver struct {
 	Rules          []SARIFRule `json:"rules"`
 }
 
-// SARIFRule describes one warning kind.
+// SARIFRule describes one warning kind. Every referenced kind ships
+// its full metadata triple — id, shortDescription, helpUri — so
+// code-scanning UIs can render a "learn more" link next to each
+// finding; the golden-file test in sarif_test.go pins this shape.
 type SARIFRule struct {
 	ID               string       `json:"id"`
 	ShortDescription SARIFMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri,omitempty"`
 }
 
 // SARIFResult is one reported warning.
@@ -55,7 +62,36 @@ type SARIFResult struct {
 	Level      string          `json:"level"`
 	Message    SARIFMessage    `json:"message"`
 	Locations  []SARIFLocation `json:"locations"`
+	Fixes      []SARIFFix      `json:"fixes,omitempty"`
 	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+// SARIFFix is one verified repair proposal: the patch that eliminates
+// this result, expressed as line-region replacements against the
+// original artifact so a code-scanning UI can offer it one click from
+// the warning.
+type SARIFFix struct {
+	Description     SARIFMessage          `json:"description"`
+	ArtifactChanges []SARIFArtifactChange `json:"artifactChanges"`
+}
+
+// SARIFArtifactChange groups the replacements applied to one file.
+type SARIFArtifactChange struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Replacements     []SARIFReplacement    `json:"replacements"`
+}
+
+// SARIFReplacement deletes deletedRegion and inserts insertedContent
+// in its place. A pure insertion uses a zero-width region (startLine
+// with startColumn == endColumn == 1).
+type SARIFReplacement struct {
+	DeletedRegion   SARIFRegion           `json:"deletedRegion"`
+	InsertedContent *SARIFArtifactContent `json:"insertedContent,omitempty"`
+}
+
+// SARIFArtifactContent carries inserted text.
+type SARIFArtifactContent struct {
+	Text string `json:"text"`
 }
 
 // SARIFMessage wraps a plain-text message.
@@ -79,22 +115,37 @@ type SARIFArtifactLocation struct {
 	URI string `json:"uri"`
 }
 
-// SARIFRegion is the 1-based source region of the access.
+// SARIFRegion is a 1-based source region: the access position for
+// result locations, a deleted line range for fix replacements.
 type SARIFRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
 }
 
-// ruleDescriptions maps the warning kinds (Warning.Reason) to their
-// rule prose. Unknown kinds still get a rule entry with the kind as
-// its description, so the document always validates.
-var ruleDescriptions = map[string]string{
-	"after-frontier": "Outer-variable access can execute after the " +
-		"variable's parallel frontier: the enclosing scope may have " +
-		"already freed it (use-after-free).",
-	"never-synchronized": "No explored execution orders the access " +
-		"before the parent scope's exit: the task is never synchronized " +
-		"with the variable's lifetime.",
+// ruleMeta is the per-kind rule metadata (description prose plus the
+// help link into this repo's docs). Unknown kinds still get a rule
+// entry with the kind as its description, so the document always
+// validates.
+type ruleMetadata struct {
+	desc    string
+	helpURI string
+}
+
+var ruleMeta = map[string]ruleMetadata{
+	"after-frontier": {
+		desc: "Outer-variable access can execute after the " +
+			"variable's parallel frontier: the enclosing scope may have " +
+			"already freed it (use-after-free).",
+		helpURI: "docs/ALGORITHM.md#after-frontier",
+	},
+	"never-synchronized": {
+		desc: "No explored execution orders the access " +
+			"before the parent scope's exit: the task is never synchronized " +
+			"with the variable's lifetime.",
+		helpURI: "docs/ALGORITHM.md#never-synchronized",
+	},
 }
 
 // SARIF projects per-file results into one SARIF 2.1.0 log with a
@@ -105,11 +156,38 @@ var ruleDescriptions = map[string]string{
 // "conservative": true property — they flag unproven safety, not a
 // proven bug.
 func SARIF(results []Result) *SARIFLog {
+	return SARIFWithFixes(results, nil)
+}
+
+// SARIFWithFixes is SARIF with verified repair patches embedded as
+// `fixes` objects. repairs maps a result Name to that file's repair
+// report; every warning the repair ELIMINATED gets a fix whose
+// replacements rewrite the original file into the fully repaired one
+// (the cumulative diff, so the applied fix is exactly what the
+// verifier blessed — applying a prefix of the patch chain was never
+// verified as a unit). Warnings still present in the repaired source
+// get no fix, and files without an entry (repair refused, degraded,
+// or not attempted) emit plain results — a degraded analysis never
+// serves a patch.
+func SARIFWithFixes(results []Result, repairs map[string]*uafcheck.RepairReport) *SARIFLog {
 	kinds := map[string]bool{}
 	var out []SARIFResult
 	for _, fr := range results {
 		if fr.Report == nil {
 			continue
+		}
+		// remaining counts the warning keys the repair could NOT
+		// eliminate; every other warning carries the fix.
+		var fix []SARIFFix
+		var remaining map[string]int
+		if rr := repairs[fr.Name]; rr != nil && len(rr.Patches) > 0 {
+			if f, ok := sarifFix(fr.Name, rr); ok {
+				fix = []SARIFFix{f}
+				remaining = make(map[string]int, len(rr.Remaining))
+				for _, w := range rr.Remaining {
+					remaining[sarifWarnKey(w)]++
+				}
+			}
 		}
 		for _, w := range fr.Report.Warnings {
 			kinds[w.Reason] = true
@@ -118,6 +196,14 @@ func SARIF(results []Result) *SARIFLog {
 			if w.Conservative {
 				level = "note"
 				props = map[string]any{"conservative": true}
+			}
+			var fixes []SARIFFix
+			if fix != nil {
+				if k := sarifWarnKey(w); remaining[k] > 0 {
+					remaining[k]--
+				} else {
+					fixes = fix
+				}
 			}
 			out = append(out, SARIFResult{
 				RuleID:  w.Reason,
@@ -132,6 +218,7 @@ func SARIF(results []Result) *SARIFLog {
 						},
 					},
 				}},
+				Fixes:      fixes,
 				Properties: props,
 			})
 		}
@@ -150,11 +237,15 @@ func SARIF(results []Result) *SARIFLog {
 
 	var rules []SARIFRule
 	for kind := range kinds {
-		desc := ruleDescriptions[kind]
-		if desc == "" {
-			desc = kind
+		meta := ruleMeta[kind]
+		if meta.desc == "" {
+			meta.desc = kind
 		}
-		rules = append(rules, SARIFRule{ID: kind, ShortDescription: SARIFMessage{Text: desc}})
+		rules = append(rules, SARIFRule{
+			ID:               kind,
+			ShortDescription: SARIFMessage{Text: meta.desc},
+			HelpURI:          meta.helpURI,
+		})
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
 	if rules == nil {
@@ -176,6 +267,59 @@ func SARIF(results []Result) *SARIFLog {
 			Results: out,
 		}},
 	}
+}
+
+// sarifWarnKey identifies a warning stably across the reflow a patch
+// causes: positions shift, but (proc, task, var, reason, rw) survive.
+func sarifWarnKey(w uafcheck.Warning) string {
+	rw := "r"
+	if w.Write {
+		rw = "w"
+	}
+	return w.Proc + "\x00" + w.Task + "\x00" + w.Var + "\x00" + w.Reason + "\x00" + rw
+}
+
+// sarifFix converts a repair report's cumulative diff into one SARIF
+// fix: line-region replacements against the original artifact. It
+// reports ok=false when the diff is empty or unparsable (no fix is
+// better than a wrong fix).
+func sarifFix(name string, rr *uafcheck.RepairReport) (SARIFFix, bool) {
+	edits, err := udiff.EditsFromDiff(rr.Diff)
+	if err != nil || len(edits) == 0 {
+		return SARIFFix{}, false
+	}
+	var reps []SARIFReplacement
+	for _, e := range edits {
+		var region SARIFRegion
+		if e.EndA >= e.StartA {
+			region = SARIFRegion{StartLine: e.StartA, EndLine: e.EndA}
+		} else {
+			// Pure insertion: zero-width region before StartA.
+			region = SARIFRegion{StartLine: e.StartA, StartColumn: 1, EndLine: e.StartA, EndColumn: 1}
+		}
+		rep := SARIFReplacement{DeletedRegion: region}
+		if len(e.Inserted) > 0 {
+			rep.InsertedContent = &SARIFArtifactContent{Text: strings.Join(e.Inserted, "\n") + "\n"}
+		}
+		reps = append(reps, rep)
+	}
+	var strategies []string
+	seen := map[string]bool{}
+	for _, p := range rr.Patches {
+		if !seen[p.Strategy] {
+			seen[p.Strategy] = true
+			strategies = append(strategies, p.Strategy)
+		}
+	}
+	desc := fmt.Sprintf("uafcheck verified repair (%s): %d -> %d warnings",
+		strings.Join(strategies, ", "), rr.InitialWarnings, rr.RemainingWarnings)
+	return SARIFFix{
+		Description: SARIFMessage{Text: desc},
+		ArtifactChanges: []SARIFArtifactChange{{
+			ArtifactLocation: SARIFArtifactLocation{URI: name},
+			Replacements:     reps,
+		}},
+	}, true
 }
 
 // EncodeIndent renders the log as indented JSON (what -format=sarif

@@ -1,0 +1,136 @@
+package uafcheck_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"uafcheck"
+	"uafcheck/internal/udiff"
+)
+
+// TestRepairPatches: the public Repair entry point returns verified
+// unified-diff patches whose application reproduces Fixed, and whose
+// verdicts carry a strictly decreasing warning delta.
+func TestRepairPatches(t *testing.T) {
+	src, err := os.ReadFile("testdata/figure1.chpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := uafcheck.Repair(context.Background(), "figure1.chpl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Clean() {
+		t.Fatalf("figure1 should repair clean, %d warnings remain", rr.RemainingWarnings)
+	}
+	if len(rr.Patches) == 0 || rr.Diff == "" {
+		t.Fatalf("expected patches and a cumulative diff, got %d patches", len(rr.Patches))
+	}
+	// Patches apply in sequence and reproduce Fixed.
+	cur := string(src)
+	for i, p := range rr.Patches {
+		if !p.Verdict.Verified {
+			t.Fatalf("patch %d not verified", i)
+		}
+		if got := strings.Join(p.Verdict.Checks, ","); got != "static-reanalysis,schedule-oracle" {
+			t.Fatalf("patch %d checks = %q", i, got)
+		}
+		if p.Verdict.WarningsAfter >= p.Verdict.WarningsBefore {
+			t.Fatalf("patch %d delta not decreasing: %d -> %d",
+				i, p.Verdict.WarningsBefore, p.Verdict.WarningsAfter)
+		}
+		next, err := udiff.Apply(cur, p.Diff)
+		if err != nil {
+			t.Fatalf("patch %d does not apply: %v", i, err)
+		}
+		cur = next
+	}
+	if cur != rr.Fixed {
+		t.Fatalf("sequential patch application does not reproduce Fixed")
+	}
+	// The cumulative diff is equivalent.
+	viaCum, err := udiff.Apply(string(src), rr.Diff)
+	if err != nil {
+		t.Fatalf("cumulative diff does not apply: %v", err)
+	}
+	if viaCum != rr.Fixed {
+		t.Fatalf("cumulative diff does not reproduce Fixed")
+	}
+	// The verdicts match a local re-analysis of Fixed.
+	rep, err := uafcheck.AnalyzeContext(context.Background(), "figure1.chpl", rr.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != rr.RemainingWarnings {
+		t.Fatalf("re-analysis found %d warnings, report says %d",
+			len(rep.Warnings), rr.RemainingWarnings)
+	}
+	if last := rr.Patches[len(rr.Patches)-1]; last.Verdict.WarningsAfter != len(rep.Warnings) {
+		t.Fatalf("last verdict says %d warnings, re-analysis found %d",
+			last.Verdict.WarningsAfter, len(rep.Warnings))
+	}
+}
+
+// TestRepairParseError: frontend failures surface as ErrParse.
+func TestRepairParseError(t *testing.T) {
+	_, err := uafcheck.Repair(context.Background(), "bad.chpl", "proc { nope")
+	if !errors.Is(err, uafcheck.ErrParse) {
+		t.Fatalf("want ErrParse, got %v", err)
+	}
+}
+
+// TestRepairDegradedRefusal: a starved state budget degrades the
+// baseline analysis, and Repair refuses with the typed sentinel
+// instead of patching on conservative evidence.
+func TestRepairDegradedRefusal(t *testing.T) {
+	src, err := os.ReadFile("testdata/figure1.chpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = uafcheck.Repair(context.Background(), "figure1.chpl", string(src),
+		uafcheck.WithMaxStates(2))
+	if !errors.Is(err, uafcheck.ErrRepairDegraded) {
+		t.Fatalf("want ErrRepairDegraded, got %v", err)
+	}
+}
+
+// TestRepairReportClone: the deep clone shares no mutable state with
+// the original.
+func TestRepairReportClone(t *testing.T) {
+	src, err := os.ReadFile("testdata/figure6.chpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := uafcheck.Repair(context.Background(), "figure6.chpl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := rr.Clone()
+	if !reflect.DeepEqual(rr, cp) {
+		t.Fatalf("clone not equal to original")
+	}
+	if len(cp.Patches) > 0 {
+		cp.Patches[0].Diff = "mutated"
+		cp.Patches[0].Verdict.Checks[0] = "mutated"
+	}
+	cp.Rejected = append(cp.Rejected, "mutated")
+	for i := range cp.Remaining {
+		if cp.Remaining[i].Prov != nil {
+			cp.Remaining[i].Prov.Chain = append(cp.Remaining[i].Prov.Chain, "mutated")
+		}
+	}
+	rr2, err := uafcheck.Repair(context.Background(), "figure6.chpl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rr, rr2) {
+		t.Fatalf("mutating the clone changed the original")
+	}
+	if (*uafcheck.RepairReport)(nil).Clone() != nil {
+		t.Fatalf("nil clone should be nil")
+	}
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Round-trip smoke of the repair API against the real daemon:
+#
+#   1. boot uafserve on an ephemeral port
+#   2. POST a corpus file with warnings to /v1/repair
+#   3. assert every served patch line carries a verified verdict and
+#      the stream terminates in a clean summary
+#   4. apply the summary's unified diff with the real patch(1)
+#   5. re-analyze the patched file with the CLI and assert exit 0
+#      (zero warnings)
+#
+# Run via `make repair-smoke`. Requires curl, jq and patch.
+set -eu
+
+for tool in curl jq patch; do
+	command -v "$tool" >/dev/null 2>&1 || {
+		echo "repair-smoke: $tool not installed" >&2
+		exit 1
+	}
+done
+
+FILE=${1:-testdata/figure1.chpl}
+NAME=$(basename "$FILE")
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "repair-smoke: building uafserve and uafcheck"
+go build -o "$WORK/uafserve" ./cmd/uafserve
+go build -o "$WORK/uafcheck" ./cmd/uafcheck
+
+"$WORK/uafserve" -addr 127.0.0.1:0 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# The bound address is printed on startup ("uafserve: listening on ...").
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's/^uafserve: listening on //p' "$WORK/serve.log" | head -n1)
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "repair-smoke: server did not start"; cat "$WORK/serve.log"; exit 1; }
+echo "repair-smoke: server on $ADDR"
+
+jq -n --arg name "$NAME" --rawfile src "$FILE" '{name: $name, src: $src}' >"$WORK/req.json"
+curl -sf "http://$ADDR/v1/repair" -d @"$WORK/req.json" >"$WORK/repair.ndjson"
+
+PATCHES=$(jq -rs '[.[] | select(.kind=="patch")] | length' "$WORK/repair.ndjson")
+UNVERIFIED=$(jq -rs '[.[] | select(.kind=="patch") | select(.patch.verdict.verified != true)] | length' "$WORK/repair.ndjson")
+STATUS=$(jq -r 'select(.kind=="summary") | .summary.status' "$WORK/repair.ndjson")
+REMAINING=$(jq -r 'select(.kind=="summary") | .summary.remaining_warnings' "$WORK/repair.ndjson")
+echo "repair-smoke: $PATCHES patch(es), summary status=$STATUS remaining=$REMAINING"
+[ "$PATCHES" -ge 1 ] || { echo "repair-smoke: no patches served"; cat "$WORK/repair.ndjson"; exit 1; }
+[ "$UNVERIFIED" -eq 0 ] || { echo "repair-smoke: unverified patch served"; exit 1; }
+[ "$STATUS" = clean ] || { echo "repair-smoke: repair did not come back clean"; exit 1; }
+
+# Apply the cumulative diff exactly as a client would: patch -p1 strips
+# the a/-b/ prefixes, so the target sits at the workdir root.
+jq -r 'select(.kind=="summary") | .summary.diff' "$WORK/repair.ndjson" >"$WORK/fix.diff"
+cp "$FILE" "$WORK/$NAME"
+(cd "$WORK" && patch -p1 --no-backup-if-mismatch <fix.diff)
+
+echo "repair-smoke: re-analyzing patched $NAME"
+"$WORK/uafcheck" "$WORK/$NAME" || {
+	echo "repair-smoke: patched source still warns (exit $?)"
+	exit 1
+}
+echo "repair-smoke: OK — patch applied cleanly, re-analysis reports zero warnings"

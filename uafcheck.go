@@ -52,7 +52,7 @@ import (
 // content addresses (the report cache and the Analyzer's per-procedure
 // memo store), so results cached by one version are never served by
 // another.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // ------------------------------------------------------------- telemetry
 
@@ -1099,7 +1099,8 @@ func (r *RepairResult) Clean() bool { return r.RemainingWarnings == 0 }
 // strategy catalogue (token chains with branch-total protocols,
 // sync-block fences).
 //
-// Deprecated: use RepairSourceContext.
+// Deprecated: use Repair, which returns verified unified-diff patches
+// (RepairReport) instead of a rewritten source blob.
 func RepairSource(filename, src string, opts Options) (*RepairResult, error) {
 	return repairWith(filename, src, opts.internal())
 }
@@ -1107,6 +1108,9 @@ func RepairSource(filename, src string, opts Options) (*RepairResult, error) {
 // RepairSourceContext synthesizes synchronization fixes under ctx — the
 // context-first form of RepairSource, taking the same functional
 // options as AnalyzeContext.
+//
+// Deprecated: use Repair, which returns verified unified-diff patches
+// (RepairReport) instead of a rewritten source blob.
 func RepairSourceContext(ctx context.Context, filename, src string, options ...Option) (*RepairResult, error) {
 	cfg := apiConfig{opts: DefaultOptions()}
 	for _, o := range options {
