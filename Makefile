@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos repair-smoke check
+.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos repair-smoke cluster-smoke cluster-loadtest check
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,7 @@ loadtest:
 chaos:
 	$(GO) test -race ./internal/fault/ ./internal/client/
 	$(GO) test -race -run 'Chaos|Recover|Quarantine|Torn|Wedge|Degraded|HealthzComponents|WriteFailure' \
-		./internal/cache/ ./internal/watch/ ./internal/server/ ./internal/repair/
+		./internal/cache/ ./internal/watch/ ./internal/server/ ./internal/repair/ ./internal/cluster/
 
 # Round-trip smoke of the repair API: boots the real uafserve, repairs
 # a corpus file over POST /v1/repair, applies the served unified diff
@@ -42,6 +42,21 @@ chaos:
 # warnings. See docs/REPAIR.md.
 repair-smoke:
 	sh scripts/repair-smoke.sh
+
+# Cluster smoke: boots a coordinator + 2 workers from the real binary,
+# asserts batch byte-identity with a single process through the edge,
+# then kills both workers mid-batch and asserts the stream degrades
+# visibly (one flagged line per unfinished file) instead of going
+# silently short. See docs/CLUSTER.md.
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
+
+# Cluster scaling load test: single process vs coordinator + {1,2,4}
+# one-core workers over the same batch, with injected per-analysis
+# latency. Hard-fails on any warning-set divergence or if 2 workers
+# don't beat 1 by >= 1.6x; writes BENCH_cluster.json.
+cluster-loadtest:
+	sh scripts/cluster-loadtest.sh
 
 vet:
 	$(GO) vet ./...

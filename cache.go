@@ -38,6 +38,29 @@ type CacheConfig struct {
 	// call Flush to checkpoint and Close at shutdown. Ignored when Dir
 	// is empty.
 	AsyncDiskWrites int
+	// Backend, when non-nil, replaces the persistence tier entirely —
+	// how cluster replicas plug a tiered local+remote store under the
+	// same LRU, envelope checksums, and quarantine machinery as the
+	// plain disk tier. Takes precedence over Dir.
+	Backend CacheBackend
+}
+
+// CacheBackend is the pluggable persistence tier behind a Cache: a
+// blob store for checksummed entry envelopes. The built-in local
+// directory tier is one implementation; the cluster's HTTP remote
+// tier is another. See internal/cache.Backend for the contract.
+type CacheBackend = cache.Backend
+
+// NewDirCacheBackend creates the local-directory backend the plain
+// disk tier uses — exposed so callers can compose it (e.g. into a
+// tiered local+remote chain via NewTieredCacheBackend).
+func NewDirCacheBackend(dir string) CacheBackend { return cache.NewDirBackend(dir) }
+
+// NewTieredCacheBackend chains a fast local backend with a remote one:
+// reads fall through to remote on a local miss and warm the local copy
+// (after validating it); writes land locally only.
+func NewTieredCacheBackend(local, remote CacheBackend) CacheBackend {
+	return cache.NewTiered(local, remote)
 }
 
 // CacheStats counts cache traffic (hits, disk hits, misses, stores,
@@ -62,12 +85,22 @@ func NewCache(cfg CacheConfig) *Cache {
 		},
 		Clone: (*Report).Clone,
 	}
-	cc := &Cache{c: cache.New(codec, cfg.MaxEntries, cfg.Dir)}
+	var cc *Cache
+	if cfg.Backend != nil {
+		cc = &Cache{c: cache.NewWithBackend(codec, cfg.MaxEntries, cfg.Backend)}
+	} else {
+		cc = &Cache{c: cache.New(codec, cfg.MaxEntries, cfg.Dir)}
+	}
 	if cfg.AsyncDiskWrites > 0 {
 		cc.c.StartAsyncDisk(cfg.AsyncDiskWrites)
 	}
 	return cc
 }
+
+// Backend returns the persistence backend (nil for memory-only
+// caches). uafserve mounts this behind its /v1/cache peer endpoints so
+// other replicas can warm from it.
+func (c *Cache) Backend() CacheBackend { return c.c.Backend() }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() CacheStats { return c.c.Stats() }

@@ -1,0 +1,366 @@
+// Command clusterbench measures how analysis throughput scales across
+// a sharded uafserve fleet. It boots real uafserve processes — a
+// single-process baseline plus a coordinator in front of 1, 2 and 4
+// workers — drives the same batch through every topology, and writes
+// the BENCH_cluster.json artifact.
+//
+// Two properties are enforced, not just measured:
+//
+//   - Identity: every topology must emit a warning line set
+//     byte-identical to the single-process baseline. Any divergence is
+//     a hard failure — a cluster that answers differently from one
+//     process is wrong no matter how fast it is.
+//   - Scaling: the two-worker fleet must beat the one-worker fleet by
+//     at least -min-speedup (default 1.6x). Disable with 0 on hosts
+//     too noisy to gate on.
+//
+// Workers run with GOMAXPROCS=1 and -inflight 1 — each is a simulated
+// one-core machine — and per-analysis latency is injected with the
+// deterministic analysis.delay fault point, so the scaling signal is
+// wall-clock shard parallelism, not host core count: the bench behaves
+// identically on a laptop and a 64-core CI box.
+//
+// The batch is constructed so that both the 2-worker and the 4-worker
+// rings split it exactly evenly (files are rejection-sampled into ring
+// ownership cells). Ring balance itself is a property test
+// (internal/cluster); this bench isolates scaling from it.
+//
+// Run via `make cluster-loadtest` or scripts/cluster-loadtest.sh.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"uafcheck/internal/cluster"
+	"uafcheck/internal/server"
+)
+
+// artifact is the BENCH_cluster.json schema.
+type artifact struct {
+	Schema string `json:"schema"`
+	Host   struct {
+		NumCPU     int `json:"num_cpu"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
+	DelayMS  int64   `json:"delay_ms"`
+	Files    int     `json:"files"`
+	SingleMS int64   `json:"single_ms"`
+	Fleets   []fleet `json:"fleets"`
+	Scaling  struct {
+		TwoVsOne    float64 `json:"two_vs_one"`
+		MinRequired float64 `json:"min_required"`
+		Pass        bool    `json:"pass"`
+	} `json:"scaling"`
+}
+
+type fleet struct {
+	Workers           int     `json:"workers"`
+	WallMS            int64   `json:"wall_ms"`
+	SpeedupVsSingle   float64 `json:"speedup_vs_single"`
+	IdenticalWarnings bool    `json:"identical_warnings"`
+}
+
+func main() {
+	var (
+		bin        = flag.String("bin", "", "path to the uafserve binary (required)")
+		out        = flag.String("out", "BENCH_cluster.json", "artifact output path")
+		perCell    = flag.Int("per-cell", 12, "files per ring-ownership cell (total = 8x this)")
+		delay      = flag.Duration("delay", 40*time.Millisecond, "injected per-analysis latency (analysis.delay fault)")
+		minSpeedup = flag.Float64("min-speedup", 1.6, "required 2-worker speedup over 1 worker (0 disables the gate)")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "clusterbench: -bin is required")
+		os.Exit(2)
+	}
+	if err := run(*bin, *out, *perCell, *delay, *minSpeedup); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+// balancedFiles rejection-samples generated files into ring-ownership
+// cells keyed by (2-worker owner, 4-worker owner), with per-cell
+// quotas chosen so BOTH fleet sizes split the batch exactly evenly.
+// Only six cells are feasible: when the 4-worker owner is worker-0 or
+// worker-1, the 2-worker owner is necessarily the same member (the
+// 4-ring is the 2-ring plus two members, so a point whose 4-ring
+// successor is in {0,1} has that same successor in the 2-ring). The
+// quotas — 2k for each diagonal cell, k for each mixed cell, 8k files
+// total — give every 2-ring owner 4k files and every 4-ring owner 2k.
+// Every file carries a genuine fire-and-forget use-after-free so the
+// identity check compares real warning lines, and each unique proc
+// name defeats the dedup layer — every file costs one injected delay.
+func balancedFiles(k int) []server.BatchFile {
+	ring2 := cluster.NewRing([]string{"worker-0", "worker-1"}, 0)
+	ring4 := cluster.NewRing([]string{"worker-0", "worker-1", "worker-2", "worker-3"}, 0)
+	quota := map[string]int{
+		"worker-0/worker-0": 2 * k, "worker-1/worker-1": 2 * k,
+		"worker-0/worker-2": k, "worker-0/worker-3": k,
+		"worker-1/worker-2": k, "worker-1/worker-3": k,
+	}
+	var files []server.BatchFile
+	for i := 0; len(files) < 8*k; i++ {
+		name := fmt.Sprintf("bench-%d.chpl", i)
+		src := fmt.Sprintf(
+			"proc benchCase%d() {\n  var x: int = %d;\n  begin with (ref x) {\n    x += 1;\n  }\n}\n",
+			i, i)
+		key := server.RouteKey("analyze", name, src, server.RequestOptions{})
+		cell := ring2.Lookup(key) + "/" + ring4.Lookup(key)
+		if quota[cell] == 0 {
+			continue
+		}
+		quota[cell]--
+		files = append(files, server.BatchFile{Name: name, Src: src})
+	}
+	return files
+}
+
+func run(bin, out string, perCell int, delay time.Duration, minSpeedup float64) error {
+	files := balancedFiles(perCell)
+	fmt.Printf("clusterbench: %d files, %v injected latency each\n", len(files), delay)
+
+	art := artifact{Schema: "uafcheck/bench-cluster/v1", DelayMS: delay.Milliseconds(), Files: len(files)}
+	art.Host.NumCPU = runtime.NumCPU()
+	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	faults := fmt.Sprintf("analysis.delay=delay:1:0:%s", delay)
+
+	// Single-process baseline: the identity reference and the
+	// denominator for speedup_vs_single.
+	single, err := startProc(bin, "-addr", "127.0.0.1:0", "-inflight", "1", "-queue", "1024", "-faults", faults)
+	if err != nil {
+		return err
+	}
+	defer single.kill()
+	baseMS, baseLines, err := driveBatch(single.addr, files)
+	if err != nil {
+		return fmt.Errorf("single-process baseline: %w", err)
+	}
+	single.kill()
+	art.SingleMS = baseMS
+	fmt.Printf("clusterbench: single process: %d ms\n", baseMS)
+
+	wallByFleet := map[int]int64{}
+	for _, n := range []int{1, 2, 4} {
+		wall, lines, err := runFleet(bin, faults, n, files)
+		if err != nil {
+			return fmt.Errorf("%d-worker fleet: %w", n, err)
+		}
+		identical := equalLines(baseLines, lines)
+		art.Fleets = append(art.Fleets, fleet{
+			Workers:           n,
+			WallMS:            wall,
+			SpeedupVsSingle:   ratio(baseMS, wall),
+			IdenticalWarnings: identical,
+		})
+		wallByFleet[n] = wall
+		fmt.Printf("clusterbench: %d worker(s): %d ms (%.2fx vs single, identical=%t)\n",
+			n, wall, ratio(baseMS, wall), identical)
+		if !identical {
+			diffLines(baseLines, lines)
+			return fmt.Errorf("%d-worker fleet emitted a different warning line set than the single process", n)
+		}
+	}
+
+	art.Scaling.TwoVsOne = ratio(wallByFleet[1], wallByFleet[2])
+	art.Scaling.MinRequired = minSpeedup
+	art.Scaling.Pass = minSpeedup <= 0 || art.Scaling.TwoVsOne >= minSpeedup
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("clusterbench: 2 workers vs 1: %.2fx (required >= %.2f)\n", art.Scaling.TwoVsOne, minSpeedup)
+	fmt.Printf("clusterbench: wrote %s\n", out)
+	if !art.Scaling.Pass {
+		return fmt.Errorf("scaling gate failed: 2 workers gave %.2fx over 1, need >= %.2f",
+			art.Scaling.TwoVsOne, minSpeedup)
+	}
+	return nil
+}
+
+// runFleet boots n workers plus a coordinator, drives the batch
+// through the edge, and tears everything down.
+func runFleet(bin, faults string, n int, files []server.BatchFile) (int64, []string, error) {
+	var procs []*managedProc
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+	var specs []string
+	for i := 0; i < n; i++ {
+		w, err := startProc(bin, "-addr", "127.0.0.1:0", "-mode", "worker",
+			"-inflight", "1", "-queue", "1024", "-faults", faults)
+		if err != nil {
+			return 0, nil, err
+		}
+		procs = append(procs, w)
+		specs = append(specs, fmt.Sprintf("worker-%d=http://%s", i, w.addr))
+	}
+	coord, err := startProc(bin, "-addr", "127.0.0.1:0", "-mode", "coordinator",
+		"-workers", strings.Join(specs, ","), "-probe-interval", "500ms")
+	if err != nil {
+		return 0, nil, err
+	}
+	procs = append(procs, coord)
+	return driveBatchNamed(coord.addr, files)
+}
+
+func driveBatch(addr string, files []server.BatchFile) (int64, []string, error) {
+	return driveBatchNamed(addr, files)
+}
+
+// driveBatchNamed posts the batch and returns wall-clock milliseconds
+// plus the sorted NDJSON line set (lines stream in completion order,
+// so the set, not the sequence, is the identity unit).
+func driveBatchNamed(addr string, files []server.BatchFile) (int64, []string, error) {
+	body, err := json.Marshal(server.BatchRequest{Files: files})
+	if err != nil {
+		return 0, nil, err
+	}
+	hc := &http.Client{Timeout: 10 * time.Minute}
+	start := time.Now()
+	resp, err := hc.Post("http://"+addr+"/v1/analyze-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	wall := time.Since(start).Milliseconds()
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("batch answered %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var lines []string
+	for _, l := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) == 0 {
+			continue
+		}
+		var meta struct {
+			Status string `json:"status"`
+			Name   string `json:"name"`
+		}
+		if err := json.Unmarshal(l, &meta); err != nil {
+			return 0, nil, fmt.Errorf("corrupt NDJSON line: %q", l)
+		}
+		if meta.Status != "ok" {
+			return 0, nil, fmt.Errorf("file %s finished %q: %s", meta.Name, meta.Status, l)
+		}
+		lines = append(lines, string(l))
+	}
+	if len(lines) != len(files) {
+		return 0, nil, fmt.Errorf("batch returned %d lines for %d files", len(lines), len(files))
+	}
+	sort.Strings(lines)
+	return wall, lines, nil
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffLines(want, got []string) {
+	seen := make(map[string]bool, len(want))
+	for _, l := range want {
+		seen[l] = true
+	}
+	for _, l := range got {
+		if !seen[l] {
+			fmt.Fprintf(os.Stderr, "clusterbench: line only in cluster output: %s\n", l)
+		}
+	}
+	back := make(map[string]bool, len(got))
+	for _, l := range got {
+		back[l] = true
+	}
+	for _, l := range want {
+		if !back[l] {
+			fmt.Fprintf(os.Stderr, "clusterbench: line only in single output: %s\n", l)
+		}
+	}
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// managedProc is one spawned uafserve with its announced address.
+type managedProc struct {
+	cmd  *exec.Cmd
+	addr string
+	log  *bytes.Buffer
+}
+
+// startProc launches uafserve pinned to one OS thread (GOMAXPROCS=1 —
+// every worker simulates a one-core machine) and waits for its
+// "listening on" announcement to learn the ephemeral port.
+func startProc(bin string, args ...string) (*managedProc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	var logBuf bytes.Buffer
+	cmd.Stderr = &logBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &managedProc{cmd: cmd, log: &logBuf}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, "uafserve: listening on "); ok {
+				addrCh <- a
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+		return p, nil
+	case <-time.After(15 * time.Second):
+		p.kill()
+		return nil, fmt.Errorf("uafserve %v did not announce a listen address; stderr:\n%s",
+			args, logBuf.String())
+	}
+}
+
+func (p *managedProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill() //nolint:errcheck
+		p.cmd.Wait()         //nolint:errcheck
+	}
+}

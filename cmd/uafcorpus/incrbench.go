@@ -23,17 +23,18 @@ import (
 
 // incrBenchArtifact is the schema of BENCH_incremental.json.
 type incrBenchArtifact struct {
-	Schema        string  `json:"schema"`
-	Seed          int64   `json:"seed"`
-	Files         int     `json:"files"`
-	ProcsPerFile  int     `json:"procs_per_file"`
-	Edits         int     `json:"edits"`
-	ColdMSPerEdit float64 `json:"cold_ms_per_edit"`
-	WarmMSPerEdit float64 `json:"warm_ms_per_edit"`
-	Speedup       float64 `json:"speedup"`
-	IdentityOK    bool    `json:"identity_ok"`
-	UnitHits      int64   `json:"unit_hits"`
-	UnitMisses    int64   `json:"unit_misses"`
+	Schema        string   `json:"schema"`
+	Host          hostInfo `json:"host"`
+	Seed          int64    `json:"seed"`
+	Files         int      `json:"files"`
+	ProcsPerFile  int      `json:"procs_per_file"`
+	Edits         int      `json:"edits"`
+	ColdMSPerEdit float64  `json:"cold_ms_per_edit"`
+	WarmMSPerEdit float64  `json:"warm_ms_per_edit"`
+	Speedup       float64  `json:"speedup"`
+	IdentityOK    bool     `json:"identity_ok"`
+	UnitHits      int64    `json:"unit_hits"`
+	UnitMisses    int64    `json:"unit_misses"`
 }
 
 const incrBenchSchema = "uafcheck/bench-incremental/v1"
@@ -67,7 +68,7 @@ func benchProc(i int, seed int64) string {
 func runIncrBench(out string, seed int64, files, procs, edits int) error {
 	ctx := context.Background()
 	art := incrBenchArtifact{
-		Schema: incrBenchSchema, Seed: seed,
+		Schema: incrBenchSchema, Host: currentHost(), Seed: seed,
 		Files: files, ProcsPerFile: procs, Edits: edits,
 		IdentityOK: true,
 	}

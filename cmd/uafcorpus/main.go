@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"uafcheck"
@@ -34,12 +35,25 @@ import (
 // configuration, wall-clock phase times, Table I, and the per-pattern
 // telemetry (timing and state-count histograms).
 type benchArtifact struct {
+	Host         hostInfo        `json:"host"`
 	Seed         int64           `json:"seed"`
 	Tests        int             `json:"tests"`
 	GenerationMS int64           `json:"generation_ms"`
 	AnalysisMS   int64           `json:"analysis_ms"`
 	Table        eval.TableI     `json:"table"`
 	Telemetry    *eval.Telemetry `json:"telemetry"`
+}
+
+// hostInfo records the hardware shape every BENCH_*.json artifact
+// carries, so numbers from different machines are never compared as if
+// they came from the same one.
+type hostInfo struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+func currentHost() hostInfo {
+	return hostInfo{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 }
 
 func main() {
@@ -128,6 +142,7 @@ func main() {
 	fmt.Print(tel.Format())
 	if *benchOut != "" {
 		art := benchArtifact{
+			Host:         currentHost(),
 			Seed:         *seed,
 			Tests:        *tests,
 			GenerationMS: genTime.Milliseconds(),

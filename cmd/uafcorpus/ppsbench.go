@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -18,10 +17,7 @@ import (
 // wide-fanout micro-benchmark of the wave explorer, and the
 // content-addressed cache's cold-vs-warm speedup.
 type ppsBenchArtifact struct {
-	Host struct {
-		CPUs       int `json:"cpus"`
-		GOMAXPROCS int `json:"gomaxprocs"`
-	} `json:"host"`
+	Host   hostInfo `json:"host"`
 	Corpus struct {
 		Cases             int     `json:"cases"`
 		SeqMS             int64   `json:"seq_ms"`
@@ -50,9 +46,7 @@ type ppsBenchArtifact struct {
 // over the already-generated corpus and writes the artifact.
 func runPPSBench(cases []uafcheck.CorpusCase, out string) error {
 	ctx := context.Background()
-	art := ppsBenchArtifact{}
-	art.Host.CPUs = runtime.NumCPU()
-	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	art := ppsBenchArtifact{Host: currentHost()}
 	art.Note = "par_speedup needs >= 4 hardware threads to show the parallel win; " +
 		"identical_warnings is the determinism contract and must hold everywhere"
 

@@ -26,6 +26,22 @@
 //	                 (point=mode:prob rules; see internal/fault)
 //	-fault-seed N    seed for the -faults probability streams (default 1)
 //
+// Cluster flags (see docs/CLUSTER.md):
+//
+//	-mode M            "single" (default), "worker", or "coordinator"
+//	-workers LIST      coordinator: comma-separated worker base URLs,
+//	                   optionally as id=url pairs (IDs default to
+//	                   worker-0, worker-1, ... by position; the routing
+//	                   ring hashes IDs, so keep them stable across
+//	                   restarts)
+//	-cache-peers LIST  worker: comma-separated peer base URLs; local
+//	                   report-cache misses fall through to the peers'
+//	                   /v1/cache endpoints, so a cold replica warms from
+//	                   the fleet instead of recomputing
+//	-probe-interval D  coordinator: worker health probe cadence
+//	                   (default 2s); a worker failing its probe leaves
+//	                   the ring until it recovers
+//
 // With -cache-dir, startup runs a crash-recovery scan over the disk
 // tier: entries whose checksum no longer matches are quarantined and
 // stale temp files from interrupted writes are swept, so a kill -9
@@ -85,10 +101,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"uafcheck"
+	"uafcheck/internal/client"
+	"uafcheck/internal/cluster"
 	"uafcheck/internal/fault"
 	"uafcheck/internal/server"
 )
@@ -110,8 +129,19 @@ func main() {
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		faults      = flag.String("faults", "", "fault-injection spec for chaos drills, e.g. 'cache.fs.write=err:0.1;analysis.panic=panic:0.01' (see internal/fault)")
 		faultSeed   = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability streams")
+		mode        = flag.String("mode", "single", "process role: single, worker, or coordinator")
+		workers     = flag.String("workers", "", "coordinator: comma-separated worker base URLs (optionally id=url pairs)")
+		cachePeers  = flag.String("cache-peers", "", "worker: comma-separated peer base URLs to warm the report cache from")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "coordinator: worker health probe interval")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "single", "worker", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "uafserve: -mode must be single, worker or coordinator (got %q)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *faults != "" {
 		in, err := fault.Parse(*faultSeed, *faults)
@@ -123,13 +153,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uafserve: fault injection armed (seed %d): %s\n", *faultSeed, *faults)
 	}
 
+	if *mode == "coordinator" {
+		runCoordinator(*addr, *workers, *probeEvery, *drainFor)
+		return
+	}
+
 	// The daemon always runs a report cache: repeated sources across
 	// requests are the common case for a shared service. Disk writes go
 	// through the async tier so cache persistence never sits on a
 	// request's latency path; Shutdown flushes it.
 	cacheCfg := uafcheck.CacheConfig{MaxEntries: *cacheSize, Dir: *cacheDir}
+	var peerBackend uafcheck.CacheBackend
 	if *cacheDir != "" {
 		cacheCfg.AsyncDiskWrites = 256
+		// The peer endpoint always serves the local tier only — serving
+		// the tiered chain would turn one peer's miss into a fan-out.
+		local := uafcheck.NewDirCacheBackend(*cacheDir)
+		peerBackend = local
+		cacheCfg.Backend = local
+		if *cachePeers != "" {
+			remote := cluster.NewRemoteBackend(splitList(*cachePeers),
+				client.New(client.Config{MaxAttempts: 2, Budget: 10 * time.Second, NoStatusRetry: true}))
+			cacheCfg.Backend = uafcheck.NewTieredCacheBackend(local, remote)
+			fmt.Fprintf(os.Stderr, "uafserve: cache warms from peers: %s\n", *cachePeers)
+		}
 	}
 	reportCache := uafcheck.NewCache(cacheCfg)
 	if *cacheDir != "" {
@@ -152,6 +199,8 @@ func main() {
 		Cache:              reportCache,
 		FlightRecorderSize: *flightSize,
 		EnablePprof:        *enablePprof,
+		Mode:               *mode,
+		CachePeer:          peerBackend,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -199,4 +248,95 @@ func main() {
 		m.Counter("server.requests"), m.Counter("server.analyses"),
 		m.Counter("server.delta_files"), m.Counter("server.dedup_hits"),
 		m.Counter("server.rejects"), m.Counter("server.deprecated_requests"))
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseWorkers turns the -workers flag into worker specs. Entries are
+// base URLs, optionally prefixed "id=": bare URLs get positional IDs
+// (worker-0, worker-1, ...). The ring hashes IDs, so a fleet restarted
+// on fresh ports but the same IDs routes identically.
+func parseWorkers(list string) ([]cluster.WorkerSpec, error) {
+	var specs []cluster.WorkerSpec
+	seen := make(map[string]bool)
+	for i, entry := range splitList(list) {
+		id, url := fmt.Sprintf("worker-%d", i), entry
+		if at := strings.Index(entry, "="); at > 0 && !strings.Contains(entry[:at], "/") {
+			id, url = entry[:at], entry[at+1:]
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate worker id %q", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		specs = append(specs, cluster.WorkerSpec{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	return specs, nil
+}
+
+// runCoordinator is the -mode coordinator main loop: no analysis
+// engine, no local cache — just the routing edge over the worker
+// fleet, with the same listen/announce/drain lifecycle as a worker so
+// harnesses drive both identically.
+func runCoordinator(addr, workers string, probeEvery, drainFor time.Duration) {
+	specs, err := parseWorkers(workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uafserve: -workers: %v\n", err)
+		os.Exit(2)
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "uafserve: -mode coordinator requires -workers")
+		os.Exit(2)
+	}
+
+	coord := cluster.New(cluster.Config{
+		Workers:       specs,
+		ProbeInterval: probeEvery,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("uafserve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "uafserve: coordinator over %d worker(s)\n", len(specs))
+
+	httpSrv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "uafserve: %v: draining (up to %v)\n", sig, drainFor)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+	}
+	if err := coord.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "uafserve: %v\n", err)
+	}
 }

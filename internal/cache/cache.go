@@ -33,14 +33,10 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log/slog"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
-
-	"uafcheck/internal/fault"
 )
 
 // Key is a content address: the SHA-256 of the inputs that determine
@@ -67,6 +63,18 @@ func KeyOf(chunks ...string) Key {
 
 // String returns the hex form of the key (also the disk file stem).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the 64-hex form back into a Key — how the cache peer
+// HTTP endpoint turns a URL path segment into an address.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != sha256.Size {
+		return k, fmt.Errorf("cache: malformed key %q", s)
+	}
+	copy(k[:], raw)
+	return k, nil
+}
 
 // Codec says how to serialize and defensively copy cached values. All
 // three functions must be safe for concurrent use.
@@ -101,11 +109,11 @@ type Stats struct {
 }
 
 // Cache is a bounded LRU keyed by content address, with an optional
-// write-through disk layer. Safe for concurrent use.
+// write-through persistence backend. Safe for concurrent use.
 type Cache[V any] struct {
 	codec      Codec[V]
 	maxEntries int
-	dir        string // "" disables the disk layer
+	backend    Backend // nil disables the persistence layer
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
@@ -145,20 +153,36 @@ type entry[V any] struct {
 const DefaultMaxEntries = 1024
 
 // New creates a cache. maxEntries bounds the in-memory LRU (<= 0 means
-// DefaultMaxEntries); dir, when non-empty, enables the disk layer and
-// is created on first store.
+// DefaultMaxEntries); dir, when non-empty, enables a local-directory
+// persistence backend, created on first store.
 func New[V any](codec Codec[V], maxEntries int, dir string) *Cache[V] {
+	var be Backend
+	if dir != "" {
+		be = NewDirBackend(dir)
+	}
+	return NewWithBackend(codec, maxEntries, be)
+}
+
+// NewWithBackend creates a cache over an arbitrary persistence backend
+// (nil for memory-only) — how the cluster layer plugs a tiered
+// local+remote store under the same LRU, envelope validation, and
+// self-disabling failure accounting as the plain disk tier.
+func NewWithBackend[V any](codec Codec[V], maxEntries int, be Backend) *Cache[V] {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
 	return &Cache[V]{
 		codec:      codec,
 		maxEntries: maxEntries,
-		dir:        dir,
+		backend:    be,
 		ll:         list.New(),
 		items:      make(map[Key]*list.Element),
 	}
 }
+
+// Backend returns the persistence backend (nil for memory-only caches)
+// — what uafserve mounts behind its /v1/cache peer endpoints.
+func (c *Cache[V]) Backend() Backend { return c.backend }
 
 // Get returns a clone of the value stored under k. A memory miss falls
 // through to the disk layer (when configured) and promotes the decoded
@@ -206,7 +230,7 @@ func (c *Cache[V]) Put(k Key, v V) {
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	c.stats.Stores++
-	disk := c.dir != "" && !c.diskDisabled
+	disk := c.backend != nil && !c.diskDisabled
 	enqueued := false
 	if disk && c.async != nil {
 		enqueued = true
@@ -247,15 +271,15 @@ func (c *Cache[V]) noteWrite(err error) {
 	c.consecFails++
 	if c.consecFails >= MaxConsecutiveDiskFailures && !c.diskDisabled {
 		c.diskDisabled = true
-		slog.Warn("cache: disk tier disabled after consecutive write failures",
-			"failures", c.consecFails, "dir", c.dir, "err", err)
+		slog.Warn("cache: persistence tier disabled after consecutive write failures",
+			"failures", c.consecFails, "backend", c.backend.Name(), "err", err)
 	}
 }
 
-// diskActive reports whether the disk tier exists and has not disabled
-// itself.
+// diskActive reports whether the persistence tier exists and has not
+// disabled itself.
 func (c *Cache[V]) diskActive() bool {
-	if c.dir == "" {
+	if c.backend == nil {
 		return false
 	}
 	c.mu.Lock()
@@ -263,11 +287,11 @@ func (c *Cache[V]) diskActive() bool {
 	return !c.diskDisabled
 }
 
-// DiskState classifies the disk tier for health surfaces: "off" (no
-// directory configured), "ok", or "disabled" (too many consecutive
+// DiskState classifies the persistence tier for health surfaces: "off"
+// (no backend configured), "ok", or "disabled" (too many consecutive
 // write failures; see MaxConsecutiveDiskFailures).
 func (c *Cache[V]) DiskState() string {
-	if c.dir == "" {
+	if c.backend == nil {
 		return "off"
 	}
 	c.mu.Lock()
@@ -278,46 +302,16 @@ func (c *Cache[V]) DiskState() string {
 	return "ok"
 }
 
-// writeDisk serializes v and writes it — checksummed — under k's disk
-// path with a temp-file + rename so concurrent readers never see a
-// partial entry. A crash mid-write leaves only a put-* temp file (swept
-// by RecoverDisk); a torn rename leaves an entry the checksum rejects.
+// writeDisk serializes v into the checksummed envelope and hands it to
+// the persistence backend. The envelope is built here — above the
+// backend seam — so every backend's entries carry the same crash-safety
+// checksum.
 func (c *Cache[V]) writeDisk(k Key, v V) error {
 	data, err := c.codec.Encode(v)
 	if err != nil {
 		return err
 	}
-	env := encodeEntry(data)
-	env = fault.Mangle(fault.CacheTorn, env)
-	if err := fault.Err(fault.CacheWrite); err != nil {
-		return err
-	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(env); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	if err := fault.Err(fault.CacheRename); err != nil {
-		os.Remove(name)
-		return err
-	}
-	if err := os.Rename(name, c.path(k)); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return nil
+	return c.backend.Store(k, encodeEntry(data))
 }
 
 // ------------------------------------------------- disk entry envelope
@@ -364,17 +358,23 @@ func decodeEntry(raw []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// readDisk loads and validates one disk entry. I/O errors count as
-// DiskErrors; validation or decode failures quarantine the entry. Both
-// degrade to a miss.
+// ValidateEnvelope checks that raw is a well-formed checksummed entry
+// envelope without decoding its payload — how a cache peer endpoint
+// rejects corrupt uploads and how the tiered backend refuses to warm a
+// torn remote read through to local disk.
+func ValidateEnvelope(raw []byte) error {
+	_, err := decodeEntry(raw)
+	return err
+}
+
+// readDisk loads and validates one backend entry. I/O errors count as
+// DiskErrors; validation or decode failures quarantine the entry
+// (Backend.Discard). Both degrade to a miss.
 func (c *Cache[V]) readDisk(k Key) (V, bool) {
 	var zero V
-	raw, err := os.ReadFile(c.path(k))
-	if err == nil {
-		err = fault.Err(fault.CacheRead)
-	}
+	raw, err := c.backend.Fetch(k)
 	if err != nil {
-		if !os.IsNotExist(err) {
+		if !errors.Is(err, ErrNotFound) {
 			c.mu.Lock()
 			c.stats.DiskErrors++
 			c.mu.Unlock()
@@ -389,35 +389,18 @@ func (c *Cache[V]) readDisk(k Key) (V, bool) {
 		}
 		err = derr
 	}
-	c.quarantine(c.path(k), err)
+	c.backend.Discard(k, err)
+	c.mu.Lock()
+	c.stats.Quarantined++
+	c.mu.Unlock()
+	slog.Warn("cache: quarantined corrupt entry",
+		"entry", k.String(), "backend", c.backend.Name(), "cause", err)
 	return zero, false
 }
 
 // QuarantineDir is the subdirectory corrupt entries are moved into,
 // preserved for post-mortem inspection instead of deleted.
 const QuarantineDir = "quarantine"
-
-// quarantine moves a corrupt entry aside so it is never consulted
-// again, falling back to deletion when the move itself fails. Never
-// errors: the worst case (move and delete both fail) re-quarantines on
-// the next read.
-func (c *Cache[V]) quarantine(path string, cause error) {
-	qdir := filepath.Join(c.dir, QuarantineDir)
-	moved := false
-	if err := os.MkdirAll(qdir, 0o755); err == nil {
-		if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err == nil {
-			moved = true
-		}
-	}
-	if !moved {
-		os.Remove(path)
-	}
-	c.mu.Lock()
-	c.stats.Quarantined++
-	c.mu.Unlock()
-	slog.Warn("cache: quarantined corrupt disk entry",
-		"entry", filepath.Base(path), "moved", moved, "cause", cause)
-}
 
 // RecoverStats summarizes one RecoverDisk pass.
 type RecoverStats struct {
@@ -432,49 +415,33 @@ type RecoverStats struct {
 	TempFiles int
 }
 
-// RecoverDisk validates every entry in the disk tier — the startup
-// crash-recovery scan. Corrupt entries are quarantined, orphaned
-// temp files from interrupted writes are removed, and valid entries
-// are left in place (not promoted to memory; they load on first Get).
-// A no-op without a disk tier.
+// RecoverDisk validates every entry in the persistence tier — the
+// startup crash-recovery scan. Corrupt entries are quarantined,
+// orphaned temp files from interrupted writes are removed, and valid
+// entries are left in place (not promoted to memory; they load on
+// first Get). A no-op without a recoverable backend (remote tiers
+// validate per read instead).
 func (c *Cache[V]) RecoverDisk() RecoverStats {
-	var rs RecoverStats
-	if c.dir == "" {
-		return rs
+	rb, ok := c.backend.(RecoverableBackend)
+	if !ok {
+		return RecoverStats{}
 	}
-	entries, err := os.ReadDir(c.dir)
-	if err != nil {
-		return rs
-	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		name := e.Name()
-		path := filepath.Join(c.dir, name)
-		if strings.HasPrefix(name, "put-") {
-			os.Remove(path)
-			rs.TempFiles++
-			continue
-		}
-		if !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		rs.Scanned++
-		raw, err := os.ReadFile(path)
+	rs := rb.Recover(func(env []byte) error {
+		payload, err := decodeEntry(env)
 		if err != nil {
-			continue
+			return err
 		}
-		payload, err := decodeEntry(raw)
-		if err == nil {
-			if _, derr := c.codec.Decode(payload); derr == nil {
-				rs.OK++
-				continue
-			}
-			err = fmt.Errorf("cache: entry payload does not decode")
+		if _, derr := c.codec.Decode(payload); derr != nil {
+			return fmt.Errorf("cache: entry payload does not decode")
 		}
-		c.quarantine(path, err)
-		rs.Quarantined++
+		return nil
+	})
+	if rs.Quarantined > 0 {
+		c.mu.Lock()
+		c.stats.Quarantined += int64(rs.Quarantined)
+		c.mu.Unlock()
+		slog.Warn("cache: recovery quarantined corrupt entries",
+			"backend", c.backend.Name(), "quarantined", rs.Quarantined)
 	}
 	return rs
 }
@@ -489,7 +456,7 @@ func (c *Cache[V]) RecoverDisk() RecoverStats {
 // after New). No-op when the cache has no disk tier or async mode is
 // already on. Pair with Flush at checkpoints and Close at shutdown.
 func (c *Cache[V]) StartAsyncDisk(depth int) {
-	if c.dir == "" {
+	if c.backend == nil {
 		return
 	}
 	if depth <= 0 {
@@ -569,8 +536,4 @@ func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
-}
-
-func (c *Cache[V]) path(k Key) string {
-	return filepath.Join(c.dir, k.String()+".json")
 }

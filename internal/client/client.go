@@ -9,10 +9,18 @@
 //   - a circuit breaker opens after Config.BreakAfter consecutive such
 //     failures, failing calls fast (ErrCircuitOpen) for a cooldown
 //     instead of piling more load on a struggling server, then lets a
-//     single half-open probe through to close it again;
+//     single half-open probe through to close it again. Breaker state
+//     is per host (per scheme://authority), so one sick worker in a
+//     fleet never opens the breaker for its healthy peers;
 //   - every call runs under a total deadline budget (Config.Budget)
 //     spanning all attempts, so retries never stretch a request past
 //     what the caller provisioned.
+//
+// The cluster coordinator sets Config.NoStatusRetry: any HTTP response
+// — including 429 and 503 — is definitive and returned to the caller
+// untouched, so worker backpressure bubbles to the edge instead of
+// being absorbed by retries. Only transport errors retry (and trip the
+// breaker) in that mode.
 //
 // Requests must be replayable for retries: use Do with a byte-slice
 // body (it is re-materialized per attempt), never a one-shot Reader.
@@ -25,7 +33,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -66,6 +77,13 @@ type Config struct {
 	// Seed makes the backoff jitter deterministic (0 means 1) — the
 	// chaos suite replays identical schedules.
 	Seed int64
+	// NoStatusRetry makes every HTTP response definitive: 5xx and 429
+	// are returned to the caller instead of retried, and do not count
+	// as breaker failures. Only transport errors retry and trip the
+	// breaker. This is how the cluster coordinator forwards worker
+	// backpressure (429/Retry-After, 503 health verdicts) to the edge
+	// unchanged.
+	NoStatusRetry bool
 }
 
 // Stats is a snapshot of a Client's traffic counters.
@@ -89,18 +107,25 @@ const (
 	breakerHalfOpen
 )
 
-// Client is a retrying, circuit-breaking HTTP client. Safe for
-// concurrent use.
-type Client struct {
-	cfg Config
-
-	mu       sync.Mutex
+// breaker is one host's circuit-breaker state. Guarded by Client.mu.
+type breaker struct {
 	state    breakerState
 	fails    int       // consecutive retryable failures while closed
 	openedAt time.Time // when the breaker last opened
 	probing  bool      // a half-open probe is in flight
-	rng      uint64
-	stats    Stats
+}
+
+// Client is a retrying, circuit-breaking HTTP client. Safe for
+// concurrent use. Breaker state is kept per host (scheme://authority
+// of the request URL), so failures against one base URL never fail
+// fast calls to another.
+type Client struct {
+	cfg Config
+
+	mu    sync.Mutex
+	hosts map[string]*breaker
+	rng   uint64
+	stats Stats
 }
 
 // New creates a Client, applying defaults for zero Config fields.
@@ -129,7 +154,69 @@ func New(cfg Config) *Client {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	return &Client{cfg: cfg, rng: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1}
+	return &Client{
+		cfg:   cfg,
+		hosts: make(map[string]*breaker),
+		rng:   uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+// hostKey reduces a request URL to its breaker key: scheme://authority.
+// An unparseable URL falls back to the raw string, so it still gets a
+// (degenerate) breaker of its own.
+func hostKey(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return rawURL
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// breakerFor returns (creating on first use) the breaker for one host
+// key. Caller holds c.mu.
+func (c *Client) breakerFor(host string) *breaker {
+	b, ok := c.hosts[host]
+	if !ok {
+		b = &breaker{}
+		c.hosts[host] = b
+	}
+	return b
+}
+
+// HostStates snapshots each known host's breaker phase ("closed",
+// "open", "half-open") — surfaced on the coordinator's /statusz so a
+// fleet operator can see which workers the edge has given up on.
+func (c *Client) HostStates() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.hosts))
+	for h, b := range c.hosts {
+		switch b.state {
+		case breakerOpen:
+			out[h] = "open"
+		case breakerHalfOpen:
+			out[h] = "half-open"
+		default:
+			out[h] = "closed"
+		}
+	}
+	return out
+}
+
+// HostStatesString renders HostStates as a stable "host=state"
+// comma-joined summary for health-row details.
+func (c *Client) HostStatesString() string {
+	m := c.HostStates()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -144,10 +231,30 @@ func (c *Client) Stats() Stats {
 // except 429, or the last failure once attempts or budget run out.
 // The caller owns the response body.
 func (c *Client) Do(ctx context.Context, method, url string, contentType string, body []byte) (*http.Response, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.cfg.Budget)
-	defer cancel()
+	var h http.Header
+	if contentType != "" {
+		h = http.Header{"Content-Type": []string{contentType}}
+	}
+	return c.DoWithHeaders(ctx, method, url, h, body)
+}
 
-	probe, err := c.admit()
+// DoWithHeaders is Do with arbitrary request headers, copied onto
+// every attempt — how the cluster coordinator forwards Accept (SARIF
+// negotiation) and traceparent to workers verbatim.
+func (c *Client) DoWithHeaders(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Budget)
+	// On success the caller may stream the response body (NDJSON batch
+	// shards), so the budget context must outlive this frame: it is
+	// released by Body.Close instead. Error paths cancel here.
+	done := false
+	defer func() {
+		if !done {
+			cancel()
+		}
+	}()
+
+	host := hostKey(url)
+	probe, err := c.admit(host)
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +274,8 @@ func (c *Client) Do(ctx context.Context, method, url string, contentType string,
 		if err != nil {
 			return nil, err // malformed request: retrying cannot help
 		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
+		for k, vs := range header {
+			req.Header[k] = vs
 		}
 
 		resp, err := c.cfg.HTTP.Do(req)
@@ -176,17 +283,19 @@ func (c *Client) Do(ctx context.Context, method, url string, contentType string,
 		switch {
 		case err != nil:
 			lastErr = err
-		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		case !c.cfg.NoStatusRetry && (resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests):
 			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			lastErr = fmt.Errorf("client: %s %s: %s", method, url, resp.Status)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		default:
-			c.success(probe)
+			c.success(host, probe)
+			resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+			done = true
 			return resp, nil
 		}
 
-		c.failure(probe)
+		c.failure(host, probe)
 		if probe {
 			// A failed half-open probe re-opens the breaker; don't burn
 			// the remaining attempts against a server that just proved
@@ -203,6 +312,20 @@ func (c *Client) Do(ctx context.Context, method, url string, contentType string,
 	return nil, fmt.Errorf("%w after %d attempts: %v", ErrBudgetExceeded, c.cfg.MaxAttempts, lastErr)
 }
 
+// cancelOnClose releases a call's budget context when the caller
+// finishes the response body — the body read is bounded by the budget,
+// but not killed by the call frame returning mid-stream.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
 // Get is Do without a body.
 func (c *Client) Get(ctx context.Context, url string) (*http.Response, error) {
 	return c.Do(ctx, http.MethodGet, url, "", nil)
@@ -213,65 +336,70 @@ func (c *Client) Post(ctx context.Context, url, contentType string, body []byte)
 	return c.Do(ctx, http.MethodPost, url, contentType, body)
 }
 
-// admit consults the breaker: closed admits normally, open fails fast
-// until the cooldown elapses, then exactly one caller is admitted as
-// the half-open probe (probe=true).
-func (c *Client) admit() (probe bool, err error) {
+// admit consults host's breaker: closed admits normally, open fails
+// fast until the cooldown elapses, then exactly one caller is admitted
+// as the half-open probe (probe=true). Other hosts' breakers are never
+// consulted.
+func (c *Client) admit(host string) (probe bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	switch c.state {
+	b := c.breakerFor(host)
+	switch b.state {
 	case breakerClosed:
 		return false, nil
 	case breakerOpen:
-		if time.Since(c.openedAt) < c.cfg.Cooldown {
+		if time.Since(b.openedAt) < c.cfg.Cooldown {
 			c.stats.FastFails++
-			return false, fmt.Errorf("%w (cooldown %v remaining)",
-				ErrCircuitOpen, (c.cfg.Cooldown - time.Since(c.openedAt)).Round(time.Millisecond))
+			return false, fmt.Errorf("%w for %s (cooldown %v remaining)",
+				ErrCircuitOpen, host, (c.cfg.Cooldown - time.Since(b.openedAt)).Round(time.Millisecond))
 		}
-		c.state = breakerHalfOpen
-		c.probing = true
+		b.state = breakerHalfOpen
+		b.probing = true
 		return true, nil
 	default: // half-open
-		if c.probing {
+		if b.probing {
 			c.stats.FastFails++
-			return false, fmt.Errorf("%w (probe in flight)", ErrCircuitOpen)
+			return false, fmt.Errorf("%w for %s (probe in flight)", ErrCircuitOpen, host)
 		}
-		c.probing = true
+		b.probing = true
 		return true, nil
 	}
 }
 
-// success records a definitive response: it resets the failure streak
-// and, for a half-open probe, closes the breaker.
-func (c *Client) success(probe bool) {
+// success records a definitive response for host: it resets the
+// failure streak and, for a half-open probe, closes the breaker.
+func (c *Client) success(host string, probe bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.fails = 0
+	b := c.breakerFor(host)
+	b.fails = 0
 	if probe {
-		c.state = breakerClosed
-		c.probing = false
+		b.state = breakerClosed
+		b.probing = false
 	}
 }
 
-// failure records a retryable failure: a failed probe re-opens the
-// breaker, and BreakAfter consecutive failures open it from closed.
-func (c *Client) failure(probe bool) {
+// failure records a retryable failure for host: a failed probe
+// re-opens the breaker, and BreakAfter consecutive failures open it
+// from closed.
+func (c *Client) failure(host string, probe bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	b := c.breakerFor(host)
 	if probe {
-		c.state = breakerOpen
-		c.openedAt = time.Now()
-		c.probing = false
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
 		c.stats.BreakerOpens++
 		return
 	}
-	if c.state != breakerClosed {
+	if b.state != breakerClosed {
 		return
 	}
-	c.fails++
-	if c.fails >= c.cfg.BreakAfter {
-		c.state = breakerOpen
-		c.openedAt = time.Now()
+	b.fails++
+	if b.fails >= c.cfg.BreakAfter {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
 		c.stats.BreakerOpens++
 	}
 }

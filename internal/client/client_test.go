@@ -192,6 +192,93 @@ func TestCircuitBreaker(t *testing.T) {
 	}
 }
 
+// TestBreakerIsPerHost: opening the breaker against one sick host must
+// not fail fast calls to a different, healthy host — one bad worker in
+// a fleet cannot take out routing to its peers.
+func TestBreakerIsPerHost(t *testing.T) {
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer sick.Close()
+	var healthyCalls atomic.Int64
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyCalls.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer healthy.Close()
+
+	cfg := fastCfg()
+	cfg.MaxAttempts = 1
+	c := New(cfg)
+	ctx := context.Background()
+
+	for i := 0; i < cfg.BreakAfter; i++ {
+		if _, err := c.Get(ctx, sick.URL); err == nil {
+			t.Fatal("sick server returned success")
+		}
+	}
+	if _, err := c.Get(ctx, sick.URL); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("sick host breaker should be open, got %v", err)
+	}
+
+	// The healthy host's breaker is independent: calls go through.
+	for i := 0; i < 3; i++ {
+		resp, err := c.Get(ctx, healthy.URL)
+		if err != nil {
+			t.Fatalf("healthy host rejected while sick host's breaker open: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if healthyCalls.Load() != 3 {
+		t.Errorf("healthy host saw %d calls, want 3", healthyCalls.Load())
+	}
+
+	states := c.HostStates()
+	if states[hostKey(sick.URL)] != "open" {
+		t.Errorf("sick host state = %q, want open", states[hostKey(sick.URL)])
+	}
+	if states[hostKey(healthy.URL)] != "closed" {
+		t.Errorf("healthy host state = %q, want closed", states[hostKey(healthy.URL)])
+	}
+}
+
+// TestNoStatusRetryPassesBackpressureThrough: with NoStatusRetry a 429
+// (and its Retry-After header) is handed back on the first attempt —
+// no retries, no breaker failure — so a coordinator can forward worker
+// backpressure verbatim.
+func TestNoStatusRetryPassesBackpressureThrough(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.NoStatusRetry = true
+	c := New(cfg)
+	ctx := context.Background()
+
+	for i := 0; i < cfg.BreakAfter+2; i++ {
+		resp, err := c.Get(ctx, srv.URL)
+		if err != nil {
+			t.Fatalf("call %d: %v (429s must be definitive, never breaker food)", i, err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "7" {
+			t.Fatalf("call %d: status %d Retry-After %q, want 429/7",
+				i, resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		resp.Body.Close()
+	}
+	if got, want := calls.Load(), int64(cfg.BreakAfter+2); got != want {
+		t.Errorf("server saw %d calls, want %d (exactly one attempt per call)", got, want)
+	}
+	if st := c.Stats(); st.Retries != 0 || st.BreakerOpens != 0 {
+		t.Errorf("stats = %+v, want zero retries and breaker opens", st)
+	}
+}
+
 // TestPostBodyReplayedOnRetry: each attempt re-sends the full byte
 // body (a one-shot reader would arrive empty on retries).
 func TestPostBodyReplayedOnRetry(t *testing.T) {

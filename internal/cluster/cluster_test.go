@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"uafcheck/internal/cache"
+	"uafcheck/internal/client"
+	"uafcheck/internal/fault"
+	"uafcheck/internal/server"
+)
+
+// corpusDir is the shared acceptance corpus; the cluster identity
+// contract is checked against exactly these inputs.
+const corpusDir = "../../testdata/suite"
+
+func loadSuite(t *testing.T) []server.BatchFile {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.chpl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus under %s: %v", corpusDir, err)
+	}
+	sort.Strings(paths)
+	files := make([]server.BatchFile, len(paths))
+	for i, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = server.BatchFile{Name: filepath.Base(p), Src: string(src)}
+	}
+	return files
+}
+
+// newWorker boots one in-process worker replica.
+func newWorker(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	cfg.Mode = "worker"
+	ts := httptest.NewServer(server.New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoordinator wires a Coordinator over the given workers with
+// background probing disabled — tests drive Probe explicitly.
+func newCoordinator(t *testing.T, workers ...WorkerSpec) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c := New(Config{
+		Workers:       workers,
+		Client:        client.Config{MaxAttempts: 1, Budget: 2 * time.Minute},
+		ProbeInterval: -1,
+	})
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		c.Shutdown(ctx) //nolint:errcheck
+	})
+	return c, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// sortedLines canonicalizes an NDJSON body for order-insensitive
+// byte-level comparison (batch lines legitimately arrive in completion
+// order, which differs run to run even in one process).
+func sortedLines(body []byte) []string {
+	var lines []string
+	for _, l := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) > 0 {
+			lines = append(lines, string(l))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestClusterByteIdentitySingle: every corpus file analyzed through a
+// 2-worker cluster edge answers byte-identically to a single-process
+// server.
+func TestClusterByteIdentitySingle(t *testing.T) {
+	files := loadSuite(t)
+	single := newWorker(t, server.Config{})
+	w0 := newWorker(t, server.Config{})
+	w1 := newWorker(t, server.Config{})
+	_, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: w0.URL},
+		WorkerSpec{ID: "w1", URL: w1.URL})
+
+	for _, f := range files {
+		req := server.AnalyzeRequest{Name: f.Name, Src: f.Src}
+		wantResp, want := postJSON(t, single.URL+"/v1/analyze", req)
+		gotResp, got := postJSON(t, edge.URL+"/v1/analyze", req)
+		if wantResp.StatusCode != gotResp.StatusCode {
+			t.Fatalf("%s: status %d via cluster, %d single", f.Name, gotResp.StatusCode, wantResp.StatusCode)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: cluster response differs from single-process\nsingle:  %s\ncluster: %s", f.Name, want, got)
+		}
+		if gotResp.Header.Get("X-Uafserve-Worker") == "" {
+			t.Fatalf("%s: missing X-Uafserve-Worker header", f.Name)
+		}
+	}
+}
+
+// TestClusterByteIdentityBatch: the full corpus as one batch through
+// the cluster edge yields exactly the line set a single process emits
+// (compared order-insensitively; lines stream in completion order on
+// both sides). Unnamed files must default identically too.
+func TestClusterByteIdentityBatch(t *testing.T) {
+	files := loadSuite(t)
+	// Blank half the names: the coordinator must default them by
+	// original batch index before splitting, like one process would.
+	for i := range files {
+		if i%2 == 1 {
+			files[i].Name = ""
+		}
+	}
+	req := server.BatchRequest{Files: files}
+
+	single := newWorker(t, server.Config{})
+	w0 := newWorker(t, server.Config{})
+	w1 := newWorker(t, server.Config{})
+	_, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: w0.URL},
+		WorkerSpec{ID: "w1", URL: w1.URL})
+
+	wantResp, want := postJSON(t, single.URL+"/v1/analyze-batch", req)
+	gotResp, got := postJSON(t, edge.URL+"/v1/analyze-batch", req)
+	if wantResp.StatusCode != http.StatusOK || gotResp.StatusCode != http.StatusOK {
+		t.Fatalf("status: single %d, cluster %d", wantResp.StatusCode, gotResp.StatusCode)
+	}
+	wantLines, gotLines := sortedLines(want), sortedLines(got)
+	if len(wantLines) != len(files) {
+		t.Fatalf("single emitted %d lines for %d files", len(wantLines), len(files))
+	}
+	if fmt.Sprint(wantLines) != fmt.Sprint(gotLines) {
+		t.Fatalf("cluster batch line set differs from single-process\nsingle:  %v\ncluster: %v", wantLines, gotLines)
+	}
+}
+
+// TestClusterDeltaByteIdentity: an incremental NDJSON stream — initial
+// sends plus an edit re-send — through the cluster edge answers
+// byte-identically and in input order, like one process.
+func TestClusterDeltaByteIdentity(t *testing.T) {
+	files := loadSuite(t)[:6]
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for _, f := range files {
+		enc.Encode(server.DeltaRequest{Name: f.Name, Src: f.Src}) //nolint:errcheck
+	}
+	// Re-send the first file with an edit: routing is by (name,
+	// options), so the cluster lands it on the worker holding the memo.
+	enc.Encode(server.DeltaRequest{ //nolint:errcheck
+		Name: files[0].Name,
+		Src:  files[0].Src + "\nproc extraClusterEdit() { var y: int = 2; }\n",
+	})
+	body := sb.String()
+
+	single := newWorker(t, server.Config{})
+	w0 := newWorker(t, server.Config{})
+	w1 := newWorker(t, server.Config{})
+	_, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: w0.URL},
+		WorkerSpec{ID: "w1", URL: w1.URL})
+
+	post := func(url string) []byte {
+		resp, err := http.Post(url+"/v1/delta", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta: status %d", resp.StatusCode)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := post(single.URL)
+	got := post(edge.URL)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("cluster delta stream differs from single-process\nsingle:  %s\ncluster: %s", want, got)
+	}
+}
+
+// TestClusterCoordinatorRestart: a fresh coordinator over the same
+// worker fleet routes and answers identically — coordinator state is
+// soft, so a restart loses nothing.
+func TestClusterCoordinatorRestart(t *testing.T) {
+	files := loadSuite(t)[:4]
+	w0 := newWorker(t, server.Config{})
+	w1 := newWorker(t, server.Config{})
+	specs := []WorkerSpec{{ID: "w0", URL: w0.URL}, {ID: "w1", URL: w1.URL}}
+
+	_, edge1 := newCoordinator(t, specs...)
+	var before [][]byte
+	var owners []string
+	for _, f := range files {
+		resp, out := postJSON(t, edge1.URL+"/v1/analyze", server.AnalyzeRequest{Name: f.Name, Src: f.Src})
+		before = append(before, out)
+		owners = append(owners, resp.Header.Get("X-Uafserve-Worker"))
+	}
+
+	_, edge2 := newCoordinator(t, specs...)
+	for i, f := range files {
+		resp, out := postJSON(t, edge2.URL+"/v1/analyze", server.AnalyzeRequest{Name: f.Name, Src: f.Src})
+		if !bytes.Equal(before[i], out) {
+			t.Fatalf("%s: response changed across coordinator restart", f.Name)
+		}
+		if got := resp.Header.Get("X-Uafserve-Worker"); got != owners[i] {
+			t.Fatalf("%s: routed to %s before restart, %s after — routing is not deterministic", f.Name, owners[i], got)
+		}
+	}
+}
+
+// TestClusterBackpressureBubbles: a worker's 429 + Retry-After must
+// reach the edge caller verbatim — the coordinator neither retries nor
+// rewrites backpressure, so a cluster edge looks exactly like one
+// overloaded process.
+func TestClusterBackpressureBubbles(t *testing.T) {
+	const busyBody = `{"error":"queue full","code":"overloaded"}` + "\n"
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, busyBody) //nolint:errcheck
+		}
+	}))
+	defer stub.Close()
+	_, edge := newCoordinator(t, WorkerSpec{ID: "w0", URL: stub.URL})
+
+	checks := []struct {
+		path string
+		body any
+	}{
+		{"/v1/analyze", server.AnalyzeRequest{Name: "a.chpl", Src: "proc a() { }"}},
+		{"/v1/analyze-batch", server.BatchRequest{Files: []server.BatchFile{{Name: "a.chpl", Src: "proc a() { }"}}}},
+	}
+	for _, c := range checks {
+		resp, out := postJSON(t, edge.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: status %d, want 429", c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "7" {
+			t.Fatalf("%s: Retry-After %q, want 7", c.path, got)
+		}
+		if string(out) != busyBody {
+			t.Fatalf("%s: body rewritten: %q", c.path, out)
+		}
+	}
+}
+
+// TestChaosClusterWorkerKillMidBatch: one worker accepts its batch
+// shard, emits a torn partial line and dies. The edge stream must
+// still carry one well-formed line per file — the dead worker's files
+// rerouted to the survivor and byte-identical to a single-process run,
+// never a silently shorter or corrupt stream.
+func TestChaosClusterWorkerKillMidBatch(t *testing.T) {
+	files := loadSuite(t)
+	req := server.BatchRequest{Files: files}
+
+	// The doomed worker: healthy to probes, then hijacks the batch
+	// connection to emit a 200 header plus half a JSON line and die —
+	// the worst-timed kill, after the coordinator's header barrier.
+	doomed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+			return
+		}
+		conn, buf, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\r\n") //nolint:errcheck
+		buf.WriteString(`{"name":"torn-partial`)                                         //nolint:errcheck
+		buf.Flush()                                                                      //nolint:errcheck
+		conn.Close()
+	}))
+	defer doomed.Close()
+	survivor := newWorker(t, server.Config{})
+	coord, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: doomed.URL},
+		WorkerSpec{ID: "w1", URL: survivor.URL})
+
+	// The split is content-deterministic; the test is vacuous unless
+	// the doomed worker owns at least one file.
+	ring := coord.aliveRing()
+	doomedOwns := 0
+	for _, f := range files {
+		if ring.Lookup(server.RouteKey("analyze", f.Name, f.Src, req.Options)) == "w0" {
+			doomedOwns++
+		}
+	}
+	if doomedOwns == 0 {
+		t.Fatal("ring routed no corpus file to the doomed worker; test would be vacuous")
+	}
+
+	single := newWorker(t, server.Config{})
+	_, want := postJSON(t, single.URL+"/v1/analyze-batch", req)
+	resp, got := postJSON(t, edge.URL+"/v1/analyze-batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	gotLines := sortedLines(got)
+	if len(gotLines) != len(files) {
+		t.Fatalf("edge stream has %d lines for %d files — a worker kill silently shortened it:\n%s",
+			len(gotLines), len(files), got)
+	}
+	for _, l := range gotLines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("edge relayed a corrupt line: %q", l)
+		}
+		if strings.Contains(l, "torn-partial") {
+			t.Fatalf("edge relayed the dead worker's partial line: %q", l)
+		}
+	}
+	if fmt.Sprint(sortedLines(want)) != fmt.Sprint(gotLines) {
+		t.Fatalf("rerouted batch diverged from single-process result\nsingle:  %v\ncluster: %v",
+			sortedLines(want), gotLines)
+	}
+}
+
+// TestChaosClusterWorkerKillNoSurvivor: when the shard owner dies
+// mid-stream and no other worker can take the reroute, every
+// unfinished file must surface as a flagged status "error" line — the
+// degraded outcome is visible, never silent.
+func TestChaosClusterWorkerKillNoSurvivor(t *testing.T) {
+	doomed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+			return
+		}
+		conn, buf, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\r\n") //nolint:errcheck
+		buf.Flush()                                                                      //nolint:errcheck
+		conn.Close()
+	}))
+	defer doomed.Close()
+	_, edge := newCoordinator(t, WorkerSpec{ID: "w0", URL: doomed.URL})
+
+	files := []server.BatchFile{
+		{Name: "a.chpl", Src: "proc a() { var x: int = 1; }"},
+		{Name: "b.chpl", Src: "proc b() { var y: int = 2; }"},
+	}
+	resp, got := postJSON(t, edge.URL+"/v1/analyze-batch", server.BatchRequest{Files: files})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (stream had started)", resp.StatusCode)
+	}
+	lines := sortedLines(got)
+	if len(lines) != len(files) {
+		t.Fatalf("got %d lines for %d files:\n%s", len(lines), len(files), got)
+	}
+	for _, l := range lines {
+		var res struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(l), &res); err != nil {
+			t.Fatalf("corrupt line: %q", l)
+		}
+		if res.Status != "error" || !strings.Contains(res.Error, "worker lost mid-batch") {
+			t.Fatalf("line not flagged as worker-lost: %q", l)
+		}
+	}
+}
+
+// TestChaosClusterTornRemoteCacheRead: a replica warming from a peer
+// over the cache protocol reads a torn envelope. The checksum layer
+// must turn that into a quarantine + miss — never a wrong value, and
+// never a corrupt byte warmed into the local tier — and a recompute
+// lands cleanly afterwards.
+func TestChaosClusterTornRemoteCacheRead(t *testing.T) {
+	codec := cache.Codec[string]{
+		Encode: func(s string) ([]byte, error) { return []byte(s), nil },
+		Decode: func(b []byte) (string, error) { return string(b), nil },
+		Clone:  func(s string) string { return s },
+	}
+	k1, k2 := cache.KeyOf("cluster-entry-1"), cache.KeyOf("cluster-entry-2")
+
+	// The peer replica: a dir-backed cache with its backend mounted
+	// behind the /v1/cache peer protocol.
+	peerBE := cache.NewDirBackend(t.TempDir())
+	peerCache := cache.NewWithBackend(codec, 0, peerBE)
+	peerCache.Put(k1, "value-one")
+	peerCache.Put(k2, "value-two")
+	peer := newWorker(t, server.Config{CachePeer: peerBE})
+
+	hc := client.New(client.Config{MaxAttempts: 1, Budget: 5 * time.Second, NoStatusRetry: true})
+
+	// Clean path first: a cold replica warms k1 from the peer and the
+	// validated envelope lands in its local tier.
+	localA := cache.NewDirBackend(t.TempDir())
+	ca := cache.NewWithBackend(codec, 0, cache.NewTiered(localA, NewRemoteBackend([]string{peer.URL}, hc)))
+	if v, ok := ca.Get(k1); !ok || v != "value-one" {
+		t.Fatalf("warm from peer: got %q, %v", v, ok)
+	}
+	if _, err := localA.Fetch(k1); err != nil {
+		t.Fatalf("validated entry was not warmed into the local tier: %v", err)
+	}
+
+	// Torn path: the next remote read is mangled in flight.
+	restore := fault.Set(fault.New(7, fault.Rule{
+		Point: fault.ClusterRemoteTorn, Mode: fault.ModeTorn, Prob: 1, Count: 1,
+	}))
+	defer restore()
+
+	localB := cache.NewDirBackend(t.TempDir())
+	cb := cache.NewWithBackend(codec, 0, cache.NewTiered(localB, NewRemoteBackend([]string{peer.URL}, hc)))
+	if v, ok := cb.Get(k2); ok {
+		t.Fatalf("torn remote read served a value: %q", v)
+	}
+	if st := cb.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (stats: %+v)", st.Quarantined, st)
+	}
+	// The corrupt envelope must not have been warmed locally, and the
+	// discard fan-out must have evicted the peer's copy so it cannot
+	// re-propagate.
+	if _, err := localB.Fetch(k2); err == nil {
+		t.Fatal("corrupt envelope was warmed into the local tier")
+	}
+	if _, err := peerBE.Fetch(k2); err == nil {
+		t.Fatal("peer still serves the discarded entry")
+	}
+
+	// Recompute: the caller stores a fresh value locally; a restarted
+	// replica over the same local tier reads it back intact.
+	cb.Put(k2, "value-two")
+	cb2 := cache.NewWithBackend(codec, 0, localB)
+	if v, ok := cb2.Get(k2); !ok || v != "value-two" {
+		t.Fatalf("recomputed entry did not persist: got %q, %v", v, ok)
+	}
+}
+
+// TestClusterMembershipProbe: killing a worker and probing shrinks the
+// ring and degrades /healthz; the cluster keeps serving byte-identical
+// results from the survivors, and an empty fleet answers 503 unready.
+func TestClusterMembershipProbe(t *testing.T) {
+	files := loadSuite(t)[:4]
+	w0 := newWorker(t, server.Config{})
+	w1live := newWorker(t, server.Config{})
+	coord, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: w0.URL},
+		WorkerSpec{ID: "w1", URL: w1live.URL})
+
+	healthz := func() (int, map[string]any) {
+		resp, err := http.Get(edge.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, m := healthz(); code != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("full fleet: healthz %d %v", code, m["status"])
+	}
+
+	var want [][]byte
+	for _, f := range files {
+		_, out := postJSON(t, edge.URL+"/v1/analyze", server.AnalyzeRequest{Name: f.Name, Src: f.Src})
+		want = append(want, out)
+	}
+
+	w1live.Close()
+	coord.Probe()
+	if coord.aliveRing().Len() != 1 {
+		t.Fatalf("ring has %d members after killing one of two", coord.aliveRing().Len())
+	}
+	code, m := healthz()
+	if code != http.StatusOK || m["status"] != "degraded" {
+		t.Fatalf("partial fleet: healthz %d %v, want 200 degraded", code, m["status"])
+	}
+	comps := m["components"].(map[string]any)
+	if comps["worker:w1"].(map[string]any)["state"] != "dead" {
+		t.Fatalf("worker:w1 not reported dead: %v", comps["worker:w1"])
+	}
+	for i, f := range files {
+		resp, out := postJSON(t, edge.URL+"/v1/analyze", server.AnalyzeRequest{Name: f.Name, Src: f.Src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d on degraded fleet", f.Name, resp.StatusCode)
+		}
+		if !bytes.Equal(want[i], out) {
+			t.Fatalf("%s: result changed after membership shrank", f.Name)
+		}
+	}
+
+	w0.Close()
+	coord.Probe()
+	if code, m := healthz(); code != http.StatusServiceUnavailable || m["status"] != "unready" {
+		t.Fatalf("empty fleet: healthz %d %v, want 503 unready", code, m["status"])
+	}
+	resp, _ := postJSON(t, edge.URL+"/v1/analyze", server.AnalyzeRequest{Name: "a.chpl", Src: "proc a() { }"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet: analyze answered %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClusterStatuszSurface: /statusz carries the version, the
+// coordinator mode, per-worker rows and the breaker map — the
+// operator's one-stop view of the fleet.
+func TestClusterStatuszSurface(t *testing.T) {
+	w0 := newWorker(t, server.Config{})
+	_, edge := newCoordinator(t, WorkerSpec{ID: "w0", URL: w0.URL})
+	postJSON(t, edge.URL+"/v1/analyze", server.AnalyzeRequest{Name: "a.chpl", Src: "proc a() { }"})
+
+	resp, err := http.Get(edge.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m["mode"] != "coordinator" {
+		t.Fatalf("mode = %v, want coordinator", m["mode"])
+	}
+	if v, ok := m["version"].(string); !ok || v == "" {
+		t.Fatalf("missing version: %v", m["version"])
+	}
+	if _, ok := m["components"].(map[string]any)["worker:w0"]; !ok {
+		t.Fatalf("missing worker row: %v", m["components"])
+	}
+	if _, ok := m["breakers"]; !ok {
+		t.Fatal("missing breakers map")
+	}
+	counters := m["counters"].(map[string]any)
+	if counters[CtrProxied].(float64) < 1 {
+		t.Fatalf("proxied counter not incremented: %v", counters)
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"uafcheck/internal/cache"
+	"uafcheck/internal/client"
+	"uafcheck/internal/fault"
+)
+
+// RemoteBackend implements cache.Backend over the cache peer protocol
+// (GET/PUT/DELETE /v1/cache/{key}): a replica's window into its peers'
+// disk tiers. Peers are tried in consistent-hash order for the key, so
+// the replica most likely to hold an entry (the coordinator routed
+// that key to it) is asked first and a hit normally costs one request.
+//
+// RemoteBackend returns the envelope bytes exactly as received — the
+// receiving cache validates the checksum itself, so a torn network
+// read or a corrupt peer entry (injected via the cluster.cache.torn
+// fault point) degrades to a quarantine + miss, never a wrong result.
+// It is meant to sit behind cache.NewTiered as the remote tier; used
+// alone it would make every local miss a network round-trip.
+type RemoteBackend struct {
+	peers []string // base URLs, e.g. "http://127.0.0.1:43117"
+	ring  *Ring    // over the peer URLs, for hit-likelihood ordering
+	hc    *client.Client
+}
+
+// NewRemoteBackend builds a remote tier over peer base URLs, speaking
+// through hc (which brings retries, per-host breakers, and a budget).
+func NewRemoteBackend(peers []string, hc *client.Client) *RemoteBackend {
+	return &RemoteBackend{
+		peers: peers,
+		ring:  NewRing(peers, 0),
+		hc:    hc,
+	}
+}
+
+// Name implements cache.Backend.
+func (b *RemoteBackend) Name() string {
+	return "remote:" + strings.Join(b.peers, ",")
+}
+
+func (b *RemoteBackend) url(peer string, k cache.Key) string {
+	return peer + "/v1/cache/" + k.String()
+}
+
+// Fetch implements cache.Backend: ask each peer in ring order until
+// one has the entry. Every peer answering a clean 404 makes the fetch
+// a clean miss; transport or server errors surface as I/O errors (the
+// cache counts them) once no peer can serve the entry.
+func (b *RemoteBackend) Fetch(k cache.Key) ([]byte, error) {
+	var lastErr error
+	for _, peer := range b.ring.LookupN(k, len(b.peers)) {
+		resp, err := b.hc.Get(context.Background(), b.url(peer, k))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			env, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				lastErr = fmt.Errorf("cluster: reading cache entry from %s: %w", peer, err)
+				continue
+			}
+			return fault.Mangle(fault.ClusterRemoteTorn, env), nil
+		case http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		default:
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			lastErr = fmt.Errorf("cluster: cache peer %s: %s", peer, resp.Status)
+		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w: %s (no peer holds it)", cache.ErrNotFound, k.String())
+}
+
+// Store implements cache.Backend: push the envelope to the key's owner
+// peer. Behind a tiered backend this is unused (writes land locally
+// and peers pull), but a caller may use it to pre-seed a fleet.
+func (b *RemoteBackend) Store(k cache.Key, env []byte) error {
+	owner := b.ring.Lookup(k)
+	if owner == "" {
+		return errors.New("cluster: no cache peers configured")
+	}
+	resp, err := b.hc.Do(context.Background(), http.MethodPut, b.url(owner, k),
+		"application/octet-stream", env)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cluster: cache peer %s: %s", owner, resp.Status)
+	}
+	return nil
+}
+
+// Discard implements cache.Backend: tell every peer to drop the entry,
+// best-effort, so a corrupt entry cannot keep re-propagating.
+func (b *RemoteBackend) Discard(k cache.Key, cause error) {
+	for _, peer := range b.peers {
+		resp, err := b.hc.Do(context.Background(), http.MethodDelete, b.url(peer, k), "", nil)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+}

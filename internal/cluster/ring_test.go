@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"uafcheck/internal/cache"
+)
+
+// sampleKeys derives a deterministic 10k-key sample (content-addressed
+// keys are SHA-256, so synthetic inputs are as uniform as real ones).
+func sampleKeys(n int) []cache.Key {
+	keys := make([]cache.Key, n)
+	for i := range keys {
+		keys[i] = cache.KeyOf("ring-sample", fmt.Sprint(i))
+	}
+	return keys
+}
+
+func memberIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("worker-%d", i)
+	}
+	return ids
+}
+
+// TestRingDeterministic: routing is byte-deterministic for a fixed
+// member set — two independently built rings over the same members
+// agree on every key, regardless of construction order.
+func TestRingDeterministic(t *testing.T) {
+	keys := sampleKeys(10000)
+	a := NewRing([]string{"worker-0", "worker-1", "worker-2", "worker-3"}, 0)
+	b := NewRing([]string{"worker-3", "worker-1", "worker-0", "worker-2"}, 0)
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %s: ring A says %s, ring B says %s",
+				k.String()[:12], a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+// TestRingRebalance: the consistent-hashing contract. Adding or
+// removing one of N members remaps at most ~2/N of a 10k-key sample
+// (theoretical minimum 1/N; the slack covers vnode placement variance),
+// and keys that stay mapped stay with the same member.
+func TestRingRebalance(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			before := NewRing(memberIDs(n), 0)
+			grown := NewRing(memberIDs(n+1), 0)
+			shrunk := NewRing(memberIDs(n)[:n-1], 0)
+
+			var movedOnAdd, movedOnRemove int
+			for _, k := range keys {
+				base := before.Lookup(k)
+				if g := grown.Lookup(k); g != base {
+					// A key may only move to the new member, never
+					// shuffle between survivors.
+					if g != fmt.Sprintf("worker-%d", n) {
+						t.Fatalf("add: key %s moved %s -> %s (not the new member)",
+							k.String()[:12], base, g)
+					}
+					movedOnAdd++
+				}
+				if s := shrunk.Lookup(k); s != base {
+					// Only keys owned by the removed member may move.
+					if base != fmt.Sprintf("worker-%d", n-1) {
+						t.Fatalf("remove: key %s moved %s -> %s but its owner survived",
+							k.String()[:12], base, s)
+					}
+					movedOnRemove++
+				}
+			}
+			// ~1/(n+1) of keys should land on the new member; allow 2x.
+			if limit := 2 * len(keys) / (n + 1); movedOnAdd > limit {
+				t.Errorf("adding 1 of %d members remapped %d/%d keys, want <= %d",
+					n, movedOnAdd, len(keys), limit)
+			}
+			if limit := 2 * len(keys) / n; movedOnRemove > limit {
+				t.Errorf("removing 1 of %d members remapped %d/%d keys, want <= %d",
+					n, movedOnRemove, len(keys), limit)
+			}
+			if movedOnAdd == 0 || movedOnRemove == 0 {
+				t.Error("membership change moved zero keys — ring is not rebalancing")
+			}
+		})
+	}
+}
+
+// TestRingLookupN: failover order starts at the owner, yields distinct
+// members, and caps at the member count.
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(memberIDs(3), 0)
+	k := cache.KeyOf("failover", "probe")
+	seq := r.LookupN(k, 5)
+	if len(seq) != 3 {
+		t.Fatalf("LookupN(5) over 3 members returned %d, want 3", len(seq))
+	}
+	if seq[0] != r.Lookup(k) {
+		t.Errorf("LookupN[0] = %s, Lookup = %s — owner must come first", seq[0], r.Lookup(k))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Errorf("LookupN repeated member %s", m)
+		}
+		seen[m] = true
+	}
+}
+
+// TestRingBalance: with default vnodes no member owns a grossly
+// disproportionate keyspace share (each within 2x of fair).
+func TestRingBalance(t *testing.T) {
+	const n = 4
+	r := NewRing(memberIDs(n), 0)
+	keys := sampleKeys(10000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	fair := len(keys) / n
+	for m, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("member %s owns %d/%d keys (fair share %d)", m, c, len(keys), fair)
+		}
+	}
+}
+
+// TestRingEmpty: lookups on an empty ring return nothing, not panic.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Lookup(cache.KeyOf("x")); got != "" {
+		t.Errorf("empty ring Lookup = %q", got)
+	}
+	if got := r.LookupN(cache.KeyOf("x"), 2); got != nil {
+		t.Errorf("empty ring LookupN = %v", got)
+	}
+}

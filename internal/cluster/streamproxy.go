@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"uafcheck/internal/cache"
+	"uafcheck/internal/server"
+	"uafcheck/internal/wire"
+)
+
+// The streaming proxies. Two invariants both endpoints enforce:
+//
+//  1. Backpressure forwards unchanged *before* any line streams: a
+//     sub-request answering 429/503 while the edge response is still
+//     unstarted is relayed verbatim — status, Retry-After, body — so a
+//     cluster edge looks exactly like a single overloaded process.
+//  2. A worker lost mid-stream yields degraded-flagged lines, never a
+//     silently shorter stream: its unfinished files are rerouted once
+//     to a ring successor, and whatever still cannot be computed is
+//     emitted as a status "error" wire line naming the failure.
+
+// scanBuf sizes NDJSON line scanners: start at 64 KiB, allow lines up
+// to the body cap.
+func lineScanner(r io.Reader, max int64) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), int(max))
+	return sc
+}
+
+// ndjsonEmitter serializes line writes to the edge and flushes each
+// one, so clients see per-file progress exactly as with one process.
+type ndjsonEmitter struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func newEmitter(w http.ResponseWriter) *ndjsonEmitter {
+	f, _ := w.(http.Flusher)
+	return &ndjsonEmitter{w: w, flusher: f}
+}
+
+// start writes the edge 200 + NDJSON header exactly once.
+func (e *ndjsonEmitter) start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.startLocked()
+}
+
+func (e *ndjsonEmitter) startLocked() {
+	if !e.started {
+		e.w.Header().Set("Content-Type", "application/x-ndjson")
+		e.w.WriteHeader(http.StatusOK)
+		e.started = true
+	}
+}
+
+func (e *ndjsonEmitter) emit(line []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.startLocked()
+	e.w.Write(append(line, '\n')) //nolint:errcheck — a dead client just discards the stream
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// errorLine renders the canonical status "error" wire line for a file
+// the cluster could not get analyzed.
+func errorLine(name string, err error) []byte {
+	line, encErr := wire.NewResult(name, nil, err, false).Encode()
+	if encErr != nil {
+		b, _ := json.Marshal(map[string]string{"name": name, "error": err.Error()})
+		return b
+	}
+	return line
+}
+
+// altWorker picks the first alive ring member that is not exclude —
+// the reroute target for a group whose worker died.
+func (c *Coordinator) altWorker(key cache.Key, exclude string) (string, bool) {
+	for _, id := range c.aliveRing().LookupN(key, len(c.order)) {
+		if id != exclude {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// ------------------------------------------------------------- batch
+
+// batchGroup is the slice of one batch routed to a single worker.
+type batchGroup struct {
+	worker string
+	key    cache.Key // first file's route key; reroute anchor
+	files  []server.BatchFile
+}
+
+// handleBatch fans one /v1/analyze-batch out across the ring and
+// merges the per-file NDJSON lines back at the edge. File names are
+// defaulted by original batch index *before* splitting, so every line
+// is byte-identical to what the single-process server would emit
+// (which defaults names the same way); lines arrive in completion
+// order, exactly as they do from one process's worker pool.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		c.errorJSON(w, http.StatusRequestEntityTooLarge, "reading body: "+err.Error())
+		return
+	}
+	var req server.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		c.errorJSON(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if len(req.Files) == 0 {
+		c.errorJSON(w, http.StatusBadRequest, "missing files")
+		return
+	}
+	for i := range req.Files {
+		if req.Files[i].Name == "" {
+			req.Files[i].Name = fmt.Sprintf("input-%d.chpl", i)
+		}
+	}
+	ring := c.aliveRing()
+	if ring.Len() == 0 {
+		c.errorJSON(w, http.StatusServiceUnavailable, "no workers alive")
+		return
+	}
+
+	// SARIF is one aggregate document, not a line stream: route the
+	// whole batch to a single worker (keyed by the full content) so the
+	// cluster serves the identical document a single process would.
+	if wantsSARIF(r) {
+		var sb strings.Builder
+		for _, f := range req.Files {
+			sb.WriteString(f.Name)
+			sb.WriteByte(0)
+			sb.WriteString(f.Src)
+			sb.WriteByte(0)
+		}
+		key := server.RouteKey("analyze-batch", "sarif", sb.String(), req.Options)
+		fwd, _ := json.Marshal(req)
+		c.forwardByKey(w, r, key, "/v1/analyze-batch", fwd)
+		return
+	}
+
+	groups := c.groupFiles(ring, req)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	// Fire every sub-batch, then barrier on response *headers* (not
+	// bodies): a sub-batch rejected with 429/503 must forward to the
+	// edge unchanged before any line streams. Workers that are
+	// unreachable get one reroute hop here, before the barrier.
+	type subResp struct {
+		resp *http.Response
+		err  error
+	}
+	resps := make([]subResp, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.postSubBatch(ctx, r, groups[i].worker, groups[i].files, req.Options)
+			if err != nil {
+				c.rec.Add(CtrWorkerLost, 1)
+				if alt, ok := c.altWorker(groups[i].key, groups[i].worker); ok {
+					c.rec.Add(CtrReroutes, 1)
+					groups[i].worker = alt
+					resp, err = c.postSubBatch(ctx, r, alt, groups[i].files, req.Options)
+				}
+			}
+			resps[i] = subResp{resp: resp, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, sr := range resps {
+		if sr.err == nil && sr.resp.StatusCode != http.StatusOK {
+			// Worker backpressure wins over partial progress: relay it
+			// verbatim and drop the other sub-streams (their workers see
+			// a cancelled request and release their slots).
+			for j, other := range resps {
+				if j != i && other.err == nil {
+					other.resp.Body.Close()
+				}
+			}
+			copyResponse(w, sr.resp, groups[i].worker)
+			return
+		}
+	}
+
+	em := newEmitter(w)
+	em.start()
+	var lineWG sync.WaitGroup
+	for i := range groups {
+		lineWG.Add(1)
+		go func(i int) {
+			defer lineWG.Done()
+			if resps[i].err != nil {
+				// Both the owner and its successor were unreachable:
+				// every file in the group gets a flagged error line.
+				for _, f := range groups[i].files {
+					em.emit(errorLine(f.Name, fmt.Errorf("cluster: no worker reachable for batch shard: %v", resps[i].err)))
+				}
+				return
+			}
+			c.streamGroup(ctx, r, em, groups[i], resps[i].resp, req.Options, true)
+		}(i)
+	}
+	lineWG.Wait()
+}
+
+// groupFiles splits batch files across ring owners, preserving input
+// order within each group.
+func (c *Coordinator) groupFiles(ring *Ring, req server.BatchRequest) []batchGroup {
+	index := make(map[string]int)
+	var groups []batchGroup
+	for _, f := range req.Files {
+		key := server.RouteKey("analyze", f.Name, f.Src, req.Options)
+		owner := ring.Lookup(key)
+		gi, ok := index[owner]
+		if !ok {
+			gi = len(groups)
+			index[owner] = gi
+			groups = append(groups, batchGroup{worker: owner, key: key})
+		}
+		groups[gi].files = append(groups[gi].files, f)
+	}
+	return groups
+}
+
+// postSubBatch sends one worker its shard of the batch.
+func (c *Coordinator) postSubBatch(ctx context.Context, r *http.Request, worker string, files []server.BatchFile, opts server.RequestOptions) (*http.Response, error) {
+	body, err := json.Marshal(server.BatchRequest{Files: files, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.DoWithHeaders(ctx, http.MethodPost,
+		c.urls[worker]+"/v1/analyze-batch", forwardHeaders(r), body)
+}
+
+// streamGroup relays one sub-batch's NDJSON lines to the edge. If the
+// stream dies before every file's line arrived (worker killed
+// mid-batch), the unfinished files are rerouted once to another
+// worker; files that still cannot be computed are emitted as flagged
+// error lines — the stream is never silently short.
+func (c *Coordinator) streamGroup(ctx context.Context, r *http.Request, em *ndjsonEmitter, g batchGroup, resp *http.Response, opts server.RequestOptions, mayReroute bool) {
+	pendingByName := make(map[string]int, len(g.files))
+	for _, f := range g.files {
+		pendingByName[f.Name]++
+	}
+	pending := len(g.files)
+
+	sc := lineScanner(resp.Body, c.cfg.MaxBodyBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			// A worker killed mid-write leaves a truncated trailing line
+			// (bufio.Scanner surfaces the partial token at EOF). Never
+			// relay it; the file stays pending and gets rerouted below.
+			continue
+		}
+		em.emit(append([]byte(nil), line...))
+		c.rec.Add(CtrBatchLines, 1)
+		var meta struct {
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(line, &meta) == nil && pendingByName[meta.Name] > 0 {
+			pendingByName[meta.Name]--
+			pending--
+		}
+	}
+	scanErr := sc.Err()
+	resp.Body.Close()
+	if pending == 0 {
+		return
+	}
+	if scanErr == nil {
+		scanErr = fmt.Errorf("stream from worker %s ended %d lines early", g.worker, pending)
+	}
+	c.rec.Add(CtrWorkerLost, 1)
+	c.log.Warn("cluster: batch shard lost mid-stream",
+		"worker", g.worker, "missing", pending, "err", scanErr)
+
+	remaining := make([]server.BatchFile, 0, pending)
+	need := pendingByName
+	for _, f := range g.files {
+		if need[f.Name] > 0 {
+			need[f.Name]--
+			remaining = append(remaining, f)
+		}
+	}
+
+	if mayReroute && ctx.Err() == nil {
+		if alt, ok := c.altWorker(g.key, g.worker); ok {
+			c.rec.Add(CtrReroutes, 1)
+			if rresp, err := c.postSubBatch(ctx, r, alt, remaining, opts); err == nil {
+				if rresp.StatusCode == http.StatusOK {
+					c.streamGroup(ctx, r, em, batchGroup{worker: alt, key: g.key, files: remaining}, rresp, opts, false)
+					return
+				}
+				io.Copy(io.Discard, rresp.Body) //nolint:errcheck
+				rresp.Body.Close()
+				scanErr = fmt.Errorf("reroute to %s rejected: %s (original: %v)", alt, rresp.Status, scanErr)
+			} else {
+				scanErr = fmt.Errorf("reroute to %s failed: %v (original: %v)", alt, err, scanErr)
+			}
+		}
+	}
+	for _, f := range remaining {
+		em.emit(errorLine(f.Name, fmt.Errorf("cluster: worker lost mid-batch: %v", scanErr)))
+	}
+}
+
+// wantsSARIF mirrors the worker-side content negotiation trigger.
+func wantsSARIF(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/sarif+json")
+}
+
+// ------------------------------------------------------------- delta
+
+// handleDelta proxies the incremental NDJSON stream line by line.
+// Routing is by (name, options) — not content — so re-sends of an
+// edited file land on the worker holding that file's memo store, and
+// the incremental speedup survives sharding. The worker-side analyzer
+// pool lives across requests, so forwarding each line as its own
+// single-line /v1/delta call preserves both per-file ordering and
+// memoization; lines answer in input order exactly as one process
+// would answer them.
+func (c *Coordinator) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if c.aliveRing().Len() == 0 {
+		c.errorJSON(w, http.StatusServiceUnavailable, "no workers alive")
+		return
+	}
+	em := newEmitter(w)
+	sc := lineScanner(r.Body, c.cfg.MaxBodyBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var dr server.DeltaRequest
+		if err := json.Unmarshal(line, &dr); err != nil {
+			em.emit(errorLine(dr.Name, fmt.Errorf("malformed delta line: %v", err)))
+			continue
+		}
+		key := server.RouteKey("delta", dr.Name, "", dr.Options)
+		cands := c.aliveRing().LookupN(key, 2)
+		var lastErr error
+		relayed := false
+		for i, id := range cands {
+			if i > 0 {
+				c.rec.Add(CtrReroutes, 1)
+			}
+			resp, err := c.hc.DoWithHeaders(r.Context(), http.MethodPost,
+				c.urls[id]+"/v1/delta", forwardHeaders(r), append(append([]byte(nil), line...), '\n'))
+			if err != nil {
+				lastErr = err
+				c.rec.Add(CtrWorkerLost, 1)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				if !em.started {
+					// Backpressure before the stream began: relay the
+					// 429/503 verbatim, Retry-After and all.
+					copyResponse(w, resp, id)
+					return
+				}
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+				resp.Body.Close()
+				em.emit(errorLine(dr.Name, fmt.Errorf("cluster: worker %s answered %s: %s",
+					id, resp.Status, bytes.TrimSpace(b))))
+				relayed = true
+				break
+			}
+			rs := lineScanner(resp.Body, c.cfg.MaxBodyBytes)
+			for rs.Scan() {
+				out := bytes.TrimSpace(rs.Bytes())
+				if len(out) == 0 || !json.Valid(out) {
+					continue
+				}
+				em.emit(append([]byte(nil), out...))
+			}
+			resp.Body.Close()
+			c.rec.Add(CtrProxied, 1)
+			relayed = true
+			break
+		}
+		if !relayed {
+			em.emit(errorLine(dr.Name, fmt.Errorf("cluster: no worker reachable: %v", lastErr)))
+		}
+	}
+	if err := sc.Err(); err != nil && r.Context().Err() == nil {
+		em.emit(errorLine("", fmt.Errorf("reading delta stream: %v", err)))
+	}
+	em.start() // an empty input still answers 200 with an empty stream
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"uafcheck/internal/cache"
+)
+
+// The cache peer protocol: raw checksummed envelopes addressed by their
+// 64-hex content key, mounted when Config.CachePeer is set.
+//
+//	GET    /v1/cache/{key}  -> 200 envelope bytes | 404 miss
+//	PUT    /v1/cache/{key}  -> 204 stored         | 422 corrupt envelope
+//	DELETE /v1/cache/{key}  -> 204 discarded
+//
+// Entries cross the wire in their on-disk envelope form (uafcache1
+// header + payload checksum), so the receiving replica re-validates
+// every byte with the same machinery that catches torn local writes —
+// a lying or corrupted peer degrades to a cache miss, never to a wrong
+// result.
+
+// peerKey parses the {key} path segment, answering 400 itself on
+// malformed keys.
+func (s *Server) peerKey(w http.ResponseWriter, r *http.Request) (cache.Key, bool) {
+	k, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return k, false
+	}
+	return k, true
+}
+
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	k, ok := s.peerKey(w, r)
+	if !ok {
+		return
+	}
+	env, err := s.cfg.CachePeer.Fetch(k)
+	if err != nil {
+		if errors.Is(err, cache.ErrNotFound) {
+			s.writeError(w, http.StatusNotFound, "no cache entry "+k.String())
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "cache fetch: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(env) //nolint:errcheck
+}
+
+func (s *Server) handleCacheStore(w http.ResponseWriter, r *http.Request) {
+	k, ok := s.peerKey(w, r)
+	if !ok {
+		return
+	}
+	env, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "reading envelope: "+err.Error())
+		return
+	}
+	// Reject corrupt envelopes at the door: a peer must never become a
+	// distribution channel for torn entries.
+	if err := cache.ValidateEnvelope(env); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "invalid envelope: "+err.Error())
+		return
+	}
+	if err := s.cfg.CachePeer.Store(k, env); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "cache store: "+err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCacheDiscard(w http.ResponseWriter, r *http.Request) {
+	k, ok := s.peerKey(w, r)
+	if !ok {
+		return
+	}
+	s.cfg.CachePeer.Discard(k, errors.New("peer discard request"))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -98,6 +98,17 @@ type Config struct {
 	// for concurrent use. A probe reporting state "wedged" fails
 	// readiness; any non-"ok"/"off" state marks it degraded.
 	Components map[string]func() ComponentStatus
+	// Mode labels this process's cluster role on /healthz and /statusz
+	// ("single", "worker" or "coordinator"; "" = "single") so
+	// mixed-role and mixed-version fleets are diagnosable from their
+	// health surfaces alone.
+	Mode string
+	// CachePeer, when non-nil, mounts the cache peer protocol
+	// (GET/PUT/DELETE /v1/cache/{key}) over this backend, letting other
+	// replicas warm their caches from this one. Typically the local
+	// directory backend of Cache — never a remote tier, which would
+	// turn a peer fetch into a fan-out.
+	CachePeer cache.Backend
 }
 
 // ComponentStatus is one component's health row in /healthz and
@@ -133,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Mode == "" {
+		c.Mode = "single"
 	}
 	return c
 }
@@ -292,6 +306,11 @@ func (s *Server) Handler() http.Handler {
 		s.deprecatedAlias("/v1/analyze", s.traced("/analyze", s.handleAnalyze)))
 	mux.HandleFunc("POST /analyze-batch",
 		s.deprecatedAlias("/v1/analyze-batch", s.traced("/analyze-batch", s.handleBatch)))
+	if s.cfg.CachePeer != nil {
+		mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFetch)
+		mux.HandleFunc("PUT /v1/cache/{key}", s.handleCacheStore)
+		mux.HandleFunc("DELETE /v1/cache/{key}", s.handleCacheDiscard)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -502,6 +521,18 @@ func (s *Server) requestKey(kind, name, src string, o RequestOptions) string {
 			o.Prune == nil || *o.Prune, o.MaxStates, s.effectiveDeadline(o),
 			o.Trace, o.ModelAtomics, o.CountAtomics, o.Retries, o.Metrics),
 	).String()
+}
+
+// RouteKey is the content fingerprint the cluster coordinator routes
+// by: the same inputs as the singleflight/cache key (kind, tool
+// version, name, source, option set) minus the server-resolved
+// deadline, which a coordinator cannot know without the worker's
+// config. Routing only needs determinism, not cache-key equality.
+func RouteKey(kind, name, src string, o RequestOptions) cache.Key {
+	return cache.KeyOf("uafserve/route/"+kind, uafcheck.Version, name, src,
+		fmt.Sprintf("prune=%t max_states=%d deadline_ms=%d trace=%t ma=%t ca=%t retries=%d metrics=%t",
+			o.Prune == nil || *o.Prune, o.MaxStates, o.DeadlineMS,
+			o.Trace, o.ModelAtomics, o.CountAtomics, o.Retries, o.Metrics))
 }
 
 // effectiveDeadline resolves a request's deadline against the server's
@@ -1105,6 +1136,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := healthState(comps)
 	body := map[string]any{
 		"status":     status,
+		"mode":       s.cfg.Mode,
 		"inflight":   inflight,
 		"queued":     queued,
 		"version":    uafcheck.Version,
@@ -1200,6 +1232,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(mustJSON(map[string]any{ //nolint:errcheck
 		"version":    uafcheck.Version,
+		"mode":       s.cfg.Mode,
 		"uptime_s":   int64(time.Since(s.start).Seconds()),
 		"status":     status,
 		"inflight":   inflight,

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Cluster scaling load test against real processes:
+#
+#   1. build uafserve and the clusterbench driver
+#   2. boot a single-process baseline plus a coordinator in front of
+#      1, 2 and 4 workers (each worker GOMAXPROCS=1, -inflight 1 — a
+#      simulated one-core machine; per-analysis latency injected with
+#      the deterministic analysis.delay fault point)
+#   3. drive the same batch through every topology
+#   4. hard-fail if any topology's warning line set differs from the
+#      single-process baseline, or if 2 workers do not beat 1 worker
+#      by at least MIN_SPEEDUP (default 1.6x)
+#   5. write BENCH_cluster.json
+#
+# Run via `make cluster-loadtest`. See docs/CLUSTER.md.
+set -eu
+
+OUT=${OUT:-BENCH_cluster.json}
+DELAY=${DELAY:-40ms}
+PER_CELL=${PER_CELL:-8}
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.6}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "cluster-loadtest: building uafserve and clusterbench"
+go build -o "$WORK/uafserve" ./cmd/uafserve
+go build -o "$WORK/clusterbench" ./cmd/clusterbench
+
+"$WORK/clusterbench" \
+	-bin "$WORK/uafserve" \
+	-out "$OUT" \
+	-delay "$DELAY" \
+	-per-cell "$PER_CELL" \
+	-min-speedup "$MIN_SPEEDUP"
+
+echo "cluster-loadtest: OK — artifact in $OUT"

@@ -1,0 +1,142 @@
+#!/usr/bin/env sh
+# Cluster smoke against real processes, run in CI's chaos-short job:
+#
+#   1. boot a coordinator in front of 2 workers and a single-process
+#      reference server
+#   2. drive the same batch through the cluster edge and assert the
+#      NDJSON line set is byte-identical to the single process
+#      (order-insensitive: lines stream in completion order)
+#   3. boot a second fleet with injected per-analysis latency, kill
+#      both workers mid-batch, and assert the edge stream still
+#      carries one well-formed line per file, with the unfinished
+#      files flagged as status "error" naming the lost worker —
+#      degraded visibly, never silently short or corrupt
+#
+# Run via `make cluster-smoke`. Requires curl and jq. See
+# docs/CLUSTER.md.
+set -eu
+
+for tool in curl jq; do
+	command -v "$tool" >/dev/null 2>&1 || {
+		echo "cluster-smoke: $tool not installed" >&2
+		exit 1
+	}
+done
+
+FILES=${FILES:-16}
+KILL_DELAY=${KILL_DELAY:-300ms}
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building uafserve"
+go build -o "$WORK/uafserve" ./cmd/uafserve
+
+# boot LOG [flags...]: start uafserve on an ephemeral port and wait for
+# its address announcement. Sets BOOT_PID and BOOT_ADDR.
+boot() {
+	log=$1
+	shift
+	GOMAXPROCS=1 "$WORK/uafserve" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+	BOOT_PID=$!
+	PIDS="$PIDS $BOOT_PID"
+	BOOT_ADDR=""
+	for _ in $(seq 1 100); do
+		BOOT_ADDR=$(sed -n 's/^uafserve: listening on //p' "$log" | head -n1)
+		[ -n "$BOOT_ADDR" ] && break
+		sleep 0.1
+	done
+	[ -n "$BOOT_ADDR" ] || {
+		echo "cluster-smoke: server did not start" >&2
+		cat "$log" >&2
+		exit 1
+	}
+}
+
+# The batch: FILES distinct single-proc sources, each with a genuine
+# fire-and-forget use-after-free so every line carries a real warning.
+jq -n --argjson n "$FILES" '{files: [range(0; $n) | {
+	name: "smoke-\(.).chpl",
+	src: "proc smokeCase\(.)() {\n  var x: int = \(.);\n  begin with (ref x) {\n    x += 1;\n  }\n}\n"
+}]}' >"$WORK/req.json"
+
+# ---- phase 1: byte-identity through the edge -------------------------
+
+boot "$WORK/single.log" -inflight 1
+SINGLE=$BOOT_ADDR
+boot "$WORK/w0.log" -mode worker -inflight 1
+W0=$BOOT_ADDR
+boot "$WORK/w1.log" -mode worker -inflight 1
+W1=$BOOT_ADDR
+boot "$WORK/coord.log" -mode coordinator -probe-interval 500ms \
+	-workers "worker-0=http://$W0,worker-1=http://$W1"
+COORD=$BOOT_ADDR
+echo "cluster-smoke: single on $SINGLE, coordinator on $COORD (workers $W0, $W1)"
+
+curl -sf "http://$SINGLE/v1/analyze-batch" -d @"$WORK/req.json" | sort >"$WORK/single.sorted"
+curl -sf "http://$COORD/v1/analyze-batch" -d @"$WORK/req.json" | sort >"$WORK/cluster.sorted"
+if ! cmp -s "$WORK/single.sorted" "$WORK/cluster.sorted"; then
+	echo "cluster-smoke: FAIL — cluster batch differs from single process:" >&2
+	diff "$WORK/single.sorted" "$WORK/cluster.sorted" >&2 || true
+	exit 1
+fi
+LINES=$(wc -l <"$WORK/cluster.sorted")
+[ "$LINES" -eq "$FILES" ] || {
+	echo "cluster-smoke: FAIL — $LINES lines for $FILES files" >&2
+	exit 1
+}
+echo "cluster-smoke: edge batch byte-identical to single process ($LINES lines)"
+
+# ---- phase 2: kill the workers mid-batch -----------------------------
+
+boot "$WORK/kw0.log" -mode worker -inflight 1 -faults "analysis.delay=delay:1:0:$KILL_DELAY"
+KW0=$BOOT_ADDR
+KW0_PID=$BOOT_PID
+boot "$WORK/kw1.log" -mode worker -inflight 1 -faults "analysis.delay=delay:1:0:$KILL_DELAY"
+KW1=$BOOT_ADDR
+KW1_PID=$BOOT_PID
+boot "$WORK/kcoord.log" -mode coordinator -probe-interval 500ms \
+	-workers "worker-0=http://$KW0,worker-1=http://$KW1"
+KCOORD=$BOOT_ADDR
+
+# With FILES x KILL_DELAY spread over two one-slot workers the batch
+# needs several seconds; killing at ~1s lands mid-stream.
+curl -s "http://$KCOORD/v1/analyze-batch" -d @"$WORK/req.json" >"$WORK/killed.ndjson" &
+CURL_PID=$!
+sleep 1
+kill -9 "$KW0_PID" "$KW1_PID"
+echo "cluster-smoke: killed both workers mid-batch"
+wait "$CURL_PID"
+
+KLINES=$(jq -rs 'length' "$WORK/killed.ndjson") || {
+	echo "cluster-smoke: FAIL — edge relayed malformed NDJSON after worker kill" >&2
+	cat "$WORK/killed.ndjson" >&2
+	exit 1
+}
+KNAMES=$(jq -rs '[.[].name] | unique | length' "$WORK/killed.ndjson")
+ERRORS=$(jq -rs '[.[] | select(.status == "error")] | length' "$WORK/killed.ndjson")
+FLAGGED=$(jq -rs '[.[] | select(.status == "error")
+	| select(.error | test("worker lost|no worker reachable|unreachable"))] | length' \
+	"$WORK/killed.ndjson")
+echo "cluster-smoke: after kill: $KLINES lines, $KNAMES distinct files, $ERRORS error-flagged ($FLAGGED naming the lost worker)"
+[ "$KLINES" -eq "$FILES" ] || {
+	echo "cluster-smoke: FAIL — stream silently short: $KLINES lines for $FILES files" >&2
+	exit 1
+}
+[ "$KNAMES" -eq "$FILES" ] || {
+	echo "cluster-smoke: FAIL — some files got no line at all" >&2
+	exit 1
+}
+[ "$ERRORS" -ge 1 ] || {
+	echo "cluster-smoke: FAIL — workers died mid-batch but no line was degraded-flagged" >&2
+	exit 1
+}
+[ "$FLAGGED" -eq "$ERRORS" ] || {
+	echo "cluster-smoke: FAIL — error lines do not name the lost worker" >&2
+	exit 1
+}
+echo "cluster-smoke: OK — identity holds and a mid-batch worker kill degrades visibly"
