@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos repair-smoke cluster-smoke cluster-loadtest check
+.PHONY: build test test-race vet fmt-check bench bench-all bench-incremental fuzz-short loadtest chaos repair-smoke cluster-smoke module-smoke cluster-loadtest check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ repair-smoke:
 # silently short. See docs/CLUSTER.md.
 cluster-smoke:
 	sh scripts/cluster-smoke.sh
+
+# Module smoke: boots a coordinator + 2 workers, analyzes a 3-file
+# module in one mode=module batch, edits one callee over /v1/delta and
+# asserts the cross-file caller's warnings are re-reported (and cleared
+# once the callee synchronizes), then checks the whole module cell was
+# routed to a single worker with unit-memo reuse. See
+# docs/INTERPROCEDURAL.md.
+module-smoke:
+	sh scripts/module-smoke.sh
 
 # Cluster scaling load test: single process vs coordinator + {1,2,4}
 # one-core workers over the same batch, with injected per-analysis

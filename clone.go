@@ -13,7 +13,7 @@ func (r *Report) Clone() *Report {
 	// Positional composite literal on purpose: adding a field to Report
 	// without extending this clone becomes a compile error instead of a
 	// silently-shared (or silently-dropped) field.
-	cp := Report{r.Warnings, r.Notes, r.Stats, r.PPSTraces, r.Metrics, r.Degraded}
+	cp := Report{r.Warnings, r.Notes, r.Truncated, r.Stats, r.PPSTraces, r.Metrics, r.Degraded}
 
 	cp.Warnings = append([]Warning(nil), r.Warnings...)
 	for i := range cp.Warnings {

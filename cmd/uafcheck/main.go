@@ -22,6 +22,10 @@
 //	                result line per file — byte-identical to a uafserve
 //	                response for the same input and options), or sarif
 //	                (SARIF 2.1.0 for code-scanning consumers)
+//	-module         analyze all inputs together as one module: cross-file
+//	                calls resolve against every file, callee summaries
+//	                compose at call boundaries, and escaping tasks are
+//	                attributed to their callers (docs/INTERPROCEDURAL.md)
 //	-no-prune       disable CCFG pruning rules A-D
 //	-oracle N       validate warnings dynamically with N random schedules
 //	-seed S         oracle schedule seed
@@ -79,6 +83,7 @@ func main() {
 		explain     = flag.Bool("explain", false, "print each warning's provenance (CCFG node, sink PPS, transition chain)")
 		traceOut    = flag.String("trace-out", "", "append the telemetry trace to this file as JSON lines")
 		promOut     = flag.String("prom-out", "", "write aggregated metrics to this file in Prometheus text format")
+		module      = flag.Bool("module", false, "analyze all inputs together as one module (cross-file interprocedural analysis)")
 		noPrune     = flag.Bool("no-prune", false, "disable pruning rules A-D")
 		atomics     = flag.Bool("model-atomics", false, "model atomic fills/waits (§VII extension)")
 		count       = flag.Bool("count-atomics", false, "counting refinement of the atomics extension")
@@ -203,6 +208,12 @@ func main() {
 			Dir:        *cacheDir,
 		})))
 	}
+
+	if *module {
+		runModule(ctx, files, apiOpts, *format, *metrics, *explain, ioErrors)
+		// runModule exits.
+	}
+
 	batchRep := uafcheck.AnalyzeFilesContext(ctx, files, apiOpts...)
 
 	// -fix: run the repair engine over every file whose analysis found
@@ -376,6 +387,65 @@ func main() {
 	exit := batchRep.ExitCode()
 	if ioErrors {
 		exit = 3
+	}
+	os.Exit(exit)
+}
+
+// runModule is the -module driver: every input file is linked into one
+// module and analyzed interprocedurally, then the per-file reports are
+// rendered with the same formats as the batch path. Frontend and
+// unresolved-call failures reject the whole module (exit 3) — a module
+// is one unit of analysis, not a bag of files.
+func runModule(ctx context.Context, files []uafcheck.FileInput, apiOpts []uafcheck.Option, format string, metrics, explain, ioErrors bool) {
+	mfiles := make([]uafcheck.ModuleFile, len(files))
+	for i, f := range files {
+		mfiles[i] = uafcheck.ModuleFile{Name: f.Name, Src: f.Src}
+	}
+	mrep, err := uafcheck.AnalyzeModuleContext(ctx, mfiles, apiOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(3)
+	}
+	exit := mrep.ExitCode()
+	if ioErrors {
+		exit = 3
+	}
+	if format != "text" {
+		results := make([]wire.Result, len(mrep.Files))
+		for i, fr := range mrep.Files {
+			results[i] = wire.NewResult(fr.Name, fr.Report, fr.Err, metrics)
+		}
+		if err := emitFormatted(os.Stdout, format, results, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %v\n", err)
+			exit = 3
+		}
+		os.Exit(exit)
+	}
+	for _, fr := range mrep.Files {
+		rep := fr.Report
+		if rep == nil {
+			continue
+		}
+		if d := rep.Degraded; d != nil {
+			fmt.Fprintf(os.Stderr, "uafcheck: %s: analysis degraded (%s); warnings are conservative\n",
+				fr.Name, d.Reason)
+			for _, c := range d.Crashes {
+				fmt.Fprintf(os.Stderr, "uafcheck: %s: recovered panic in phase %s: %s\n", fr.Name, c.Phase, c.Err)
+			}
+		}
+		uafcheck.SortWarnings(rep.Warnings)
+		for _, w := range rep.Warnings {
+			fmt.Println(w)
+			if explain {
+				printProvenance(w)
+			}
+		}
+		for _, n := range rep.Notes {
+			fmt.Println(n)
+		}
+	}
+	if metrics {
+		fmt.Printf("module metrics:\n%s", indent(mrep.Metrics.FormatText()))
 	}
 	os.Exit(exit)
 }

@@ -35,6 +35,25 @@ type incrBenchArtifact struct {
 	IdentityOK    bool     `json:"identity_ok"`
 	UnitHits      int64    `json:"unit_hits"`
 	UnitMisses    int64    `json:"unit_misses"`
+	// Module is the cross-file-edit scenario: every generated root calls
+	// a shared library procedure, and each edit rewrites that callee
+	// effect-preservingly. Graph-scoped invalidation keeps every caller
+	// unit hot, so the warm path recomputes one cheap unit where the
+	// cold path recomputes the whole module.
+	Module incrModuleBench `json:"module_cross_file_edit"`
+}
+
+// incrModuleBench is the module-mode (cross-file edit) section of the
+// artifact.
+type incrModuleBench struct {
+	Files         int     `json:"files"`
+	ProcsPerFile  int     `json:"procs_per_file"`
+	Edits         int     `json:"edits"`
+	ColdMSPerEdit float64 `json:"cold_ms_per_edit"`
+	WarmMSPerEdit float64 `json:"warm_ms_per_edit"`
+	Speedup       float64 `json:"speedup"`
+	UnitHits      int64   `json:"unit_hits"`
+	UnitMisses    int64   `json:"unit_misses"`
 }
 
 const incrBenchSchema = "uafcheck/bench-incremental/v1"
@@ -129,6 +148,10 @@ func runIncrBench(out string, seed int64, files, procs, edits int) error {
 		art.Speedup = art.ColdMSPerEdit / art.WarmMSPerEdit
 	}
 
+	if err := runModuleEditBench(ctx, &art, seed, files, procs, edits); err != nil {
+		return err
+	}
+
 	buf, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		return err
@@ -138,9 +161,89 @@ func runIncrBench(out string, seed int64, files, procs, edits int) error {
 	}
 	fmt.Printf("incremental benchmark: %d files x %d procs, %d edits: cold %.2f ms/edit, warm %.2f ms/edit (%.1fx), identity_ok=%t\n",
 		files, procs, edits, art.ColdMSPerEdit, art.WarmMSPerEdit, art.Speedup, art.IdentityOK)
+	fmt.Printf("cross-file-edit benchmark: %d caller files x %d procs + 1 library, %d callee edits: cold %.2f ms/edit, warm %.2f ms/edit (%.1fx)\n",
+		art.Module.Files, art.Module.ProcsPerFile, art.Module.Edits,
+		art.Module.ColdMSPerEdit, art.Module.WarmMSPerEdit, art.Module.Speedup)
 	fmt.Printf("wrote incremental benchmark artifact to %s\n", out)
 	if !art.IdentityOK {
 		return fmt.Errorf("incr-bench: warm reports are not byte-identical to cold reports")
+	}
+	return nil
+}
+
+// benchCallerProc is benchProc plus a cross-file call: the procedure
+// depends on the shared library callee, so its memo unit carries the
+// callee's summary fingerprint.
+func benchCallerProc(i int, seed int64) string {
+	src := benchProc(i, seed)
+	return strings.Replace(src, "}\n", "  libHelper(x);\n}\n", 1)
+}
+
+// runModuleEditBench measures the cross-file-edit scenario: a module of
+// `files` expensive caller files sharing one cheap library callee.
+// Every edit rewrites the callee without changing its boundary summary,
+// so AnalyzeModuleDelta recomputes exactly one unit while the cold run
+// recomputes files*procs of them. Fails on any byte divergence from the
+// cold run.
+func runModuleEditBench(ctx context.Context, art *incrBenchArtifact, seed int64, files, procs, edits int) error {
+	helper := func(k int) string {
+		return fmt.Sprintf("proc libHelper(ref v: int) {\n  begin with (ref v) {\n    v = v + %d;\n  }\n}\n", k)
+	}
+	mfiles := []uafcheck.ModuleFile{{Name: "lib.chpl", Src: helper(1)}}
+	for f := 0; f < files; f++ {
+		var sb strings.Builder
+		for i := 0; i < procs; i++ {
+			sb.WriteString(benchCallerProc(f*procs+i, seed+int64(500000+f*1000+i)))
+			sb.WriteString("\n")
+		}
+		mfiles = append(mfiles, uafcheck.ModuleFile{Name: fmt.Sprintf("mod%d.chpl", f), Src: sb.String()})
+	}
+	art.Module = incrModuleBench{Files: files, ProcsPerFile: procs, Edits: edits}
+
+	an := uafcheck.NewAnalyzer()
+	if _, err := an.AnalyzeModuleDelta(ctx, mfiles); err != nil {
+		return fmt.Errorf("incr-bench: module warm-up: %w", err)
+	}
+
+	var coldTotal, warmTotal time.Duration
+	for e := 0; e < edits; e++ {
+		mfiles[0].Src = helper(2 + e)
+
+		t0 := time.Now()
+		coldRep, coldErr := uafcheck.AnalyzeModuleContext(ctx, mfiles)
+		coldTotal += time.Since(t0)
+
+		t0 = time.Now()
+		warmRep, warmErr := an.AnalyzeModuleDelta(ctx, mfiles)
+		warmTotal += time.Since(t0)
+
+		if coldErr != nil || warmErr != nil {
+			return fmt.Errorf("incr-bench: module edit %d: cold=%v warm=%v", e, coldErr, warmErr)
+		}
+		for i := range coldRep.Files {
+			cb, err := wire.NewResult(coldRep.Files[i].Name, coldRep.Files[i].Report, coldRep.Files[i].Err, false).Encode()
+			if err != nil {
+				return fmt.Errorf("incr-bench: encode module cold: %w", err)
+			}
+			wb, err := wire.NewResult(warmRep.Files[i].Name, warmRep.Files[i].Report, warmRep.Files[i].Err, false).Encode()
+			if err != nil {
+				return fmt.Errorf("incr-bench: encode module warm: %w", err)
+			}
+			if string(cb) != string(wb) {
+				art.IdentityOK = false
+				fmt.Fprintf(os.Stderr, "incr-bench: MODULE IDENTITY FAILURE edit %d file %s\n cold: %s\n warm: %s\n",
+					e, coldRep.Files[i].Name, cb, wb)
+			}
+		}
+	}
+
+	st := an.Stats()
+	art.Module.UnitHits = st.UnitHits
+	art.Module.UnitMisses = st.UnitMisses
+	art.Module.ColdMSPerEdit = float64(coldTotal.Microseconds()) / 1000 / float64(edits)
+	art.Module.WarmMSPerEdit = float64(warmTotal.Microseconds()) / 1000 / float64(edits)
+	if art.Module.WarmMSPerEdit > 0 {
+		art.Module.Speedup = art.Module.ColdMSPerEdit / art.Module.WarmMSPerEdit
 	}
 	return nil
 }

@@ -31,6 +31,14 @@ var (
 	ErrDeadline = errors.New("uafcheck: analysis deadline exceeded")
 	// ErrCancelled: the context was cancelled mid-analysis.
 	ErrCancelled = errors.New("uafcheck: analysis cancelled")
+	// ErrUnresolvedCall: module-mode analysis (AnalyzeModuleContext /
+	// Analyzer.AnalyzeModuleDelta) found a call that names no procedure
+	// in any file of the module. Errors carrying it also match ErrParse
+	// — an unresolved call is a frontend rejection of the module — so
+	// existing ErrParse handling (e.g. the uafserve 422 mapping) keeps
+	// working, while module-aware callers can branch on the finer
+	// sentinel to suggest the missing file.
+	ErrUnresolvedCall = errors.New("uafcheck: unresolved cross-file call")
 )
 
 // ErrFrontend is the v1 name of ErrParse; both match the same errors.
@@ -38,7 +46,7 @@ var (
 // Deprecated: use ErrParse.
 var ErrFrontend = ErrParse
 
-// ErrRepairDegraded: RepairSource / RepairSourceContext refused to run
+// ErrRepairDegraded: Repair refused to run
 // because the baseline analysis or a candidate's verification
 // re-analysis degraded (budget, deadline, cancellation or a recovered
 // panic). A degraded report's warnings are a conservative superset of

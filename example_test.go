@@ -94,18 +94,18 @@ proc main() {
 }
 
 // Automatic repair synthesizes and verifies a synchronization fix.
-func ExampleRepairSource() {
+func ExampleRepair() {
 	src := `proc main() {
   var x: int = 1;
   begin with (ref x) {
     x = 2;
   }
 }`
-	fix, err := uafcheck.RepairSource("main.chpl", src, uafcheck.DefaultOptions())
+	fix, err := uafcheck.Repair(context.Background(), "main.chpl", src)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("strategy:", fix.Steps[0].Strategy)
+	fmt.Println("strategy:", fix.Patches[0].Strategy)
 	fmt.Printf("warnings: %d -> %d\n", fix.InitialWarnings, fix.RemainingWarnings)
 	// Output:
 	// strategy: token-chain

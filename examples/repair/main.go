@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,16 +34,16 @@ func main() {
 			fmt.Println("  " + w.String())
 		}
 
-		fix, err := uafcheck.RepairSource(path, src, uafcheck.DefaultOptions())
+		fix, err := uafcheck.Repair(context.Background(), path, src)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, s := range fix.Steps {
+		for _, p := range fix.Patches {
 			extra := ""
-			if s.Token != "" {
-				extra = " introducing sync variable " + s.Token
+			if p.Token != "" {
+				extra = " introducing sync variable " + p.Token
 			}
-			fmt.Printf("  applied %s to %s in proc %s%s\n", s.Strategy, s.Task, s.Proc, extra)
+			fmt.Printf("  applied %s to %s in proc %s%s\n", p.Strategy, p.Task, p.Proc, extra)
 		}
 		for _, r := range fix.Rejected {
 			fmt.Printf("  rejected candidate: %s\n", r)

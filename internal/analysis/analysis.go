@@ -56,6 +56,14 @@ type Options struct {
 	// instead and Result.Trace stays nil — the request owns the tree.
 	// Excluded from Fingerprint: tracing never changes results.
 	RecordTrace bool
+	// InlineLowering selects the legacy per-call-site inliner for
+	// nested procedures instead of the default template (summary)
+	// expansion. The two are byte-identical by construction — the
+	// summary lowerer falls back to the inliner whenever a template
+	// cannot reproduce it exactly — so the flag is excluded from
+	// Fingerprint and exists for A/B verification (the property test)
+	// and as an escape hatch.
+	InlineLowering bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -157,6 +165,10 @@ type ProcResult struct {
 	// the evaluation's dominant false-positive source (§V).
 	HasAtomics bool
 	Deadlocks  int
+	// Truncated reports that the nested-procedure recursion cutoff
+	// fired while lowering this procedure (paper §III-A): the analysis
+	// saw a partial expansion of a cyclic nested-call chain.
+	Truncated bool
 }
 
 // Result is the analysis of one file.
@@ -256,7 +268,8 @@ func analyzeFile(file *source.File, opts Options) *Result {
 			// procedures containing begin tasks are analyzed (§III).
 			continue
 		}
-		pr, crash := analyzeProcSafe(info, proc, synced, opts, diags)
+		pr, crash := analyzeProcSafe(info, proc, synced, opts, diags,
+			ir.LowerOptions{Inline: opts.InlineLowering})
 		if crash != nil {
 			res.Crashes = append(res.Crashes, *crash)
 			diags.Addf(file, proc.Name.Sp, source.Note,
@@ -277,7 +290,7 @@ func analyzeFile(file *source.File, opts Options) *Result {
 // batch). phase is threaded through analyzeProc so the crash records
 // which stage died.
 func analyzeProcSafe(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
-	opts Options, diags *source.Diagnostics) (pr *ProcResult, crash *Crash) {
+	opts Options, diags *source.Diagnostics, low ir.LowerOptions) (pr *ProcResult, crash *Crash) {
 	phase := obs.PhaseLower
 	defer func() {
 		if r := recover(); r != nil {
@@ -290,12 +303,12 @@ func analyzeProcSafe(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]
 			pr = nil
 		}
 	}()
-	pr = analyzeProc(info, proc, synced, opts, diags, &phase)
+	pr = analyzeProc(info, proc, synced, opts, diags, low, &phase)
 	return pr, nil
 }
 
 func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool,
-	opts Options, diags *source.Diagnostics, phase *string) *ProcResult {
+	opts Options, diags *source.Diagnostics, low ir.LowerOptions, phase *string) *ProcResult {
 	// Chaos hooks: a stalled worker (the deadline checks below then run
 	// against the delayed clock) and an injected crash, which the
 	// analyzeProcSafe recover turns into a Crash + degraded report —
@@ -307,7 +320,7 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 	opts.Ctx = pctx
 	defer procSp.End()
 	_, endLower := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseLower)
-	prog := ir.Lower(info, proc, diags)
+	prog := ir.LowerWith(info, proc, diags, low)
 	endLower()
 	*phase = obs.PhaseCCFG
 	g := ccfg.Build(prog, diags, ccfg.BuildOptions{
@@ -331,6 +344,7 @@ func analyzeProc(info *sym.Info, proc *ast.ProcDecl, synced map[*sym.Symbol]bool
 		PPSStats:   r.Stats,
 		HasAtomics: pr0HasAtomics(g),
 		Deadlocks:  len(r.Deadlocks),
+		Truncated:  prog.Truncated,
 	}
 	if opts.KeepGraphs {
 		pr.Program = prog

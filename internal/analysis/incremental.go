@@ -35,6 +35,7 @@ import (
 	"uafcheck/internal/ast"
 	"uafcheck/internal/cache"
 	"uafcheck/internal/ccfg"
+	"uafcheck/internal/ir"
 	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
 	"uafcheck/internal/pps"
@@ -89,6 +90,7 @@ type UnitResult struct {
 	PPSStats   pps.Stats     `json:"pps_stats"`
 	Deadlocks  int           `json:"deadlocks"`
 	HasAtomics bool          `json:"has_atomics"`
+	Truncated  bool          `json:"truncated,omitempty"`
 }
 
 // Clone returns a structurally complete deep copy sharing no mutable
@@ -223,7 +225,7 @@ func analyzeIncremental(file *source.File, opts Options, units *Units) (*Result,
 			continue
 		}
 		key := unitKey(units.salt, file.Name, opts, file, proc,
-			sites[proc].allSynced(), configsFP, moduleRefs(proc, info))
+			sites[proc].allSynced(), configsFP, moduleRefs(proc, info), "")
 		lookupStart := time.Now()
 		ur, ok := units.c.Get(key)
 		opts.Obs.Observe(obs.HistUnitLookupNS, time.Since(lookupStart).Nanoseconds())
@@ -243,7 +245,8 @@ func analyzeIncremental(file *source.File, opts Options, units *Units) (*Result,
 		stats.UnitMisses++
 		opts.Obs.Add(obs.CtrUnitMisses, 1)
 		pdiags := &source.Diagnostics{}
-		pr, crash := analyzeProcSafe(info, proc, synced, opts, pdiags)
+		pr, crash := analyzeProcSafe(info, proc, synced, opts, pdiags,
+			ir.LowerOptions{Inline: opts.InlineLowering})
 		for _, d := range pdiags.All() {
 			diags.Add(d)
 		}
@@ -271,9 +274,15 @@ func analyzeIncremental(file *source.File, opts Options, units *Units) (*Result,
 // unitKey is the content address of one analysis unit: everything that
 // can change the unit's (position-relative) result participates, and
 // nothing that cannot — in particular neither the unit's absolute
-// position nor the number of begin tasks preceding it.
+// position nor the number of begin tasks preceding it. calleesFP is the
+// module-mode extension: the identities and summary fingerprints of the
+// unit's direct module-level callees ("" in single-file mode), which is
+// how memo invalidation propagates along call-graph edges — an edit to
+// a callee that changes its (transitively composed) summary changes
+// this component for exactly the units that call it, while an
+// effect-preserving callee edit leaves every caller unit hot.
 func unitKey(salt, name string, opts Options, file *source.File, proc *ast.ProcDecl,
-	syncedUnit bool, configsFP string, refsFP string) cache.Key {
+	syncedUnit bool, configsFP string, refsFP string, calleesFP string) cache.Key {
 	text := ""
 	if sp := proc.Sp; sp.IsValid() && int(sp.End) <= len(file.Content) {
 		text = file.Content[sp.Start:sp.End]
@@ -285,6 +294,7 @@ func unitKey(salt, name string, opts Options, file *source.File, proc *ast.ProcD
 		fmt.Sprintf("synced=%t", syncedUnit),
 		configsFP,
 		refsFP,
+		calleesFP,
 	)
 }
 
@@ -350,6 +360,7 @@ func captureUnit(file *source.File, proc *ast.ProcDecl, beginPrefix int,
 		PPSStats:   pr.PPSStats,
 		Deadlocks:  pr.Deadlocks,
 		HasAtomics: pr.HasAtomics,
+		Truncated:  pr.Truncated,
 	}
 	for _, w := range pr.Warnings {
 		uw := UnitWarning{
@@ -423,6 +434,7 @@ func (ur *UnitResult) materialize(file *source.File, proc *ast.ProcDecl,
 		PPSStats:   ur.PPSStats,
 		Deadlocks:  ur.Deadlocks,
 		HasAtomics: ur.HasAtomics,
+		Truncated:  ur.Truncated,
 	}
 	for _, uw := range ur.Warnings {
 		task := uw.TaskLabel

@@ -1,0 +1,224 @@
+// Module mode: whole-module interprocedural analysis over the
+// cross-file call graph.
+//
+// Every file of the module is parsed and resolved against a shared
+// linker scope (internal/modgraph), per-procedure summaries are
+// computed bottom-up with a fixpoint over call-graph cycles, and each
+// analysis root is lowered with the callee summaries spliced in at its
+// opaque call sites. The incremental variant memoizes per unit exactly
+// like single-file mode, with one extra key component: the identities
+// and summary fingerprints of the unit's direct module-level callees.
+// That component is what makes memo invalidation propagate along
+// call-graph edges — editing a callee re-keys exactly its (transitive)
+// callers whose composed summaries changed, and nothing else.
+package analysis
+
+import (
+	"time"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/modgraph"
+	"uafcheck/internal/obs"
+	"uafcheck/internal/parser"
+	"uafcheck/internal/pps"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// ModuleFile is one input file of a module analysis.
+type ModuleFile struct {
+	Name string
+	Src  string
+}
+
+// ModuleResult is the whole-module analysis outcome: one Result per
+// file, in input order, plus the linked graph.
+type ModuleResult struct {
+	Files []*Result
+	Graph *modgraph.Graph
+	// Unresolved lists calls that named no procedure in any file; the
+	// public layer converts a non-empty list into ErrUnresolvedCall.
+	Unresolved []modgraph.Unresolved
+	// FrontendFailed is set when any file had parse or resolution
+	// errors; the concurrency pass was skipped module-wide.
+	FrontendFailed bool
+}
+
+// AnalyzeModule analyzes all files of one module together. A nil units
+// store analyzes every root afresh; with a store the per-unit memo is
+// consulted exactly as in single-file incremental mode. Both paths
+// assemble the same Results, so a one-shot run is byte-identical to a
+// warm incremental run by construction.
+func AnalyzeModule(files []ModuleFile, opts Options, units *Units) (*ModuleResult, IncrStats) {
+	var stats IncrStats
+	if opts.KeepGraphs || opts.PPS.Trace {
+		// Retained graphs and PPS traces are not serializable; run every
+		// unit afresh, exactly like single-file incremental mode.
+		units = nil
+	}
+	mres := &ModuleResult{}
+	mfiles := make([]*modgraph.File, len(files))
+	results := make([]*Result, len(files))
+	for i, in := range files {
+		f := source.NewFile(in.Name, in.Src)
+		diags := &source.Diagnostics{}
+		_, endParse := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseParse)
+		mod := parser.Parse(f, diags)
+		endParse()
+		mfiles[i] = &modgraph.File{Name: in.Name, Src: f, Mod: mod, Diags: diags}
+		results[i] = &Result{Module: mod, Diags: diags}
+		if diags.HasErrors() {
+			mres.FrontendFailed = true
+		}
+	}
+	mres.Files = results
+	if mres.FrontendFailed {
+		// Frontend errors: skip linking, matching the single-file
+		// pipeline which stops before its analysis phases.
+		return mres, stats
+	}
+	_, endResolve := obs.StartPhase(opts.Ctx, opts.Obs, obs.PhaseResolve)
+	g := modgraph.Link(mfiles)
+	endResolve()
+	mres.Graph = g
+	mres.Unresolved = g.Unresolved
+	for i, mf := range mfiles {
+		results[i].Info = mf.Info
+		if mf.Diags.HasErrors() {
+			mres.FrontendFailed = true
+		}
+	}
+	if mres.FrontendFailed {
+		return mres, stats
+	}
+
+	// Cross-file synced-scope rule (§III-A): a procedure's by-ref
+	// formals are structurally safe when every call site, in any file
+	// of the module, sits inside a sync block.
+	sites := moduleCallSites(g)
+	synced := moduleSyncedRefParams(g, sites)
+	low := ir.LowerOptions{Inline: opts.InlineLowering, Effects: g.Effects}
+
+	for i, mf := range mfiles {
+		res := results[i]
+		file := mf.Src
+		diags := mf.Diags
+		configsFP := ""
+		if units != nil {
+			configsFP = configsFingerprint(file, mf.Mod)
+		}
+		beginPrefix := 0
+		for _, proc := range mf.Mod.Procs {
+			if !g.NeedsAnalysis(proc) {
+				continue
+			}
+			if units != nil {
+				key := unitKey(units.salt, file.Name, opts, file, proc,
+					sites[proc].allSynced(), configsFP,
+					moduleRefs(proc, mf.Info), moduleCalleesFP(g, mf, proc))
+				lookupStart := time.Now()
+				ur, ok := units.c.Get(key)
+				opts.Obs.Observe(obs.HistUnitLookupNS, time.Since(lookupStart).Nanoseconds())
+				if ok && ur != nil {
+					stats.UnitHits++
+					opts.Obs.Add(obs.CtrUnitHits, 1)
+					pr := ur.materialize(file, proc, beginPrefix, diags)
+					res.Procs = append(res.Procs, pr)
+					opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+					opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
+					beginPrefix += ast.CountBegins(proc)
+					continue
+				}
+				stats.UnitMisses++
+				opts.Obs.Add(obs.CtrUnitMisses, 1)
+				pdiags := &source.Diagnostics{}
+				pr, crash := analyzeProcSafe(mf.Info, proc, synced, opts, pdiags, low)
+				for _, d := range pdiags.All() {
+					diags.Add(d)
+				}
+				if crash != nil {
+					res.Crashes = append(res.Crashes, *crash)
+					diags.Addf(file, proc.Name.Sp, source.Note,
+						"proc %s: internal analysis panic in phase %s (recovered): %s",
+						proc.Name.Name, crash.Phase, crash.Err)
+					beginPrefix += ast.CountBegins(proc)
+					continue
+				}
+				res.Procs = append(res.Procs, pr)
+				opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+				opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
+				if pr.PPSStats.Stop == pps.StopNone {
+					units.c.Put(key, captureUnit(file, proc, beginPrefix, pr, pdiags))
+				}
+				beginPrefix += ast.CountBegins(proc)
+				continue
+			}
+			pr, crash := analyzeProcSafe(mf.Info, proc, synced, opts, diags, low)
+			if crash != nil {
+				res.Crashes = append(res.Crashes, *crash)
+				diags.Addf(file, proc.Name.Sp, source.Note,
+					"proc %s: internal analysis panic in phase %s (recovered): %s",
+					proc.Name.Name, crash.Phase, crash.Err)
+				continue
+			}
+			res.Procs = append(res.Procs, pr)
+			opts.Obs.Add(obs.CtrProcsAnalyzed, 1)
+			opts.Obs.Add(obs.CtrWarnings, int64(len(pr.Warnings)))
+		}
+	}
+	return mres, stats
+}
+
+// moduleCallSites merges per-file call-site accounting across the
+// module; extern uses resolve to the defining file's declaration, so
+// the merge keys on declarations, not names.
+func moduleCallSites(g *modgraph.Graph) map[*ast.ProcDecl]*siteInfo {
+	merged := make(map[*ast.ProcDecl]*siteInfo)
+	for _, f := range g.Files {
+		for d, si := range procCallSites(f.Mod, f.Info) {
+			m := merged[d]
+			if m == nil {
+				m = &siteInfo{}
+				merged[d] = m
+			}
+			m.calls += si.calls
+			m.synced += si.synced
+		}
+	}
+	return merged
+}
+
+// moduleSyncedRefParams projects the merged accounting onto by-ref
+// formal symbols, using each declaration's defining file's resolver
+// info (only that info knows the formal symbols).
+func moduleSyncedRefParams(g *modgraph.Graph, sites map[*ast.ProcDecl]*siteInfo) map[*sym.Symbol]bool {
+	out := make(map[*sym.Symbol]bool)
+	for _, f := range g.Files {
+		own := make(map[*ast.ProcDecl]*siteInfo)
+		for d, si := range sites {
+			if f.Info.ProcSyms[d] != nil {
+				own[d] = si
+			}
+		}
+		for s, v := range syncedRefParamsFrom(own, f.Info) {
+			out[s] = v
+		}
+	}
+	return out
+}
+
+// moduleCalleesFP renders the unit's direct-callee view for the memo
+// key: one line per distinct module-level callee, identity plus
+// converged summary fingerprint, in deterministic order.
+func moduleCalleesFP(g *modgraph.Graph, f *modgraph.File, proc *ast.ProcDecl) string {
+	callees := g.DirectCallees(f, proc)
+	if len(callees) == 0 {
+		return "module"
+	}
+	s := "module"
+	for _, d := range callees {
+		s += "\n" + g.SummaryFingerprint(d)
+	}
+	return s
+}

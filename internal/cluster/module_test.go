@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uafcheck/internal/obs"
+	"uafcheck/internal/server"
+)
+
+// Module fixtures shared with the server tests: main -> mid -> leaf.
+func clusterModuleFiles(leafWrite string) []server.BatchFile {
+	return []server.BatchFile{
+		{Name: "leaf.chpl", Src: "proc leaf(ref v: int) {\n  begin with (ref v) {\n    v = v + " + leafWrite + ";\n  }\n}\n"},
+		{Name: "mid.chpl", Src: "proc mid(ref w: int) {\n  leaf(w);\n}\n"},
+		{Name: "main.chpl", Src: "proc main() {\n  var x: int = 0;\n  mid(x);\n}\n"},
+	}
+}
+
+// TestClusterModuleCellRouting: a module is one call-graph cell. Both
+// batch and delta module requests for the same module label must land
+// on the same worker — across snapshots — so the per-unit memo affinity
+// survives edits, and the stream stays byte-identical to a
+// single-process server.
+func TestClusterModuleCellRouting(t *testing.T) {
+	single := newWorker(t, server.Config{})
+
+	sw0 := server.New(server.Config{Mode: "worker"})
+	sw1 := server.New(server.Config{Mode: "worker"})
+	w0 := httptest.NewServer(sw0.Handler())
+	w1 := httptest.NewServer(sw1.Handler())
+	t.Cleanup(w0.Close)
+	t.Cleanup(w1.Close)
+	_, edge := newCoordinator(t,
+		WorkerSpec{ID: "w0", URL: w0.URL},
+		WorkerSpec{ID: "w1", URL: w1.URL})
+
+	v1 := clusterModuleFiles("1")
+	v2 := clusterModuleFiles("9") // effect-preserving callee edit
+
+	// Batch module mode: input-order NDJSON, identical through the edge.
+	for _, snap := range [][]server.BatchFile{v1, v2} {
+		req := server.BatchRequest{Mode: "module", Module: "app", Files: snap}
+		_, want := postJSON(t, single.URL+"/v1/analyze-batch", req)
+		resp, got := postJSON(t, edge.URL+"/v1/analyze-batch", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("edge batch status %d: %s", resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("edge module batch differs from single-process\nsingle:  %s\ncluster: %s", want, got)
+		}
+	}
+
+	// Delta module lines: two snapshots of the same module label.
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for _, snap := range [][]server.BatchFile{v1, v2, v2} {
+		enc.Encode(server.DeltaRequest{Module: "app", Files: snap}) //nolint:errcheck
+	}
+	postDelta := func(url string) []byte {
+		resp, err := http.Post(url+"/v1/delta", "application/x-ndjson", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta status %d", resp.StatusCode)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := postDelta(single.URL)
+	got := postDelta(edge.URL)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("edge module delta differs from single-process\nsingle:  %s\ncluster: %s", want, got)
+	}
+
+	// Affinity: the route key is (module label, options) — not file
+	// contents — so every request above hit one worker and the other
+	// saw nothing.
+	loads := []int64{
+		sw0.MetricsSnapshot().Counter(obs.CtrServerBatchFiles) + sw0.MetricsSnapshot().Counter(obs.CtrServerDeltaFiles),
+		sw1.MetricsSnapshot().Counter(obs.CtrServerBatchFiles) + sw1.MetricsSnapshot().Counter(obs.CtrServerDeltaFiles),
+	}
+	if (loads[0] == 0) == (loads[1] == 0) {
+		t.Fatalf("module cell split across workers: w0=%d w1=%d files", loads[0], loads[1])
+	}
+	// And the warm worker actually reused its memo across snapshots.
+	hot := sw0
+	if loads[0] == 0 {
+		hot = sw1
+	}
+	if hits := hot.MetricsSnapshot().Counter(obs.CtrUnitHits); hits == 0 {
+		t.Errorf("warm worker served no unit hits across module snapshots")
+	}
+}

@@ -137,6 +137,19 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Module mode is one call-graph cell, not a bag of independent
+	// files: the whole request goes to a single worker chosen by the
+	// module label and option set — deliberately not the file contents —
+	// so successive snapshots of the same module land on the worker
+	// whose Analyzer holds its per-unit memo store, and the incremental
+	// speedup survives sharding.
+	if req.Mode == "module" {
+		key := server.ModuleRouteKey(req.ModuleLabel(), req.Options)
+		fwd, _ := json.Marshal(req)
+		c.forwardByKey(w, r, key, "/v1/analyze-batch", fwd)
+		return
+	}
+
 	// SARIF is one aggregate document, not a line stream: route the
 	// whole batch to a single worker (keyed by the full content) so the
 	// cluster serves the identical document a single process would.
@@ -360,6 +373,11 @@ func (c *Coordinator) handleDelta(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		key := server.RouteKey("delta", dr.Name, "", dr.Options)
+		if dr.Module != "" || len(dr.Files) > 0 {
+			// Module lines route by module label, matching the batch
+			// module path: the memo affinity is per module, not per file.
+			key = server.ModuleRouteKey(dr.ModuleLabel(), dr.Options)
+		}
 		cands := c.aliveRing().LookupN(key, 2)
 		var lastErr error
 		relayed := false

@@ -109,10 +109,46 @@ type Loop struct {
 }
 
 // Call marks an opaque call to a non-inlined (top-level) procedure.
+// Module-mode lowering additionally records the callee symbol and the
+// by-ref actuals so per-procedure summaries can be applied at the call
+// boundary; single-file analysis ignores both fields.
 type Call struct {
 	Callee string
-	Sp     source.Span
+	// CalleeSym is the resolved procedure symbol (possibly a linker
+	// extern from another file of the module). Nil when unresolved.
+	CalleeSym *sym.Symbol
+	// RefArgs lists the by-ref parameter positions whose actual is a
+	// variable, with the caller-side symbol after inline substitution.
+	RefArgs []RefArg
+	Sp      source.Span
 }
+
+// RefArg binds one by-ref formal position to the actual variable
+// passed at a call site.
+type RefArg struct {
+	Index int
+	Sym   *sym.Symbol
+}
+
+// ParamEffects is the per-formal slice of a procedure summary visible
+// at the call boundary: whether the callee (transitively) reads or
+// writes the by-ref formal from the calling task (Direct*) or from a
+// fire-and-forget task that may outlive the call (Esc*). Positions
+// that are not by-ref are all-false.
+type ParamEffects struct {
+	DirectRead  bool
+	DirectWrite bool
+	EscRead     bool
+	EscWrite    bool
+}
+
+// Zero reports whether the effect slice is empty.
+func (e ParamEffects) Zero() bool {
+	return !e.DirectRead && !e.DirectWrite && !e.EscRead && !e.EscWrite
+}
+
+// Esc reports whether any escaping effect is present.
+func (e ParamEffects) Esc() bool { return e.EscRead || e.EscWrite }
 
 // Return marks a return statement. The lowering keeps it as a marker; a
 // non-tail return is reported as an analysis limit.
@@ -151,4 +187,10 @@ type Program struct {
 	// EndSpan locates the procedure's closing brace — the "end of parent
 	// scope" of proc-level variables (Node 10 in the paper's Figure 2).
 	EndSpan source.Span
+	// Truncated records that the recursion cutoff fired while expanding
+	// nested procedures (paper §III-A): a cyclic nested-call chain was
+	// stopped, so the analysis of this procedure is a partial view.
+	// Summary-mode lowering falls back to the per-site inliner on such
+	// cycles, so the flag means the same thing in both modes.
+	Truncated bool
 }

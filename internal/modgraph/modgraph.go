@@ -1,0 +1,296 @@
+// Package modgraph links the parsed files of one module into a
+// cross-file call graph and computes per-procedure summaries: the
+// concurrency events and outer-variable effects a call exposes at its
+// boundary, projected onto the callee's by-ref formals.
+//
+// A summary records, per by-ref formal, whether the callee
+// (transitively, through further module-level calls) reads or writes
+// it from the calling task (Direct*) or from a fire-and-forget task
+// that may outlive the call (Esc*). Summaries are computed bottom-up
+// by a chaotic-iteration fixpoint over the whole module, so mutual
+// recursion between top-level procedures converges instead of hitting
+// a recursion cutoff. The ir lowering splices each callee's summary in
+// right after the opaque Call instruction, which makes the composition
+// rules fall out of the existing CCFG semantics: effects spliced
+// inside a sync region are contained, effects spliced inside a begin
+// escape with it, and loop subsumption (§IV-A) applies unchanged.
+package modgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uafcheck/internal/ast"
+	"uafcheck/internal/ir"
+	"uafcheck/internal/source"
+	"uafcheck/internal/sym"
+)
+
+// File is one member of the module under analysis. Mod and Src come
+// from the parser; Info is filled in by Link.
+type File struct {
+	Name  string
+	Src   *source.File
+	Mod   *ast.Module
+	Diags *source.Diagnostics
+	Info  *sym.Info
+}
+
+// Unresolved is a call that named no procedure in any file of the
+// module.
+type Unresolved struct {
+	File string
+	Name string
+	Sp   source.Span
+}
+
+// Graph is the linked module: every file resolved against a shared
+// linker scope, plus the converged summary table.
+type Graph struct {
+	Files  []*File
+	Linker *sym.Scope
+	// DeclFile maps every top-level procedure declaration to the index
+	// of its defining file. Duplicate names across files keep distinct
+	// entries — identity is the declaration, not the name.
+	DeclFile map[*ast.ProcDecl]int
+	// Summaries holds the fixpoint boundary effects per top-level
+	// procedure, indexed by parameter position.
+	Summaries map[*ast.ProcDecl][]ir.ParamEffects
+	// HasTask marks procedures whose lowered body — under the converged
+	// summary table — contains a task: their own begins, or a spliced
+	// escape task inherited from a callee.
+	HasTask map[*ast.ProcDecl]bool
+	// Unresolved lists calls that resolve to no procedure module-wide,
+	// in file order.
+	Unresolved []Unresolved
+}
+
+// Link resolves every file against a shared linker scope holding all
+// files' top-level procedures (the first declaration of a name wins,
+// in file order; a file's own declarations shadow imports), then runs
+// the summary fixpoint. Per-file resolution diagnostics go to each
+// File's Diags.
+func Link(files []*File) *Graph {
+	g := &Graph{
+		Files:     files,
+		Linker:    sym.NewLinkerScope(),
+		DeclFile:  make(map[*ast.ProcDecl]int),
+		Summaries: make(map[*ast.ProcDecl][]ir.ParamEffects),
+		HasTask:   make(map[*ast.ProcDecl]bool),
+	}
+	for i, f := range files {
+		for _, p := range f.Mod.Procs {
+			sym.DeclareExtern(g.Linker, p)
+			g.DeclFile[p] = i
+		}
+	}
+	for _, f := range files {
+		if f.Diags == nil {
+			f.Diags = &source.Diagnostics{}
+		}
+		f.Info = sym.ResolveWith(f.Mod, f.Diags, g.Linker)
+		for _, id := range f.Info.UnresolvedCalls {
+			g.Unresolved = append(g.Unresolved,
+				Unresolved{File: f.Name, Name: id.Name, Sp: id.Sp})
+		}
+	}
+	g.computeSummaries()
+	return g
+}
+
+// Effects is the lowering hook: it returns the current summary of a
+// callee, or nil (fully opaque call) for procedures outside the graph.
+func (g *Graph) Effects(callee *ast.ProcDecl) []ir.ParamEffects {
+	return g.Summaries[callee]
+}
+
+// NeedsAnalysis reports whether a procedure is a module-mode analysis
+// root: it contains begin statements itself, or its lowered body under
+// the converged summaries contains a task (e.g. an escaping task
+// spliced from a callee that outlives the call).
+func (g *Graph) NeedsAnalysis(p *ast.ProcDecl) bool {
+	return ast.HasBegin(p) || g.HasTask[p]
+}
+
+// SummaryFingerprint renders a procedure's identity and converged
+// summary compactly: "file:name|dr dw er ew|..." — the component the
+// incremental layer folds into each caller unit's memo key, so an edit
+// to a callee invalidates exactly the units whose view of it changed.
+func (g *Graph) SummaryFingerprint(p *ast.ProcDecl) string {
+	var b strings.Builder
+	fi, ok := g.DeclFile[p]
+	if !ok {
+		return ""
+	}
+	fmt.Fprintf(&b, "%s:%s", g.Files[fi].Name, p.Name.Name)
+	for _, e := range g.Summaries[p] {
+		fmt.Fprintf(&b, "|%t %t %t %t", e.DirectRead, e.DirectWrite, e.EscRead, e.EscWrite)
+	}
+	return b.String()
+}
+
+// DirectCallees returns the distinct top-level procedures called
+// (possibly through nested procedures) from within p, resolved against
+// p's file. Sorted by defining file then name, so the slice is a
+// stable memo-key component.
+func (g *Graph) DirectCallees(f *File, p *ast.ProcDecl) []*ast.ProcDecl {
+	seen := make(map[*ast.ProcDecl]bool)
+	var out []*ast.ProcDecl
+	ast.Walk(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		s := f.Info.Uses[call.Fun]
+		if s == nil || s.Kind != sym.KindProc || s.Proc == nil ||
+			s.Scope.Kind != sym.ScopeModule {
+			return true
+		}
+		if _, top := g.DeclFile[s.Proc]; top && !seen[s.Proc] {
+			seen[s.Proc] = true
+			out = append(out, s.Proc)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := g.DeclFile[out[i]], g.DeclFile[out[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i].Name.Name < out[j].Name.Name
+	})
+	return out
+}
+
+// computeSummaries runs the bottom-up fixpoint. Effects live in a
+// finite monotone boolean lattice (4 bits per by-ref formal), so
+// chaotic iteration converges; the bound is a safety net that also
+// keeps a hypothetical oscillation deterministic.
+func (g *Graph) computeSummaries() {
+	for _, f := range g.Files {
+		for _, p := range f.Mod.Procs {
+			g.Summaries[p] = make([]ir.ParamEffects, len(p.Params))
+		}
+	}
+	maxIter := 2
+	for _, effs := range g.Summaries {
+		maxIter += 4 * len(effs)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, f := range g.Files {
+			for _, p := range f.Mod.Procs {
+				scratch := &source.Diagnostics{}
+				prog := ir.LowerWith(f.Info, p, scratch, ir.LowerOptions{Effects: g.Effects})
+				g.HasTask[p] = blockHasBegin(prog.Root)
+				ns := extractEffects(prog)
+				if !effectsEqual(ns, g.Summaries[p]) {
+					g.Summaries[p] = ns
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// extractEffects walks a lowered procedure and projects its accesses
+// onto the by-ref formals. esc is sticky: once inside a begin that no
+// enclosing sync region of this procedure contains, everything below
+// may run after the procedure returns. A begin inside a sync region is
+// contained (the region waits transitively, so nested begins inherit
+// containment through the unchanged syncDepth).
+func extractEffects(prog *ir.Program) []ir.ParamEffects {
+	idx := make(map[*sym.Symbol]int)
+	for i, prm := range prog.Proc.Params {
+		if s := prog.Info.Uses[prm.Name]; s != nil && s.ByRef {
+			idx[s] = i
+		}
+	}
+	out := make([]ir.ParamEffects, len(prog.Proc.Params))
+	if len(idx) == 0 {
+		return out
+	}
+	var walk func(b *ir.Block, esc bool, syncDepth int)
+	walk = func(b *ir.Block, esc bool, syncDepth int) {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Access:
+				i, ok := idx[x.Sym]
+				if !ok {
+					continue
+				}
+				e := &out[i]
+				switch {
+				case esc && x.Write:
+					e.EscWrite = true
+				case esc:
+					e.EscRead = true
+				case x.Write:
+					e.DirectWrite = true
+				default:
+					e.DirectRead = true
+				}
+			case *ir.Begin:
+				walk(x.Body, esc || syncDepth == 0, syncDepth)
+			case *ir.SyncRegion:
+				walk(x.Body, esc, syncDepth+1)
+			case *ir.Region:
+				walk(x.Body, esc, syncDepth)
+			case *ir.Loop:
+				walk(x.Body, esc, syncDepth)
+			case *ir.If:
+				walk(x.Then, esc, syncDepth)
+				if x.Else != nil {
+					walk(x.Else, esc, syncDepth)
+				}
+			}
+		}
+	}
+	walk(prog.Root, false, 0)
+	return out
+}
+
+func effectsEqual(a, b []ir.ParamEffects) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func blockHasBegin(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		switch x := in.(type) {
+		case *ir.Begin:
+			return true
+		case *ir.SyncRegion:
+			if blockHasBegin(x.Body) {
+				return true
+			}
+		case *ir.Region:
+			if blockHasBegin(x.Body) {
+				return true
+			}
+		case *ir.Loop:
+			if blockHasBegin(x.Body) {
+				return true
+			}
+		case *ir.If:
+			if blockHasBegin(x.Then) {
+				return true
+			}
+			if x.Else != nil && blockHasBegin(x.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}

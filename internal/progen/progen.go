@@ -45,6 +45,118 @@ func Generate(seed int64, opts Options) string {
 	return g.b.String()
 }
 
+// ModuleOptions shape generated multi-file modules.
+type ModuleOptions struct {
+	// Files is the number of source files (default 3).
+	Files int
+	// Procs is the number of procedures per file (default 2).
+	Procs int
+	// Atomics enables atomic-variable handshake statements.
+	Atomics bool
+}
+
+// File is one generated source file of a module.
+type File struct {
+	Name string
+	Src  string
+}
+
+// GenerateModule returns a linked multi-file program with cross-file
+// calls. Procedures are emitted in a global order and only call earlier
+// procedures, so the call graph is acyclic; the last procedure of the
+// last file is the entry procedure "main". Non-entry procedures take a
+// by-ref int formal, and many capture it in a begin — the escaping-task
+// pattern whose effects must compose across file boundaries.
+func GenerateModule(seed int64, opts ModuleOptions) []File {
+	if opts.Files <= 0 {
+		opts.Files = 3
+	}
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	var earlier []string
+	files := make([]File, opts.Files)
+	for fi := range files {
+		g := &gen{r: r, opts: Options{Budget: 12, MaxDepth: 2, Atomics: opts.Atomics}}
+		for pi := 0; pi < opts.Procs; pi++ {
+			if pi > 0 {
+				g.ln("")
+			}
+			entry := fi == opts.Files-1 && pi == opts.Procs-1
+			name := fmt.Sprintf("f%d_p%d", fi, pi)
+			if entry {
+				name = "main"
+			}
+			g.modProc(name, earlier, entry)
+			earlier = append(earlier, name)
+		}
+		files[fi] = File{Name: fmt.Sprintf("m%d.chpl", fi), Src: g.b.String()}
+	}
+	return files
+}
+
+// modProc emits one module procedure. Calls to earlier procedures land
+// in plain statement position, inside a sync block, or inside a begin —
+// covering the summary-eligible cases and the ones that force the
+// whole-root inliner fallback.
+func (g *gen) modProc(name string, callees []string, entry bool) {
+	g.vars, g.syncs, g.atoms = nil, nil, nil
+	g.nVars, g.nSyncs, g.nAtoms = 0, 0, 0
+	if entry {
+		g.ln("proc %s() {", name)
+	} else {
+		g.ln("proc %s(ref v: int) {", name)
+	}
+	g.indent++
+	if !entry {
+		g.vars = append(g.vars, "v")
+	}
+	local := fmt.Sprintf("w%d", g.r.Intn(90))
+	g.ln("var %s: int = %d;", local, g.r.Intn(50))
+	g.vars = append(g.vars, local)
+	g.nVars = len(g.vars)
+
+	// Entry calls several earlier procedures; helpers call at most one.
+	ncalls := 0
+	if len(callees) > 0 {
+		if entry {
+			ncalls = 2 + g.r.Intn(2)
+		} else {
+			ncalls = g.r.Intn(2)
+		}
+	}
+	for i := 0; i < ncalls; i++ {
+		g.budget = 1 + g.r.Intn(3)
+		g.stmts(g.budget, 0)
+		callee := g.pick(callees)
+		arg := g.pick(g.vars)
+		switch g.r.Intn(5) {
+		case 0:
+			g.ln("sync {")
+			g.nested(func() { g.ln("%s(%s);", callee, arg) })
+			g.ln("}")
+		case 1:
+			g.ln("begin with (ref %s) {", arg)
+			g.nested(func() { g.ln("%s(%s);", callee, arg) })
+			g.ln("}")
+		default:
+			g.ln("%s(%s);", callee, arg)
+		}
+	}
+	if !entry && g.r.Intn(2) == 0 {
+		// Guarantee escaping-task coverage: the by-ref formal captured
+		// in an unsynchronized begin escapes to every caller.
+		g.ln("begin with (ref v) {")
+		g.nested(func() { g.ln("v = v + %d;", 1+g.r.Intn(9)) })
+		g.ln("}")
+	}
+	g.budget = 2 + g.r.Intn(4)
+	g.stmts(g.budget, 0)
+	g.indent--
+	g.ln("}")
+}
+
 type gen struct {
 	r      *rand.Rand
 	opts   Options

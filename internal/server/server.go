@@ -197,6 +197,16 @@ type BatchFile struct {
 type BatchRequest struct {
 	Files   []BatchFile    `json:"files"`
 	Options RequestOptions `json:"options"`
+	// Mode selects the analysis shape: "" or "files" (default) analyzes
+	// every file independently on the worker pool; "module" links all
+	// files into one module (cross-file calls resolve, callee summaries
+	// compose) and answers one canonical line per file in input order.
+	Mode string `json:"mode,omitempty"`
+	// Module labels the module for mode "module"; it participates in
+	// cluster routing (ModuleRouteKey) so successive snapshots of the
+	// same module keep landing on the same worker. Defaults to the first
+	// file's name.
+	Module string `json:"module,omitempty"`
 }
 
 // DeltaRequest is one line of a POST /v1/delta NDJSON request stream:
@@ -209,6 +219,21 @@ type DeltaRequest struct {
 	Name    string         `json:"name"`
 	Src     string         `json:"src"`
 	Options RequestOptions `json:"options"`
+	// Module switches the line to module mode: Files carries the full
+	// module snapshot (not a diff) and Name/Src are ignored. Lines
+	// sharing an option set share the same pooled Analyzer as single-file
+	// lines, and its per-unit memo store keys module units on the
+	// call-graph view — editing one file recomputes only the units whose
+	// composed callee summaries changed. The response is one canonical
+	// line per file, in input order.
+	Module string `json:"module,omitempty"`
+	// Files is the module snapshot for module-mode lines.
+	Files []BatchFile `json:"files,omitempty"`
+}
+
+// moduleMode reports whether the delta line is a whole-module snapshot.
+func (d *DeltaRequest) moduleMode() bool {
+	return d.Module != "" || len(d.Files) > 0
 }
 
 // errorBody is the JSON error envelope of non-200 responses. Code,
@@ -231,6 +256,10 @@ const (
 	CodeRepairDegraded = "repair_degraded"
 	// CodeParseError: the source failed the frontend (422).
 	CodeParseError = "parse_error"
+	// CodeUnresolvedCall: a module-mode analysis found a call that names
+	// no procedure in any file of the module (422). The error text lists
+	// the unresolved sites; send the missing file in the module snapshot.
+	CodeUnresolvedCall = "unresolved_call"
 )
 
 // Server is the daemon's request-independent state. Create with New,
@@ -535,6 +564,42 @@ func RouteKey(kind, name, src string, o RequestOptions) cache.Key {
 			o.Trace, o.ModelAtomics, o.CountAtomics, o.Retries, o.Metrics))
 }
 
+// ModuleRouteKey is the cluster routing fingerprint of a module-mode
+// request: module label plus option set, deliberately NOT the file
+// contents. Successive snapshots of one module must land on the same
+// worker — that worker's pooled Analyzer holds the module's per-unit
+// memo store, and content-addressed routing would scatter every edit
+// to a cold worker. Mirrors RouteKey otherwise.
+func ModuleRouteKey(module string, o RequestOptions) cache.Key {
+	return cache.KeyOf("uafserve/route/module", uafcheck.Version, module,
+		fmt.Sprintf("prune=%t max_states=%d deadline_ms=%d trace=%t ma=%t ca=%t retries=%d metrics=%t",
+			o.Prune == nil || *o.Prune, o.MaxStates, o.DeadlineMS,
+			o.Trace, o.ModelAtomics, o.CountAtomics, o.Retries, o.Metrics))
+}
+
+// ModuleLabel resolves the routing label of a module-mode batch
+// request: the explicit Module field, else the first file's name.
+func (b *BatchRequest) ModuleLabel() string {
+	if b.Module != "" {
+		return b.Module
+	}
+	if len(b.Files) > 0 {
+		return b.Files[0].Name
+	}
+	return "module"
+}
+
+// ModuleLabel resolves the routing label of a module-mode delta line.
+func (d *DeltaRequest) ModuleLabel() string {
+	if d.Module != "" {
+		return d.Module
+	}
+	if len(d.Files) > 0 {
+		return d.Files[0].Name
+	}
+	return "module"
+}
+
 // effectiveDeadline resolves a request's deadline against the server's
 // default and cap.
 func (s *Server) effectiveDeadline(o RequestOptions) time.Duration {
@@ -738,6 +803,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "missing files")
 		return
 	}
+	if req.Mode != "" && req.Mode != "files" && req.Mode != "module" {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode))
+		return
+	}
 	if err := s.gate.acquire(r.Context()); err != nil {
 		res := s.rejection(err)
 		s.writeResult(w, res, "")
@@ -745,6 +814,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.release()
 	s.rec.Add(obs.CtrServerBatchFiles, int64(len(req.Files)))
+
+	if req.Mode == "module" {
+		s.batchModule(w, r, req)
+		return
+	}
 
 	files := make([]uafcheck.FileInput, len(req.Files))
 	for i, f := range req.Files {
@@ -801,6 +875,78 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.agg.Merge(batchRep.Metrics)
 	s.mu.Unlock()
+}
+
+// batchModule serves mode "module" of /v1/analyze-batch: the files are
+// linked and analyzed as one module (cross-file calls resolve, callee
+// summaries compose), and the response is an NDJSON stream of
+// canonical per-file result lines in input order. A frontend or
+// unresolved-call failure anywhere in the module rejects the whole
+// request — module results are all-or-nothing, matching the library's
+// AnalyzeModuleContext contract.
+func (s *Server) batchModule(w http.ResponseWriter, r *http.Request, req BatchRequest) {
+	files := make([]uafcheck.ModuleFile, len(req.Files))
+	for i, f := range req.Files {
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("input-%d.chpl", i)
+		}
+		files[i] = uafcheck.ModuleFile{Name: name, Src: f.Src}
+	}
+	// Detached from the request context like the single-file leader: the
+	// wall-clock bound is the request deadline, degrading rather than
+	// aborting.
+	t0 := time.Now()
+	mrep, err := uafcheck.AnalyzeModuleContext(obs.Detach(r.Context()), files,
+		append(s.libraryOptions(req.Options), uafcheck.WithDeadline(s.effectiveDeadline(req.Options)))...)
+	if err != nil {
+		s.writeModuleError(w, err)
+		return
+	}
+	s.rec.Add(obs.CtrServerAnalyses, int64(len(files)))
+	ms := time.Since(t0).Milliseconds() / int64(len(files))
+	old := s.ewmaMS.Load()
+	s.ewmaMS.Store((old*3 + ms) / 4)
+	s.mu.Lock()
+	s.agg.Merge(mrep.Metrics)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for _, fr := range mrep.Files {
+		line, encErr := wire.NewResult(fr.Name, fr.Report, fr.Err, req.Options.Metrics).Encode()
+		if encErr != nil {
+			line = mustJSON(errorBody{Error: encErr.Error()})
+		}
+		w.Write(append(line, '\n')) //nolint:errcheck — a dead client just discards the stream
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// writeModuleError maps a module analysis error onto the HTTP error
+// vocabulary: 422 with a typed code for frontend and unresolved-call
+// failures (an unresolved-call error matches both sentinels; the finer
+// code wins), 500 otherwise.
+func (s *Server) writeModuleError(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error(), Code: moduleErrorCode(err)}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusCodeFor(err))
+	w.Write(append(mustJSON(body), '\n')) //nolint:errcheck
+}
+
+// moduleErrorCode picks the machine-readable refusal class of a module
+// analysis error ("" when it is not a typed frontend failure).
+func moduleErrorCode(err error) string {
+	switch {
+	case errors.Is(err, uafcheck.ErrUnresolvedCall):
+		return CodeUnresolvedCall
+	case errors.Is(err, uafcheck.ErrParse):
+		return CodeParseError
+	}
+	return ""
 }
 
 // ------------------------------------------------------------- repair
@@ -1035,6 +1181,10 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			emit(mustJSON(errorBody{Error: "malformed delta line: " + err.Error()}))
 			continue
 		}
+		if req.moduleMode() {
+			s.deltaModule(r, &req, emit)
+			continue
+		}
 		if req.Src == "" {
 			emit(mustJSON(errorBody{Error: "missing src"}))
 			continue
@@ -1062,6 +1212,51 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sc.Err(); err != nil && emitErr == nil && r.Context().Err() == nil {
 		emit(mustJSON(errorBody{Error: "reading delta stream: " + err.Error()}))
+	}
+}
+
+// deltaModule answers one module-mode delta line: the full module
+// snapshot runs through the pooled Analyzer's module engine, so only
+// the units whose call-graph view changed since the previous snapshot
+// recompute (editing a callee re-analyzes exactly its transitive
+// callers), and one canonical line per file streams back in input
+// order. Failures produce a single typed error line rather than an
+// HTTP error — the NDJSON stream is already flowing.
+func (s *Server) deltaModule(r *http.Request, req *DeltaRequest, emit func([]byte)) {
+	if len(req.Files) == 0 {
+		emit(mustJSON(errorBody{Error: "module delta line missing files"}))
+		return
+	}
+	files := make([]uafcheck.ModuleFile, len(req.Files))
+	for i, f := range req.Files {
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("input-%d.chpl", i)
+		}
+		files[i] = uafcheck.ModuleFile{Name: name, Src: f.Src}
+	}
+	s.rec.Add(obs.CtrServerDeltaFiles, int64(len(files)))
+	ctx, cancel := context.WithTimeout(obs.Detach(r.Context()), s.effectiveDeadline(req.Options))
+	defer cancel()
+	t0 := time.Now()
+	mrep, err := s.analyzerFor(req.Options).AnalyzeModuleDelta(ctx, files)
+	if err != nil {
+		emit(mustJSON(errorBody{Error: err.Error(), Code: moduleErrorCode(err)}))
+		return
+	}
+	s.rec.Add(obs.CtrServerAnalyses, int64(len(files)))
+	ms := time.Since(t0).Milliseconds() / int64(len(files))
+	old := s.ewmaMS.Load()
+	s.ewmaMS.Store((old*3 + ms) / 4)
+	s.mu.Lock()
+	s.agg.Merge(mrep.Metrics)
+	s.mu.Unlock()
+	for _, fr := range mrep.Files {
+		line, encErr := wire.NewResult(fr.Name, fr.Report, fr.Err, req.Options.Metrics).Encode()
+		if encErr != nil {
+			line = mustJSON(errorBody{Error: encErr.Error()})
+		}
+		emit(line)
 	}
 }
 

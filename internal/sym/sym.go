@@ -281,6 +281,11 @@ type Info struct {
 	ProcSyms map[*ast.ProcDecl]*Symbol
 	// CopyFor maps (begin, outer symbol) pairs to the in-intent copy.
 	CopyFor map[*ast.BeginStmt]map[*Symbol]*Symbol
+	// UnresolvedCalls lists call identifiers that named no known
+	// procedure (after consulting the linker scope, if any). Module
+	// analysis promotes these to a typed error; single-file analysis
+	// keeps the diagnostic-only behavior.
+	UnresolvedCalls []*ast.Ident
 
 	nextSymID   int
 	nextScopeID int
@@ -292,6 +297,39 @@ type Info struct {
 // diags; resolution is best-effort so later stages can still run on
 // partially-broken corpus inputs.
 func Resolve(m *ast.Module, diags *source.Diagnostics) *Info {
+	return ResolveWith(m, diags, nil)
+}
+
+// NewLinkerScope returns an empty module-kind scope used to link
+// several files into one module: callers pre-fill it with the
+// top-level procedure symbols of the *other* files (DeclareExtern) and
+// pass it to ResolveWith. The file's own module scope is parented to
+// it, so local declarations shadow imports naturally and only calls
+// that would otherwise be undefined resolve across files.
+func NewLinkerScope() *Scope {
+	return &Scope{ID: -1, Kind: ScopeModule, names: make(map[string]*Symbol)}
+}
+
+// DeclareExtern registers a foreign top-level procedure in a linker
+// scope. The first declaration of a name wins (deterministic given a
+// deterministic file order); the returned symbol carries the foreign
+// declaration so callers can walk into its body.
+func DeclareExtern(sc *Scope, proc *ast.ProcDecl) *Symbol {
+	name := proc.Name.Name
+	if prev := sc.LookupLocal(name); prev != nil {
+		return prev
+	}
+	s := &Symbol{ID: -(len(sc.ordered) + 1), Name: name, Kind: KindProc,
+		Type: proc.Ret, Decl: proc, Scope: sc, Proc: proc}
+	sc.names[name] = s
+	sc.ordered = append(sc.ordered, s)
+	return s
+}
+
+// ResolveWith is Resolve with an optional linker scope supplying
+// module-level procedures defined in other files of the same module.
+// Passing nil is exactly Resolve.
+func ResolveWith(m *ast.Module, diags *source.Diagnostics, linker *Scope) *Info {
 	info := &Info{
 		Module:    m,
 		Uses:      make(map[*ast.Ident]*Symbol),
@@ -303,7 +341,7 @@ func Resolve(m *ast.Module, diags *source.Diagnostics) *Info {
 		diags:     diags,
 		file:      m.File,
 	}
-	root := info.newScope(ScopeModule, nil, m)
+	root := info.newScope(ScopeModule, linker, m)
 	info.ModuleScope = root
 
 	for _, cfg := range m.Configs {
@@ -521,6 +559,7 @@ func (in *Info) expr(sc *Scope, e ast.Expr) {
 		if !IsBuiltin(x.Fun.Name) {
 			sym := sc.Lookup(x.Fun.Name)
 			if sym == nil || sym.Kind != KindProc {
+				in.UnresolvedCalls = append(in.UnresolvedCalls, x.Fun)
 				in.diags.Addf(in.file, x.Fun.Sp, source.Error,
 					"call to undefined procedure %q", x.Fun.Name)
 			} else {

@@ -1,0 +1,201 @@
+package uafcheck
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"uafcheck/internal/analysis"
+	"uafcheck/internal/obs"
+)
+
+// ------------------------------------------------------- module mode
+//
+// Module mode analyzes every file of a program together: the files are
+// linked against a shared module scope, cross-file calls resolve to
+// their defining file, per-procedure boundary summaries are computed
+// bottom-up over the call graph (with a fixpoint over cycles), and
+// each file's report reflects what its procedures' callees — in any
+// file — do to by-ref arguments, including fire-and-forget tasks that
+// escape the call. docs/INTERPROCEDURAL.md describes the machinery.
+
+// ModuleFile is one source file of a whole-module analysis.
+type ModuleFile struct {
+	// Name labels the file in warnings and reports (usually its path).
+	Name string
+	// Src is the source text.
+	Src string
+}
+
+// ModuleReport is the outcome of analyzing one module.
+type ModuleReport struct {
+	// Files holds one per-file outcome, index-aligned with the input.
+	// Each entry's Report is structurally identical to a single-file
+	// Analyze report (wire-encodable, byte-stable), so module results
+	// flow through the same NDJSON surfaces as batch results.
+	Files []FileReport
+	// Metrics is the module-wide telemetry snapshot (one frontend pass
+	// plus every analyzed procedure across all files).
+	Metrics Metrics
+}
+
+// ExitCode maps the module outcome onto the documented uafcheck shell
+// contract: 0 = clean, 1 = exact warnings, 2 = degraded/incomplete
+// somewhere. Frontend and unresolved-call failures surface as errors
+// from the entry points (exit 3 territory) before a ModuleReport
+// exists.
+func (m *ModuleReport) ExitCode() int {
+	code := 0
+	for _, f := range m.Files {
+		if f.Report == nil {
+			continue
+		}
+		if f.Report.Degraded != nil {
+			return 2
+		}
+		if len(f.Report.Warnings) > 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// AnalyzeModuleContext analyzes all files of one module together under
+// ctx — the module-level mirror of AnalyzeContext:
+//
+//	rep, err := uafcheck.AnalyzeModuleContext(ctx, []uafcheck.ModuleFile{
+//	    {Name: "main.chpl", Src: mainSrc},
+//	    {Name: "lib.chpl", Src: libSrc},
+//	}, uafcheck.WithMaxStates(1 << 16))
+//
+// Typed failures: errors.Is(err, ErrParse) when any file fails the
+// frontend; when the failure is a call that names no procedure in any
+// file, the error additionally matches ErrUnresolvedCall. Resource
+// degradation never errors — it surfaces per file through
+// Report.Degraded, exactly as in single-file mode.
+//
+// Options.Cache is ignored in module mode: the report cache's content
+// addresses cover one file's text, and a module report also depends on
+// every other file of the module. (The Analyzer's per-unit memo store
+// handles module mode precisely instead — see AnalyzeModuleDelta.)
+func AnalyzeModuleContext(ctx context.Context, files []ModuleFile, options ...Option) (*ModuleReport, error) {
+	cfg := apiConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	rep, _, err := analyzeModule(ctx, files, cfg.opts, nil)
+	return rep, err
+}
+
+// AnalyzeModuleDelta analyzes a module reusing every memoized unit
+// whose fingerprint still matches, and memoizing the units it had to
+// compute. Each call takes the full file set (the module snapshot,
+// not a diff). Unit fingerprints include the identities and boundary
+// summaries of each procedure's direct module-level callees, so
+// editing one file invalidates exactly the units whose composed view
+// changed: the edited file's own units, plus transitive callers of
+// any procedure whose summary changed. An effect-preserving callee
+// edit leaves every other file's units hot.
+//
+// The returned report is byte-identical (canonical wire encoding) to
+// AnalyzeModuleContext with this handle's options; single-file and
+// module units share the store without key collisions.
+func (a *Analyzer) AnalyzeModuleDelta(ctx context.Context, files []ModuleFile) (*ModuleReport, error) {
+	a.files.Add(int64(len(files)))
+	rep, stats, err := analyzeModule(ctx, files, a.opts, a.units)
+	a.unitHits.Add(int64(stats.UnitHits))
+	a.unitMisses.Add(int64(stats.UnitMisses))
+	return rep, err
+}
+
+// analyzeModule is the shared whole-module driver behind
+// AnalyzeModuleContext (nil units) and Analyzer.AnalyzeModuleDelta.
+func analyzeModule(ctx context.Context, files []ModuleFile, opts Options, units *analysis.Units) (mr *ModuleReport, stats analysis.IncrStats, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	defer func() {
+		// Same last-resort fault isolation as the single-file entry
+		// points: a crash outside the per-proc pipeline degrades every
+		// file's report instead of unwinding into the caller.
+		if r := recover(); r != nil {
+			crash := Crash{
+				Phase: "frontend",
+				Err:   fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			}
+			mr = &ModuleReport{}
+			for _, f := range files {
+				mr.Files = append(mr.Files, FileReport{
+					Name:   f.Name,
+					Status: "crashed",
+					Report: &Report{Degraded: &Degradation{
+						Reason:  DegradePanic,
+						Crashes: []Crash{crash},
+					}},
+				})
+			}
+			err = nil
+		}
+	}()
+	rec := obs.New(opts.MetricsSinks...)
+	in := opts.internal()
+	in.KeepGraphs = opts.Trace
+	in.Obs = rec
+	in.Ctx = ctx
+
+	afiles := make([]analysis.ModuleFile, len(files))
+	for i, f := range files {
+		afiles[i] = analysis.ModuleFile{Name: f.Name, Src: f.Src}
+	}
+	res, stats := analysis.AnalyzeModule(afiles, in, units)
+	if res.FrontendFailed {
+		var b strings.Builder
+		for _, fr := range res.Files {
+			b.WriteString(frontendErrors(fr.Diags))
+		}
+		if len(res.Unresolved) > 0 {
+			return nil, stats, fmt.Errorf("%w (%w):\n%s",
+				ErrUnresolvedCall, ErrParse, b.String())
+		}
+		return nil, stats, fmt.Errorf("%w:\n%s", ErrParse, b.String())
+	}
+
+	mr = &ModuleReport{}
+	for i, fr := range res.Files {
+		rep := buildReport(fr, opts)
+		mr.Files = append(mr.Files, FileReport{
+			Name:   files[i].Name,
+			Status: reportStatus(rep),
+			Report: rep,
+		})
+	}
+	mr.Metrics = rec.Snapshot()
+	if ferr := rec.Flush(); ferr != nil && len(mr.Files) > 0 {
+		mr.Files[0].Report.Notes = append(mr.Files[0].Report.Notes,
+			fmt.Sprintf("metrics sink error: %v", ferr))
+	}
+	return mr, stats, nil
+}
+
+// reportStatus derives the batch-driver status vocabulary from one
+// report (the module counterpart of internal/wire's StatusOf).
+func reportStatus(rep *Report) string {
+	if rep.Degraded == nil {
+		return "ok"
+	}
+	switch rep.Degraded.Reason {
+	case DegradePanic:
+		return "crashed"
+	case DegradeDeadline:
+		return "timed-out"
+	default:
+		return "degraded"
+	}
+}

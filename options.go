@@ -81,6 +81,15 @@ func WithCache(cc *Cache) Option {
 	return func(c *apiConfig) { c.opts.Cache = cc }
 }
 
+// WithInlineLowering switches nested-procedure call lowering back to
+// the legacy per-call-site inliner (default off = template-based
+// summary instantiation). Both modes are byte-identical by
+// construction; the knob exists for A/B verification and as an escape
+// hatch, and does not participate in cache or memo fingerprints.
+func WithInlineLowering(on bool) Option {
+	return func(c *apiConfig) { c.opts.InlineLowering = on }
+}
+
 // WithTracing records a hierarchical span tree for each analysis run
 // (frontend, per-procedure lowering, PPS waves, cache consults) on
 // Report.Metrics.Trace. When the caller's context already carries an
@@ -157,8 +166,7 @@ func AnalyzeContext(ctx context.Context, filename, src string, options ...Option
 	for _, o := range options {
 		o(&cfg)
 	}
-	cfg.opts.Context = ctx
-	return AnalyzeWithOptions(filename, src, cfg.opts)
+	return analyzeWith(ctx, filename, src, cfg.opts)
 }
 
 // AnalyzeFilesContext analyzes many files under ctx — the context-first

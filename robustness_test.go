@@ -125,11 +125,9 @@ func TestConservativeWarningsAreSuperset(t *testing.T) {
 func TestCancelledContextDegrades(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	o := DefaultOptions()
-	o.Context = ctx
 
 	start := time.Now()
-	rep, err := AnalyzeWithOptions("patho.chpl", pathologicalProgram(8, 4), o)
+	rep, err := AnalyzeContext(ctx, "patho.chpl", pathologicalProgram(8, 4))
 	if err != nil {
 		t.Fatal(err)
 	}

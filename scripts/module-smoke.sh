@@ -1,0 +1,162 @@
+#!/usr/bin/env sh
+# Module smoke: whole-module interprocedural analysis through a real
+# 2-worker cluster, run in CI's chaos-short job:
+#
+#   1. boot a coordinator in front of 2 workers
+#   2. analyze a 3-file module (main -> mid -> leaf, where leaf's begin
+#      escapes the whole call chain) with one batch mode=module request
+#      and assert the warning is attributed to the cross-file caller
+#   3. stream three /v1/delta module snapshots — the original, an
+#      edited callee (the caller's warning must be re-reported), and a
+#      synchronized callee (the caller's warning must disappear) —
+#      proving a callee edit re-analyzes the transitive caller
+#   4. assert the module cell landed on exactly one worker and that the
+#      worker served unit-memo hits across snapshots (routing by module
+#      label keeps the memo affinity through the edge)
+#
+# Run via `make module-smoke`. Requires curl and jq. See
+# docs/INTERPROCEDURAL.md and docs/CLUSTER.md.
+set -eu
+
+for tool in curl jq; do
+	command -v "$tool" >/dev/null 2>&1 || {
+		echo "module-smoke: $tool not installed" >&2
+		exit 1
+	}
+done
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "module-smoke: building uafserve"
+go build -o "$WORK/uafserve" ./cmd/uafserve
+
+# boot LOG [flags...]: start uafserve on an ephemeral port and wait for
+# its address announcement. Sets BOOT_PID and BOOT_ADDR.
+boot() {
+	log=$1
+	shift
+	GOMAXPROCS=1 "$WORK/uafserve" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+	BOOT_PID=$!
+	PIDS="$PIDS $BOOT_PID"
+	BOOT_ADDR=""
+	for _ in $(seq 1 100); do
+		BOOT_ADDR=$(sed -n 's/^uafserve: listening on //p' "$log" | head -n1)
+		[ -n "$BOOT_ADDR" ] && break
+		sleep 0.1
+	done
+	[ -n "$BOOT_ADDR" ] || {
+		echo "module-smoke: server did not start" >&2
+		cat "$log" >&2
+		exit 1
+	}
+}
+
+boot "$WORK/w0.log" -mode worker
+W0=$BOOT_ADDR
+boot "$WORK/w1.log" -mode worker
+W1=$BOOT_ADDR
+boot "$WORK/coord.log" -mode coordinator -probe-interval 500ms \
+	-workers "worker-0=http://$W0,worker-1=http://$W1"
+COORD=$BOOT_ADDR
+echo "module-smoke: coordinator on $COORD (workers $W0, $W1)"
+
+# The module: leaf's fire-and-forget write of its by-ref formal escapes
+# through mid into main; only whole-module analysis can see it there.
+LEAF_V1='proc leaf(ref v: int) {\n  begin with (ref v) {\n    v = v + 1;\n  }\n}\n'
+LEAF_V2='proc leaf(ref v: int) {\n  begin with (ref v) {\n    v = v + 9;\n  }\n}\n'
+LEAF_V3='proc leaf(ref v: int) {\n  sync {\n    begin with (ref v) {\n      v = v + 1;\n    }\n  }\n}\n'
+MID='proc mid(ref w: int) {\n  leaf(w);\n}\n'
+MAIN='proc main() {\n  var x: int = 0;\n  mid(x);\n}\n'
+
+module_req() {
+	jq -n --arg leaf "$(printf '%b' "$1")" \
+		--arg mid "$(printf '%b' "$MID")" \
+		--arg main "$(printf '%b' "$MAIN")" \
+		'{module: "app", files: [
+			{name: "leaf.chpl", src: $leaf},
+			{name: "mid.chpl", src: $mid},
+			{name: "main.chpl", src: $main}]}'
+}
+
+# ---- phase 1: batch mode=module through the edge ---------------------
+
+module_req "$LEAF_V1" | jq '. + {mode: "module"}' >"$WORK/batch.json"
+curl -sf "http://$COORD/v1/analyze-batch" -d @"$WORK/batch.json" >"$WORK/batch.ndjson"
+LINES=$(jq -rs 'length' "$WORK/batch.ndjson")
+[ "$LINES" -eq 3 ] || {
+	echo "module-smoke: FAIL — $LINES batch lines for 3 module files" >&2
+	cat "$WORK/batch.ndjson" >&2
+	exit 1
+}
+CALLER_WARN=$(jq -rs '[.[] | select(.name == "main.chpl") | .report.warnings[]?
+	| select(.task | test("escaping"))] | length' "$WORK/batch.ndjson")
+[ "$CALLER_WARN" -ge 1 ] || {
+	echo "module-smoke: FAIL — main.chpl carries no escaping-task warning:" >&2
+	cat "$WORK/batch.ndjson" >&2
+	exit 1
+}
+echo "module-smoke: batch module analysis attributes leaf's task to main.chpl"
+
+# ---- phase 2: callee edits over /v1/delta ----------------------------
+
+{
+	module_req "$LEAF_V1" | jq -c .
+	module_req "$LEAF_V2" | jq -c .
+	module_req "$LEAF_V3" | jq -c .
+} >"$WORK/delta.ndjson"
+curl -sf "http://$COORD/v1/delta" --data-binary @"$WORK/delta.ndjson" \
+	-H 'Content-Type: application/x-ndjson' >"$WORK/delta.out"
+DLINES=$(jq -rs 'length' "$WORK/delta.out")
+[ "$DLINES" -eq 9 ] || {
+	echo "module-smoke: FAIL — $DLINES delta lines for 3 snapshots x 3 files" >&2
+	cat "$WORK/delta.out" >&2
+	exit 1
+}
+# Snapshot 2 (lines 4-6): edited callee still escapes — the caller's
+# warning must be re-reported. Snapshot 3 (lines 7-9): the callee
+# synchronized its task — the caller's warning must be gone.
+WARM_WARN=$(jq -rs '[.[3:6][] | select(.name == "main.chpl") | .report.warnings[]?
+	| select(.task | test("escaping"))] | length' "$WORK/delta.out")
+FIXED_WARN=$(jq -rs '[.[6:9][] | select(.name == "main.chpl") | .report.warnings[]?] | length' \
+	"$WORK/delta.out")
+[ "$WARM_WARN" -ge 1 ] || {
+	echo "module-smoke: FAIL — callee edit did not re-report the caller's warning" >&2
+	cat "$WORK/delta.out" >&2
+	exit 1
+}
+[ "$FIXED_WARN" -eq 0 ] || {
+	echo "module-smoke: FAIL — synchronized callee but caller still warns" >&2
+	cat "$WORK/delta.out" >&2
+	exit 1
+}
+echo "module-smoke: callee edit re-reports the caller ($WARM_WARN warning), synchronized callee clears it"
+
+# ---- phase 3: routing affinity and memo reuse ------------------------
+
+count() { # count HOST METRIC
+	curl -sf "http://$1/metrics" | sed -n "s/^$2 //p" | head -n1
+}
+load() { # total module files a worker analyzed
+	b=$(count "$1" uafcheck_server_batch_files)
+	d=$(count "$1" uafcheck_server_delta_files)
+	echo $((${b:-0} + ${d:-0}))
+}
+L0=$(load "$W0")
+L1=$(load "$W1")
+if [ "$L0" -gt 0 ] && [ "$L1" -gt 0 ]; then
+	echo "module-smoke: FAIL — module cell split across workers (w0=$L0 w1=$L1 files)" >&2
+	exit 1
+fi
+if [ "$L0" -gt 0 ]; then HOT=$W0; else HOT=$W1; fi
+HITS=$(count "$HOT" uafcheck_incr_unit_hits)
+[ "${HITS:-0}" -ge 1 ] || {
+	echo "module-smoke: FAIL — warm worker served no unit-memo hits across snapshots" >&2
+	exit 1
+}
+echo "module-smoke: OK — one worker owned the module cell ($((L0 + L1)) files, $HITS unit hits)"

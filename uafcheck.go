@@ -42,7 +42,6 @@ import (
 	"uafcheck/internal/obs"
 	"uafcheck/internal/parser"
 	"uafcheck/internal/pps"
-	"uafcheck/internal/repair"
 	"uafcheck/internal/runtime"
 	"uafcheck/internal/source"
 	"uafcheck/internal/sym"
@@ -52,7 +51,7 @@ import (
 // content addresses (the report cache and the Analyzer's per-procedure
 // memo store), so results cached by one version are never served by
 // another.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // ------------------------------------------------------------- telemetry
 
@@ -112,11 +111,20 @@ type Options struct {
 	// name + content) and every phase — parse through PPS waves —
 	// attaches a span. The completed tree lands on Report.Metrics.Trace
 	// and flows to JSONL metrics sinks (cmd/uafcheck -trace-out). When
-	// Options.Context already carries an obs.Trace (a uafserve request),
-	// spans attach to that ambient trace instead and Metrics.Trace stays
-	// empty — the request owns its tree. Tracing never changes analysis
-	// results and does not participate in cache keys.
+	// the caller's context already carries an obs.Trace (a uafserve
+	// request), spans attach to that ambient trace instead and
+	// Metrics.Trace stays empty — the request owns its tree. Tracing
+	// never changes analysis results and does not participate in cache
+	// keys.
 	Tracing bool
+	// InlineLowering switches the lowering of nested-procedure calls back
+	// to the legacy per-call-site inliner instead of the template-based
+	// summary instantiation that is now the default. Both modes produce
+	// byte-identical reports by construction (the property tests enforce
+	// it), so the knob exists for A/B verification and as an escape
+	// hatch; it deliberately does not participate in cache or memo
+	// fingerprints.
+	InlineLowering bool
 	// Cache, when non-nil, memoizes complete analysis reports by content
 	// address (source text + effective options + tool Version). Hits
 	// return a defensive clone and skip the pipeline entirely; degraded
@@ -125,14 +133,6 @@ type Options struct {
 	// MetricsSinks receive the run's Metrics snapshot when the analysis
 	// finishes. The snapshot is attached to Report.Metrics regardless.
 	MetricsSinks []MetricsSink
-	// Context carries an external cancellation signal through the whole
-	// pipeline (PPS hot loop, CCFG pruning, oracle scheduler). nil means
-	// context.Background().
-	//
-	// Deprecated: pass the context positionally via AnalyzeContext /
-	// AnalyzeFilesContext instead. The field keeps working for existing
-	// callers of AnalyzeWithOptions and AnalyzeFiles.
-	Context context.Context
 	// Deadline bounds the wall-clock time of one Analyze call (0 = none).
 	// When it fires, the analysis degrades instead of truncating: every
 	// access not yet proven safe is reported as a conservative warning
@@ -145,10 +145,11 @@ func DefaultOptions() Options { return Options{Prune: true} }
 
 func (o Options) internal() analysis.Options {
 	return analysis.Options{
-		Prune:        o.Prune,
-		ModelAtomics: o.ModelAtomics || o.CountAtomics,
-		CountAtomics: o.CountAtomics,
-		RecordTrace:  o.Tracing,
+		Prune:          o.Prune,
+		ModelAtomics:   o.ModelAtomics || o.CountAtomics,
+		CountAtomics:   o.CountAtomics,
+		RecordTrace:    o.Tracing,
+		InlineLowering: o.InlineLowering,
 		PPS: pps.Options{
 			MaxStates:    o.MaxStates,
 			Trace:        o.Trace,
@@ -277,7 +278,7 @@ const (
 	// DegradeDeadline: Options.Deadline (or the context's deadline)
 	// expired mid-analysis.
 	DegradeDeadline DegradeReason = "deadline"
-	// DegradeCancelled: Options.Context was cancelled.
+	// DegradeCancelled: the caller's context was cancelled.
 	DegradeCancelled DegradeReason = "cancelled"
 	// DegradePanic: a pipeline stage panicked; the panic was recovered
 	// and converted into a structured Crash.
@@ -326,6 +327,12 @@ type Report struct {
 	// Notes carry analysis-limit information (subsumed loops, recursion
 	// cutoffs, potential deadlocks, style notes).
 	Notes []string `json:"notes,omitempty"`
+	// Truncated is set when any analyzed procedure's lowering hit the
+	// nested-call recursion cutoff (a cycle through nested procedures the
+	// summary templates cannot expand), so deeper call chains were
+	// dropped. The corresponding "recursive call ... not inlined further"
+	// note pinpoints the site; before 0.7.0 only the note existed.
+	Truncated bool `json:"truncated,omitempty"`
 	// Stats has one entry per analyzed root procedure.
 	Stats []ProcStats `json:"stats,omitempty"`
 	// PPSTraces maps procedure names to their formatted PPS tables when
@@ -354,9 +361,15 @@ func Analyze(filename, src string) (*Report, error) {
 // drivers can keep going past a pathological input.
 //
 // Deprecated: use AnalyzeContext with functional options. This shim
-// remains for v1 callers and behaves identically.
-func AnalyzeWithOptions(filename, src string, opts Options) (rep *Report, err error) {
-	ctx := opts.Context
+// remains for v1 callers and behaves identically (minus the removed
+// Options.Context field — it always runs under context.Background).
+func AnalyzeWithOptions(filename, src string, opts Options) (*Report, error) {
+	return analyzeWith(context.Background(), filename, src, opts)
+}
+
+// analyzeWith is the shared single-file driver behind AnalyzeContext
+// and the deprecated AnalyzeWithOptions shim.
+func analyzeWith(ctx context.Context, filename, src string, opts Options) (rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -494,6 +507,9 @@ func buildReport(res *analysis.Result, opts Options) *Report {
 		}
 	}
 	for _, pr := range res.Procs {
+		if pr.Truncated {
+			rep.Truncated = true
+		}
 		rep.Stats = append(rep.Stats, ProcStats{
 			Proc:              pr.Proc.Name.Name,
 			Nodes:             pr.GraphStats.Nodes,
@@ -1065,77 +1081,8 @@ func BaselineComparison(cases []CorpusCase, opts Options) string {
 }
 
 // ---------------------------------------------------------------- repair
-
-// RepairStep records one applied synchronization patch.
-type RepairStep struct {
-	// Strategy is "token-chain", "sync-wrap" or "sync-wrap-chain".
-	Strategy string
-	Proc     string
-	Task     string
-	// Token names the introduced sync variable for token-chain steps.
-	Token string
-}
-
-// RepairResult is the outcome of automatic warning repair.
-type RepairResult struct {
-	// Fixed is the repaired source.
-	Fixed string
-	// Steps lists the accepted patches in order.
-	Steps []RepairStep
-	// InitialWarnings / RemainingWarnings count before and after.
-	InitialWarnings   int
-	RemainingWarnings int
-	// Rejected explains candidates the verifier refused.
-	Rejected []string
-}
-
-// Clean reports whether the repaired source analyzes without warnings.
-func (r *RepairResult) Clean() bool { return r.RemainingWarnings == 0 }
-
-// RepairSource synthesizes synchronization fixes for every warning
-// (§VII: "optimize the amount and position of synchronization points").
-// Each candidate patch is verified by re-analysis AND bounded schedule
-// exploration before being accepted; see internal/repair for the
-// strategy catalogue (token chains with branch-total protocols,
-// sync-block fences).
 //
-// Deprecated: use Repair, which returns verified unified-diff patches
-// (RepairReport) instead of a rewritten source blob.
-func RepairSource(filename, src string, opts Options) (*RepairResult, error) {
-	return repairWith(filename, src, opts.internal())
-}
-
-// RepairSourceContext synthesizes synchronization fixes under ctx — the
-// context-first form of RepairSource, taking the same functional
-// options as AnalyzeContext.
-//
-// Deprecated: use Repair, which returns verified unified-diff patches
-// (RepairReport) instead of a rewritten source blob.
-func RepairSourceContext(ctx context.Context, filename, src string, options ...Option) (*RepairResult, error) {
-	cfg := apiConfig{opts: DefaultOptions()}
-	for _, o := range options {
-		o(&cfg)
-	}
-	in := cfg.opts.internal()
-	in.Ctx = ctx
-	return repairWith(filename, src, in)
-}
-
-func repairWith(filename, src string, in analysis.Options) (*RepairResult, error) {
-	res, err := repair.Repair(filename, src, in)
-	if err != nil {
-		return nil, err
-	}
-	out := &RepairResult{
-		Fixed:             res.Fixed,
-		InitialWarnings:   res.InitialWarnings,
-		RemainingWarnings: res.RemainingWarnings,
-		Rejected:          res.Rejected,
-	}
-	for _, s := range res.Steps {
-		out.Steps = append(out.Steps, RepairStep{
-			Strategy: string(s.Strategy), Proc: s.Proc, Task: s.Task, Token: s.Token,
-		})
-	}
-	return out, nil
-}
+// The v1 repair helpers (RepairSource, RepairSourceContext and their
+// RepairResult/RepairStep shapes) were removed in 0.7.0 after a full
+// deprecation cycle; use Repair (repair_api.go), which returns verified
+// unified-diff patches. See docs/SERVER.md for the removal policy.
